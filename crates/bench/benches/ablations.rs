@@ -1,0 +1,178 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. POLB capacity (8–256 entries) vs hit rate and runtime.
+//! 2. Conversion reuse on/off — isolates the Fig. 12 effect inside the HW
+//!    build itself.
+//! 3. Check-elimination policy in the SW build: no inference (every site
+//!    checks), the dataflow inference, and a perfect oracle.
+//! 4. NVM/DRAM latency ratio.
+
+use utpr_bench::{scale_spec, Table};
+use utpr_ds::RbTree;
+use utpr_heap::AddressSpace;
+use utpr_kv::harness::{run_benchmark, Benchmark};
+use utpr_kv::workload::generate;
+use utpr_kv::KvStore;
+use utpr_ptr::{CheckPolicy, ExecEnv, Mode};
+use utpr_sim::{Machine, RangeEntry, SimConfig};
+
+fn machine_env(mode: Mode, sim: SimConfig) -> ExecEnv<Machine> {
+    let mut space = AddressSpace::new(0xAB1A);
+    let pool = space.create_pool("ablate", 256 << 20).expect("pool");
+    let ranges: Vec<RangeEntry> = space
+        .attachments()
+        .iter()
+        .map(|a| RangeEntry { base: a.base.raw(), size: a.size, pool: a.pool.raw() })
+        .collect();
+    let mut machine = Machine::new(sim);
+    machine.set_pool_ranges(ranges);
+    ExecEnv::new(space, mode, Some(pool), machine)
+}
+
+fn run_rb_with(mut env: ExecEnv<Machine>, spec: &utpr_kv::WorkloadSpec) -> (f64, utpr_sim::SimStats) {
+    let w = generate(spec);
+    let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
+    store.load(&mut env, &w).expect("load");
+    env.sink_mut().reset_measurement();
+    env.reset_stats();
+    store.run(&mut env, &w).expect("run");
+    let (_s, _p, machine) = env.into_parts();
+    (machine.cycles(), machine.stats())
+}
+
+fn ablate_polb(spec: &utpr_kv::WorkloadSpec) {
+    println!("=== Ablation: POLB capacity (HW build, RB) ===");
+    let mut t = Table::new(&["entries", "normalized time", "polb miss rate"]);
+    let mut base = None;
+    for entries in [1usize, 8, 32, 256] {
+        let mut cfg = SimConfig::table_iv();
+        cfg.polb.entries = entries;
+        let (cycles, stats) = run_rb_with(machine_env(Mode::Hw, cfg), spec);
+        let b = *base.get_or_insert(cycles);
+        t.row(vec![
+            entries.to_string(),
+            format!("{:.3}", cycles / b),
+            format!(
+                "{:.4}",
+                stats.polb_misses as f64 / stats.polb_accesses.max(1) as f64
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablate_reuse(spec: &utpr_kv::WorkloadSpec) {
+    println!("=== Ablation: conversion reuse (HW build, RB) ===");
+    let mut t = Table::new(&["reuse", "cycles", "polb accesses"]);
+    let mut rows = vec![];
+    for reuse in [true, false] {
+        let mut env = machine_env(Mode::Hw, SimConfig::table_iv());
+        env.set_conversion_reuse(reuse);
+        let (cycles, stats) = run_rb_with(env, spec);
+        rows.push((reuse, cycles, stats.polb_accesses));
+    }
+    let base = rows[0].1;
+    for (reuse, cycles, polb) in rows {
+        t.row(vec![
+            if reuse { "on (paper)" } else { "off" }.to_string(),
+            format!("{:.3}x", cycles / base),
+            polb.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablate_inference(spec: &utpr_kv::WorkloadSpec) {
+    println!("=== Ablation: check-elimination policy (SW build, RB) ===");
+    let mut t = Table::new(&["policy", "normalized time", "dynamic checks"]);
+    let mut base = None;
+    for (policy, label) in [
+        (CheckPolicy::AlwaysCheck, "no inference"),
+        (CheckPolicy::Inferred, "dataflow inference (paper)"),
+        (CheckPolicy::Oracle, "perfect oracle"),
+    ] {
+        let mut env = machine_env(Mode::Sw, SimConfig::table_iv());
+        env.set_check_policy(policy);
+        let w = generate(spec);
+        let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
+        store.load(&mut env, &w).expect("load");
+        env.sink_mut().reset_measurement();
+        env.reset_stats();
+        store.run(&mut env, &w).expect("run");
+        let checks = env.stats().dynamic_checks;
+        let (_s, _p, machine) = env.into_parts();
+        let cycles = machine.cycles();
+        let b = *base.get_or_insert(cycles);
+        t.row(vec![label.to_string(), format!("{:.3}", cycles / b), checks.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablate_nvm_latency(spec: &utpr_kv::WorkloadSpec) {
+    println!("=== Ablation: NVM latency (HW vs Volatile, RB) ===");
+    let mut t = Table::new(&["nvm cycles", "hw / volatile"]);
+    for nvm in [120u64, 240, 480, 960] {
+        let cfg = SimConfig::table_iv().with_nvm_latency(nvm);
+        let vol = run_benchmark(Benchmark::Rb, Mode::Volatile, cfg, spec).expect("vol").cycles;
+        let hw = run_benchmark(Benchmark::Rb, Mode::Hw, cfg, spec).expect("hw").cycles;
+        t.row(vec![nvm.to_string(), format!("{:.3}", hw / vol)]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablate_txn(spec: &utpr_kv::WorkloadSpec) {
+    println!("=== Ablation: per-op persistent transactions (HW build, RB) ===");
+    let mut t = Table::new(&["crash consistency", "normalized time"]);
+    // Baseline: no transactions.
+    let (base, _) = run_rb_with(machine_env(Mode::Hw, SimConfig::table_iv()), spec);
+    t.row(vec!["off".into(), "1.000".into()]);
+    // Every operation wrapped in its own transaction (worst case).
+    let mut env = machine_env(Mode::Hw, SimConfig::table_iv());
+    let w = generate(spec);
+    let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
+    store.load(&mut env, &w).expect("load");
+    env.sink_mut().reset_measurement();
+    env.reset_stats();
+    for op in &w.ops {
+        env.frame_traffic(8, 4, 24);
+        env.txn_begin().expect("begin");
+        match op {
+            utpr_kv::Op::Get(k) => {
+                store.get(&mut env, *k).expect("get");
+            }
+            utpr_kv::Op::Set(k, v) => {
+                store.set(&mut env, *k, *v).expect("set");
+            }
+        }
+        env.txn_commit().expect("commit");
+    }
+    let (_s, _p, machine) = env.into_parts();
+    t.row(vec!["per-op txn".into(), format!("{:.3}", machine.cycles() / base)]);
+    println!("{}", t.render());
+}
+
+fn ablate_prefetcher(spec: &utpr_kv::WorkloadSpec) {
+    println!("=== Ablation: next-line prefetcher (paper §VI: unaffected by UTPR) ===");
+    let mut t = Table::new(&["mode", "speedup from prefetcher"]);
+    for mode in [Mode::Volatile, Mode::Hw] {
+        let base =
+            run_benchmark(Benchmark::Ll, mode, SimConfig::table_iv(), spec).expect("base").cycles;
+        let pf = run_benchmark(Benchmark::Ll, mode, SimConfig::table_iv().with_prefetcher(), spec)
+            .expect("pf")
+            .cycles;
+        t.row(vec![mode.label().to_string(), format!("{:.3}x", base / pf)]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("ablations: six sweeps on RB at {} records ...", spec.records);
+    println!();
+    ablate_polb(&spec);
+    ablate_reuse(&spec);
+    ablate_inference(&spec);
+    ablate_nvm_latency(&spec);
+    ablate_txn(&spec);
+    ablate_prefetcher(&spec);
+}

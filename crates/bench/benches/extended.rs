@@ -1,0 +1,30 @@
+//! Extension beyond the paper: the six Table III structures plus a B+ tree
+//! (wide nodes, few pointer hops, leaf-chain scans) under the same KV
+//! workload and machine. The B+ tree's lower pointer-load density shrinks
+//! every build's overhead — evidence that UTPR's costs scale with pointer
+//! traffic, not data volume.
+
+use utpr_bench::{by_mode, scale_spec, Table};
+use utpr_kv::harness::{run_all_modes, Benchmark};
+use utpr_ptr::Mode;
+use utpr_sim::SimConfig;
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("extended: 7 structures x 4 modes at {} records ...", spec.records);
+    println!("\n=== Extension: all structures + B+ tree, normalized to Volatile ===");
+    let mut t = Table::new(&["bench", "explicit", "sw", "hw", "hw polb/ref"]);
+    for b in Benchmark::ALL_EXTENDED {
+        let rs = run_all_modes(b, SimConfig::table_iv(), &spec).expect("run");
+        let vol = by_mode(&rs, Mode::Volatile).cycles;
+        let hw = by_mode(&rs, Mode::Hw);
+        t.row(vec![
+            b.name().to_string(),
+            format!("{:.2}", by_mode(&rs, Mode::Explicit).cycles / vol),
+            format!("{:.2}", by_mode(&rs, Mode::Sw).cycles / vol),
+            format!("{:.2}", hw.cycles / vol),
+            format!("{:.3}", hw.sim.polb_fraction()),
+        ]);
+    }
+    println!("{}", t.render());
+}

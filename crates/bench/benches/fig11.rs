@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 11: execution time of the Explicit, SW and HW
+//! builds normalized to the Volatile build, per benchmark plus geomean.
+//!
+//! Paper shapes to expect: HW within a few percent of Volatile (worst on
+//! Splay), SW ≈ 2.75x on average, Explicit between HW and SW.
+
+use utpr_bench::{collect_suite, fig11, scale_spec};
+use utpr_sim::SimConfig;
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("fig11: running 6 benchmarks x 4 modes at {} records / {} ops ...", spec.records, spec.operations);
+    let suite = collect_suite(SimConfig::table_iv(), &spec);
+    println!("\n=== Fig. 11: execution time normalized to Volatile ===");
+    println!("{}", fig11(&suite));
+}

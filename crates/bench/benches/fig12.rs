@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 12: the conversion-reuse effect. The HW build
+//! converts a persistent pointer once when it is loaded and reuses the
+//! virtual address for subsequent field accesses; the Explicit model's API
+//! re-translates at every access. The table reports hardware address
+//! translations per build and their ratio.
+
+use utpr_bench::{fig12, scale_spec};
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("fig12: running 6 benchmarks x 2 modes ...");
+    println!("\n=== Fig. 12: address translations, Explicit vs HW (reuse) ===");
+    println!("{}", fig12(&spec));
+}

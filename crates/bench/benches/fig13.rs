@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 13: branch mispredictions normalized to the
+//! Volatile build. The SW build's dynamic checks execute real branches
+//! through shared helper pcs, which is where its extra mispredictions come
+//! from; the HW build adds none.
+
+use utpr_bench::{collect_suite, fig13, scale_spec};
+use utpr_sim::SimConfig;
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("fig13: running 6 benchmarks x 4 modes ...");
+    let suite = collect_suite(SimConfig::table_iv(), &spec);
+    println!("\n=== Fig. 13: branch mispredictions normalized to Volatile ===");
+    println!("{}", fig13(&suite));
+}

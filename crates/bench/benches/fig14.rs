@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 14: sensitivity of the HW build to the VALB/VAW
+//! latency (1..50 cycles), normalized to the Explicit build. The paper
+//! finds less than 10% impact even at 50 cycles because storeP (and hence
+//! VALB traffic) is a tiny fraction of accesses.
+
+use utpr_bench::{fig14, scale_spec};
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("fig14: sweeping VALB latency over 6 benchmarks ...");
+    println!("\n=== Fig. 14: HW runtime vs VALB latency, normalized to Explicit ===");
+    println!("{}", fig14(&spec, &[1, 10, 20, 30, 40, 50]));
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 15: the fraction of memory accesses that are
+//! storeP instructions, access the VALB/VAW, and access the POLB/POW in the
+//! HW build. Expect storeP ~= VALB << POLB (the paper reports 0.38%, 0.22%
+//! and 12.6% on whole-program traces; ours count only data-structure
+//! accesses, so the fractions are proportionally larger).
+
+use utpr_bench::{collect_suite, fig15, scale_spec};
+use utpr_sim::SimConfig;
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("fig15: running 6 benchmarks x 4 modes ...");
+    let suite = collect_suite(SimConfig::table_iv(), &spec);
+    println!("\n=== Fig. 15: access mix of the HW build ===");
+    println!("{}", fig15(&suite));
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's §VII-E KNN case study: productivity (lines
+//! changed to persist the four matrices) and performance across the four
+//! builds. Paper: HW has marginal overhead; SW sees a 7.56x slowdown;
+//! migration costs 7 lines with UPR vs 863 with explicit references.
+
+use utpr_bench::Table;
+use utpr_ml::{paper_knn_efforts, run_knn};
+use utpr_ptr::Mode;
+use utpr_sim::SimConfig;
+
+fn main() {
+    println!("\n=== KNN case study: productivity ===");
+    let mut t = Table::new(&["approach", "lines", "objects", "functions", "versions"]);
+    for e in paper_knn_efforts() {
+        t.row(vec![
+            e.approach.to_string(),
+            e.lines_changed.to_string(),
+            e.objects_changed.to_string(),
+            e.functions_changed.to_string(),
+            e.versions_needed.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "this repo (measured)".into(),
+        utpr_ml::measured_utpr_lines_changed().to_string(),
+        "0".into(),
+        "0".into(),
+        "1".into(),
+    ]);
+    println!("{}", t.render());
+
+    println!("=== KNN case study: performance (normalized to Volatile) ===");
+    eprintln!("knn_case: running KNN in 4 modes ...");
+    let vol = run_knn(Mode::Volatile, SimConfig::table_iv(), 3, 11).expect("volatile");
+    let mut t = Table::new(&["mode", "normalized time", "accuracy"]);
+    for mode in Mode::ALL {
+        let r = run_knn(mode, SimConfig::table_iv(), 3, 11).expect("run");
+        t.row(vec![
+            mode.label().to_string(),
+            format!("{:.2}", r.cycles / vol.cycles),
+            format!("{:.3}", r.accuracy),
+        ]);
+    }
+    println!("{}", t.render());
+}

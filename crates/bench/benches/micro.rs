@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the core primitives: pointer
+//! encode/decode, translations, allocator, zipfian sampling, and the
+//! simulated cache. These track the cost of the library itself, not the
+//! simulated machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use utpr_heap::{AddressSpace, PageStore, Region};
+use utpr_kv::rng::Rng;
+use utpr_kv::workload::Zipfian;
+use utpr_ptr::{C11Engine, UPtr};
+use utpr_sim::cache::Cache;
+use utpr_sim::config::CacheCfg;
+
+fn bench_ptr_ops(c: &mut Criterion) {
+    let mut space = AddressSpace::new(3);
+    let pool = space.create_pool("micro", 1 << 20).unwrap();
+    let loc = space.pmalloc(pool, 64).unwrap();
+    let rel = UPtr::from_rel(loc);
+    c.bench_function("uptr/kind_decode", |b| {
+        b.iter(|| black_box(black_box(rel).kind()));
+    });
+    c.bench_function("uptr/ra2va", |b| {
+        b.iter(|| {
+            let mut eng = C11Engine::new(&space);
+            black_box(eng.ra2va(black_box(rel)).unwrap())
+        });
+    });
+    c.bench_function("uptr/offset_arith", |b| {
+        b.iter(|| black_box(black_box(rel).offset(24)));
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("heap/alloc_free_cycle", |b| {
+        let mut mem = PageStore::new();
+        let region = Region::format(&mut mem, 1 << 20).unwrap();
+        b.iter(|| {
+            let p = region.alloc(&mut mem, 64).unwrap();
+            region.free(&mut mem, black_box(p)).unwrap();
+        });
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("kv/zipfian_sample", |b| {
+        let z = Zipfian::new(10_000);
+        let mut rng = Rng::new(1);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("sim/cache_access", |b| {
+        let mut cache = Cache::new(CacheCfg { sets: 64, ways: 8, line: 64, hit_cycles: 4 });
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xffff;
+            black_box(cache.access(black_box(addr)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_ptr_ops, bench_allocator, bench_workload, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates paper Table II: on-chip storage and 45nm die area of the
+//! three added hardware structures (storeP FSM buffer, POLB, VALB).
+
+fn main() {
+    println!("\n=== Table II: hardware storage costs ===");
+    println!("{}", utpr_bench::table2());
+}

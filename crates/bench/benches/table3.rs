@@ -1,0 +1,7 @@
+//! Regenerates paper Table III: the benchmark inventory (the six Boost data
+//! structures re-implemented over the simulated persistent heap).
+
+fn main() {
+    println!("\n=== Table III: benchmarks ===");
+    println!("{}", utpr_bench::table3());
+}

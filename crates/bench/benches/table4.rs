@@ -1,0 +1,6 @@
+//! Regenerates paper Table IV: the simulated machine's parameters.
+
+fn main() {
+    println!("\n=== Table IV: simulator parameters ===");
+    println!("{}", utpr_bench::table4());
+}

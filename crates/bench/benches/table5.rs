@@ -1,0 +1,14 @@
+//! Regenerates paper Table V: the number of dynamic checks executed by the
+//! SW build and the pointer-format conversions in each direction, per
+//! benchmark.
+
+use utpr_bench::{collect_suite, scale_spec, table5};
+use utpr_sim::SimConfig;
+
+fn main() {
+    let spec = scale_spec();
+    eprintln!("table5: running 6 benchmarks x 4 modes ...");
+    let suite = collect_suite(SimConfig::table_iv(), &spec);
+    println!("\n=== Table V: dynamic checks and conversions (SW build) ===");
+    println!("{}", table5(&suite));
+}

@@ -1,0 +1,56 @@
+//! Extension beyond the paper: how the four builds compare under the
+//! standard YCSB preset mixes (A: update-heavy, B: read-mostly, C:
+//! read-only, D: read-latest — the paper evaluates only a D-like mix).
+//! The expectation: the SW build's penalty grows with write intensity
+//! (more storeP sites check and convert), while HW stays flat.
+
+use utpr_bench::Table;
+use utpr_ds::RbTree;
+use utpr_heap::AddressSpace;
+use utpr_kv::ycsb::{generate_preset, Preset};
+use utpr_kv::KvStore;
+use utpr_ptr::{ExecEnv, Mode};
+use utpr_sim::{Machine, RangeEntry, SimConfig};
+
+fn run(preset: Preset, mode: Mode, records: u64, operations: u64) -> f64 {
+    let mut space = AddressSpace::new(0x9C5B);
+    let pool = space.create_pool("ycsb", 256 << 20).expect("pool");
+    let ranges: Vec<RangeEntry> = space
+        .attachments()
+        .iter()
+        .map(|a| RangeEntry { base: a.base.raw(), size: a.size, pool: a.pool.raw() })
+        .collect();
+    let mut machine = Machine::new(SimConfig::table_iv());
+    machine.set_pool_ranges(ranges);
+    let mut env = ExecEnv::new(space, mode, Some(pool), machine);
+    let w = generate_preset(preset, records, operations, 42);
+    let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
+    store.load(&mut env, &w).expect("load");
+    env.sink_mut().reset_measurement();
+    store.run(&mut env, &w).expect("run");
+    let (_s, _p, machine) = env.into_parts();
+    machine.cycles()
+}
+
+fn main() {
+    let (records, operations) = match std::env::var("UTPR_BENCH_SCALE").as_deref() {
+        Ok("small") => (1_000, 5_000),
+        Ok("medium") => (5_000, 20_000),
+        _ => (10_000, 100_000),
+    };
+    eprintln!("ycsb_mix: 4 presets x 4 modes on RB at {records} records ...");
+    println!("\n=== Extension: YCSB preset mixes, RB tree, normalized to Volatile ===");
+    let mut t = Table::new(&["preset", "mix", "explicit", "sw", "hw"]);
+    for preset in Preset::ALL {
+        let vol = run(preset, Mode::Volatile, records, operations);
+        let (r, u, i) = preset.mix();
+        t.row(vec![
+            preset.name().to_string(),
+            format!("{:.0}R/{:.0}U/{:.0}I", r * 100.0, u * 100.0, i * 100.0),
+            format!("{:.2}", run(preset, Mode::Explicit, records, operations) / vol),
+            format!("{:.2}", run(preset, Mode::Sw, records, operations) / vol),
+            format!("{:.2}", run(preset, Mode::Hw, records, operations) / vol),
+        ]);
+    }
+    println!("{}", t.render());
+}

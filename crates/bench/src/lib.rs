@@ -1,0 +1,344 @@
+//! # utpr-bench — regeneration harnesses for every table and figure
+//!
+//! Each `cargo bench` target of this crate regenerates one table or figure
+//! of the paper's evaluation (§VII): it runs the same workloads through the
+//! simulated machine and prints the same rows/series the paper reports.
+//! The helpers here are shared by the bench targets and by the integration
+//! tests that assert the reproduced *shapes* (who wins, by roughly what
+//! factor).
+//!
+//! Scale is selected with the `UTPR_BENCH_SCALE` environment variable:
+//! `paper` (default: 10 k records / 100 k ops), `medium`, or `small`.
+
+use utpr_kv::harness::{run_all_modes, run_benchmark, BenchResult, Benchmark};
+use utpr_kv::workload::WorkloadSpec;
+use utpr_ptr::Mode;
+use utpr_sim::SimConfig;
+
+/// Workload scale selected via `UTPR_BENCH_SCALE`.
+pub fn scale_spec() -> WorkloadSpec {
+    match std::env::var("UTPR_BENCH_SCALE").as_deref() {
+        Ok("small") => WorkloadSpec { records: 1_000, operations: 5_000, read_fraction: 0.95, seed: 42 },
+        Ok("medium") => {
+            WorkloadSpec { records: 5_000, operations: 20_000, read_fraction: 0.95, seed: 42 }
+        }
+        _ => WorkloadSpec::paper(),
+    }
+}
+
+/// Geometric mean of positive values; 0 on empty input.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A minimal fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the full suite: every benchmark in all four modes.
+pub fn collect_suite(sim: SimConfig, spec: &WorkloadSpec) -> Vec<Vec<BenchResult>> {
+    Benchmark::ALL
+        .iter()
+        .map(|b| run_all_modes(*b, sim, spec).expect("benchmark run"))
+        .collect()
+}
+
+/// Finds the result for `mode` within one benchmark's results.
+///
+/// # Panics
+///
+/// Panics when `mode` is absent.
+pub fn by_mode(results: &[BenchResult], mode: Mode) -> &BenchResult {
+    results.iter().find(|r| r.mode == mode).expect("mode present")
+}
+
+/// Fig. 11: execution time of Explicit/SW/HW normalized to Volatile.
+pub fn fig11(suite: &[Vec<BenchResult>]) -> String {
+    let mut t = Table::new(&["bench", "explicit", "sw", "hw"]);
+    let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    for results in suite {
+        let vol = by_mode(results, Mode::Volatile).cycles;
+        let ex = by_mode(results, Mode::Explicit).cycles / vol;
+        let sw = by_mode(results, Mode::Sw).cycles / vol;
+        let hw = by_mode(results, Mode::Hw).cycles / vol;
+        cols[0].push(ex);
+        cols[1].push(sw);
+        cols[2].push(hw);
+        t.row(vec![
+            results[0].benchmark.name().to_string(),
+            format!("{ex:.2}"),
+            format!("{sw:.2}"),
+            format!("{hw:.2}"),
+        ]);
+    }
+    t.row(vec![
+        "geomean".to_string(),
+        format!("{:.2}", geomean(&cols[0])),
+        format!("{:.2}", geomean(&cols[1])),
+        format!("{:.2}", geomean(&cols[2])),
+    ]);
+    t.render()
+}
+
+/// Fig. 13: branch mispredictions normalized to Volatile.
+pub fn fig13(suite: &[Vec<BenchResult>]) -> String {
+    let mut t = Table::new(&["bench", "explicit", "sw", "hw"]);
+    for results in suite {
+        let vol = by_mode(results, Mode::Volatile).sim.branch_mispredicts.max(1) as f64;
+        t.row(vec![
+            results[0].benchmark.name().to_string(),
+            format!("{:.2}", by_mode(results, Mode::Explicit).sim.branch_mispredicts as f64 / vol),
+            format!("{:.2}", by_mode(results, Mode::Sw).sim.branch_mispredicts as f64 / vol),
+            format!("{:.2}", by_mode(results, Mode::Hw).sim.branch_mispredicts as f64 / vol),
+        ]);
+    }
+    t.render()
+}
+
+/// Fig. 15: fraction of memory accesses that are storeP / access the VALB /
+/// access the POLB, in the HW build.
+pub fn fig15(suite: &[Vec<BenchResult>]) -> String {
+    let mut t = Table::new(&["bench", "storeP%", "valb%", "polb%"]);
+    for results in suite {
+        let hw = by_mode(results, Mode::Hw);
+        t.row(vec![
+            results[0].benchmark.name().to_string(),
+            format!("{:.2}", 100.0 * hw.sim.storep_fraction()),
+            format!("{:.2}", 100.0 * hw.sim.valb_fraction()),
+            format!("{:.2}", 100.0 * hw.sim.polb_fraction()),
+        ]);
+    }
+    t.render()
+}
+
+/// Table V: dynamic checks and conversion counts per benchmark (SW build
+/// for the checks, as in the paper).
+pub fn table5(suite: &[Vec<BenchResult>]) -> String {
+    let mut t = Table::new(&["bench", "dynamic checks", "abs->rel", "rel->abs"]);
+    for results in suite {
+        let sw = by_mode(results, Mode::Sw);
+        t.row(vec![
+            results[0].benchmark.name().to_string(),
+            sw.ptr.dynamic_checks.to_string(),
+            sw.ptr.abs_to_rel.to_string(),
+            sw.ptr.rel_to_abs.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Fig. 14: execution time of the HW build under increasing VALB/VAW
+/// latency, normalized to the Explicit build at default latency.
+pub fn fig14(spec: &WorkloadSpec, latencies: &[u64]) -> String {
+    let mut headers: Vec<String> = vec!["bench".into()];
+    headers.extend(latencies.iter().map(|l| format!("{l}cyc")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+    for b in Benchmark::ALL {
+        let explicit = run_benchmark(b, Mode::Explicit, SimConfig::table_iv(), spec)
+            .expect("explicit run")
+            .cycles;
+        let mut cells = vec![b.name().to_string()];
+        for lat in latencies {
+            let cfg = SimConfig::table_iv().with_valb_latency(*lat);
+            let hw = run_benchmark(b, Mode::Hw, cfg, spec).expect("hw run").cycles;
+            cells.push(format!("{:.3}", hw / explicit));
+        }
+        t.row(cells);
+    }
+    t.render()
+}
+
+/// Fig. 12: the conversion-reuse effect, isolated — address translations
+/// per build on the same workload (HW converts once per loaded pointer and
+/// reuses; Explicit translates at every object access).
+pub fn fig12(spec: &WorkloadSpec) -> String {
+    let mut t = Table::new(&["bench", "hw translations", "explicit translations", "ratio"]);
+    for b in Benchmark::ALL {
+        let hw = run_benchmark(b, Mode::Hw, SimConfig::table_iv(), spec).expect("hw");
+        let ex = run_benchmark(b, Mode::Explicit, SimConfig::table_iv(), spec).expect("ex");
+        let hw_tr = hw.sim.polb_accesses + hw.sim.valb_accesses;
+        let ex_tr = ex.sim.polb_accesses + ex.sim.valb_accesses;
+        t.row(vec![
+            b.name().to_string(),
+            hw_tr.to_string(),
+            ex_tr.to_string(),
+            format!("{:.2}x", ex_tr as f64 / hw_tr.max(1) as f64),
+        ]);
+    }
+    t.render()
+}
+
+/// Table II: hardware structure storage costs.
+pub fn table2() -> String {
+    let rows = utpr_sim::cost::table_ii();
+    let mut t = Table::new(&["structure", "entry bytes", "entries", "total bytes", "area mm2"]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            r.entry_bytes.to_string(),
+            r.entries.to_string(),
+            r.total_bytes().to_string(),
+            format!("{:.4}", r.area_mm2()),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        String::new(),
+        String::new(),
+        utpr_sim::cost::total_bytes(&rows).to_string(),
+        format!("{:.4}", utpr_sim::cost::total_area_mm2(&rows)),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "die fraction of 45nm octa-core Nehalem: {:.4}%\n",
+        100.0 * utpr_sim::cost::die_fraction(&rows)
+    ));
+    out
+}
+
+/// Table IV: the simulator parameters in use.
+pub fn table4() -> String {
+    let c = SimConfig::table_iv();
+    let mut t = Table::new(&["component", "parameter"]);
+    t.row(vec!["L1 data cache".into(), format!("8-way, {} KB, {} cycles", c.l1.capacity() >> 10, c.l1.hit_cycles)]);
+    t.row(vec!["L2 cache".into(), format!("8-way, {} KB, {} cycles", c.l2.capacity() >> 10, c.l2.hit_cycles)]);
+    t.row(vec!["L3 cache".into(), format!("8-way, {} MB, {} cycles", c.l3.capacity() >> 20, c.l3.hit_cycles)]);
+    t.row(vec!["L1 data TLB".into(), format!("{}-way, {} entries, pipelined", c.tlb1.ways, c.tlb1.entries)]);
+    t.row(vec![
+        "L2 shared TLB".into(),
+        format!(
+            "{}-way, {} entries, {} cycles hit, {} walk",
+            c.tlb2.ways, c.tlb2.entries, c.tlb2_hit_cycles, c.page_walk_cycles
+        ),
+    ]);
+    t.row(vec![
+        "branch predictor".into(),
+        format!("gshare {} entries, {} cycles penalty", c.predictor_entries, c.branch_penalty),
+    ]);
+    t.row(vec!["memory".into(), format!("{} cycles DRAM, {} cycles NVM", c.dram_cycles, c.nvm_cycles)]);
+    t.row(vec![
+        "POLB".into(),
+        format!("{} entries, {} cycles, POW {} cycles", c.polb.entries, c.polb.hit_cycles, c.polb.walk_cycles),
+    ]);
+    t.row(vec![
+        "VALB".into(),
+        format!("{} entries, {} cycles, VAW {} cycles", c.valb.entries, c.valb.hit_cycles, c.valb.walk_cycles),
+    ]);
+    t.render()
+}
+
+/// Table III: the benchmark inventory.
+pub fn table3() -> String {
+    let mut t = Table::new(&["name", "data structure", "boost analogue"]);
+    t.row(vec!["LL".into(), "doubly-linked list".into(), "intrusive::list".into()]);
+    t.row(vec!["Hash".into(), "chained hash map".into(), "unordered_map".into()]);
+    t.row(vec!["RB".into(), "red-black tree".into(), "intrusive::rbtree".into()]);
+    t.row(vec!["Splay".into(), "splay tree".into(), "intrusive::splaytree".into()]);
+    t.row(vec!["AVL".into(), "AVL tree".into(), "intrusive::avltree".into()]);
+    t.row(vec!["SG".into(), "scapegoat tree".into(), "intrusive::sgtree".into()]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bench"]);
+        t.row(vec!["1".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("bench"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn static_tables_mention_key_rows() {
+        assert!(table2().contains("POLB"));
+        assert!(table2().contains("1280"));
+        assert!(table3().contains("scapegoat"));
+        assert!(table4().contains("240 cycles NVM"));
+    }
+
+    #[test]
+    fn small_suite_produces_all_figures() {
+        let spec = WorkloadSpec { records: 200, operations: 800, read_fraction: 0.95, seed: 2 };
+        let suite: Vec<_> = [Benchmark::Rb, Benchmark::Hash]
+            .iter()
+            .map(|b| run_all_modes(*b, SimConfig::table_iv(), &spec).unwrap())
+            .collect();
+        let f11 = fig11(&suite);
+        assert!(f11.contains("RB") && f11.contains("geomean"));
+        assert!(fig13(&suite).contains("Hash"));
+        assert!(fig15(&suite).contains("storeP%"));
+        assert!(table5(&suite).contains("dynamic checks"));
+    }
+}

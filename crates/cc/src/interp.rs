@@ -1,0 +1,527 @@
+//! IR interpreter: executes a module against the simulated heap with the
+//! Fig. 4 semantics, counting the dynamic checks the compiled SW version
+//! would execute.
+//!
+//! This is the functional reference for the compiler path: tests run the
+//! same kernels natively (plain Rust) and through the interpreter and
+//! compare results, the analogue of the paper's LLVM test-suite validation.
+
+use crate::analysis::{analyze_module, InferenceReport, SiteKey};
+use crate::ir::{BlockId, Inst, IntOp, Module, Operand, Term};
+use std::fmt;
+use utpr_heap::{AddressSpace, HeapError, PoolId};
+use utpr_ptr::{PtrSpace, UPtr};
+
+/// A runtime value: the IR is dynamically typed between integers and
+/// pointers, like C through casts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Val {
+    /// An integer.
+    Int(i64),
+    /// A pointer in either format.
+    Ptr(UPtr),
+}
+
+impl Val {
+    /// Truthiness for conditional branches.
+    pub fn is_true(self) -> bool {
+        match self {
+            Val::Int(i) => i != 0,
+            Val::Ptr(p) => !p.is_null(),
+        }
+    }
+}
+
+/// Interpreter failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// A heap/translation fault.
+    Heap(HeapError),
+    /// An operand had the wrong dynamic type.
+    Type(&'static str),
+    /// The fuel budget was exhausted (runaway loop or recursion).
+    OutOfFuel,
+    /// Unknown function.
+    NoFunction(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Heap(e) => write!(f, "heap fault: {e}"),
+            InterpError::Type(what) => write!(f, "type error: {what}"),
+            InterpError::OutOfFuel => write!(f, "out of fuel"),
+            InterpError::NoFunction(n) => write!(f, "no function named {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<HeapError> for InterpError {
+    fn from(e: HeapError) -> Self {
+        InterpError::Heap(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, InterpError>;
+
+/// Execution counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Instructions executed.
+    pub insts: u64,
+    /// Pointer-operation sites executed.
+    pub executed_ptr_ops: u64,
+    /// Dynamic checks executed (post-inference).
+    pub executed_checks: u64,
+    /// Dynamic checks a no-inference compiler would have executed.
+    pub max_checks: u64,
+    /// Relative→virtual conversions performed.
+    pub rel_to_abs: u64,
+    /// Virtual→relative conversions performed.
+    pub abs_to_rel: u64,
+}
+
+impl InterpStats {
+    /// Fraction of executed checks surviving inference — the paper reports
+    /// ≈ 42 % on its benchmarks.
+    pub fn dynamic_check_fraction(&self) -> f64 {
+        if self.max_checks == 0 {
+            0.0
+        } else {
+            self.executed_checks as f64 / self.max_checks as f64
+        }
+    }
+}
+
+/// The interpreter: owns nothing, runs against a borrowed heap.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_cc::ir::{FnBuilder, Module, Operand};
+/// use utpr_cc::interp::{Interp, Val};
+/// use utpr_heap::AddressSpace;
+///
+/// let mut b = FnBuilder::new("store42", 0);
+/// let p = b.fresh();
+/// b.pmalloc(p, Operand::Imm(16));
+/// b.store(Operand::Reg(p), 0, Operand::Imm(42));
+/// let v = b.fresh();
+/// b.load(v, Operand::Reg(p), 0);
+/// b.ret(Some(Operand::Reg(v)));
+/// let mut m = Module::new();
+/// m.add(b.finish());
+///
+/// let mut space = AddressSpace::new(5);
+/// let pool = space.create_pool("p", 1 << 20)?;
+/// let mut interp = Interp::new(&mut space, pool, &m);
+/// assert_eq!(interp.run("store42", vec![])?, Some(Val::Int(42)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Interp<'a> {
+    space: &'a mut AddressSpace,
+    pool: PoolId,
+    module: &'a Module,
+    report: InferenceReport,
+    stats: InterpStats,
+    fuel: u64,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter with a default fuel budget of 10 million
+    /// instructions; persistent allocations go to `pool`.
+    pub fn new(space: &'a mut AddressSpace, pool: PoolId, module: &'a Module) -> Self {
+        let report = analyze_module(module);
+        Interp { space, pool, module, report, stats: InterpStats::default(), fuel: 10_000_000 }
+    }
+
+    /// Overrides the fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> InterpStats {
+        self.stats
+    }
+
+    /// The inference report the interpreter charges checks against.
+    pub fn report(&self) -> &InferenceReport {
+        &self.report
+    }
+
+    /// Runs a function with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns faults, type errors, fuel exhaustion, or unknown-function
+    /// errors.
+    pub fn run(&mut self, name: &str, args: Vec<Val>) -> Result<Option<Val>> {
+        let module = self.module;
+        let f = module
+            .functions
+            .get(name)
+            .ok_or_else(|| InterpError::NoFunction(name.to_string()))?;
+        if args.len() as u32 != f.params {
+            return Err(InterpError::Type("argument count mismatch"));
+        }
+        let mut regs: Vec<Val> = vec![Val::Int(0); f.regs as usize];
+        regs[..args.len()].copy_from_slice(&args);
+
+        let decisions = self.report.functions[name].decisions.clone();
+        let mut bb = BlockId(0);
+        loop {
+            let block = &f.blocks[bb.0 as usize];
+            for (ii, inst) in block.insts.iter().enumerate() {
+                if self.fuel == 0 {
+                    return Err(InterpError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                self.stats.insts += 1;
+                if let Some(d) = decisions.get(&SiteKey { block: bb, index: ii }) {
+                    self.stats.executed_ptr_ops += 1;
+                    self.stats.executed_checks += u64::from(d.checks);
+                    self.stats.max_checks += u64::from(d.max_checks);
+                }
+                self.step(inst, &mut regs)?;
+            }
+            // Terminators also consume fuel so empty-block loops terminate.
+            if self.fuel == 0 {
+                return Err(InterpError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            match &block.term {
+                Term::Br(t) => bb = *t,
+                Term::CondBr { cond, then_bb, else_bb } => {
+                    let c = eval(&regs, *cond);
+                    bb = if c.is_true() { *then_bb } else { *else_bb };
+                }
+                Term::Ret(v) => return Ok(v.map(|op| eval(&regs, op))),
+            }
+        }
+    }
+
+    fn ra2va(&mut self, p: UPtr) -> Result<UPtr> {
+        match p.as_rel() {
+            Some(loc) => {
+                let va = self.space.ra2va(loc)?;
+                self.stats.rel_to_abs += 1;
+                Ok(UPtr::from_va(va))
+            }
+            None => Ok(p),
+        }
+    }
+
+    fn deref(&mut self, p: UPtr, off: i64) -> Result<utpr_heap::VirtAddr> {
+        let q = p.offset(off);
+        if q.is_null() {
+            return Err(InterpError::Heap(HeapError::Unmapped(utpr_heap::VirtAddr::new(0))));
+        }
+        let v = self.ra2va(q)?;
+        Ok(v.as_va().expect("ra2va yields va"))
+    }
+
+    fn step(&mut self, inst: &Inst, regs: &mut [Val]) -> Result<()> {
+        match inst {
+            Inst::ConstInt { dst, value } => regs[dst.0 as usize] = Val::Int(*value),
+            Inst::Malloc { dst, size } => {
+                let n = as_int(eval(regs, *size))?;
+                let va = self.space.malloc(n as u64)?;
+                regs[dst.0 as usize] = Val::Ptr(UPtr::from_va(va));
+            }
+            Inst::Pmalloc { dst, size } => {
+                let n = as_int(eval(regs, *size))?;
+                let loc = self.space.pmalloc(self.pool, n as u64)?;
+                // pmalloc returns a relative address by definition (§V-B).
+                regs[dst.0 as usize] = Val::Ptr(UPtr::from_rel(loc));
+            }
+            Inst::Free { ptr } => {
+                let p = as_ptr(eval(regs, *ptr))?;
+                match p.kind() {
+                    utpr_ptr::PtrKind::Null => {}
+                    utpr_ptr::PtrKind::Va(va) => {
+                        if va.is_nvm_region() {
+                            let loc = self.space.va2ra(va)?;
+                            self.stats.abs_to_rel += 1;
+                            self.space.pfree(loc)?;
+                        } else {
+                            self.space.mfree(va)?;
+                        }
+                    }
+                    utpr_ptr::PtrKind::Rel(loc) => self.space.pfree(loc)?,
+                }
+            }
+            Inst::Load { dst, addr, off } => {
+                let p = as_ptr(eval(regs, *addr))?;
+                let va = self.deref(p, *off)?;
+                regs[dst.0 as usize] = Val::Int(self.space.read_u64(va)? as i64);
+            }
+            Inst::Store { addr, off, value } => {
+                let p = as_ptr(eval(regs, *addr))?;
+                let v = as_int(eval(regs, *value))?;
+                let va = self.deref(p, *off)?;
+                self.space.write_u64(va, v as u64)?;
+            }
+            Inst::LoadPtr { dst, addr, off } => {
+                let p = as_ptr(eval(regs, *addr))?;
+                let va = self.deref(p, *off)?;
+                regs[dst.0 as usize] = Val::Ptr(UPtr::from_raw(self.space.read_u64(va)?));
+            }
+            Inst::StorePtr { addr, off, value } => {
+                let p = as_ptr(eval(regs, *addr))?;
+                let v = as_ptr(eval(regs, *value))?;
+                let dva = self.deref(p, *off)?;
+                let dest = if dva.is_nvm_region() { PtrSpace::Nvm } else { PtrSpace::Dram };
+                let stored = self.assign_value(dest, v)?;
+                self.space.write_u64(dva, stored.raw())?;
+            }
+            Inst::Gep { dst, base, off } => {
+                let p = as_ptr(eval(regs, *base))?;
+                let d = as_int(eval(regs, *off))?;
+                regs[dst.0 as usize] = Val::Ptr(p.offset(d));
+            }
+            Inst::IntOp { dst, op, lhs, rhs } => {
+                let a = as_int(eval(regs, *lhs))?;
+                let b = as_int(eval(regs, *rhs))?;
+                let r = match op {
+                    IntOp::Add => a.wrapping_add(b),
+                    IntOp::Sub => a.wrapping_sub(b),
+                    IntOp::Mul => a.wrapping_mul(b),
+                    IntOp::And => a & b,
+                    IntOp::Or => a | b,
+                    IntOp::Xor => a ^ b,
+                };
+                regs[dst.0 as usize] = Val::Int(r);
+            }
+            Inst::PtrToInt { dst, src } => {
+                let p = as_ptr(eval(regs, *src))?;
+                let v = self.ra2va(p)?;
+                regs[dst.0 as usize] = Val::Int(v.raw() as i64);
+            }
+            Inst::IntToPtr { dst, src } => {
+                let i = as_int(eval(regs, *src))?;
+                regs[dst.0 as usize] = Val::Ptr(UPtr::from_raw(i as u64));
+            }
+            Inst::PtrDiff { dst, lhs, rhs } => {
+                let a = as_ptr(eval(regs, *lhs))?;
+                let b = as_ptr(eval(regs, *rhs))?;
+                let d = match (a.as_rel(), b.as_rel()) {
+                    (Some(_), Some(_)) => a.raw().wrapping_sub(b.raw()) as i64,
+                    _ => {
+                        let av = self.ra2va(a)?.raw();
+                        let bv = self.ra2va(b)?.raw();
+                        av.wrapping_sub(bv) as i64
+                    }
+                };
+                regs[dst.0 as usize] = Val::Int(d);
+            }
+            Inst::CmpPtr { dst, op, lhs, rhs } => {
+                let a = as_ptr(eval(regs, *lhs))?;
+                let b = as_ptr(eval(regs, *rhs))?;
+                let r = if a.is_null() || b.is_null() {
+                    op.eval(a.raw(), b.raw())
+                } else {
+                    let av = self.ra2va(a)?.raw();
+                    let bv = self.ra2va(b)?.raw();
+                    op.eval(av, bv)
+                };
+                regs[dst.0 as usize] = Val::Int(i64::from(r));
+            }
+            Inst::CmpInt { dst, op, lhs, rhs } => {
+                let a = as_int(eval(regs, *lhs))?;
+                let b = as_int(eval(regs, *rhs))?;
+                regs[dst.0 as usize] = Val::Int(i64::from(op.eval(a, b)));
+            }
+            Inst::Copy { dst, src } => regs[dst.0 as usize] = eval(regs, *src),
+            Inst::Call { dst, callee, args } => {
+                let vals: Vec<Val> = args.iter().map(|a| eval(regs, *a)).collect();
+                let r = self.run(callee, vals)?;
+                if let Some(d) = dst {
+                    regs[d.0 as usize] = r.ok_or(InterpError::Type("void call used as value"))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn assign_value(&mut self, dest: PtrSpace, p: UPtr) -> Result<UPtr> {
+        if p.is_null() {
+            return Ok(p);
+        }
+        match dest {
+            PtrSpace::Nvm => match p.as_va() {
+                Some(va) if va.is_nvm_region() => {
+                    let loc = self.space.va2ra(va)?;
+                    self.stats.abs_to_rel += 1;
+                    Ok(UPtr::from_rel(loc))
+                }
+                _ => Ok(p),
+            },
+            PtrSpace::Dram => self.ra2va(p),
+        }
+    }
+}
+
+fn eval(regs: &[Val], op: Operand) -> Val {
+    match op {
+        Operand::Reg(r) => regs[r.0 as usize],
+        Operand::Imm(i) => Val::Int(i),
+        Operand::Null => Val::Ptr(UPtr::NULL),
+    }
+}
+
+fn as_int(v: Val) -> Result<i64> {
+    match v {
+        Val::Int(i) => Ok(i),
+        Val::Ptr(_) => Err(InterpError::Type("expected integer, found pointer")),
+    }
+}
+
+fn as_ptr(v: Val) -> Result<UPtr> {
+    match v {
+        Val::Ptr(p) => Ok(p),
+        // C permits integer constants (e.g. 0) in pointer positions.
+        Val::Int(0) => Ok(UPtr::NULL),
+        Val::Int(_) => Err(InterpError::Type("expected pointer, found integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, FnBuilder, Module, Operand::*};
+
+    fn with_pool() -> (AddressSpace, PoolId) {
+        let mut s = AddressSpace::new(31);
+        let p = s.create_pool("interp", 1 << 20).unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn persistent_linked_pair_round_trips() {
+        // a = pmalloc; b = pmalloc; a->next = b; b->val = 7; return a->next->val
+        let mut b = FnBuilder::new("pair", 0);
+        let ra = b.fresh();
+        let rb = b.fresh();
+        b.pmalloc(ra, Imm(32));
+        b.pmalloc(rb, Imm(32));
+        b.store_ptr(Reg(ra), 8, Reg(rb));
+        b.store(Reg(rb), 0, Imm(7));
+        let rn = b.fresh();
+        b.load_ptr(rn, Reg(ra), 8);
+        let rv = b.fresh();
+        b.load(rv, Reg(rn), 0);
+        b.ret(Some(Reg(rv)));
+        let mut m = Module::new();
+        m.add(b.finish());
+        m.verify().unwrap();
+
+        let (mut s, pool) = with_pool();
+        let mut i = Interp::new(&mut s, pool, &m);
+        assert_eq!(i.run("pair", vec![]).unwrap(), Some(Val::Int(7)));
+        // The stored pointer was already relative (pmalloc result), so no
+        // abs→rel conversion was needed; the two dereferences of relative
+        // pointers each converted rel→abs.
+        assert_eq!(i.stats().abs_to_rel, 0);
+        assert!(i.stats().rel_to_abs >= 2);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let mut b = FnBuilder::new("spin", 0);
+        let body = b.new_block();
+        b.br(body);
+        b.switch_to(body);
+        b.br(body);
+        let mut m = Module::new();
+        m.add(b.finish());
+        let (mut s, pool) = with_pool();
+        let mut i = Interp::new(&mut s, pool, &m).with_fuel(100);
+        assert_eq!(i.run("spin", vec![]), Err(InterpError::OutOfFuel));
+    }
+
+    #[test]
+    fn type_errors_detected() {
+        let mut b = FnBuilder::new("bad", 0);
+        let r = b.fresh();
+        b.const_int(r, 5);
+        let v = b.fresh();
+        b.load(v, Reg(r), 0); // deref an integer
+        b.ret(None);
+        let mut m = Module::new();
+        m.add(b.finish());
+        let (mut s, pool) = with_pool();
+        let mut i = Interp::new(&mut s, pool, &m);
+        assert!(matches!(i.run("bad", vec![]), Err(InterpError::Type(_))));
+    }
+
+    #[test]
+    fn calls_pass_values_and_return() {
+        let mut callee = FnBuilder::new("add1", 1);
+        let r = callee.fresh();
+        callee.int_add(r, Reg(callee.param(0)), Imm(1));
+        callee.ret(Some(Reg(r)));
+        let mut caller = FnBuilder::new("main", 0);
+        let r = caller.fresh();
+        caller.call(Some(r), "add1", vec![Imm(41)]);
+        caller.ret(Some(Reg(r)));
+        let mut m = Module::new();
+        m.add(callee.finish());
+        m.add(caller.finish());
+        m.verify().unwrap();
+        let (mut s, pool) = with_pool();
+        let mut i = Interp::new(&mut s, pool, &m);
+        assert_eq!(i.run("main", vec![]).unwrap(), Some(Val::Int(42)));
+    }
+
+    #[test]
+    fn check_counting_matches_analysis() {
+        // Deref a parameter 3 times in a loop of 1: checks = 3 executions.
+        let mut b = FnBuilder::new("f", 1);
+        let v = b.fresh();
+        b.load(v, Reg(b.param(0)), 0);
+        b.load(v, Reg(b.param(0)), 8);
+        b.load(v, Reg(b.param(0)), 16);
+        b.ret(Some(Reg(v)));
+        let mut m = Module::new();
+        m.add(b.finish());
+        let (mut s, pool) = with_pool();
+        let loc = s.pmalloc(pool, 64).unwrap();
+        let mut i = Interp::new(&mut s, pool, &m);
+        i.run("f", vec![Val::Ptr(UPtr::from_rel(loc))]).unwrap();
+        let st = i.stats();
+        assert_eq!(st.executed_ptr_ops, 3);
+        assert_eq!(st.executed_checks, 3);
+        assert_eq!(st.max_checks, 3);
+        assert_eq!(st.rel_to_abs, 3, "each deref converts the relative param");
+    }
+
+    #[test]
+    fn cmp_across_formats_and_null() {
+        let mut b = FnBuilder::new("f", 1);
+        let q = b.fresh();
+        // q = (T*)(intptr_t)p — round-trip through an integer.
+        let i1 = b.fresh();
+        b.ptr_to_int(i1, Reg(b.param(0)));
+        b.int_to_ptr(q, Reg(i1));
+        let c1 = b.fresh();
+        b.cmp_ptr(c1, CmpOp::Eq, Reg(b.param(0)), Reg(q));
+        let c2 = b.fresh();
+        b.cmp_ptr(c2, CmpOp::Ne, Reg(b.param(0)), Null);
+        let r = b.fresh();
+        b.int_op(r, crate::ir::IntOp::And, Reg(c1), Reg(c2));
+        b.ret(Some(Reg(r)));
+        let mut m = Module::new();
+        m.add(b.finish());
+        let (mut s, pool) = with_pool();
+        let loc = s.pmalloc(pool, 32).unwrap();
+        let mut i = Interp::new(&mut s, pool, &m);
+        let out = i.run("f", vec![Val::Ptr(UPtr::from_rel(loc))]).unwrap();
+        assert_eq!(out, Some(Val::Int(1)), "rel == int-round-tripped va, and != null");
+    }
+}

@@ -1,0 +1,804 @@
+//! A small register-based intermediate representation.
+//!
+//! The paper implements its compiler support as an LLVM pass over C
+//! programs. Here we model the part that matters — pointer operations and
+//! their dataflow — with a compact IR: functions of basic blocks over a
+//! register file, with explicit pointer instructions (`LoadPtr`,
+//! `StorePtr`, `Gep`, `CmpPtr`, …) mirroring the operation classes of the
+//! paper's Fig. 4 soundness table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A virtual register.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u32);
+
+/// A basic-block id within a function.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// An instruction operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A register value.
+    Reg(Reg),
+    /// An integer immediate.
+    Imm(i64),
+    /// The null pointer constant.
+    Null,
+}
+
+/// Integer arithmetic operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IntOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering-comparable pair.
+    pub fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// One IR instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// `dst = imm`.
+    ConstInt {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = malloc(size)` — volatile allocation, returns a virtual
+    /// address (DRAM).
+    Malloc {
+        /// Destination register.
+        dst: Reg,
+        /// Size in bytes.
+        size: Operand,
+    },
+    /// `dst = pmalloc(size)` — persistent allocation, returns a relative
+    /// address by definition.
+    Pmalloc {
+        /// Destination register.
+        dst: Reg,
+        /// Size in bytes.
+        size: Operand,
+    },
+    /// `free(ptr)` in whichever space the pointer lives.
+    Free {
+        /// Pointer to release.
+        ptr: Operand,
+    },
+    /// `dst = *(i64*)(addr + off)`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address.
+        addr: Operand,
+        /// Byte offset.
+        off: i64,
+    },
+    /// `*(i64*)(addr + off) = value` (storeD).
+    Store {
+        /// Base address.
+        addr: Operand,
+        /// Byte offset.
+        off: i64,
+        /// Value stored.
+        value: Operand,
+    },
+    /// `dst = *(void**)(addr + off)` — pointer load.
+    LoadPtr {
+        /// Destination register.
+        dst: Reg,
+        /// Base address.
+        addr: Operand,
+        /// Byte offset.
+        off: i64,
+    },
+    /// `*(void**)(addr + off) = value` — pointer store (storeP).
+    StorePtr {
+        /// Base address.
+        addr: Operand,
+        /// Byte offset.
+        off: i64,
+        /// Pointer value stored.
+        value: Operand,
+    },
+    /// `dst = base + off` in bytes (pointer arithmetic / field address).
+    Gep {
+        /// Destination register.
+        dst: Reg,
+        /// Base pointer.
+        base: Operand,
+        /// Byte offset.
+        off: Operand,
+    },
+    /// Integer arithmetic.
+    IntOp {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: IntOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `(intptr_t)src` — Fig. 4 cast row: relative operands convert.
+    PtrToInt {
+        /// Destination register.
+        dst: Reg,
+        /// Pointer operand.
+        src: Operand,
+    },
+    /// `(T*)src` — raw adoption of the bits.
+    IntToPtr {
+        /// Destination register.
+        dst: Reg,
+        /// Integer operand.
+        src: Operand,
+    },
+    /// `dst = lhs - rhs` over pointers (bytes).
+    PtrDiff {
+        /// Destination register.
+        dst: Reg,
+        /// Left pointer.
+        lhs: Operand,
+        /// Right pointer.
+        rhs: Operand,
+    },
+    /// Pointer comparison producing 0/1.
+    CmpPtr {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: CmpOp,
+        /// Left pointer.
+        lhs: Operand,
+        /// Right pointer.
+        rhs: Operand,
+    },
+    /// Integer comparison producing 0/1.
+    CmpInt {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Register copy / materialization of an operand.
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Call of another function in the module.
+    Call {
+        /// Destination for the return value, if used.
+        dst: Option<Reg>,
+        /// Callee name.
+        callee: String,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+}
+
+impl Inst {
+    /// The destination register, if the instruction produces a value.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Inst::ConstInt { dst, .. }
+            | Inst::Malloc { dst, .. }
+            | Inst::Pmalloc { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::LoadPtr { dst, .. }
+            | Inst::Gep { dst, .. }
+            | Inst::IntOp { dst, .. }
+            | Inst::PtrToInt { dst, .. }
+            | Inst::IntToPtr { dst, .. }
+            | Inst::PtrDiff { dst, .. }
+            | Inst::CmpPtr { dst, .. }
+            | Inst::CmpInt { dst, .. }
+            | Inst::Copy { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Free { .. } | Inst::Store { .. } | Inst::StorePtr { .. } => None,
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch on a non-zero / non-null condition.
+    CondBr {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+}
+
+impl Term {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Br(b) => vec![*b],
+            Term::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Term::Ret(_) => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// Instructions in order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A function: parameters arrive in registers `0..params`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Number of parameters (registers `0..params`).
+    pub params: u32,
+    /// Total registers used.
+    pub regs: u32,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+}
+
+/// A module: a set of functions.
+#[derive(Clone, Default, Debug)]
+pub struct Module {
+    /// Functions by name.
+    pub functions: BTreeMap<String, Function>,
+}
+
+/// Structural verification errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// A branch targets a nonexistent block.
+    BadBlockTarget(String, BlockId),
+    /// An instruction references a register beyond the declared count.
+    BadRegister(String, Reg),
+    /// A function has no blocks.
+    EmptyFunction(String),
+    /// A call names a function not in the module.
+    UnknownCallee(String, String),
+    /// A call passes the wrong number of arguments.
+    BadArity(String, String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadBlockTarget(func, b) => {
+                write!(f, "function {func}: branch to nonexistent {b:?}")
+            }
+            VerifyError::BadRegister(func, r) => {
+                write!(f, "function {func}: register {r:?} out of range")
+            }
+            VerifyError::EmptyFunction(func) => write!(f, "function {func} has no blocks"),
+            VerifyError::UnknownCallee(func, callee) => {
+                write!(f, "function {func} calls unknown {callee}")
+            }
+            VerifyError::BadArity(func, callee) => {
+                write!(f, "function {func} calls {callee} with wrong arity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Adds a function, replacing any previous one with the same name.
+    pub fn add(&mut self, f: Function) {
+        self.functions.insert(f.name.clone(), f);
+    }
+
+    /// Structural verification of every function.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        for (name, f) in &self.functions {
+            if f.blocks.is_empty() {
+                return Err(VerifyError::EmptyFunction(name.clone()));
+            }
+            let check_op = |op: &Operand| -> Result<(), VerifyError> {
+                if let Operand::Reg(r) = op {
+                    if r.0 >= f.regs {
+                        return Err(VerifyError::BadRegister(name.clone(), *r));
+                    }
+                }
+                Ok(())
+            };
+            for block in &f.blocks {
+                for inst in &block.insts {
+                    if let Some(d) = inst.dst() {
+                        if d.0 >= f.regs {
+                            return Err(VerifyError::BadRegister(name.clone(), d));
+                        }
+                    }
+                    for op in operands_of(inst) {
+                        check_op(&op)?;
+                    }
+                    if let Inst::Call { callee, args, .. } = inst {
+                        match self.functions.get(callee) {
+                            None => {
+                                return Err(VerifyError::UnknownCallee(
+                                    name.clone(),
+                                    callee.clone(),
+                                ))
+                            }
+                            Some(target) => {
+                                if args.len() as u32 != target.params {
+                                    return Err(VerifyError::BadArity(
+                                        name.clone(),
+                                        callee.clone(),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                for succ in block.term.successors() {
+                    if succ.0 as usize >= f.blocks.len() {
+                        return Err(VerifyError::BadBlockTarget(name.clone(), succ));
+                    }
+                }
+                if let Term::CondBr { cond, .. } = &block.term {
+                    check_op(cond)?;
+                }
+                if let Term::Ret(Some(v)) = &block.term {
+                    check_op(v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "r{}", r.0),
+            Operand::Imm(i) => write!(f, "{i}"),
+            Operand::Null => f.write_str("null"),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::ConstInt { dst, value } => write!(f, "r{} = const {value}", dst.0),
+            Inst::Malloc { dst, size } => write!(f, "r{} = malloc {size}", dst.0),
+            Inst::Pmalloc { dst, size } => write!(f, "r{} = pmalloc {size}", dst.0),
+            Inst::Free { ptr } => write!(f, "free {ptr}"),
+            Inst::Load { dst, addr, off } => write!(f, "r{} = load [{addr}+{off}]", dst.0),
+            Inst::Store { addr, off, value } => write!(f, "store [{addr}+{off}], {value}"),
+            Inst::LoadPtr { dst, addr, off } => write!(f, "r{} = loadp [{addr}+{off}]", dst.0),
+            Inst::StorePtr { addr, off, value } => write!(f, "storep [{addr}+{off}], {value}"),
+            Inst::Gep { dst, base, off } => write!(f, "r{} = gep {base}, {off}", dst.0),
+            Inst::IntOp { dst, op, lhs, rhs } => {
+                write!(f, "r{} = {op:?} {lhs}, {rhs}", dst.0)
+            }
+            Inst::PtrToInt { dst, src } => write!(f, "r{} = ptrtoint {src}", dst.0),
+            Inst::IntToPtr { dst, src } => write!(f, "r{} = inttoptr {src}", dst.0),
+            Inst::PtrDiff { dst, lhs, rhs } => write!(f, "r{} = ptrdiff {lhs}, {rhs}", dst.0),
+            Inst::CmpPtr { dst, op, lhs, rhs } => {
+                write!(f, "r{} = cmpp.{op:?} {lhs}, {rhs}", dst.0)
+            }
+            Inst::CmpInt { dst, op, lhs, rhs } => {
+                write!(f, "r{} = cmpi.{op:?} {lhs}, {rhs}", dst.0)
+            }
+            Inst::Copy { dst, src } => write!(f, "r{} = {src}", dst.0),
+            Inst::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "r{} = call {callee}(", d.0)?;
+                } else {
+                    write!(f, "call {callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Br(b) => write!(f, "br bb{}", b.0),
+            Term::CondBr { cond, then_bb, else_bb } => {
+                write!(f, "br {cond}, bb{}, bb{}", then_bb.0, else_bb.0)
+            }
+            Term::Ret(None) => f.write_str("ret"),
+            Term::Ret(Some(v)) => write!(f, "ret {v}"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for i in 0..self.params {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "r{i}")?;
+        }
+        writeln!(f, ") {{")?;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{bi}:")?;
+            for inst in &block.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", block.term)?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.functions.values().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+                writeln!(f)?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All operands an instruction reads.
+pub fn operands_of(inst: &Inst) -> Vec<Operand> {
+    match inst {
+        Inst::ConstInt { .. } => vec![],
+        Inst::Malloc { size, .. } | Inst::Pmalloc { size, .. } => vec![*size],
+        Inst::Free { ptr } => vec![*ptr],
+        Inst::Load { addr, .. } | Inst::LoadPtr { addr, .. } => vec![*addr],
+        Inst::Store { addr, value, .. } | Inst::StorePtr { addr, value, .. } => {
+            vec![*addr, *value]
+        }
+        Inst::Gep { base, off, .. } => vec![*base, *off],
+        Inst::IntOp { lhs, rhs, .. }
+        | Inst::PtrDiff { lhs, rhs, .. }
+        | Inst::CmpPtr { lhs, rhs, .. }
+        | Inst::CmpInt { lhs, rhs, .. } => vec![*lhs, *rhs],
+        Inst::PtrToInt { src, .. } | Inst::IntToPtr { src, .. } | Inst::Copy { src, .. } => {
+            vec![*src]
+        }
+        Inst::Call { args, .. } => args.clone(),
+    }
+}
+
+/// A convenience builder for one function.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_cc::ir::{FnBuilder, Operand};
+///
+/// let mut b = FnBuilder::new("double_it", 1);
+/// let p = b.param(0);
+/// let v = b.fresh();
+/// b.load(v, Operand::Reg(p), 0);
+/// let d = b.fresh();
+/// b.int_add(d, Operand::Reg(v), Operand::Reg(v));
+/// b.store(Operand::Reg(p), 0, Operand::Reg(d));
+/// b.ret(Some(Operand::Reg(d)));
+/// let f = b.finish();
+/// assert_eq!(f.params, 1);
+/// ```
+#[derive(Debug)]
+pub struct FnBuilder {
+    name: String,
+    params: u32,
+    next_reg: u32,
+    blocks: Vec<Block>,
+    current: usize,
+}
+
+impl FnBuilder {
+    /// Starts a function with `params` parameters (in registers `0..params`)
+    /// and an open entry block.
+    pub fn new(name: &str, params: u32) -> Self {
+        FnBuilder {
+            name: name.to_string(),
+            params,
+            next_reg: params,
+            blocks: vec![Block { insts: vec![], term: Term::Ret(None) }],
+            current: 0,
+        }
+    }
+
+    /// Parameter register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a parameter index.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.params);
+        Reg(i)
+    }
+
+    /// Allocates a fresh register.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Creates a new (empty) block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block { insts: vec![], term: Term::Ret(None) });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Makes `b` the block subsequent instructions append to.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.current = b.0 as usize;
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.blocks[self.current].insts.push(inst);
+    }
+
+    /// Emits `dst = imm`.
+    pub fn const_int(&mut self, dst: Reg, value: i64) {
+        self.push(Inst::ConstInt { dst, value });
+    }
+    /// Emits a volatile allocation.
+    pub fn malloc(&mut self, dst: Reg, size: Operand) {
+        self.push(Inst::Malloc { dst, size });
+    }
+    /// Emits a persistent allocation.
+    pub fn pmalloc(&mut self, dst: Reg, size: Operand) {
+        self.push(Inst::Pmalloc { dst, size });
+    }
+    /// Emits a free.
+    pub fn free(&mut self, ptr: Operand) {
+        self.push(Inst::Free { ptr });
+    }
+    /// Emits an integer load.
+    pub fn load(&mut self, dst: Reg, addr: Operand, off: i64) {
+        self.push(Inst::Load { dst, addr, off });
+    }
+    /// Emits an integer store.
+    pub fn store(&mut self, addr: Operand, off: i64, value: Operand) {
+        self.push(Inst::Store { addr, off, value });
+    }
+    /// Emits a pointer load.
+    pub fn load_ptr(&mut self, dst: Reg, addr: Operand, off: i64) {
+        self.push(Inst::LoadPtr { dst, addr, off });
+    }
+    /// Emits a pointer store.
+    pub fn store_ptr(&mut self, addr: Operand, off: i64, value: Operand) {
+        self.push(Inst::StorePtr { addr, off, value });
+    }
+    /// Emits pointer arithmetic.
+    pub fn gep(&mut self, dst: Reg, base: Operand, off: Operand) {
+        self.push(Inst::Gep { dst, base, off });
+    }
+    /// Emits integer addition.
+    pub fn int_add(&mut self, dst: Reg, lhs: Operand, rhs: Operand) {
+        self.push(Inst::IntOp { dst, op: IntOp::Add, lhs, rhs });
+    }
+    /// Emits an integer operation.
+    pub fn int_op(&mut self, dst: Reg, op: IntOp, lhs: Operand, rhs: Operand) {
+        self.push(Inst::IntOp { dst, op, lhs, rhs });
+    }
+    /// Emits a pointer→integer cast.
+    pub fn ptr_to_int(&mut self, dst: Reg, src: Operand) {
+        self.push(Inst::PtrToInt { dst, src });
+    }
+    /// Emits an integer→pointer cast.
+    pub fn int_to_ptr(&mut self, dst: Reg, src: Operand) {
+        self.push(Inst::IntToPtr { dst, src });
+    }
+    /// Emits a pointer difference.
+    pub fn ptr_diff(&mut self, dst: Reg, lhs: Operand, rhs: Operand) {
+        self.push(Inst::PtrDiff { dst, lhs, rhs });
+    }
+    /// Emits a pointer comparison.
+    pub fn cmp_ptr(&mut self, dst: Reg, op: CmpOp, lhs: Operand, rhs: Operand) {
+        self.push(Inst::CmpPtr { dst, op, lhs, rhs });
+    }
+    /// Emits an integer comparison.
+    pub fn cmp_int(&mut self, dst: Reg, op: CmpOp, lhs: Operand, rhs: Operand) {
+        self.push(Inst::CmpInt { dst, op, lhs, rhs });
+    }
+    /// Emits a register copy.
+    pub fn copy(&mut self, dst: Reg, src: Operand) {
+        self.push(Inst::Copy { dst, src });
+    }
+    /// Emits a call.
+    pub fn call(&mut self, dst: Option<Reg>, callee: &str, args: Vec<Operand>) {
+        self.push(Inst::Call { dst, callee: callee.to_string(), args });
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.blocks[self.current].term = Term::Br(target);
+    }
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.blocks[self.current].term = Term::CondBr { cond, then_bb, else_bb };
+    }
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.blocks[self.current].term = Term::Ret(value);
+    }
+
+    /// Finalizes the function.
+    pub fn finish(self) -> Function {
+        Function { name: self.name, params: self.params, regs: self.next_reg, blocks: self.blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial() -> Function {
+        let mut b = FnBuilder::new("t", 1);
+        let r = b.fresh();
+        b.load(r, Operand::Reg(b.param(0)), 0);
+        b.ret(Some(Operand::Reg(r)));
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_valid_function() {
+        let mut m = Module::new();
+        m.add(trivial());
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn verify_catches_bad_register() {
+        let mut f = trivial();
+        f.blocks[0].insts.push(Inst::Copy { dst: Reg(99), src: Operand::Imm(0) });
+        let mut m = Module::new();
+        m.add(f);
+        assert!(matches!(m.verify(), Err(VerifyError::BadRegister(_, _))));
+    }
+
+    #[test]
+    fn verify_catches_bad_branch() {
+        let mut f = trivial();
+        f.blocks[0].term = Term::Br(BlockId(7));
+        let mut m = Module::new();
+        m.add(f);
+        assert!(matches!(m.verify(), Err(VerifyError::BadBlockTarget(_, _))));
+    }
+
+    #[test]
+    fn verify_catches_unknown_callee_and_arity() {
+        let mut b = FnBuilder::new("caller", 0);
+        b.call(None, "missing", vec![]);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add(b.finish());
+        assert!(matches!(m.verify(), Err(VerifyError::UnknownCallee(_, _))));
+
+        let mut m2 = Module::new();
+        m2.add(trivial());
+        let mut b2 = FnBuilder::new("caller", 0);
+        b2.call(None, "t", vec![]); // t takes 1 arg
+        b2.ret(None);
+        m2.add(b2.finish());
+        assert!(matches!(m2.verify(), Err(VerifyError::BadArity(_, _))));
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        assert_eq!(Term::Br(BlockId(1)).successors(), vec![BlockId(1)]);
+        assert_eq!(Term::Ret(None).successors(), vec![]);
+        let c = Term::CondBr { cond: Operand::Imm(1), then_bb: BlockId(1), else_bb: BlockId(2) };
+        assert_eq!(c.successors().len(), 2);
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(!CmpOp::Ne.eval(3, 3));
+    }
+
+    #[test]
+    fn display_renders_readable_ir() {
+        let mut b = FnBuilder::new("show", 1);
+        let p = b.fresh();
+        b.pmalloc(p, Operand::Imm(16));
+        b.store_ptr(Operand::Reg(b.param(0)), 0, Operand::Reg(p));
+        let c = b.fresh();
+        b.cmp_ptr(c, CmpOp::Ne, Operand::Reg(p), Operand::Null);
+        b.ret(Some(Operand::Reg(c)));
+        let mut m = Module::new();
+        m.add(b.finish());
+        let text = m.to_string();
+        assert!(text.contains("fn show(r0)"), "{text}");
+        assert!(text.contains("r1 = pmalloc 16"), "{text}");
+        assert!(text.contains("storep [r0+0], r1"), "{text}");
+        assert!(text.contains("cmpp.Ne r1, null"), "{text}");
+        assert!(text.contains("ret r2"), "{text}");
+    }
+}

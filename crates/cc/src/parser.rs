@@ -1,0 +1,440 @@
+//! Textual IR parser — the inverse of the `Display` impls in [`crate::ir`],
+//! giving the compiler crate an LLVM-`.ll`-style round trip: any module can
+//! be printed, stored, edited by hand, and parsed back.
+//!
+//! Grammar (one construct per line, `#`-comments allowed):
+//!
+//! ```text
+//! fn append(r0, r1) {
+//! bb0:
+//!   r2 = pmalloc 16
+//!   store [r2+0], r1
+//!   storep [r0+0], r2
+//!   ret
+//! }
+//! ```
+
+use crate::ir::{Block, BlockId, CmpOp, Function, Inst, IntOp, Module, Operand, Reg, Term};
+use std::fmt;
+
+/// Parse failures, with the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg> {
+    let body = s
+        .strip_prefix('r')
+        .ok_or_else(|| ParseError { line, message: format!("expected register, got {s:?}") })?;
+    match body.parse::<u32>() {
+        Ok(n) => Ok(Reg(n)),
+        Err(_) => err(line, format!("bad register {s:?}")),
+    }
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand> {
+    let s = s.trim();
+    if s == "null" {
+        return Ok(Operand::Null);
+    }
+    if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
+        return Ok(Operand::Reg(parse_reg(s, line)?));
+    }
+    match s.parse::<i64>() {
+        Ok(i) => Ok(Operand::Imm(i)),
+        Err(_) => err(line, format!("bad operand {s:?}")),
+    }
+}
+
+fn parse_block_ref(s: &str, line: usize) -> Result<BlockId> {
+    let body = s
+        .strip_prefix("bb")
+        .ok_or_else(|| ParseError { line, message: format!("expected block ref, got {s:?}") })?;
+    match body.parse::<u32>() {
+        Ok(n) => Ok(BlockId(n)),
+        Err(_) => err(line, format!("bad block ref {s:?}")),
+    }
+}
+
+/// Parses `[base+off]` into (base operand, byte offset).
+fn parse_addr(s: &str, line: usize) -> Result<(Operand, i64)> {
+    let inner = s
+        .trim()
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| ParseError { line, message: format!("expected [base+off], got {s:?}") })?;
+    // The offset is the part after the *last* '+' or a trailing negative.
+    let split = inner.rfind('+').ok_or_else(|| ParseError {
+        line,
+        message: format!("expected [base+off], got {s:?}"),
+    })?;
+    let base = parse_operand(&inner[..split], line)?;
+    let off = inner[split + 1..]
+        .trim()
+        .parse::<i64>()
+        .map_err(|_| ParseError { line, message: format!("bad offset in {s:?}") })?;
+    Ok((base, off))
+}
+
+fn parse_int_op(s: &str, line: usize) -> Result<IntOp> {
+    Ok(match s {
+        "Add" => IntOp::Add,
+        "Sub" => IntOp::Sub,
+        "Mul" => IntOp::Mul,
+        "And" => IntOp::And,
+        "Or" => IntOp::Or,
+        "Xor" => IntOp::Xor,
+        _ => return err(line, format!("unknown int op {s:?}")),
+    })
+}
+
+fn parse_cmp_op(s: &str, line: usize) -> Result<CmpOp> {
+    Ok(match s {
+        "Eq" => CmpOp::Eq,
+        "Ne" => CmpOp::Ne,
+        "Lt" => CmpOp::Lt,
+        "Le" => CmpOp::Le,
+        "Gt" => CmpOp::Gt,
+        "Ge" => CmpOp::Ge,
+        _ => return err(line, format!("unknown cmp op {s:?}")),
+    })
+}
+
+fn split2(s: &str, line: usize) -> Result<(&str, &str)> {
+    match s.split_once(',') {
+        Some((a, b)) => Ok((a.trim(), b.trim())),
+        None => err(line, format!("expected two comma-separated operands in {s:?}")),
+    }
+}
+
+/// Parses the right-hand side of `rN = <rhs>`.
+fn parse_rhs(dst: Reg, rhs: &str, line: usize) -> Result<Inst> {
+    let (head, rest) = match rhs.split_once(' ') {
+        Some((h, r)) => (h, r.trim()),
+        None => (rhs, ""),
+    };
+    Ok(match head {
+        "const" => Inst::ConstInt {
+            dst,
+            value: rest
+                .parse()
+                .map_err(|_| ParseError { line, message: format!("bad const {rest:?}") })?,
+        },
+        "malloc" => Inst::Malloc { dst, size: parse_operand(rest, line)? },
+        "pmalloc" => Inst::Pmalloc { dst, size: parse_operand(rest, line)? },
+        "load" => {
+            let (addr, off) = parse_addr(rest, line)?;
+            Inst::Load { dst, addr, off }
+        }
+        "loadp" => {
+            let (addr, off) = parse_addr(rest, line)?;
+            Inst::LoadPtr { dst, addr, off }
+        }
+        "gep" => {
+            let (base, off) = split2(rest, line)?;
+            Inst::Gep { dst, base: parse_operand(base, line)?, off: parse_operand(off, line)? }
+        }
+        "ptrtoint" => Inst::PtrToInt { dst, src: parse_operand(rest, line)? },
+        "inttoptr" => Inst::IntToPtr { dst, src: parse_operand(rest, line)? },
+        "ptrdiff" => {
+            let (l, r) = split2(rest, line)?;
+            Inst::PtrDiff { dst, lhs: parse_operand(l, line)?, rhs: parse_operand(r, line)? }
+        }
+        "call" => {
+            let open = rest.find('(').ok_or_else(|| ParseError {
+                line,
+                message: "call missing argument list".into(),
+            })?;
+            let callee = rest[..open].trim().to_string();
+            let args_s = rest[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| ParseError { line, message: "call missing ')'".into() })?;
+            let args = if args_s.trim().is_empty() {
+                vec![]
+            } else {
+                args_s
+                    .split(',')
+                    .map(|a| parse_operand(a, line))
+                    .collect::<Result<Vec<_>>>()?
+            };
+            Inst::Call { dst: Some(dst), callee, args }
+        }
+        _ if head.starts_with("cmpp.") => {
+            let op = parse_cmp_op(&head[5..], line)?;
+            let (l, r) = split2(rest, line)?;
+            Inst::CmpPtr { dst, op, lhs: parse_operand(l, line)?, rhs: parse_operand(r, line)? }
+        }
+        _ if head.starts_with("cmpi.") => {
+            let op = parse_cmp_op(&head[5..], line)?;
+            let (l, r) = split2(rest, line)?;
+            Inst::CmpInt { dst, op, lhs: parse_operand(l, line)?, rhs: parse_operand(r, line)? }
+        }
+        "Add" | "Sub" | "Mul" | "And" | "Or" | "Xor" => {
+            let op = parse_int_op(head, line)?;
+            let (l, r) = split2(rest, line)?;
+            Inst::IntOp { dst, op, lhs: parse_operand(l, line)?, rhs: parse_operand(r, line)? }
+        }
+        // Bare operand: a copy.
+        _ if rest.is_empty() => Inst::Copy { dst, src: parse_operand(head, line)? },
+        _ => return err(line, format!("unknown instruction {rhs:?}")),
+    })
+}
+
+/// Parses a full instruction or terminator line; terminators return `Err`
+/// via the bool flag instead (Ok(Right)).
+enum Parsed {
+    Inst(Inst),
+    Term(Term),
+}
+
+fn parse_line(text: &str, line: usize) -> Result<Parsed> {
+    // Terminators first.
+    if text == "ret" {
+        return Ok(Parsed::Term(Term::Ret(None)));
+    }
+    if let Some(rest) = text.strip_prefix("ret ") {
+        return Ok(Parsed::Term(Term::Ret(Some(parse_operand(rest, line)?))));
+    }
+    if let Some(rest) = text.strip_prefix("br ") {
+        let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+        return match parts.as_slice() {
+            [target] => Ok(Parsed::Term(Term::Br(parse_block_ref(target, line)?))),
+            [cond, t, e] => Ok(Parsed::Term(Term::CondBr {
+                cond: parse_operand(cond, line)?,
+                then_bb: parse_block_ref(t, line)?,
+                else_bb: parse_block_ref(e, line)?,
+            })),
+            _ => err(line, format!("bad branch {text:?}")),
+        };
+    }
+    // Void instructions.
+    if let Some(rest) = text.strip_prefix("free ") {
+        return Ok(Parsed::Inst(Inst::Free { ptr: parse_operand(rest, line)? }));
+    }
+    if let Some(rest) = text.strip_prefix("storep ") {
+        let (addr_s, val_s) = split2(rest, line)?;
+        let (addr, off) = parse_addr(addr_s, line)?;
+        return Ok(Parsed::Inst(Inst::StorePtr { addr, off, value: parse_operand(val_s, line)? }));
+    }
+    if let Some(rest) = text.strip_prefix("store ") {
+        let (addr_s, val_s) = split2(rest, line)?;
+        let (addr, off) = parse_addr(addr_s, line)?;
+        return Ok(Parsed::Inst(Inst::Store { addr, off, value: parse_operand(val_s, line)? }));
+    }
+    if let Some(rest) = text.strip_prefix("call ") {
+        // Void call.
+        let open = rest
+            .find('(')
+            .ok_or_else(|| ParseError { line, message: "call missing '('".into() })?;
+        let callee = rest[..open].trim().to_string();
+        let args_s = rest[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| ParseError { line, message: "call missing ')'".into() })?;
+        let args = if args_s.trim().is_empty() {
+            vec![]
+        } else {
+            args_s.split(',').map(|a| parse_operand(a, line)).collect::<Result<Vec<_>>>()?
+        };
+        return Ok(Parsed::Inst(Inst::Call { dst: None, callee, args }));
+    }
+    // Assignments: rN = rhs.
+    if let Some((lhs, rhs)) = text.split_once('=') {
+        let dst = parse_reg(lhs.trim(), line)?;
+        return Ok(Parsed::Inst(parse_rhs(dst, rhs.trim(), line)?));
+    }
+    err(line, format!("unrecognized line {text:?}"))
+}
+
+/// Parses a module from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_module(text: &str) -> Result<Module> {
+    let mut module = Module::new();
+    let mut current: Option<(String, u32, Vec<Block>)> = None;
+    let mut open_block: Option<(Vec<Inst>, Option<Term>)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("fn ") {
+            if current.is_some() {
+                return err(line, "nested fn");
+            }
+            let open = rest
+                .find('(')
+                .ok_or_else(|| ParseError { line, message: "fn missing '('".into() })?;
+            let name = rest[..open].trim().to_string();
+            let params_s = rest[open + 1..]
+                .split(')')
+                .next()
+                .ok_or_else(|| ParseError { line, message: "fn missing ')'".into() })?;
+            let params = if params_s.trim().is_empty() {
+                0
+            } else {
+                params_s.split(',').count() as u32
+            };
+            current = Some((name, params, Vec::new()));
+            continue;
+        }
+        if text == "}" {
+            let (name, params, mut blocks) = match current.take() {
+                Some(c) => c,
+                None => return err(line, "'}' outside a function"),
+            };
+            if let Some((insts, term)) = open_block.take() {
+                blocks.push(Block {
+                    insts,
+                    term: term.ok_or_else(|| ParseError {
+                        line,
+                        message: "block missing terminator".into(),
+                    })?,
+                });
+            }
+            // Register count: scan for the highest register used.
+            let mut max_reg = params;
+            for b in &blocks {
+                for inst in &b.insts {
+                    if let Some(d) = inst.dst() {
+                        max_reg = max_reg.max(d.0 + 1);
+                    }
+                    for op in crate::ir::operands_of(inst) {
+                        if let Operand::Reg(r) = op {
+                            max_reg = max_reg.max(r.0 + 1);
+                        }
+                    }
+                }
+            }
+            module.add(Function { name, params, regs: max_reg, blocks });
+            continue;
+        }
+        if text.starts_with("bb") && text.ends_with(':') {
+            let (_, _, blocks) = current
+                .as_mut()
+                .ok_or_else(|| ParseError { line, message: "block outside fn".into() })?;
+            if let Some((insts, term)) = open_block.take() {
+                blocks.push(Block {
+                    insts,
+                    term: term.ok_or_else(|| ParseError {
+                        line,
+                        message: "previous block missing terminator".into(),
+                    })?,
+                });
+            }
+            open_block = Some((Vec::new(), None));
+            continue;
+        }
+        // Instruction/terminator inside the open block.
+        let (insts, term) = match open_block.as_mut() {
+            Some(b) => b,
+            None => return err(line, "instruction outside a block"),
+        };
+        if term.is_some() {
+            return err(line, "instruction after terminator");
+        }
+        match parse_line(text, line)? {
+            Parsed::Inst(i) => insts.push(i),
+            Parsed::Term(t) => *term = Some(t),
+        }
+    }
+    if current.is_some() {
+        return err(text.lines().count(), "unterminated function");
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, Val};
+    use crate::kernels;
+
+    #[test]
+    fn kernels_round_trip_through_text() {
+        let original = kernels::module();
+        let text = original.to_string();
+        let reparsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        reparsed.verify().unwrap();
+        for (name, f) in &original.functions {
+            let g = &reparsed.functions[name];
+            assert_eq!(f.params, g.params, "{name} params");
+            assert_eq!(f.blocks, g.blocks, "{name} body");
+        }
+        // Second round trip is a fixed point.
+        assert_eq!(text, reparsed.to_string());
+    }
+
+    #[test]
+    fn parsed_program_executes() {
+        let src = r#"
+# doubles the value stored behind the pointer argument
+fn double_deref(r0) {
+bb0:
+  r1 = load [r0+0]
+  r2 = Add r1, r1
+  store [r0+0], r2
+  ret r2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        m.verify().unwrap();
+        let mut space = utpr_heap::AddressSpace::new(9);
+        let pool = space.create_pool("p", 1 << 20).unwrap();
+        let loc = space.pmalloc(pool, 16).unwrap();
+        let va = space.ra2va(loc).unwrap();
+        space.write_u64(va, 21).unwrap();
+        let mut i = Interp::new(&mut space, pool, &m);
+        let out = i
+            .run("double_deref", vec![Val::Ptr(utpr_ptr::UPtr::from_rel(loc))])
+            .unwrap();
+        assert_eq!(out, Some(Val::Int(42)));
+        assert_eq!(space.read_u64(va).unwrap(), 42);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "fn f() {\nbb0:\n  r1 = frobnicate 3\n  ret\n}";
+        let e = parse_module(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn rejects_structural_mistakes() {
+        assert!(parse_module("}").is_err());
+        assert!(parse_module("fn f() {\nbb0:\n  ret\n").is_err(), "unterminated");
+        assert!(parse_module("fn f() {\n  r1 = const 3\n  ret\n}").is_err(), "no block");
+        let after_term = "fn f() {\nbb0:\n  ret\n  r1 = const 1\n}";
+        assert!(parse_module(after_term).is_err());
+    }
+
+    #[test]
+    fn negative_offsets_and_immediates_parse() {
+        let src = "fn f(r0) {\nbb0:\n  r1 = load [r0+-8]\n  r2 = Add r1, -3\n  ret r2\n}";
+        let m = parse_module(src).unwrap();
+        let f = &m.functions["f"];
+        assert!(matches!(f.blocks[0].insts[0], Inst::Load { off: -8, .. }));
+    }
+}

@@ -1,0 +1,219 @@
+//! Scalar passes over the IR — including the one the paper warns about.
+//!
+//! §VI of the paper discusses pass ordering: the user-transparent-reference
+//! code generation must run *after* all scalar optimizations. If a value-
+//! numbering pass ran afterwards instead, it would merge the `ra2va(p)`
+//! conversions the checks introduced; should the pool detach between the
+//! two original uses, the merged code silently reuses a stale virtual
+//! address while the unmerged code faults (paper Fig. 10).
+//!
+//! This module implements exactly that hazard as executable artifacts:
+//!
+//! - [`count_redundant_conversions`] — a block-local value-numbering
+//!   analysis that finds `PtrToInt` (and, analogously, conversion) results
+//!   that a post-pass VN would merge;
+//! - [`redundant_conversion_elimination`] — the (unsound-by-design) pass
+//!   that performs the merge, used by tests to demonstrate the Fig. 10
+//!   semantic difference.
+
+use crate::ir::{Function, Inst, Module, Operand, Reg};
+use std::collections::HashMap;
+
+/// A block-local value-numbering key for conversion-like instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum VnKey {
+    /// `(intptr_t)reg` — the canonical conversion the checks insert.
+    PtrToInt(Reg),
+}
+
+/// Counts the conversion instructions a block-local value-numbering pass
+/// would consider redundant (same operand, same block, no intervening
+/// redefinition of the operand).
+pub fn count_redundant_conversions(f: &Function) -> usize {
+    let mut redundant = 0;
+    for block in &f.blocks {
+        let mut seen: HashMap<VnKey, Reg> = HashMap::new();
+        for inst in &block.insts {
+            // A redefinition invalidates entries keyed on (or caching) the
+            // overwritten register — before the instruction's own effect.
+            if let Some(d) = inst.dst() {
+                seen.retain(|k, v| {
+                    let VnKey::PtrToInt(r) = k;
+                    *r != d && *v != d
+                });
+            }
+            if let Inst::PtrToInt { src: Operand::Reg(r), .. } = inst {
+                let key = VnKey::PtrToInt(*r);
+                if seen.contains_key(&key) {
+                    redundant += 1;
+                } else if let Some(d) = inst.dst() {
+                    seen.insert(key, d);
+                }
+            }
+        }
+    }
+    redundant
+}
+
+/// Block-local redundant-conversion elimination: replaces later
+/// `dst = (intptr_t)p` with `dst = copy first_result` when `p` has not been
+/// redefined. **Deliberately unsound under pool detach** — it reuses the
+/// first conversion's result even if the pool mapping changed in between.
+/// Exists to demonstrate the paper's §VI ordering requirement; never run it
+/// after check insertion in real pipelines.
+pub fn redundant_conversion_elimination(f: &mut Function) -> usize {
+    let mut rewritten = 0;
+    for block in &mut f.blocks {
+        let mut seen: HashMap<VnKey, Reg> = HashMap::new();
+        for inst in &mut block.insts {
+            if let Some(d) = inst.dst() {
+                seen.retain(|k, v| {
+                    let VnKey::PtrToInt(r) = k;
+                    *r != d && *v != d
+                });
+            }
+            let mut replace_with: Option<(Reg, Reg)> = None;
+            if let Inst::PtrToInt { dst, src: Operand::Reg(r) } = inst {
+                let key = VnKey::PtrToInt(*r);
+                if let Some(prev) = seen.get(&key) {
+                    replace_with = Some((*dst, *prev));
+                } else {
+                    seen.insert(key, *dst);
+                }
+            }
+            if let Some((dst, prev)) = replace_with {
+                *inst = Inst::Copy { dst, src: Operand::Reg(prev) };
+                rewritten += 1;
+            }
+        }
+    }
+    rewritten
+}
+
+/// Runs the elimination over every function, returning total rewrites.
+pub fn run_vn_over_module(m: &mut Module) -> usize {
+    m.functions.values_mut().map(redundant_conversion_elimination).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, InterpError, Val};
+    use crate::ir::{FnBuilder, Module, Operand as Op};
+    use utpr_heap::{AddressSpace, HeapError};
+    use utpr_ptr::UPtr;
+
+    /// Builds `fig10(p)`: two uses of `(intptr_t)p` around a call to
+    /// `detach_marker` (modelled here by the host detaching between runs).
+    fn double_use_fn() -> crate::ir::Function {
+        let mut b = FnBuilder::new("double_use", 1);
+        let p = b.param(0);
+        let i1 = b.fresh();
+        b.ptr_to_int(i1, Op::Reg(p));
+        let i2 = b.fresh();
+        b.ptr_to_int(i2, Op::Reg(p));
+        let d = b.fresh();
+        b.int_op(d, crate::ir::IntOp::Sub, Op::Reg(i1), Op::Reg(i2));
+        b.ret(Some(Op::Reg(d)));
+        b.finish()
+    }
+
+    #[test]
+    fn vn_finds_and_merges_the_redundant_conversion() {
+        let f = double_use_fn();
+        assert_eq!(count_redundant_conversions(&f), 1);
+        let mut f2 = f.clone();
+        assert_eq!(redundant_conversion_elimination(&mut f2), 1);
+        assert_eq!(count_redundant_conversions(&f2), 0);
+    }
+
+    #[test]
+    fn redefinition_blocks_merging() {
+        let mut b = FnBuilder::new("redef", 1);
+        let p = b.param(0);
+        let i1 = b.fresh();
+        b.ptr_to_int(i1, Op::Reg(p));
+        // p is redefined between the conversions.
+        b.copy(p, Op::Null);
+        let i2 = b.fresh();
+        b.ptr_to_int(i2, Op::Reg(p));
+        b.ret(Some(Op::Reg(i2)));
+        let f = b.finish();
+        assert_eq!(count_redundant_conversions(&f), 0);
+    }
+
+    /// The Fig. 10 scenario end-to-end: with checks (no VN) the second use
+    /// faults after a detach; with VN applied the program silently returns
+    /// a stale result. Detach happens *between* two interpreter runs, each
+    /// performing one conversion — modelling the two dynamic uses.
+    #[test]
+    fn fig10_detach_semantics_differ_under_vn() {
+        // One conversion per run; detach between runs.
+        let mut b = FnBuilder::new("one_use", 1);
+        let i1 = b.fresh();
+        b.ptr_to_int(i1, Op::Reg(b.param(0)));
+        b.ret(Some(Op::Reg(i1)));
+        let mut m = Module::new();
+        m.add(b.finish());
+
+        let mut space = AddressSpace::new(8);
+        let pool = space.create_pool("fig10", 1 << 20).unwrap();
+        let loc = space.pmalloc(pool, 32).unwrap();
+        let rel = UPtr::from_rel(loc);
+
+        // First use: converts fine.
+        let va1 = {
+            let mut i = Interp::new(&mut space, pool, &m);
+            match i.run("one_use", vec![Val::Ptr(rel)]).unwrap() {
+                Some(Val::Int(v)) => v,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+
+        space.detach(pool).unwrap();
+
+        // Checked code: the second conversion faults — the sound outcome.
+        {
+            let mut i = Interp::new(&mut space, pool, &m);
+            let err = i.run("one_use", vec![Val::Ptr(rel)]);
+            assert!(
+                matches!(err, Err(InterpError::Heap(HeapError::PoolDetached(_)))),
+                "expected detach fault, got {err:?}"
+            );
+        }
+
+        // Value-numbered code would have reused va1: demonstrate that the
+        // cached address is indeed stale — it resolves to nothing now.
+        assert!(space.va2ra(utpr_heap::VirtAddr::new(va1 as u64)).is_err());
+
+        // And within a single run, the VN pass really removes the second
+        // conversion: conversion counts drop.
+        let mut m2 = Module::new();
+        m2.add(double_use_fn());
+        space.attach(pool).unwrap();
+        let before = {
+            let mut i = Interp::new(&mut space, pool, &m2);
+            i.run("double_use", vec![Val::Ptr(rel)]).unwrap();
+            i.stats().rel_to_abs
+        };
+        run_vn_over_module(&mut m2);
+        let after = {
+            let mut i = Interp::new(&mut space, pool, &m2);
+            i.run("double_use", vec![Val::Ptr(rel)]).unwrap();
+            i.stats().rel_to_abs
+        };
+        assert_eq!(before, 2);
+        assert_eq!(after, 1, "VN merged one conversion");
+    }
+
+    #[test]
+    fn kernels_contain_no_block_local_redundancy() {
+        // The kernel suite converts on demand, so a block-local VN finds
+        // nothing to merge — matching the paper's observation that trivial
+        // VN opportunities exist only in generated check code.
+        let m = crate::kernels::module();
+        for f in m.functions.values() {
+            assert_eq!(count_redundant_conversions(f), 0, "{}", f.name);
+        }
+    }
+}

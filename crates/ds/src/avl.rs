@@ -1,0 +1,465 @@
+//! AVL — a height-balanced binary search tree (paper Table III, Boost
+//! `intrusive::avltree` analogue).
+//!
+//! Recursive insertion with single/double rotations. Node layout:
+//! `[key, value, left, right, height]`. Descriptor: `[root, len]`.
+
+use crate::index::{Index, Result};
+use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
+
+const OFF_KEY: i64 = 0;
+const OFF_VAL: i64 = 8;
+const OFF_LEFT: i64 = 16;
+const OFF_RIGHT: i64 = 24;
+const OFF_HEIGHT: i64 = 32;
+const NODE_SIZE: u64 = 40;
+
+const D_ROOT: i64 = 0;
+const D_LEN: i64 = 8;
+const DESC_SIZE: u64 = 16;
+
+/// An AVL tree in simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ds::{AvlTree, Index};
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("avl", 4 << 20)?;
+/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut t = AvlTree::create(&mut env)?;
+/// t.insert(&mut env, 3, 30)?;
+/// assert_eq!(t.get(&mut env, 3)?, Some(30));
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AvlTree {
+    desc: UPtr,
+}
+
+fn left<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("avl.node.left", MemLoad), n, OFF_LEFT)
+}
+fn right<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("avl.node.right", MemLoad), n, OFF_RIGHT)
+}
+fn set_left<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, v: UPtr) -> Result<()> {
+    env.write_ptr(site!("avl.node.set-left", MemLoad), n, OFF_LEFT, v)
+}
+fn set_right<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, v: UPtr) -> Result<()> {
+    env.write_ptr(site!("avl.node.set-right", MemLoad), n, OFF_RIGHT, v)
+}
+fn height<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<u64> {
+    if env.ptr_is_null(site!("avl.node.h-null", StackLocal), n) {
+        return Ok(0);
+    }
+    env.read_u64(site!("avl.node.height", MemLoad), n, OFF_HEIGHT)
+}
+fn update_height<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<()> {
+    let l = left(env, n)?;
+    let r = right(env, n)?;
+    let h = 1 + height(env, l)?.max(height(env, r)?);
+    env.write_u64(site!("avl.node.set-height", MemLoad), n, OFF_HEIGHT, h)
+}
+fn balance<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<i64> {
+    let l = left(env, n)?;
+    let r = right(env, n)?;
+    Ok(height(env, l)? as i64 - height(env, r)? as i64)
+}
+
+/// Right rotation around `n`; returns the new subtree root.
+fn rotate_right<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    let y = left(env, n)?;
+    let yr = right(env, y)?;
+    set_left(env, n, yr)?;
+    set_right(env, y, n)?;
+    update_height(env, n)?;
+    update_height(env, y)?;
+    Ok(y)
+}
+
+/// Left rotation around `n`; returns the new subtree root.
+fn rotate_left<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    let y = right(env, n)?;
+    let yl = left(env, y)?;
+    set_right(env, n, yl)?;
+    set_left(env, y, n)?;
+    update_height(env, n)?;
+    update_height(env, y)?;
+    Ok(y)
+}
+
+fn rebalance<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    update_height(env, n)?;
+    let b = balance(env, n)?;
+    env.branch(site!("avl.rebalance.skew", StackLocal), b.abs() > 1);
+    if b > 1 {
+        let l = left(env, n)?;
+        if balance(env, l)? < 0 {
+            let nl = rotate_left(env, l)?;
+            set_left(env, n, nl)?;
+        }
+        return rotate_right(env, n);
+    }
+    if b < -1 {
+        let r = right(env, n)?;
+        if balance(env, r)? > 0 {
+            let nr = rotate_right(env, r)?;
+            set_right(env, n, nr)?;
+        }
+        return rotate_left(env, n);
+    }
+    Ok(n)
+}
+
+fn insert_rec<S: TimingSink>(
+    env: &mut ExecEnv<S>,
+    n: UPtr,
+    key: u64,
+    value: u64,
+    old: &mut Option<u64>,
+) -> Result<UPtr> {
+    if env.ptr_is_null(site!("avl.ins.null", StackLocal), n) {
+        let z = env.alloc(site!("avl.ins.node", AllocResult), NODE_SIZE)?;
+        env.write_u64(site!("avl.ins.key", AllocResult), z, OFF_KEY, key)?;
+        env.write_u64(site!("avl.ins.val", AllocResult), z, OFF_VAL, value)?;
+        env.write_ptr(site!("avl.ins.left", AllocResult), z, OFF_LEFT, UPtr::NULL)?;
+        env.write_ptr(site!("avl.ins.right", AllocResult), z, OFF_RIGHT, UPtr::NULL)?;
+        env.write_u64(site!("avl.ins.height", AllocResult), z, OFF_HEIGHT, 1)?;
+        return Ok(z);
+    }
+    let k = env.read_u64(site!("avl.ins.cmp-key", MemLoad), n, OFF_KEY)?;
+    if k == key {
+        *old = Some(env.read_u64(site!("avl.ins.old", MemLoad), n, OFF_VAL)?);
+        env.write_u64(site!("avl.ins.update", MemLoad), n, OFF_VAL, value)?;
+        return Ok(n);
+    }
+    let goleft = key < k;
+    env.branch(site!("avl.ins.cmp", StackLocal), goleft);
+    if goleft {
+        let l = left(env, n)?;
+        let nl = insert_rec(env, l, key, value, old)?;
+        set_left(env, n, nl)?;
+    } else {
+        let r = right(env, n)?;
+        let nr = insert_rec(env, r, key, value, old)?;
+        set_right(env, n, nr)?;
+    }
+    if old.is_some() {
+        // No structural change on update.
+        return Ok(n);
+    }
+    rebalance(env, n)
+}
+
+/// Key and value of the minimum node in subtree `n` (must be non-null).
+fn min_kv<S: TimingSink>(env: &mut ExecEnv<S>, mut n: UPtr) -> Result<(u64, u64)> {
+    loop {
+        let l = left(env, n)?;
+        if env.ptr_is_null(site!("avl.minkv.null", StackLocal), l) {
+            let k = env.read_u64(site!("avl.minkv.key", MemLoad), n, OFF_KEY)?;
+            let v = env.read_u64(site!("avl.minkv.val", MemLoad), n, OFF_VAL)?;
+            return Ok((k, v));
+        }
+        n = l;
+    }
+}
+
+fn remove_rec<S: TimingSink>(
+    env: &mut ExecEnv<S>,
+    n: UPtr,
+    key: u64,
+    removed: &mut Option<u64>,
+) -> Result<UPtr> {
+    if env.ptr_is_null(site!("avl.del.null", StackLocal), n) {
+        return Ok(n);
+    }
+    let k = env.read_u64(site!("avl.del.key", MemLoad), n, OFF_KEY)?;
+    if key == k {
+        *removed = Some(env.read_u64(site!("avl.del.val", MemLoad), n, OFF_VAL)?);
+        let l = left(env, n)?;
+        let r = right(env, n)?;
+        if env.ptr_is_null(site!("avl.del.l-null", StackLocal), l) {
+            env.free(site!("avl.del.free", MemLoad), n)?;
+            return Ok(r);
+        }
+        if env.ptr_is_null(site!("avl.del.r-null", StackLocal), r) {
+            env.free(site!("avl.del.free2", MemLoad), n)?;
+            return Ok(l);
+        }
+        // Two children: pull the in-order successor's pair up, then delete
+        // the successor node from the right subtree.
+        let (sk, sv) = min_kv(env, r)?;
+        env.write_u64(site!("avl.del.copy-key", MemLoad), n, OFF_KEY, sk)?;
+        env.write_u64(site!("avl.del.copy-val", MemLoad), n, OFF_VAL, sv)?;
+        let mut inner = None;
+        let nr = remove_rec(env, r, sk, &mut inner)?;
+        debug_assert!(inner.is_some());
+        set_right(env, n, nr)?;
+        return rebalance(env, n);
+    }
+    let goleft = key < k;
+    env.branch(site!("avl.del.cmp", StackLocal), goleft);
+    if goleft {
+        let l = left(env, n)?;
+        let nl = remove_rec(env, l, key, removed)?;
+        set_left(env, n, nl)?;
+    } else {
+        let r = right(env, n)?;
+        let nr = remove_rec(env, r, key, removed)?;
+        set_right(env, n, nr)?;
+    }
+    if removed.is_none() {
+        return Ok(n);
+    }
+    rebalance(env, n)
+}
+
+impl AvlTree {
+    fn root<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<UPtr> {
+        env.read_ptr(site!("avl.root", Param), self.desc, D_ROOT)
+    }
+
+    /// Removes `key`, returning its value if present, rebalancing along the
+    /// unwind path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and free failures.
+    pub fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        let root = self.root(env)?;
+        let mut removed = None;
+        let new_root = remove_rec(env, root, key, &mut removed)?;
+        env.write_ptr(site!("avl.del.root-set", Param), self.desc, D_ROOT, new_root)?;
+        if removed.is_some() {
+            let len = env.read_u64(site!("avl.del.len", Param), self.desc, D_LEN)?;
+            env.write_u64(site!("avl.del.len-set", Param), self.desc, D_LEN, len - 1)?;
+        }
+        Ok(removed)
+    }
+
+    /// Checks AVL invariants (BST order, height fields, |balance| ≤ 1,
+    /// stored length); returns the node count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures; panics (in tests) on violations.
+    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        fn walk<S: TimingSink>(
+            env: &mut ExecEnv<S>,
+            n: UPtr,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> Result<(u64, u64)> {
+            // (height, count)
+            if n.is_null() {
+                return Ok((0, 0));
+            }
+            let k = env.read_u64(site!("avl.val.key", MemLoad), n, OFF_KEY)?;
+            if let Some(l) = lo {
+                assert!(k > l, "BST order");
+            }
+            if let Some(h) = hi {
+                assert!(k < h, "BST order");
+            }
+            let l = left(env, n)?;
+            let r = right(env, n)?;
+            let (hl, cl) = walk(env, l, lo, Some(k))?;
+            let (hr, cr) = walk(env, r, Some(k), hi)?;
+            let h = 1 + hl.max(hr);
+            let stored = env.read_u64(site!("avl.val.height", MemLoad), n, OFF_HEIGHT)?;
+            assert_eq!(stored, h, "height field stale");
+            assert!((hl as i64 - hr as i64).abs() <= 1, "unbalanced");
+            Ok((h, cl + cr + 1))
+        }
+        let root = self.root(env)?;
+        let (_, count) = walk(env, root, None, None)?;
+        assert_eq!(count, self.len(env)?);
+        Ok(count)
+    }
+}
+
+impl Index for AvlTree {
+    const NAME: &'static str = "AVL";
+
+    fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
+        let desc = env.alloc(site!("avl.create.desc", AllocResult), DESC_SIZE)?;
+        env.write_ptr(site!("avl.create.root", AllocResult), desc, D_ROOT, UPtr::NULL)?;
+        env.write_u64(site!("avl.create.len", AllocResult), desc, D_LEN, 0)?;
+        Ok(AvlTree { desc })
+    }
+
+    fn open(descriptor: UPtr) -> Self {
+        AvlTree { desc: descriptor }
+    }
+
+    fn descriptor(&self) -> UPtr {
+        self.desc
+    }
+
+    fn insert<S: TimingSink>(
+        &mut self,
+        env: &mut ExecEnv<S>,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>> {
+        let root = self.root(env)?;
+        let mut old = None;
+        let new_root = insert_rec(env, root, key, value, &mut old)?;
+        env.write_ptr(site!("avl.ins.root-set", Param), self.desc, D_ROOT, new_root)?;
+        if old.is_none() {
+            let len = env.read_u64(site!("avl.ins.len", Param), self.desc, D_LEN)?;
+            env.write_u64(site!("avl.ins.len-set", Param), self.desc, D_LEN, len + 1)?;
+        }
+        Ok(old)
+    }
+
+    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        let mut x = self.root(env)?;
+        while !env.ptr_is_null(site!("avl.get.descend", StackLocal), x) {
+            let k = env.read_u64(site!("avl.get.key", MemLoad), x, OFF_KEY)?;
+            if k == key {
+                return Ok(Some(env.read_u64(site!("avl.get.val", MemLoad), x, OFF_VAL)?));
+            }
+            let goleft = key < k;
+            env.branch(site!("avl.get.cmp", StackLocal), goleft);
+            x = if goleft { left(env, x)? } else { right(env, x)? };
+        }
+        Ok(None)
+    }
+
+    fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        AvlTree::remove(self, env, key)
+    }
+
+    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        env.read_u64(site!("avl.len", Param), self.desc, D_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::testing::{crash_recovery_test, env_for, oracle_test};
+    use utpr_ptr::Mode;
+
+    #[test]
+    fn oracle_all_modes() {
+        for mode in Mode::ALL {
+            oracle_test::<AvlTree>(mode, 1200);
+        }
+    }
+
+    #[test]
+    fn stays_balanced_under_sequential_insert() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = AvlTree::create(&mut env).unwrap();
+        for k in 0..512u64 {
+            t.insert(&mut env, k, k).unwrap();
+            if k % 128 == 0 {
+                t.validate(&mut env).unwrap();
+            }
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), 512);
+        // Height must be ≤ 1.44·log2(513) ≈ 13.
+        let root = t.root(&mut env).unwrap();
+        let h = height(&mut env, root).unwrap();
+        assert!(h <= 13, "AVL height {h}");
+    }
+
+    #[test]
+    fn double_rotation_cases() {
+        // left-right and right-left insertions trigger double rotations.
+        let mut env = env_for(Mode::Hw);
+        let mut t = AvlTree::create(&mut env).unwrap();
+        for k in [50u64, 30, 40] {
+            t.insert(&mut env, k, k).unwrap(); // LR case
+        }
+        t.validate(&mut env).unwrap();
+        let mut t2 = AvlTree::create(&mut env).unwrap();
+        for k in [50u64, 70, 60] {
+            t2.insert(&mut env, k, k).unwrap(); // RL case
+        }
+        t2.validate(&mut env).unwrap();
+    }
+
+    #[test]
+    fn update_does_not_change_length_or_shape() {
+        let mut env = env_for(Mode::Sw);
+        let mut t = AvlTree::create(&mut env).unwrap();
+        for k in 0..50u64 {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        assert_eq!(t.insert(&mut env, 25, 999).unwrap(), Some(25));
+        assert_eq!(t.len(&mut env).unwrap(), 50);
+        assert_eq!(t.get(&mut env, 25).unwrap(), Some(999));
+        t.validate(&mut env).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery() {
+        crash_recovery_test::<AvlTree>();
+    }
+
+    #[test]
+    fn remove_rebalances() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = AvlTree::create(&mut env).unwrap();
+        for k in 0..256u64 {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        // Remove one side heavily: rebalancing must keep |balance| ≤ 1.
+        for k in 0..200u64 {
+            assert_eq!(t.remove(&mut env, k).unwrap(), Some(k));
+            if k % 20 == 0 {
+                t.validate(&mut env).unwrap();
+            }
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), 56);
+        assert_eq!(t.remove(&mut env, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn random_insert_remove_oracle() {
+        use std::collections::BTreeMap;
+        let mut env = env_for(Mode::Hw);
+        let mut t = AvlTree::create(&mut env).unwrap();
+        let mut model = BTreeMap::new();
+        let mut x = 0xfeed_beefu64;
+        for step in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 101;
+            if x % 4 < 2 {
+                assert_eq!(t.insert(&mut env, key, x).unwrap(), model.insert(key, x));
+            } else {
+                assert_eq!(t.remove(&mut env, key).unwrap(), model.remove(&key));
+            }
+            if step % 300 == 0 {
+                t.validate(&mut env).unwrap();
+            }
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), model.len() as u64);
+    }
+
+    #[test]
+    fn remove_two_children_cases() {
+        let mut env = env_for(Mode::Sw);
+        let mut t = AvlTree::create(&mut env).unwrap();
+        for k in [50u64, 25, 75, 10, 30, 60, 90, 27, 35] {
+            t.insert(&mut env, k, k * 10).unwrap();
+        }
+        // 25 has two children; its successor (27) replaces it.
+        assert_eq!(t.remove(&mut env, 25).unwrap(), Some(250));
+        t.validate(&mut env).unwrap();
+        assert_eq!(t.get(&mut env, 27).unwrap(), Some(270));
+        assert_eq!(t.get(&mut env, 25).unwrap(), None);
+        // Remove the root with two children.
+        assert_eq!(t.remove(&mut env, 50).unwrap(), Some(500));
+        t.validate(&mut env).unwrap();
+    }
+}

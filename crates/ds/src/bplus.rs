@@ -1,0 +1,550 @@
+//! B+ — a B+ tree (bonus index beyond the paper's Table III).
+//!
+//! The paper's motivation cites key-value stores (Redis, RocksDB) whose
+//! indexes differ from binary trees: wide nodes hold arrays of keys and
+//! child pointers, so traversal does few pointer hops but touches many
+//! words per node — a different translation-traffic profile that the
+//! extension benches exercise.
+//!
+//! Order-8 tree. Leaf layout:
+//! `[is_leaf=1, count, keys[8], values[8], next_leaf]`. Internal layout:
+//! `[is_leaf=0, count, keys[8], children[9]]` where `count` is the number
+//! of keys (children = count + 1). Deletion is lazy (keys leave leaves;
+//! nodes are never merged), standard practice for write-light workloads.
+//! Descriptor: `[root, len]`.
+
+use crate::index::{Index, Result};
+use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
+
+/// Maximum keys per node.
+const ORDER: u64 = 8;
+
+const OFF_IS_LEAF: i64 = 0;
+const OFF_COUNT: i64 = 8;
+const OFF_KEYS: i64 = 16; // 8 keys
+const OFF_VALS: i64 = OFF_KEYS + (ORDER as i64) * 8; // leaves: 8 values
+const OFF_NEXT: i64 = OFF_VALS + (ORDER as i64) * 8; // leaves: next-leaf link
+const OFF_CHILDREN: i64 = OFF_VALS; // internals: 9 children
+const LEAF_SIZE: u64 = (OFF_NEXT + 8) as u64;
+const INTERNAL_SIZE: u64 = OFF_CHILDREN as u64 + (ORDER + 1) * 8;
+
+/// A B+ tree in simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ds::{BPlusTree, Index};
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("bp", 4 << 20)?;
+/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut t = BPlusTree::create(&mut env)?;
+/// for k in 0..100 {
+///     t.insert(&mut env, k, k + 1)?;
+/// }
+/// assert_eq!(t.get(&mut env, 42)?, Some(43));
+/// assert_eq!(t.scan(&mut env, 40, 3)?, vec![(40, 41), (41, 42), (42, 43)]);
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BPlusTree {
+    desc: UPtr,
+}
+
+const D_ROOT: i64 = 0;
+const D_LEN: i64 = 8;
+const DESC_SIZE: u64 = 16;
+
+fn is_leaf<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<bool> {
+    Ok(env.read_u64(site!("bp.node.is-leaf", MemLoad), n, OFF_IS_LEAF)? != 0)
+}
+fn count<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<u64> {
+    env.read_u64(site!("bp.node.count", MemLoad), n, OFF_COUNT)
+}
+fn set_count<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, c: u64) -> Result<()> {
+    env.write_u64(site!("bp.node.set-count", MemLoad), n, OFF_COUNT, c)
+}
+fn key_at<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, i: u64) -> Result<u64> {
+    env.read_u64(site!("bp.node.key", MemLoad), n, OFF_KEYS + (i as i64) * 8)
+}
+fn set_key<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, i: u64, k: u64) -> Result<()> {
+    env.write_u64(site!("bp.node.set-key", MemLoad), n, OFF_KEYS + (i as i64) * 8, k)
+}
+fn val_at<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, i: u64) -> Result<u64> {
+    env.read_u64(site!("bp.node.val", MemLoad), n, OFF_VALS + (i as i64) * 8)
+}
+fn set_val<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, i: u64, v: u64) -> Result<()> {
+    env.write_u64(site!("bp.node.set-val", MemLoad), n, OFF_VALS + (i as i64) * 8, v)
+}
+fn child_at<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, i: u64) -> Result<UPtr> {
+    env.read_ptr(site!("bp.node.child", MemLoad), n, OFF_CHILDREN + (i as i64) * 8)
+}
+fn set_child<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, i: u64, c: UPtr) -> Result<()> {
+    env.write_ptr(site!("bp.node.set-child", MemLoad), n, OFF_CHILDREN + (i as i64) * 8, c)
+}
+fn next_leaf<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("bp.node.next", MemLoad), n, OFF_NEXT)
+}
+fn set_next_leaf<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, p: UPtr) -> Result<()> {
+    env.write_ptr(site!("bp.node.set-next", MemLoad), n, OFF_NEXT, p)
+}
+
+fn new_leaf<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<UPtr> {
+    let n = env.alloc(site!("bp.alloc.leaf", AllocResult), LEAF_SIZE)?;
+    env.write_u64(site!("bp.init.is-leaf", AllocResult), n, OFF_IS_LEAF, 1)?;
+    env.write_u64(site!("bp.init.count", AllocResult), n, OFF_COUNT, 0)?;
+    env.write_ptr(site!("bp.init.next", AllocResult), n, OFF_NEXT, UPtr::NULL)?;
+    Ok(n)
+}
+
+fn new_internal<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<UPtr> {
+    let n = env.alloc(site!("bp.alloc.internal", AllocResult), INTERNAL_SIZE)?;
+    env.write_u64(site!("bp.init.is-leaf2", AllocResult), n, OFF_IS_LEAF, 0)?;
+    env.write_u64(site!("bp.init.count2", AllocResult), n, OFF_COUNT, 0)?;
+    Ok(n)
+}
+
+/// Result of a recursive insert: a promoted separator and new right node
+/// when the child split.
+struct SplitUp {
+    key: u64,
+    right: UPtr,
+}
+
+impl BPlusTree {
+    fn root<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<UPtr> {
+        env.read_ptr(site!("bp.root", Param), self.desc, D_ROOT)
+    }
+
+    /// Position of the child to descend into for `key` (first separator
+    /// greater than `key`).
+    fn child_index<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, key: u64) -> Result<u64> {
+        let c = count(env, n)?;
+        let mut i = 0;
+        while i < c {
+            let k = key_at(env, n, i)?;
+            env.branch(site!("bp.descend.cmp", StackLocal), key < k);
+            if key < k {
+                break;
+            }
+            i += 1;
+        }
+        Ok(i)
+    }
+
+    fn insert_rec<S: TimingSink>(
+        &self,
+        env: &mut ExecEnv<S>,
+        n: UPtr,
+        key: u64,
+        value: u64,
+        old: &mut Option<u64>,
+    ) -> Result<Option<SplitUp>> {
+        if is_leaf(env, n)? {
+            let c = count(env, n)?;
+            // Find position; update in place on duplicate.
+            let mut pos = 0;
+            while pos < c {
+                let k = key_at(env, n, pos)?;
+                if k == key {
+                    *old = Some(val_at(env, n, pos)?);
+                    set_val(env, n, pos, value)?;
+                    return Ok(None);
+                }
+                env.branch(site!("bp.leaf.cmp", StackLocal), key < k);
+                if key < k {
+                    break;
+                }
+                pos += 1;
+            }
+            if c < ORDER {
+                // Shift right and insert.
+                let mut i = c;
+                while i > pos {
+                    let k = key_at(env, n, i - 1)?;
+                    let v = val_at(env, n, i - 1)?;
+                    set_key(env, n, i, k)?;
+                    set_val(env, n, i, v)?;
+                    i -= 1;
+                }
+                set_key(env, n, pos, key)?;
+                set_val(env, n, pos, value)?;
+                set_count(env, n, c + 1)?;
+                return Ok(None);
+            }
+            // Split the full leaf: keep the lower half, move the upper half.
+            let right = new_leaf(env)?;
+            let mid = ORDER / 2;
+            for (j, i) in (mid..ORDER).enumerate() {
+                let k = key_at(env, n, i)?;
+                let v = val_at(env, n, i)?;
+                set_key(env, right, j as u64, k)?;
+                set_val(env, right, j as u64, v)?;
+            }
+            set_count(env, right, ORDER - mid)?;
+            set_count(env, n, mid)?;
+            let old_next = next_leaf(env, n)?;
+            set_next_leaf(env, right, old_next)?;
+            set_next_leaf(env, n, right)?;
+            // Insert the pending key into the proper half.
+            let sep = key_at(env, right, 0)?;
+            let target = if key < sep { n } else { right };
+            let mut inner = None;
+            let split = self.insert_rec(env, target, key, value, &mut inner)?;
+            debug_assert!(split.is_none() && inner.is_none());
+            Ok(Some(SplitUp { key: key_at(env, right, 0)?, right }))
+        } else {
+            let idx = Self::child_index(env, n, key)?;
+            let child = child_at(env, n, idx)?;
+            let Some(up) = self.insert_rec(env, child, key, value, old)? else {
+                return Ok(None);
+            };
+            let c = count(env, n)?;
+            if c < ORDER {
+                // Shift separators/children right of idx and insert.
+                let mut i = c;
+                while i > idx {
+                    let k = key_at(env, n, i - 1)?;
+                    set_key(env, n, i, k)?;
+                    let ch = child_at(env, n, i)?;
+                    set_child(env, n, i + 1, ch)?;
+                    i -= 1;
+                }
+                set_key(env, n, idx, up.key)?;
+                set_child(env, n, idx + 1, up.right)?;
+                set_count(env, n, c + 1)?;
+                return Ok(None);
+            }
+            // Split the full internal node. Gather ORDER+1 separators and
+            // ORDER+2 children in host scratch (registers/stack), then
+            // redistribute.
+            let mut keys = Vec::with_capacity(ORDER as usize + 1);
+            let mut children = Vec::with_capacity(ORDER as usize + 2);
+            for i in 0..ORDER {
+                keys.push(key_at(env, n, i)?);
+            }
+            for i in 0..=ORDER {
+                children.push(child_at(env, n, i)?);
+            }
+            keys.insert(idx as usize, up.key);
+            children.insert(idx as usize + 1, up.right);
+
+            let mid = (ORDER + 1) / 2; // separator promoted upward
+            let promoted = keys[mid as usize];
+            let right = new_internal(env)?;
+            // Left keeps keys[0..mid], children[0..=mid].
+            for (i, k) in keys[..mid as usize].iter().enumerate() {
+                set_key(env, n, i as u64, *k)?;
+            }
+            for (i, ch) in children[..=mid as usize].iter().enumerate() {
+                set_child(env, n, i as u64, *ch)?;
+            }
+            set_count(env, n, mid)?;
+            // Right takes keys[mid+1..], children[mid+1..].
+            let rkeys = &keys[mid as usize + 1..];
+            for (i, k) in rkeys.iter().enumerate() {
+                set_key(env, right, i as u64, *k)?;
+            }
+            for (i, ch) in children[mid as usize + 1..].iter().enumerate() {
+                set_child(env, right, i as u64, *ch)?;
+            }
+            set_count(env, right, rkeys.len() as u64)?;
+            Ok(Some(SplitUp { key: promoted, right }))
+        }
+    }
+
+    fn find_leaf<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<UPtr> {
+        let mut n = self.root(env)?;
+        while !is_leaf(env, n)? {
+            let idx = Self::child_index(env, n, key)?;
+            n = child_at(env, n, idx)?;
+        }
+        Ok(n)
+    }
+
+    /// Range scan: up to `limit` pairs with keys ≥ `start`, in order,
+    /// following the leaf chain (the B+-tree specialty).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn scan<S: TimingSink>(
+        &mut self,
+        env: &mut ExecEnv<S>,
+        start: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, u64)>> {
+        let mut out = Vec::with_capacity(limit);
+        let mut leaf = self.find_leaf(env, start)?;
+        while out.len() < limit {
+            let c = count(env, leaf)?;
+            for i in 0..c {
+                let k = key_at(env, leaf, i)?;
+                if k >= start {
+                    out.push((k, val_at(env, leaf, i)?));
+                    if out.len() == limit {
+                        break;
+                    }
+                }
+            }
+            if out.len() == limit {
+                break;
+            }
+            let next = next_leaf(env, leaf)?;
+            if env.ptr_is_null(site!("bp.scan.end", StackLocal), next) {
+                break;
+            }
+            leaf = next;
+        }
+        Ok(out)
+    }
+
+    /// Checks B+ invariants: uniform leaf depth, per-node key order,
+    /// separator bounds, the leaf chain sorted end to end; returns the key
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures; panics (in tests) on violations.
+    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        fn walk<S: TimingSink>(
+            env: &mut ExecEnv<S>,
+            n: UPtr,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            depth: u64,
+            leaf_depth: &mut Option<u64>,
+        ) -> Result<u64> {
+            let c = count(env, n)?;
+            let mut prev: Option<u64> = None;
+            for i in 0..c {
+                let k = key_at(env, n, i)?;
+                if let Some(p) = prev {
+                    assert!(k > p, "key order within node");
+                }
+                if let Some(l) = lo {
+                    assert!(k >= l, "separator lower bound");
+                }
+                if let Some(h) = hi {
+                    assert!(k < h, "separator upper bound");
+                }
+                prev = Some(k);
+            }
+            if is_leaf(env, n)? {
+                match leaf_depth {
+                    None => *leaf_depth = Some(depth),
+                    Some(d) => assert_eq!(*d, depth, "leaves at different depths"),
+                }
+                return Ok(c);
+            }
+            let mut total = 0;
+            for i in 0..=c {
+                let child = child_at(env, n, i)?;
+                let clo = if i == 0 { lo } else { Some(key_at(env, n, i - 1)?) };
+                let chi = if i == c { hi } else { Some(key_at(env, n, i)?) };
+                total += walk(env, child, clo, chi, depth + 1, leaf_depth)?;
+            }
+            Ok(total)
+        }
+        let root = self.root(env)?;
+        let mut leaf_depth = None;
+        let total = walk(env, root, None, None, 0, &mut leaf_depth)?;
+        assert_eq!(total, self.len(env)?, "stored length");
+        // Leaf chain covers all keys in sorted order.
+        let mut leaf = self.find_leaf(env, 0)?;
+        let mut chained = 0;
+        let mut prev: Option<u64> = None;
+        loop {
+            let c = count(env, leaf)?;
+            for i in 0..c {
+                let k = key_at(env, leaf, i)?;
+                if let Some(p) = prev {
+                    assert!(k > p, "leaf chain out of order");
+                }
+                prev = Some(k);
+                chained += 1;
+            }
+            let next = next_leaf(env, leaf)?;
+            if next.is_null() {
+                break;
+            }
+            leaf = next;
+        }
+        assert_eq!(chained, total, "leaf chain misses keys");
+        Ok(total)
+    }
+}
+
+impl Index for BPlusTree {
+    const NAME: &'static str = "B+";
+
+    fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
+        let desc = env.alloc(site!("bp.create.desc", AllocResult), DESC_SIZE)?;
+        let root = new_leaf(env)?;
+        env.write_ptr(site!("bp.create.root", AllocResult), desc, D_ROOT, root)?;
+        env.write_u64(site!("bp.create.len", AllocResult), desc, D_LEN, 0)?;
+        Ok(BPlusTree { desc })
+    }
+
+    fn open(descriptor: UPtr) -> Self {
+        BPlusTree { desc: descriptor }
+    }
+
+    fn descriptor(&self) -> UPtr {
+        self.desc
+    }
+
+    fn insert<S: TimingSink>(
+        &mut self,
+        env: &mut ExecEnv<S>,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>> {
+        let root = self.root(env)?;
+        let mut old = None;
+        if let Some(up) = self.insert_rec(env, root, key, value, &mut old)? {
+            // Grow a new root.
+            let new_root = new_internal(env)?;
+            set_key(env, new_root, 0, up.key)?;
+            set_child(env, new_root, 0, root)?;
+            set_child(env, new_root, 1, up.right)?;
+            set_count(env, new_root, 1)?;
+            env.write_ptr(site!("bp.ins.root-set", Param), self.desc, D_ROOT, new_root)?;
+        }
+        if old.is_none() {
+            let len = env.read_u64(site!("bp.ins.len", Param), self.desc, D_LEN)?;
+            env.write_u64(site!("bp.ins.len-set", Param), self.desc, D_LEN, len + 1)?;
+        }
+        Ok(old)
+    }
+
+    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        let leaf = self.find_leaf(env, key)?;
+        let c = count(env, leaf)?;
+        for i in 0..c {
+            let k = key_at(env, leaf, i)?;
+            env.branch(site!("bp.get.cmp", StackLocal), k == key);
+            if k == key {
+                return Ok(Some(val_at(env, leaf, i)?));
+            }
+        }
+        Ok(None)
+    }
+
+    fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        // Lazy deletion: remove from the leaf, never merge nodes.
+        let leaf = self.find_leaf(env, key)?;
+        let c = count(env, leaf)?;
+        for i in 0..c {
+            let k = key_at(env, leaf, i)?;
+            if k == key {
+                let v = val_at(env, leaf, i)?;
+                for j in i..c - 1 {
+                    let nk = key_at(env, leaf, j + 1)?;
+                    let nv = val_at(env, leaf, j + 1)?;
+                    set_key(env, leaf, j, nk)?;
+                    set_val(env, leaf, j, nv)?;
+                }
+                set_count(env, leaf, c - 1)?;
+                let len = env.read_u64(site!("bp.del.len", Param), self.desc, D_LEN)?;
+                env.write_u64(site!("bp.del.len-set", Param), self.desc, D_LEN, len - 1)?;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        env.read_u64(site!("bp.len", Param), self.desc, D_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::testing::{crash_recovery_test, env_for, oracle_test};
+    use utpr_ptr::Mode;
+
+    #[test]
+    fn oracle_all_modes() {
+        for mode in Mode::ALL {
+            oracle_test::<BPlusTree>(mode, 1500);
+        }
+    }
+
+    #[test]
+    fn splits_cascade_to_new_roots() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = BPlusTree::create(&mut env).unwrap();
+        // Enough keys for at least three levels at order 8.
+        for k in 0..1000u64 {
+            t.insert(&mut env, k * 7 % 2048, k).unwrap();
+            if k % 200 == 0 {
+                t.validate(&mut env).unwrap();
+            }
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), t.len(&mut env).unwrap());
+    }
+
+    #[test]
+    fn scan_follows_leaf_chain_in_order() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = BPlusTree::create(&mut env).unwrap();
+        for k in (0..200u64).rev() {
+            t.insert(&mut env, k * 2, k).unwrap();
+        }
+        let out = t.scan(&mut env, 100, 10).unwrap();
+        let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (50..60).map(|i| i * 2).collect::<Vec<_>>());
+        // Scan past the end stops gracefully.
+        let tail = t.scan(&mut env, 395, 100).unwrap();
+        assert_eq!(tail.len(), 2, "{tail:?}");
+    }
+
+    #[test]
+    fn lazy_removal_keeps_structure_valid() {
+        let mut env = env_for(Mode::Sw);
+        let mut t = BPlusTree::create(&mut env).unwrap();
+        for k in 0..300u64 {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        for k in (0..300u64).step_by(3) {
+            assert_eq!(t.remove(&mut env, k).unwrap(), Some(k));
+        }
+        t.validate(&mut env).unwrap();
+        for k in 0..300u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k) };
+            assert_eq!(t.get(&mut env, k).unwrap(), expect);
+        }
+        // Reinsertion into lazily emptied leaves works.
+        for k in (0..300u64).step_by(3) {
+            t.insert(&mut env, k, k + 1).unwrap();
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), 300);
+    }
+
+    #[test]
+    fn crash_recovery() {
+        crash_recovery_test::<BPlusTree>();
+    }
+
+    #[test]
+    fn duplicate_inserts_update_in_place() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = BPlusTree::create(&mut env).unwrap();
+        for round in 1..=3u64 {
+            for k in 0..50u64 {
+                let old = t.insert(&mut env, k, k * round).unwrap();
+                if round == 1 {
+                    assert_eq!(old, None);
+                } else {
+                    assert_eq!(old, Some(k * (round - 1)));
+                }
+            }
+        }
+        assert_eq!(t.len(&mut env).unwrap(), 50);
+        t.validate(&mut env).unwrap();
+    }
+}

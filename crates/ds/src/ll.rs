@@ -1,0 +1,279 @@
+//! LL — a doubly-linked list (paper Table III).
+//!
+//! The paper's LL harness builds 10,000 nodes, each holding two pointers
+//! and a 16-byte value, then iterates the list accumulating the values.
+//! Node layout (8-byte fields):
+//!
+//! ```text
+//! 0x00 value word 0     0x08 value word 1
+//! 0x10 next             0x18 prev
+//! ```
+//!
+//! Descriptor: `[head, tail, len]`.
+
+use crate::index::Result;
+use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
+
+const OFF_V0: i64 = 0;
+const OFF_V1: i64 = 8;
+const OFF_NEXT: i64 = 16;
+const OFF_PREV: i64 = 24;
+const NODE_SIZE: u64 = 32;
+
+const D_HEAD: i64 = 0;
+const D_TAIL: i64 = 8;
+const D_LEN: i64 = 16;
+const DESC_SIZE: u64 = 24;
+
+/// A doubly-linked list of 16-byte values living in simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ds::LinkedList;
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("ll", 1 << 20)?;
+/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut list = LinkedList::create(&mut env)?;
+/// list.push_back(&mut env, 1, 2)?;
+/// list.push_back(&mut env, 3, 4)?;
+/// assert_eq!(list.iter_sum(&mut env)?, 10);
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LinkedList {
+    desc: UPtr,
+}
+
+impl LinkedList {
+    /// Allocates an empty list at the environment's default placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
+        let desc = env.alloc(site!("ll.create.desc", AllocResult), DESC_SIZE)?;
+        env.write_ptr(site!("ll.create.head", AllocResult), desc, D_HEAD, UPtr::NULL)?;
+        env.write_ptr(site!("ll.create.tail", AllocResult), desc, D_TAIL, UPtr::NULL)?;
+        env.write_u64(site!("ll.create.len", AllocResult), desc, D_LEN, 0)?;
+        Ok(LinkedList { desc })
+    }
+
+    /// Re-attaches to an existing descriptor.
+    pub fn open(descriptor: UPtr) -> Self {
+        LinkedList { desc: descriptor }
+    }
+
+    /// The descriptor pointer.
+    pub fn descriptor(&self) -> UPtr {
+        self.desc
+    }
+
+    /// Number of nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        env.read_u64(site!("ll.len", Param), self.desc, D_LEN)
+    }
+
+    /// Appends a node carrying the 16-byte value `(v0, v1)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and translation failures.
+    pub fn push_back<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, v0: u64, v1: u64) -> Result<()> {
+        let n = env.alloc(site!("ll.push.node", AllocResult), NODE_SIZE)?;
+        env.write_u64(site!("ll.push.v0", AllocResult), n, OFF_V0, v0)?;
+        env.write_u64(site!("ll.push.v1", AllocResult), n, OFF_V1, v1)?;
+        env.write_ptr(site!("ll.push.next", AllocResult), n, OFF_NEXT, UPtr::NULL)?;
+        let tail = env.read_ptr(site!("ll.push.tail", Param), self.desc, D_TAIL)?;
+        env.write_ptr(site!("ll.push.prev", AllocResult), n, OFF_PREV, tail)?;
+        if env.ptr_is_null(site!("ll.push.tail-null", StackLocal), tail) {
+            env.write_ptr(site!("ll.push.head-link", Param), self.desc, D_HEAD, n)?;
+        } else {
+            env.write_ptr(site!("ll.push.tail-link", MemLoad), tail, OFF_NEXT, n)?;
+        }
+        env.write_ptr(site!("ll.push.tail-set", Param), self.desc, D_TAIL, n)?;
+        let len = env.read_u64(site!("ll.push.len", Param), self.desc, D_LEN)?;
+        env.write_u64(site!("ll.push.len-set", Param), self.desc, D_LEN, len + 1)?;
+        Ok(())
+    }
+
+    /// Removes and returns the first value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and free failures.
+    pub fn pop_front<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<Option<(u64, u64)>> {
+        let head = env.read_ptr(site!("ll.pop.head", Param), self.desc, D_HEAD)?;
+        if env.ptr_is_null(site!("ll.pop.head-null", StackLocal), head) {
+            return Ok(None);
+        }
+        let v0 = env.read_u64(site!("ll.pop.v0", MemLoad), head, OFF_V0)?;
+        let v1 = env.read_u64(site!("ll.pop.v1", MemLoad), head, OFF_V1)?;
+        let next = env.read_ptr(site!("ll.pop.next", MemLoad), head, OFF_NEXT)?;
+        if env.ptr_is_null(site!("ll.pop.next-null", StackLocal), next) {
+            env.write_ptr(site!("ll.pop.tail-clear", Param), self.desc, D_TAIL, UPtr::NULL)?;
+        } else {
+            env.write_ptr(site!("ll.pop.prev-clear", MemLoad), next, OFF_PREV, UPtr::NULL)?;
+        }
+        env.write_ptr(site!("ll.pop.head-set", Param), self.desc, D_HEAD, next)?;
+        let len = env.read_u64(site!("ll.pop.len", Param), self.desc, D_LEN)?;
+        env.write_u64(site!("ll.pop.len-set", Param), self.desc, D_LEN, len - 1)?;
+        env.free(site!("ll.pop.free", MemLoad), head)?;
+        Ok(Some((v0, v1)))
+    }
+
+    /// Iterates the whole list and accumulates all value words (the paper's
+    /// LL benchmark loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn iter_sum<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        let mut sum = 0u64;
+        let mut p = env.read_ptr(site!("ll.sum.head", Param), self.desc, D_HEAD)?;
+        while !env.ptr_is_null(site!("ll.sum.loop", StackLocal), p) {
+            sum = sum
+                .wrapping_add(env.read_u64(site!("ll.sum.v0", MemLoad), p, OFF_V0)?)
+                .wrapping_add(env.read_u64(site!("ll.sum.v1", MemLoad), p, OFF_V1)?);
+            p = env.read_ptr(site!("ll.sum.next", MemLoad), p, OFF_NEXT)?;
+        }
+        Ok(sum)
+    }
+
+    /// Walks forward and backward checking the doubly-linked invariants;
+    /// returns the node count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures; panics (in tests) on inconsistency.
+    pub fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        let len = self.len(env)?;
+        // Forward walk.
+        let mut count = 0u64;
+        let mut prev = UPtr::NULL;
+        let mut p = env.read_ptr(site!("ll.val.head", Param), self.desc, D_HEAD)?;
+        while !env.ptr_is_null(site!("ll.val.loop", StackLocal), p) {
+            let stored_prev = env.read_ptr(site!("ll.val.prev", MemLoad), p, OFF_PREV)?;
+            assert!(
+                env.ptr_eq(site!("ll.val.prev-eq", Param), stored_prev, prev)?,
+                "prev link broken at node {count}"
+            );
+            prev = p;
+            p = env.read_ptr(site!("ll.val.next", MemLoad), p, OFF_NEXT)?;
+            count += 1;
+        }
+        let tail = env.read_ptr(site!("ll.val.tail", Param), self.desc, D_TAIL)?;
+        assert!(env.ptr_eq(site!("ll.val.tail-eq", Param), tail, prev)?, "tail mismatch");
+        assert_eq!(count, len, "length mismatch");
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::testing::env_for;
+    use utpr_ptr::Mode;
+
+    #[test]
+    fn push_iterate_sum_all_modes() {
+        for mode in Mode::ALL {
+            let mut env = env_for(mode);
+            let mut ll = LinkedList::create(&mut env).unwrap();
+            let mut expect = 0u64;
+            for i in 0..100u64 {
+                ll.push_back(&mut env, i, i * 10).unwrap();
+                expect = expect.wrapping_add(i + i * 10);
+            }
+            assert_eq!(ll.iter_sum(&mut env).unwrap(), expect, "{mode:?}");
+            assert_eq!(ll.len(&mut env).unwrap(), 100);
+            ll.validate(&mut env).unwrap();
+        }
+    }
+
+    #[test]
+    fn pop_front_drains_in_order() {
+        let mut env = env_for(Mode::Hw);
+        let mut ll = LinkedList::create(&mut env).unwrap();
+        for i in 0..10u64 {
+            ll.push_back(&mut env, i, 0).unwrap();
+        }
+        for i in 0..10u64 {
+            assert_eq!(ll.pop_front(&mut env).unwrap(), Some((i, 0)));
+            ll.validate(&mut env).unwrap();
+        }
+        assert_eq!(ll.pop_front(&mut env).unwrap(), None);
+        assert_eq!(ll.len(&mut env).unwrap(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut env = env_for(Mode::Sw);
+        let mut ll = LinkedList::create(&mut env).unwrap();
+        ll.push_back(&mut env, 1, 1).unwrap();
+        ll.push_back(&mut env, 2, 2).unwrap();
+        assert_eq!(ll.pop_front(&mut env).unwrap(), Some((1, 1)));
+        ll.push_back(&mut env, 3, 3).unwrap();
+        assert_eq!(ll.pop_front(&mut env).unwrap(), Some((2, 2)));
+        assert_eq!(ll.pop_front(&mut env).unwrap(), Some((3, 3)));
+        ll.validate(&mut env).unwrap();
+    }
+
+    #[test]
+    fn stored_links_are_relative_in_hw_mode() {
+        let mut env = env_for(Mode::Hw);
+        let mut ll = LinkedList::create(&mut env).unwrap();
+        for i in 0..5u64 {
+            ll.push_back(&mut env, i, i).unwrap();
+        }
+        // Walk raw memory: every non-null stored link must have bit 63 set.
+        let mut p = env.read_ptr(site!("t.head", Param), ll.descriptor(), 0).unwrap();
+        let mut checked = 0;
+        while !p.is_null() {
+            for off in [OFF_NEXT, OFF_PREV] {
+                let raw = env.peek_raw(p, off).unwrap();
+                if raw != 0 {
+                    assert_ne!(raw & (1 << 63), 0, "link at {off} not relative");
+                    checked += 1;
+                }
+            }
+            p = env.read_ptr(site!("t.next", MemLoad), p, OFF_NEXT).unwrap();
+        }
+        assert!(checked >= 8);
+    }
+
+    #[test]
+    fn survives_crash_and_relocation() {
+        use utpr_ptr::site;
+        let mut env = env_for(Mode::Hw);
+        let mut ll = LinkedList::create(&mut env).unwrap();
+        let mut expect = 0u64;
+        for i in 0..50u64 {
+            ll.push_back(&mut env, i, i * 3).unwrap();
+            expect = expect.wrapping_add(i + i * 3);
+        }
+        env.set_root(site!("t.save", StackLocal), ll.descriptor()).unwrap();
+        env.space_mut().restart();
+        env.space_mut().open_pool("ds-test").unwrap();
+        let desc = env.root(site!("t.load", KnownReturn)).unwrap();
+        let ll2 = LinkedList::open(desc);
+        assert_eq!(ll2.iter_sum(&mut env).unwrap(), expect);
+        assert_eq!(ll2.validate(&mut env).unwrap(), 50);
+    }
+
+    #[test]
+    fn explicit_mode_keeps_object_ids_in_descriptor() {
+        let mut env = env_for(Mode::Explicit);
+        let mut ll = LinkedList::create(&mut env).unwrap();
+        ll.push_back(&mut env, 9, 9).unwrap();
+        assert_eq!(ll.iter_sum(&mut env).unwrap(), 18);
+        assert!(env.stats().explicit_translations > 0);
+    }
+}

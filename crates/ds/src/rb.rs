@@ -1,0 +1,678 @@
+//! RB — a red-black tree (paper Table III, Boost `intrusive::rbtree`
+//! analogue).
+//!
+//! Classic CLRS insertion with parent pointers and recoloring/rotation
+//! fixup. Node layout: `[key, value, left, right, parent, color]`
+//! (color 0 = red, 1 = black). Descriptor: `[root, len]`.
+
+use crate::index::{Index, Result};
+use utpr_ptr::{site, ExecEnv, Site, TimingSink, UPtr};
+
+const OFF_KEY: i64 = 0;
+const OFF_VAL: i64 = 8;
+const OFF_LEFT: i64 = 16;
+const OFF_RIGHT: i64 = 24;
+const OFF_PARENT: i64 = 32;
+const OFF_COLOR: i64 = 40;
+const NODE_SIZE: u64 = 48;
+
+const RED: u64 = 0;
+const BLACK: u64 = 1;
+
+const D_ROOT: i64 = 0;
+const D_LEN: i64 = 8;
+const DESC_SIZE: u64 = 16;
+
+/// A red-black tree in simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ds::{Index, RbTree};
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("rb", 4 << 20)?;
+/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut t = RbTree::create(&mut env)?;
+/// for k in 0..100 {
+///     t.insert(&mut env, k, k * k)?;
+/// }
+/// assert_eq!(t.get(&mut env, 9)?, Some(81));
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RbTree {
+    desc: UPtr,
+}
+
+// Field accessors: each is one shared static site, matching how a compiled
+// accessor in library code is one static instruction.
+fn left<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("rb.node.left", MemLoad), n, OFF_LEFT)
+}
+fn right<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("rb.node.right", MemLoad), n, OFF_RIGHT)
+}
+fn parent<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("rb.node.parent", MemLoad), n, OFF_PARENT)
+}
+fn set_left<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, v: UPtr) -> Result<()> {
+    env.write_ptr(site!("rb.node.set-left", MemLoad), n, OFF_LEFT, v)
+}
+fn set_right<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, v: UPtr) -> Result<()> {
+    env.write_ptr(site!("rb.node.set-right", MemLoad), n, OFF_RIGHT, v)
+}
+fn set_parent<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, v: UPtr) -> Result<()> {
+    env.write_ptr(site!("rb.node.set-parent", MemLoad), n, OFF_PARENT, v)
+}
+fn key_of<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<u64> {
+    env.read_u64(site!("rb.node.key", MemLoad), n, OFF_KEY)
+}
+/// Color of a node; null counts as black (CLRS sentinel behaviour).
+fn color<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<u64> {
+    if env.ptr_is_null(site!("rb.node.color-null", StackLocal), n) {
+        return Ok(BLACK);
+    }
+    env.read_u64(site!("rb.node.color", MemLoad), n, OFF_COLOR)
+}
+fn set_color<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, c: u64) -> Result<()> {
+    env.write_u64(site!("rb.node.set-color", MemLoad), n, OFF_COLOR, c)
+}
+
+const S_EQ_LEFT: &Site = site!("rb.eq.is-left-child", Param);
+
+impl RbTree {
+    fn root<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<UPtr> {
+        env.read_ptr(site!("rb.root", Param), self.desc, D_ROOT)
+    }
+
+    fn set_root<S: TimingSink>(&self, env: &mut ExecEnv<S>, r: UPtr) -> Result<()> {
+        env.write_ptr(site!("rb.set-root", Param), self.desc, D_ROOT, r)
+    }
+
+    fn rotate_left<S: TimingSink>(&self, env: &mut ExecEnv<S>, x: UPtr) -> Result<()> {
+        let y = right(env, x)?;
+        let yl = left(env, y)?;
+        set_right(env, x, yl)?;
+        if !env.ptr_is_null(site!("rb.rotl.yl-null", StackLocal), yl) {
+            set_parent(env, yl, x)?;
+        }
+        let xp = parent(env, x)?;
+        set_parent(env, y, xp)?;
+        if env.ptr_is_null(site!("rb.rotl.xp-null", StackLocal), xp) {
+            self.set_root(env, y)?;
+        } else {
+            let xpl = left(env, xp)?;
+            if env.ptr_eq(S_EQ_LEFT, x, xpl)? {
+                set_left(env, xp, y)?;
+            } else {
+                set_right(env, xp, y)?;
+            }
+        }
+        set_left(env, y, x)?;
+        set_parent(env, x, y)
+    }
+
+    fn rotate_right<S: TimingSink>(&self, env: &mut ExecEnv<S>, x: UPtr) -> Result<()> {
+        let y = left(env, x)?;
+        let yr = right(env, y)?;
+        set_left(env, x, yr)?;
+        if !env.ptr_is_null(site!("rb.rotr.yr-null", StackLocal), yr) {
+            set_parent(env, yr, x)?;
+        }
+        let xp = parent(env, x)?;
+        set_parent(env, y, xp)?;
+        if env.ptr_is_null(site!("rb.rotr.xp-null", StackLocal), xp) {
+            self.set_root(env, y)?;
+        } else {
+            let xpl = left(env, xp)?;
+            if env.ptr_eq(S_EQ_LEFT, x, xpl)? {
+                set_left(env, xp, y)?;
+            } else {
+                set_right(env, xp, y)?;
+            }
+        }
+        set_right(env, y, x)?;
+        set_parent(env, x, y)
+    }
+
+    fn insert_fixup<S: TimingSink>(&self, env: &mut ExecEnv<S>, mut z: UPtr) -> Result<()> {
+        loop {
+            let p = parent(env, z)?;
+            if color(env, p)? != RED {
+                break;
+            }
+            let g = parent(env, p)?; // red parent implies non-null grandparent
+            let gl = left(env, g)?;
+            if env.ptr_eq(site!("rb.fix.p-is-left", Param), p, gl)? {
+                let u = right(env, g)?;
+                if color(env, u)? == RED {
+                    set_color(env, p, BLACK)?;
+                    set_color(env, u, BLACK)?;
+                    set_color(env, g, RED)?;
+                    z = g;
+                } else {
+                    let pr = right(env, p)?;
+                    if env.ptr_eq(site!("rb.fix.z-is-right", Param), z, pr)? {
+                        z = p;
+                        self.rotate_left(env, z)?;
+                    }
+                    let p2 = parent(env, z)?;
+                    let g2 = parent(env, p2)?;
+                    set_color(env, p2, BLACK)?;
+                    set_color(env, g2, RED)?;
+                    self.rotate_right(env, g2)?;
+                }
+            } else {
+                let u = left(env, g)?;
+                if color(env, u)? == RED {
+                    set_color(env, p, BLACK)?;
+                    set_color(env, u, BLACK)?;
+                    set_color(env, g, RED)?;
+                    z = g;
+                } else {
+                    let pl = left(env, p)?;
+                    if env.ptr_eq(site!("rb.fix.z-is-left", Param), z, pl)? {
+                        z = p;
+                        self.rotate_right(env, z)?;
+                    }
+                    let p2 = parent(env, z)?;
+                    let g2 = parent(env, p2)?;
+                    set_color(env, p2, BLACK)?;
+                    set_color(env, g2, RED)?;
+                    self.rotate_left(env, g2)?;
+                }
+            }
+        }
+        let root = self.root(env)?;
+        set_color(env, root, BLACK)
+    }
+
+    /// Replaces the subtree rooted at `u` with `v` (CLRS `transplant`).
+    /// `v` may be null; its parent pointer is fixed when present.
+    fn transplant<S: TimingSink>(&self, env: &mut ExecEnv<S>, u: UPtr, v: UPtr) -> Result<()> {
+        let up = parent(env, u)?;
+        if env.ptr_is_null(site!("rb.tp.up-null", StackLocal), up) {
+            self.set_root(env, v)?;
+        } else {
+            let upl = left(env, up)?;
+            if env.ptr_eq(S_EQ_LEFT, u, upl)? {
+                set_left(env, up, v)?;
+            } else {
+                set_right(env, up, v)?;
+            }
+        }
+        if !env.ptr_is_null(site!("rb.tp.v-null", StackLocal), v) {
+            set_parent(env, v, up)?;
+        }
+        Ok(())
+    }
+
+    /// Minimum node of the subtree rooted at `n` (`n` must be non-null).
+    fn minimum<S: TimingSink>(&self, env: &mut ExecEnv<S>, mut n: UPtr) -> Result<UPtr> {
+        loop {
+            let l = left(env, n)?;
+            if env.ptr_is_null(site!("rb.min.l-null", StackLocal), l) {
+                return Ok(n);
+            }
+            n = l;
+        }
+    }
+
+    /// Removes `key`, returning its value if present. CLRS deletion with
+    /// the doubly-black fixup; null children are treated as black with an
+    /// explicitly tracked parent (no sentinel node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and free failures.
+    pub fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        // Find z.
+        let mut z = self.root(env)?;
+        loop {
+            if env.ptr_is_null(site!("rb.del.descend", StackLocal), z) {
+                return Ok(None);
+            }
+            let k = key_of(env, z)?;
+            if k == key {
+                break;
+            }
+            let goleft = key < k;
+            env.branch(site!("rb.del.cmp", StackLocal), goleft);
+            z = if goleft { left(env, z)? } else { right(env, z)? };
+        }
+        let removed_value = env.read_u64(site!("rb.del.val", MemLoad), z, OFF_VAL)?;
+
+        let zl = left(env, z)?;
+        let zr = right(env, z)?;
+        let mut y_color = env.read_u64(site!("rb.del.zcolor", MemLoad), z, OFF_COLOR)?;
+        let x;
+        let xp;
+        if env.ptr_is_null(site!("rb.del.zl-null", StackLocal), zl) {
+            x = zr;
+            xp = parent(env, z)?;
+            self.transplant(env, z, zr)?;
+        } else if env.ptr_is_null(site!("rb.del.zr-null", StackLocal), zr) {
+            x = zl;
+            xp = parent(env, z)?;
+            self.transplant(env, z, zl)?;
+        } else {
+            let y = self.minimum(env, zr)?;
+            y_color = env.read_u64(site!("rb.del.ycolor", MemLoad), y, OFF_COLOR)?;
+            x = right(env, y)?;
+            let yp = parent(env, y)?;
+            if env.ptr_eq(site!("rb.del.y-child-of-z", Param), yp, z)? {
+                xp = y;
+            } else {
+                xp = yp;
+                let yr = right(env, y)?;
+                self.transplant(env, y, yr)?;
+                set_right(env, y, zr)?;
+                set_parent(env, zr, y)?;
+            }
+            self.transplant(env, z, y)?;
+            set_left(env, y, zl)?;
+            set_parent(env, zl, y)?;
+            let zc = env.read_u64(site!("rb.del.zcolor2", MemLoad), z, OFF_COLOR)?;
+            set_color(env, y, zc)?;
+        }
+        env.free(site!("rb.del.free", MemLoad), z)?;
+
+        if y_color == BLACK {
+            self.delete_fixup(env, x, xp)?;
+        }
+        let len = env.read_u64(site!("rb.del.len", Param), self.desc, D_LEN)?;
+        env.write_u64(site!("rb.del.len-set", Param), self.desc, D_LEN, len - 1)?;
+        Ok(Some(removed_value))
+    }
+
+    /// Restores the red-black invariants after deleting a black node;
+    /// `x` (possibly null) carries the extra black, `xp` is its parent.
+    fn delete_fixup<S: TimingSink>(&self, env: &mut ExecEnv<S>, mut x: UPtr, mut xp: UPtr) -> Result<()> {
+        loop {
+            if env.ptr_is_null(site!("rb.fixd.xp-null", StackLocal), xp) {
+                break; // x is (or replaces) the root
+            }
+            if !x.is_null() && color(env, x)? == RED {
+                break;
+            }
+            let xpl = left(env, xp)?;
+            let x_is_left = if x.is_null() {
+                xpl.is_null()
+            } else {
+                env.ptr_eq(site!("rb.fixd.x-left", Param), x, xpl)?
+            };
+            if x_is_left {
+                let mut w = right(env, xp)?;
+                if color(env, w)? == RED {
+                    set_color(env, w, BLACK)?;
+                    set_color(env, xp, RED)?;
+                    self.rotate_left(env, xp)?;
+                    w = right(env, xp)?;
+                }
+                let wl = left(env, w)?;
+                let wr = right(env, w)?;
+                if color(env, wl)? == BLACK && color(env, wr)? == BLACK {
+                    set_color(env, w, RED)?;
+                    x = xp;
+                    xp = parent(env, x)?;
+                } else {
+                    if color(env, wr)? == BLACK {
+                        set_color(env, wl, BLACK)?;
+                        set_color(env, w, RED)?;
+                        self.rotate_right(env, w)?;
+                        w = right(env, xp)?;
+                    }
+                    let xpc = env.read_u64(site!("rb.fixd.xpc", MemLoad), xp, OFF_COLOR)?;
+                    set_color(env, w, xpc)?;
+                    set_color(env, xp, BLACK)?;
+                    let wr2 = right(env, w)?;
+                    set_color(env, wr2, BLACK)?;
+                    self.rotate_left(env, xp)?;
+                    break;
+                }
+            } else {
+                let mut w = left(env, xp)?;
+                if color(env, w)? == RED {
+                    set_color(env, w, BLACK)?;
+                    set_color(env, xp, RED)?;
+                    self.rotate_right(env, xp)?;
+                    w = left(env, xp)?;
+                }
+                let wl = left(env, w)?;
+                let wr = right(env, w)?;
+                if color(env, wl)? == BLACK && color(env, wr)? == BLACK {
+                    set_color(env, w, RED)?;
+                    x = xp;
+                    xp = parent(env, x)?;
+                } else {
+                    if color(env, wl)? == BLACK {
+                        set_color(env, wr, BLACK)?;
+                        set_color(env, w, RED)?;
+                        self.rotate_left(env, w)?;
+                        w = left(env, xp)?;
+                    }
+                    let xpc = env.read_u64(site!("rb.fixd.xpc2", MemLoad), xp, OFF_COLOR)?;
+                    set_color(env, w, xpc)?;
+                    set_color(env, xp, BLACK)?;
+                    let wl2 = left(env, w)?;
+                    set_color(env, wl2, BLACK)?;
+                    self.rotate_right(env, xp)?;
+                    break;
+                }
+            }
+        }
+        if !x.is_null() {
+            set_color(env, x, BLACK)?;
+        }
+        // The root is black in every case (CLRS colors T.root black last).
+        let root = self.root(env)?;
+        if !root.is_null() {
+            set_color(env, root, BLACK)?;
+        }
+        Ok(())
+    }
+
+    /// Checks every red-black invariant (BST order, no red-red edge, equal
+    /// black heights, parent links, stored length); returns the node count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures; panics (in tests) on violations.
+    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        fn walk<S: TimingSink>(
+            env: &mut ExecEnv<S>,
+            n: UPtr,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> Result<(u64, u64)> {
+            // returns (black_height, count)
+            if n.is_null() {
+                return Ok((1, 0));
+            }
+            let k = key_of(env, n)?;
+            if let Some(l) = lo {
+                assert!(k > l, "BST order violated");
+            }
+            if let Some(h) = hi {
+                assert!(k < h, "BST order violated");
+            }
+            let c = env.read_u64(site!("rb.val.color", MemLoad), n, OFF_COLOR)?;
+            let l = left(env, n)?;
+            let r = right(env, n)?;
+            if c == RED {
+                assert_eq!(color(env, l)?, BLACK, "red-red edge");
+                assert_eq!(color(env, r)?, BLACK, "red-red edge");
+            }
+            for child in [l, r] {
+                if !child.is_null() {
+                    let cp = parent(env, child)?;
+                    assert!(env.ptr_eq(site!("rb.val.parent-eq", Param), cp, n)?, "parent link");
+                }
+            }
+            let (bl, cl) = walk(env, l, lo, Some(k))?;
+            let (br, cr) = walk(env, r, Some(k), hi)?;
+            assert_eq!(bl, br, "black height mismatch");
+            Ok((bl + u64::from(c == BLACK), cl + cr + 1))
+        }
+        let root = self.root(env)?;
+        if !root.is_null() {
+            assert_eq!(color(env, root)?, BLACK, "root must be black");
+        }
+        let (_, count) = walk(env, root, None, None)?;
+        assert_eq!(count, self.len(env)?, "stored length");
+        Ok(count)
+    }
+}
+
+impl Index for RbTree {
+    const NAME: &'static str = "RB";
+
+    fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
+        let desc = env.alloc(site!("rb.create.desc", AllocResult), DESC_SIZE)?;
+        env.write_ptr(site!("rb.create.root", AllocResult), desc, D_ROOT, UPtr::NULL)?;
+        env.write_u64(site!("rb.create.len", AllocResult), desc, D_LEN, 0)?;
+        Ok(RbTree { desc })
+    }
+
+    fn open(descriptor: UPtr) -> Self {
+        RbTree { desc: descriptor }
+    }
+
+    fn descriptor(&self) -> UPtr {
+        self.desc
+    }
+
+    fn insert<S: TimingSink>(
+        &mut self,
+        env: &mut ExecEnv<S>,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>> {
+        let mut y = UPtr::NULL;
+        let mut x = self.root(env)?;
+        let mut went_left = false;
+        while !env.ptr_is_null(site!("rb.ins.descend", StackLocal), x) {
+            y = x;
+            let k = key_of(env, x)?;
+            if k == key {
+                let old = env.read_u64(site!("rb.ins.old", MemLoad), x, OFF_VAL)?;
+                env.write_u64(site!("rb.ins.update", MemLoad), x, OFF_VAL, value)?;
+                return Ok(Some(old));
+            }
+            went_left = key < k;
+            env.branch(site!("rb.ins.cmp", StackLocal), went_left);
+            x = if went_left { left(env, x)? } else { right(env, x)? };
+        }
+        let z = env.alloc(site!("rb.ins.node", AllocResult), NODE_SIZE)?;
+        env.write_u64(site!("rb.ins.key", AllocResult), z, OFF_KEY, key)?;
+        env.write_u64(site!("rb.ins.val", AllocResult), z, OFF_VAL, value)?;
+        env.write_ptr(site!("rb.ins.left", AllocResult), z, OFF_LEFT, UPtr::NULL)?;
+        env.write_ptr(site!("rb.ins.right", AllocResult), z, OFF_RIGHT, UPtr::NULL)?;
+        env.write_ptr(site!("rb.ins.parent", AllocResult), z, OFF_PARENT, y)?;
+        env.write_u64(site!("rb.ins.color", AllocResult), z, OFF_COLOR, RED)?;
+        if env.ptr_is_null(site!("rb.ins.empty", StackLocal), y) {
+            self.set_root(env, z)?;
+        } else if went_left {
+            set_left(env, y, z)?;
+        } else {
+            set_right(env, y, z)?;
+        }
+        self.insert_fixup(env, z)?;
+        let len = env.read_u64(site!("rb.ins.len", Param), self.desc, D_LEN)?;
+        env.write_u64(site!("rb.ins.len-set", Param), self.desc, D_LEN, len + 1)?;
+        Ok(None)
+    }
+
+    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        let mut x = self.root(env)?;
+        while !env.ptr_is_null(site!("rb.get.descend", StackLocal), x) {
+            let k = key_of(env, x)?;
+            if k == key {
+                return Ok(Some(env.read_u64(site!("rb.get.val", MemLoad), x, OFF_VAL)?));
+            }
+            let goleft = key < k;
+            env.branch(site!("rb.get.cmp", StackLocal), goleft);
+            x = if goleft { left(env, x)? } else { right(env, x)? };
+        }
+        Ok(None)
+    }
+
+    fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        RbTree::remove(self, env, key)
+    }
+
+    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        env.read_u64(site!("rb.len", Param), self.desc, D_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::testing::{crash_recovery_test, env_for, oracle_test};
+    use utpr_ptr::Mode;
+
+    #[test]
+    fn oracle_all_modes() {
+        for mode in Mode::ALL {
+            oracle_test::<RbTree>(mode, 1200);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_under_sequential_insert() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = RbTree::create(&mut env).unwrap();
+        for k in 0..512u64 {
+            t.insert(&mut env, k, k).unwrap();
+            if k % 64 == 0 {
+                t.validate(&mut env).unwrap();
+            }
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), 512);
+    }
+
+    #[test]
+    fn invariants_hold_under_reverse_and_random_insert() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = RbTree::create(&mut env).unwrap();
+        for k in (0..256u64).rev() {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        t.validate(&mut env).unwrap();
+        let mut t2 = RbTree::create(&mut env).unwrap();
+        let mut x = 88172645463325252u64;
+        for _ in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t2.insert(&mut env, x % 1000, x).unwrap();
+        }
+        t2.validate(&mut env).unwrap();
+    }
+
+    #[test]
+    fn sequential_insert_keeps_logarithmic_depth() {
+        // A plain BST would degenerate to a 512-long chain; red-black keeps
+        // black height ≤ 2·log2(n+1). Validate passes ⇒ balanced enough; we
+        // additionally bound the worst-case descent by probing the deepest
+        // key with a counted walk.
+        let mut env = env_for(Mode::Hw);
+        let mut t = RbTree::create(&mut env).unwrap();
+        for k in 0..1024u64 {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        // Count descent steps for every key; max must be ≤ 2*log2(1025)+1 ≈ 21.
+        for probe in [0u64, 511, 1023] {
+            let mut steps = 0;
+            let mut x = t.root(&mut env).unwrap();
+            while !x.is_null() {
+                let k = key_of(&mut env, x).unwrap();
+                if k == probe {
+                    break;
+                }
+                x = if probe < k { left(&mut env, x).unwrap() } else { right(&mut env, x).unwrap() };
+                steps += 1;
+                assert!(steps <= 21, "descent too deep: {steps}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_recovery() {
+        crash_recovery_test::<RbTree>();
+    }
+
+    #[test]
+    fn remove_preserves_invariants() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = RbTree::create(&mut env).unwrap();
+        for k in 0..128u64 {
+            t.insert(&mut env, k, k * 2).unwrap();
+        }
+        // Remove every third key, validating as we go.
+        for k in (0..128u64).step_by(3) {
+            assert_eq!(t.remove(&mut env, k).unwrap(), Some(k * 2), "key {k}");
+            t.validate(&mut env).unwrap();
+        }
+        for k in 0..128u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k * 2) };
+            assert_eq!(t.get(&mut env, k).unwrap(), expect, "key {k}");
+        }
+        assert_eq!(t.remove(&mut env, 999).unwrap(), None);
+    }
+
+    #[test]
+    fn remove_everything_then_reuse() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = RbTree::create(&mut env).unwrap();
+        for k in 0..64u64 {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        for k in 0..64u64 {
+            t.remove(&mut env, k).unwrap();
+            t.validate(&mut env).unwrap();
+        }
+        assert_eq!(t.len(&mut env).unwrap(), 0);
+        // Reuse the emptied tree; freed nodes recycle through the allocator.
+        for k in 0..32u64 {
+            t.insert(&mut env, k, k + 1).unwrap();
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), 32);
+    }
+
+    #[test]
+    fn random_insert_remove_oracle_with_validation() {
+        use std::collections::BTreeMap;
+        let mut env = env_for(Mode::Sw);
+        let mut t = RbTree::create(&mut env).unwrap();
+        let mut model = BTreeMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 97;
+            if x % 5 < 3 {
+                assert_eq!(
+                    t.insert(&mut env, key, x).unwrap(),
+                    model.insert(key, x),
+                    "insert at {step}"
+                );
+            } else {
+                assert_eq!(t.remove(&mut env, key).unwrap(), model.remove(&key), "remove at {step}");
+            }
+            if step % 250 == 0 {
+                t.validate(&mut env).unwrap();
+            }
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), model.len() as u64);
+    }
+
+    #[test]
+    fn stored_node_links_are_relative_in_hw() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = RbTree::create(&mut env).unwrap();
+        for k in 0..64u64 {
+            t.insert(&mut env, k * 17 % 97, k).unwrap();
+        }
+        fn check<S: utpr_ptr::TimingSink>(env: &mut ExecEnv<S>, n: UPtr) {
+            if n.is_null() {
+                return;
+            }
+            for off in [OFF_LEFT, OFF_RIGHT, OFF_PARENT] {
+                let raw = env.peek_raw(n, off).unwrap();
+                assert!(raw == 0 || raw & (1 << 63) != 0, "non-relative stored link");
+            }
+            let l = left(env, n).unwrap();
+            let r = right(env, n).unwrap();
+            check(env, l);
+            check(env, r);
+        }
+        let root = t.root(&mut env).unwrap();
+        check(&mut env, root);
+    }
+}

@@ -1,0 +1,430 @@
+//! SG — a scapegoat tree (paper Table III, Boost `intrusive::sgtree`
+//! analogue).
+//!
+//! A weight-balanced BST with no per-node metadata: when an insertion lands
+//! deeper than the α-height bound, the highest α-weight-violating ancestor
+//! (the scapegoat) is flattened and rebuilt perfectly balanced. Node
+//! layout: `[key, value, left, right]`. Descriptor: `[root, len, max_len]`
+//! where `max_len` is the high-water mark driving deletion rebuilds.
+//! α = 0.7, the Boost default region.
+
+use crate::index::{Index, Result};
+use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
+
+const OFF_KEY: i64 = 0;
+const OFF_VAL: i64 = 8;
+const OFF_LEFT: i64 = 16;
+const OFF_RIGHT: i64 = 24;
+const NODE_SIZE: u64 = 32;
+
+const D_ROOT: i64 = 0;
+const D_LEN: i64 = 8;
+/// High-water mark of `len` since the last full rebuild; deletions trigger
+/// a whole-tree rebuild when `len < α · max_len` (Galperin & Rivest).
+const D_MAXLEN: i64 = 16;
+const DESC_SIZE: u64 = 24;
+
+/// α numerator/denominator (α = 0.7).
+const ALPHA_NUM: u64 = 7;
+const ALPHA_DEN: u64 = 10;
+
+/// A scapegoat tree in simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ds::{Index, ScapegoatTree};
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("sg", 4 << 20)?;
+/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut t = ScapegoatTree::create(&mut env)?;
+/// t.insert(&mut env, 2, 20)?;
+/// assert_eq!(t.get(&mut env, 2)?, Some(20));
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ScapegoatTree {
+    desc: UPtr,
+}
+
+fn left<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("sg.node.left", MemLoad), n, OFF_LEFT)
+}
+fn right<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<UPtr> {
+    env.read_ptr(site!("sg.node.right", MemLoad), n, OFF_RIGHT)
+}
+fn set_left<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, v: UPtr) -> Result<()> {
+    env.write_ptr(site!("sg.node.set-left", MemLoad), n, OFF_LEFT, v)
+}
+fn set_right<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, v: UPtr) -> Result<()> {
+    env.write_ptr(site!("sg.node.set-right", MemLoad), n, OFF_RIGHT, v)
+}
+fn key_of<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<u64> {
+    env.read_u64(site!("sg.node.key", MemLoad), n, OFF_KEY)
+}
+
+/// Subtree size by traversal (scapegoat trees store no size fields).
+fn size_of<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr) -> Result<u64> {
+    if n.is_null() {
+        return Ok(0);
+    }
+    let l = left(env, n)?;
+    let r = right(env, n)?;
+    Ok(1 + size_of(env, l)? + size_of(env, r)?)
+}
+
+/// In-order flatten of a subtree into a host-side vector of node handles
+/// (the rebuild scratch array a C implementation would alloca/malloc).
+fn flatten<S: TimingSink>(env: &mut ExecEnv<S>, n: UPtr, out: &mut Vec<UPtr>) -> Result<()> {
+    if n.is_null() {
+        return Ok(());
+    }
+    let l = left(env, n)?;
+    let r = right(env, n)?;
+    flatten(env, l, out)?;
+    out.push(n);
+    flatten(env, r, out)
+}
+
+/// Rebuilds a perfectly balanced subtree from sorted node handles.
+fn build_balanced<S: TimingSink>(env: &mut ExecEnv<S>, nodes: &[UPtr]) -> Result<UPtr> {
+    if nodes.is_empty() {
+        return Ok(UPtr::NULL);
+    }
+    let mid = nodes.len() / 2;
+    let root = nodes[mid];
+    let l = build_balanced(env, &nodes[..mid])?;
+    let r = build_balanced(env, &nodes[mid + 1..])?;
+    set_left(env, root, l)?;
+    set_right(env, root, r)?;
+    Ok(root)
+}
+
+/// ⌊log_{1/α}(n)⌋ — the depth bound for a valid α-height-balanced tree.
+fn depth_limit(len: u64) -> u64 {
+    // log(n) / log(1/alpha) computed in integers: find smallest d with
+    // (1/alpha)^d >= n, i.e. 10^d >= n * 7^d / 7^d … use floats, this is a
+    // host-side bound, not simulated work.
+    if len <= 1 {
+        return 1;
+    }
+    let alpha = ALPHA_NUM as f64 / ALPHA_DEN as f64;
+    ((len as f64).ln() / (1.0 / alpha).ln()).floor() as u64 + 1
+}
+
+impl ScapegoatTree {
+    fn root<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<UPtr> {
+        env.read_ptr(site!("sg.root", Param), self.desc, D_ROOT)
+    }
+
+    /// Removes `key`, returning its value if present. Plain BST deletion
+    /// (successor copy); when `len` falls below `α · max_len` the whole
+    /// tree is rebuilt perfectly balanced and the high-water mark reset —
+    /// the Galperin–Rivest deletion rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and free failures.
+    pub fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        // Find z with its parent and side.
+        let mut parent = UPtr::NULL;
+        let mut went_left = false;
+        let mut z = self.root(env)?;
+        loop {
+            if env.ptr_is_null(site!("sg.del.descend", StackLocal), z) {
+                return Ok(None);
+            }
+            let k = key_of(env, z)?;
+            if k == key {
+                break;
+            }
+            went_left = key < k;
+            env.branch(site!("sg.del.cmp", StackLocal), went_left);
+            parent = z;
+            z = if went_left { left(env, z)? } else { right(env, z)? };
+        }
+        let removed_value = env.read_u64(site!("sg.del.val", MemLoad), z, OFF_VAL)?;
+
+        let zl = left(env, z)?;
+        let zr = right(env, z)?;
+        let replacement;
+        let physically_removed;
+        if env.ptr_is_null(site!("sg.del.zl-null", StackLocal), zl) {
+            replacement = zr;
+            physically_removed = z;
+        } else if env.ptr_is_null(site!("sg.del.zr-null", StackLocal), zr) {
+            replacement = zl;
+            physically_removed = z;
+        } else {
+            // Successor copy: find min of the right subtree with its parent.
+            let mut yp = z;
+            let mut y = zr;
+            loop {
+                let l = left(env, y)?;
+                if env.ptr_is_null(site!("sg.del.min", StackLocal), l) {
+                    break;
+                }
+                yp = y;
+                y = l;
+            }
+            let yk = key_of(env, y)?;
+            let yv = env.read_u64(site!("sg.del.yval", MemLoad), y, OFF_VAL)?;
+            env.write_u64(site!("sg.del.copy-key", MemLoad), z, OFF_KEY, yk)?;
+            env.write_u64(site!("sg.del.copy-val", MemLoad), z, OFF_VAL, yv)?;
+            let yr = right(env, y)?;
+            if env.ptr_eq(site!("sg.del.y-direct", Param), yp, z)? {
+                set_right(env, z, yr)?;
+            } else {
+                set_left(env, yp, yr)?;
+            }
+            env.free(site!("sg.del.free-succ", MemLoad), y)?;
+            physically_removed = UPtr::NULL; // already unlinked
+            replacement = UPtr::NULL;
+        }
+        if !physically_removed.is_null() {
+            if env.ptr_is_null(site!("sg.del.p-null", StackLocal), parent) {
+                env.write_ptr(site!("sg.del.root-set", Param), self.desc, D_ROOT, replacement)?;
+            } else if went_left {
+                set_left(env, parent, replacement)?;
+            } else {
+                set_right(env, parent, replacement)?;
+            }
+            env.free(site!("sg.del.free", MemLoad), physically_removed)?;
+        }
+
+        let len = env.read_u64(site!("sg.del.len", Param), self.desc, D_LEN)? - 1;
+        env.write_u64(site!("sg.del.len-set", Param), self.desc, D_LEN, len)?;
+        let maxlen = env.read_u64(site!("sg.del.maxlen", Param), self.desc, D_MAXLEN)?;
+        env.branch(site!("sg.del.rebuild?", StackLocal), len * ALPHA_DEN < maxlen * ALPHA_NUM);
+        if len * ALPHA_DEN < maxlen * ALPHA_NUM {
+            let root = self.root(env)?;
+            let mut nodes = Vec::with_capacity(len as usize);
+            flatten(env, root, &mut nodes)?;
+            let rebuilt = build_balanced(env, &nodes)?;
+            env.write_ptr(site!("sg.del.rebuild-root", Param), self.desc, D_ROOT, rebuilt)?;
+            env.write_u64(site!("sg.del.maxlen-reset", Param), self.desc, D_MAXLEN, len)?;
+        }
+        Ok(Some(removed_value))
+    }
+
+    /// Checks BST order and the α-weight balance at every node; returns the
+    /// node count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures; panics (in tests) on violations.
+    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        fn walk<S: TimingSink>(
+            env: &mut ExecEnv<S>,
+            n: UPtr,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> Result<(u64, u64)> {
+            // (size, height)
+            if n.is_null() {
+                return Ok((0, 0));
+            }
+            let k = key_of(env, n)?;
+            if let Some(l) = lo {
+                assert!(k > l, "BST order");
+            }
+            if let Some(h) = hi {
+                assert!(k < h, "BST order");
+            }
+            let l = left(env, n)?;
+            let r = right(env, n)?;
+            let (sl, hl) = walk(env, l, lo, Some(k))?;
+            let (sr, hr) = walk(env, r, Some(k), hi)?;
+            Ok((sl + sr + 1, 1 + hl.max(hr)))
+        }
+        let root = self.root(env)?;
+        let (size, height) = walk(env, root, None, None)?;
+        assert_eq!(size, self.len(env)?);
+        // The scapegoat height invariant is relative to the high-water mark
+        // (deletions only rebuild when len < α·max_len); +2 covers the
+        // not-yet-rebuilt slack after a triggering insert.
+        let maxlen = env.read_u64(site!("sg.val.maxlen", Param), self.desc, D_MAXLEN)?;
+        let bound = depth_limit(size.max(maxlen).max(1)) + 2;
+        assert!(height <= bound, "height {height} size {size} maxlen {maxlen}");
+        Ok(size)
+    }
+}
+
+impl Index for ScapegoatTree {
+    const NAME: &'static str = "SG";
+
+    fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
+        let desc = env.alloc(site!("sg.create.desc", AllocResult), DESC_SIZE)?;
+        env.write_ptr(site!("sg.create.root", AllocResult), desc, D_ROOT, UPtr::NULL)?;
+        env.write_u64(site!("sg.create.len", AllocResult), desc, D_LEN, 0)?;
+        env.write_u64(site!("sg.create.maxlen", AllocResult), desc, D_MAXLEN, 0)?;
+        Ok(ScapegoatTree { desc })
+    }
+
+    fn open(descriptor: UPtr) -> Self {
+        ScapegoatTree { desc: descriptor }
+    }
+
+    fn descriptor(&self) -> UPtr {
+        self.desc
+    }
+
+    fn insert<S: TimingSink>(
+        &mut self,
+        env: &mut ExecEnv<S>,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>> {
+        // Descend, recording the path (a compiler would keep this on the
+        // stack; handles here are locals, i.e. registers/stack slots).
+        let mut path: Vec<(UPtr, bool)> = Vec::new();
+        let mut x = self.root(env)?;
+        while !env.ptr_is_null(site!("sg.ins.descend", StackLocal), x) {
+            let k = key_of(env, x)?;
+            if k == key {
+                let old = env.read_u64(site!("sg.ins.old", MemLoad), x, OFF_VAL)?;
+                env.write_u64(site!("sg.ins.update", MemLoad), x, OFF_VAL, value)?;
+                return Ok(Some(old));
+            }
+            let goleft = key < k;
+            env.branch(site!("sg.ins.cmp", StackLocal), goleft);
+            path.push((x, goleft));
+            x = if goleft { left(env, x)? } else { right(env, x)? };
+        }
+        let z = env.alloc(site!("sg.ins.node", AllocResult), NODE_SIZE)?;
+        env.write_u64(site!("sg.ins.key", AllocResult), z, OFF_KEY, key)?;
+        env.write_u64(site!("sg.ins.val", AllocResult), z, OFF_VAL, value)?;
+        env.write_ptr(site!("sg.ins.left", AllocResult), z, OFF_LEFT, UPtr::NULL)?;
+        env.write_ptr(site!("sg.ins.right", AllocResult), z, OFF_RIGHT, UPtr::NULL)?;
+        match path.last() {
+            None => env.write_ptr(site!("sg.ins.root-set", Param), self.desc, D_ROOT, z)?,
+            Some((p, true)) => set_left(env, *p, z)?,
+            Some((p, false)) => set_right(env, *p, z)?,
+        }
+        let len = env.read_u64(site!("sg.ins.len", Param), self.desc, D_LEN)? + 1;
+        env.write_u64(site!("sg.ins.len-set", Param), self.desc, D_LEN, len)?;
+        let maxlen = env.read_u64(site!("sg.ins.maxlen", Param), self.desc, D_MAXLEN)?;
+        if len > maxlen {
+            env.write_u64(site!("sg.ins.maxlen-set", Param), self.desc, D_MAXLEN, len)?;
+        }
+
+        // Depth check: path.len() is the new node's depth.
+        let depth = path.len() as u64 + 1;
+        env.branch(site!("sg.ins.too-deep", StackLocal), depth > depth_limit(len));
+        if depth > depth_limit(len) {
+            // Walk back up looking for the scapegoat: the first ancestor
+            // whose child-to-subtree weight ratio exceeds α.
+            let mut child_size = 1u64;
+            for (i, (anc, _)) in path.iter().enumerate().rev() {
+                let anc_size = size_of(env, *anc)?;
+                if child_size * ALPHA_DEN > anc_size * ALPHA_NUM {
+                    // `anc` is the scapegoat: rebuild its subtree.
+                    let mut nodes = Vec::with_capacity(anc_size as usize);
+                    flatten(env, *anc, &mut nodes)?;
+                    let rebuilt = build_balanced(env, &nodes)?;
+                    if i == 0 {
+                        env.write_ptr(
+                            site!("sg.rebuild.root", Param),
+                            self.desc,
+                            D_ROOT,
+                            rebuilt,
+                        )?;
+                    } else {
+                        let (gp, was_left) = path[i - 1];
+                        if was_left {
+                            set_left(env, gp, rebuilt)?;
+                        } else {
+                            set_right(env, gp, rebuilt)?;
+                        }
+                    }
+                    break;
+                }
+                child_size = anc_size;
+            }
+        }
+        Ok(None)
+    }
+
+    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        let mut x = self.root(env)?;
+        while !env.ptr_is_null(site!("sg.get.descend", StackLocal), x) {
+            let k = key_of(env, x)?;
+            if k == key {
+                return Ok(Some(env.read_u64(site!("sg.get.val", MemLoad), x, OFF_VAL)?));
+            }
+            let goleft = key < k;
+            env.branch(site!("sg.get.cmp", StackLocal), goleft);
+            x = if goleft { left(env, x)? } else { right(env, x)? };
+        }
+        Ok(None)
+    }
+
+    fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        ScapegoatTree::remove(self, env, key)
+    }
+
+    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        env.read_u64(site!("sg.len", Param), self.desc, D_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::testing::{crash_recovery_test, env_for, oracle_test};
+    use utpr_ptr::Mode;
+
+    #[test]
+    fn oracle_all_modes() {
+        for mode in Mode::ALL {
+            oracle_test::<ScapegoatTree>(mode, 1200);
+        }
+    }
+
+    #[test]
+    fn sequential_insert_triggers_rebuilds_and_stays_shallow() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = ScapegoatTree::create(&mut env).unwrap();
+        // Sorted insertion is the worst case: without rebuilds the tree is a
+        // 512-chain and validate's height bound fails.
+        for k in 0..512u64 {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        assert_eq!(t.validate(&mut env).unwrap(), 512);
+        for k in 0..512u64 {
+            assert_eq!(t.get(&mut env, k).unwrap(), Some(k));
+        }
+    }
+
+    #[test]
+    fn reverse_and_zigzag_orders() {
+        let mut env = env_for(Mode::Hw);
+        let mut t = ScapegoatTree::create(&mut env).unwrap();
+        for k in (0..256u64).rev() {
+            t.insert(&mut env, k, k).unwrap();
+        }
+        t.validate(&mut env).unwrap();
+        let mut t2 = ScapegoatTree::create(&mut env).unwrap();
+        for i in 0..128u64 {
+            let k = if i % 2 == 0 { i } else { 1000 - i };
+            t2.insert(&mut env, k, i).unwrap();
+        }
+        t2.validate(&mut env).unwrap();
+    }
+
+    #[test]
+    fn depth_limit_monotone() {
+        assert!(depth_limit(2) <= depth_limit(100));
+        assert!(depth_limit(100) <= depth_limit(100_000));
+        // α = 0.7 ⇒ limit ≈ log_{1.43}(n) ≈ 1.94 log2(n).
+        assert!(depth_limit(1024) <= 21);
+    }
+
+    #[test]
+    fn crash_recovery() {
+        crash_recovery_test::<ScapegoatTree>();
+    }
+}

@@ -1,0 +1,483 @@
+//! A boundary-tag free-list allocator whose metadata lives *inside* the
+//! simulated memory it manages.
+//!
+//! Keeping the header, footer, and free-list links in the managed region is
+//! what makes persistent pools genuinely reopenable: after a simulated crash
+//! or a detach/re-attach at a different base address, [`Region::open`]
+//! recovers the allocator state from the bytes of the pool alone, exactly as
+//! a PMDK-style persistent allocator must.
+//!
+//! Layout (offsets relative to the region base):
+//!
+//! ```text
+//! 0x00  magic            "UTPRHEAP"
+//! 0x08  region size      bytes
+//! 0x10  free-list head   block offset, 0 = empty
+//! 0x18  allocated bytes  statistic
+//! 0x20  allocation count statistic
+//! 0x28  root object      user-settable persistent root (like pmemobj root)
+//! 0x40  first block
+//! ```
+//!
+//! Each block starts with a `u64` header `size | allocated_bit` and ends
+//! with an identical footer so that `free` can coalesce with its neighbours
+//! in O(1). Free blocks store `next`/`prev` free-list links in their payload.
+
+use crate::error::{HeapError, Result};
+
+/// Memory a [`Region`] manages: 8-byte loads and stores at region-relative
+/// offsets. Implemented by pool backing stores and the DRAM half.
+pub trait MemWords {
+    /// Reads the `u64` at region-relative `offset`.
+    fn read_word(&self, offset: u64) -> u64;
+    /// Writes the `u64` at region-relative `offset`.
+    fn write_word(&mut self, offset: u64, value: u64);
+}
+
+impl MemWords for crate::pagestore::PageStore {
+    fn read_word(&self, offset: u64) -> u64 {
+        self.read_u64(offset)
+    }
+    fn write_word(&mut self, offset: u64, value: u64) {
+        self.write_u64(offset, value)
+    }
+}
+
+const MAGIC: u64 = u64::from_le_bytes(*b"UTPRHEAP");
+const OFF_MAGIC: u64 = 0x00;
+const OFF_SIZE: u64 = 0x08;
+const OFF_FREE_HEAD: u64 = 0x10;
+const OFF_ALLOC_BYTES: u64 = 0x18;
+const OFF_ALLOC_COUNT: u64 = 0x20;
+const OFF_ROOT: u64 = 0x28;
+const FIRST_BLOCK: u64 = 0x40;
+
+const ALLOCATED: u64 = 1;
+const SIZE_MASK: u64 = !0xf;
+/// Smallest block: header + two links + footer.
+const MIN_BLOCK: u64 = 32;
+/// Header + footer overhead per block.
+const OVERHEAD: u64 = 16;
+
+/// Handle to an allocator-managed region of simulated memory.
+///
+/// The handle itself holds only the region size; all mutable state lives in
+/// the managed memory, which is passed to each call. Payload offsets returned
+/// by [`Region::alloc`] are 8-byte aligned.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::alloc::Region;
+/// use utpr_heap::pagestore::PageStore;
+///
+/// let mut mem = PageStore::new();
+/// let region = Region::format(&mut mem, 1 << 16).unwrap();
+/// let a = region.alloc(&mut mem, 64).unwrap();
+/// let b = region.alloc(&mut mem, 64).unwrap();
+/// assert_ne!(a, b);
+/// region.free(&mut mem, a).unwrap();
+/// // Reopen from raw bytes, as after a crash:
+/// let reopened = Region::open(&mem).unwrap();
+/// assert_eq!(reopened.size(), region.size());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    size: u64,
+}
+
+impl Region {
+    /// Formats `mem` as an empty region of `size` bytes and returns the
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadPoolSize`] if `size` is smaller than the
+    /// minimum viable region or not 16-byte aligned.
+    pub fn format<M: MemWords>(mem: &mut M, size: u64) -> Result<Region> {
+        if size < FIRST_BLOCK + MIN_BLOCK || size % 16 != 0 {
+            return Err(HeapError::BadPoolSize(size));
+        }
+        mem.write_word(OFF_MAGIC, MAGIC);
+        mem.write_word(OFF_SIZE, size);
+        mem.write_word(OFF_ALLOC_BYTES, 0);
+        mem.write_word(OFF_ALLOC_COUNT, 0);
+        mem.write_word(OFF_ROOT, 0);
+        let block_size = size - FIRST_BLOCK;
+        let region = Region { size };
+        region.set_header(mem, FIRST_BLOCK, block_size, false);
+        mem.write_word(OFF_FREE_HEAD, FIRST_BLOCK);
+        region.set_links(mem, FIRST_BLOCK, 0, 0);
+        Ok(region)
+    }
+
+    /// Opens an already-formatted region, validating its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CorruptRegion`] when the magic or size field is
+    /// implausible.
+    pub fn open<M: MemWords>(mem: &M) -> Result<Region> {
+        if mem.read_word(OFF_MAGIC) != MAGIC {
+            return Err(HeapError::CorruptRegion("bad magic"));
+        }
+        let size = mem.read_word(OFF_SIZE);
+        if size < FIRST_BLOCK + MIN_BLOCK {
+            return Err(HeapError::CorruptRegion("implausible size"));
+        }
+        Ok(Region { size })
+    }
+
+    /// Total region size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently handed out to live allocations (payloads only).
+    pub fn allocated_bytes<M: MemWords>(&self, mem: &M) -> u64 {
+        mem.read_word(OFF_ALLOC_BYTES)
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count<M: MemWords>(&self, mem: &M) -> u64 {
+        mem.read_word(OFF_ALLOC_COUNT)
+    }
+
+    /// Reads the user root-object word (a persistent entry point, like
+    /// `pmemobj_root`). Zero when never set.
+    pub fn root<M: MemWords>(&self, mem: &M) -> u64 {
+        mem.read_word(OFF_ROOT)
+    }
+
+    /// Stores the user root-object word.
+    pub fn set_root<M: MemWords>(&self, mem: &mut M, value: u64) {
+        mem.write_word(OFF_ROOT, value)
+    }
+
+    // ---- block primitives -------------------------------------------------
+
+    fn header(&self, mem: &impl MemWords, block: u64) -> (u64, bool) {
+        let h = mem.read_word(block);
+        (h & SIZE_MASK, h & ALLOCATED != 0)
+    }
+
+    fn set_header<M: MemWords>(&self, mem: &mut M, block: u64, size: u64, allocated: bool) {
+        let word = size | if allocated { ALLOCATED } else { 0 };
+        mem.write_word(block, word);
+        mem.write_word(block + size - 8, word);
+    }
+
+    fn links(&self, mem: &impl MemWords, block: u64) -> (u64, u64) {
+        (mem.read_word(block + 8), mem.read_word(block + 16))
+    }
+
+    fn set_links<M: MemWords>(&self, mem: &mut M, block: u64, next: u64, prev: u64) {
+        mem.write_word(block + 8, next);
+        mem.write_word(block + 16, prev);
+    }
+
+    fn unlink<M: MemWords>(&self, mem: &mut M, block: u64) {
+        let (next, prev) = self.links(mem, block);
+        if prev == 0 {
+            mem.write_word(OFF_FREE_HEAD, next);
+        } else {
+            mem.write_word(prev + 8, next);
+        }
+        if next != 0 {
+            mem.write_word(next + 16, prev);
+        }
+    }
+
+    fn push_front<M: MemWords>(&self, mem: &mut M, block: u64) {
+        let head = mem.read_word(OFF_FREE_HEAD);
+        self.set_links(mem, block, head, 0);
+        if head != 0 {
+            mem.write_word(head + 16, block);
+        }
+        mem.write_word(OFF_FREE_HEAD, block);
+    }
+
+    // ---- public alloc/free ------------------------------------------------
+
+    /// Allocates `size` bytes and returns the payload offset.
+    ///
+    /// The payload is zeroed for freshly split blocks only in the sense that
+    /// never-written backing memory reads zero; recycled blocks retain stale
+    /// bytes, as a real allocator's do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when no free block can satisfy the
+    /// request.
+    pub fn alloc<M: MemWords>(&self, mem: &mut M, size: u64) -> Result<u64> {
+        let need = ((size + OVERHEAD + 15) & !15).max(MIN_BLOCK);
+        let mut cursor = mem.read_word(OFF_FREE_HEAD);
+        while cursor != 0 {
+            let (bsize, allocated) = self.header(mem, cursor);
+            debug_assert!(!allocated, "allocated block on free list");
+            if bsize >= need {
+                self.unlink(mem, cursor);
+                if bsize - need >= MIN_BLOCK {
+                    // Split: keep the front for the allocation, free the rest.
+                    let rest = cursor + need;
+                    self.set_header(mem, rest, bsize - need, false);
+                    self.push_front(mem, rest);
+                    self.set_header(mem, cursor, need, true);
+                } else {
+                    self.set_header(mem, cursor, bsize, true);
+                }
+                let (final_size, _) = self.header(mem, cursor);
+                mem.write_word(
+                    OFF_ALLOC_BYTES,
+                    mem.read_word(OFF_ALLOC_BYTES) + (final_size - OVERHEAD),
+                );
+                mem.write_word(OFF_ALLOC_COUNT, mem.read_word(OFF_ALLOC_COUNT) + 1);
+                return Ok(cursor + 8);
+            }
+            cursor = self.links(mem, cursor).0;
+        }
+        Err(HeapError::OutOfMemory { requested: size })
+    }
+
+    /// Frees the allocation whose payload starts at `payload`, coalescing
+    /// with free neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadFree`] when `payload` is not the start of a
+    /// live allocation.
+    pub fn free<M: MemWords>(&self, mem: &mut M, payload: u64) -> Result<()> {
+        if payload < FIRST_BLOCK + 8 || payload >= self.size || payload % 8 != 0 {
+            return Err(HeapError::BadFree(payload));
+        }
+        let mut block = payload - 8;
+        let (mut size, allocated) = self.header(mem, block);
+        if !allocated || size < MIN_BLOCK || block + size > self.size {
+            return Err(HeapError::BadFree(payload));
+        }
+        mem.write_word(OFF_ALLOC_BYTES, mem.read_word(OFF_ALLOC_BYTES) - (size - OVERHEAD));
+        mem.write_word(OFF_ALLOC_COUNT, mem.read_word(OFF_ALLOC_COUNT) - 1);
+
+        // Coalesce with the following block.
+        let next = block + size;
+        if next < self.size {
+            let (nsize, nalloc) = self.header(mem, next);
+            if !nalloc {
+                self.unlink(mem, next);
+                size += nsize;
+            }
+        }
+        // Coalesce with the preceding block via its footer.
+        if block > FIRST_BLOCK {
+            let pfoot = mem.read_word(block - 8);
+            if pfoot & ALLOCATED == 0 {
+                let psize = pfoot & SIZE_MASK;
+                let prev = block - psize;
+                self.unlink(mem, prev);
+                block = prev;
+                size += psize;
+            }
+        }
+        self.set_header(mem, block, size, false);
+        self.push_front(mem, block);
+        Ok(())
+    }
+
+    /// Walks every block and checks structural invariants. Returns the number
+    /// of blocks. Intended for tests and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CorruptRegion`] describing the first violated
+    /// invariant.
+    pub fn validate<M: MemWords>(&self, mem: &M) -> Result<usize> {
+        let mut cursor = FIRST_BLOCK;
+        let mut blocks = 0usize;
+        let mut free_bytes = 0u64;
+        let mut prev_free = false;
+        while cursor < self.size {
+            let (size, allocated) = self.header(mem, cursor);
+            if size < MIN_BLOCK || size % 16 != 0 || cursor + size > self.size {
+                return Err(HeapError::CorruptRegion("bad block size"));
+            }
+            let footer = mem.read_word(cursor + size - 8);
+            if footer != mem.read_word(cursor) {
+                return Err(HeapError::CorruptRegion("footer mismatch"));
+            }
+            if !allocated {
+                if prev_free {
+                    return Err(HeapError::CorruptRegion("adjacent free blocks"));
+                }
+                free_bytes += size;
+            }
+            prev_free = !allocated;
+            cursor += size;
+            blocks += 1;
+        }
+        if cursor != self.size {
+            return Err(HeapError::CorruptRegion("blocks do not tile region"));
+        }
+        // Free list must reach exactly the free bytes counted by the walk.
+        let mut listed = 0u64;
+        let mut f = mem.read_word(OFF_FREE_HEAD);
+        let mut hops = 0usize;
+        while f != 0 {
+            let (size, allocated) = self.header(mem, f);
+            if allocated {
+                return Err(HeapError::CorruptRegion("allocated block on free list"));
+            }
+            listed += size;
+            f = self.links(mem, f).0;
+            hops += 1;
+            if hops > blocks {
+                return Err(HeapError::CorruptRegion("free list cycle"));
+            }
+        }
+        if listed != free_bytes {
+            return Err(HeapError::CorruptRegion("free list misses blocks"));
+        }
+        Ok(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagestore::PageStore;
+
+    fn setup(size: u64) -> (PageStore, Region) {
+        let mut mem = PageStore::new();
+        let region = Region::format(&mut mem, size).unwrap();
+        (mem, region)
+    }
+
+    #[test]
+    fn format_rejects_tiny_or_unaligned() {
+        let mut mem = PageStore::new();
+        assert!(matches!(Region::format(&mut mem, 16), Err(HeapError::BadPoolSize(_))));
+        assert!(matches!(Region::format(&mut mem, 4097), Err(HeapError::BadPoolSize(_))));
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_and_coalesce() {
+        let (mut mem, r) = setup(1 << 16);
+        let a = r.alloc(&mut mem, 100).unwrap();
+        let b = r.alloc(&mut mem, 100).unwrap();
+        let c = r.alloc(&mut mem, 100).unwrap();
+        assert_eq!(r.allocation_count(&mem), 3);
+        r.free(&mut mem, b).unwrap();
+        r.free(&mut mem, a).unwrap();
+        r.free(&mut mem, c).unwrap();
+        assert_eq!(r.allocation_count(&mem), 0);
+        assert_eq!(r.allocated_bytes(&mem), 0);
+        // Full coalescing: a single free block spanning the region.
+        assert_eq!(r.validate(&mem).unwrap(), 1);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (mut mem, r) = setup(1 << 16);
+        let mut offs = Vec::new();
+        for i in 0..40u64 {
+            let p = r.alloc(&mut mem, 24 + i * 8).unwrap();
+            mem.write_word(p, i);
+            offs.push((p, i));
+        }
+        for (p, i) in &offs {
+            assert_eq!(mem.read_word(*p), *i);
+        }
+        r.validate(&mem).unwrap();
+    }
+
+    #[test]
+    fn oom_when_exhausted() {
+        let (mut mem, r) = setup(4096);
+        let mut live = Vec::new();
+        loop {
+            match r.alloc(&mut mem, 128) {
+                Ok(p) => live.push(p),
+                Err(HeapError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(!live.is_empty());
+        // Freeing one makes room again.
+        r.free(&mut mem, live.pop().unwrap()).unwrap();
+        r.alloc(&mut mem, 128).unwrap();
+    }
+
+    #[test]
+    fn bad_free_detected() {
+        let (mut mem, r) = setup(1 << 14);
+        assert!(matches!(r.free(&mut mem, 0), Err(HeapError::BadFree(_))));
+        assert!(matches!(r.free(&mut mem, 13), Err(HeapError::BadFree(_))));
+        let a = r.alloc(&mut mem, 64).unwrap();
+        r.free(&mut mem, a).unwrap();
+        // Double free: header no longer marked allocated.
+        assert!(matches!(r.free(&mut mem, a), Err(HeapError::BadFree(_))));
+    }
+
+    #[test]
+    fn reopen_preserves_state() {
+        let (mut mem, r) = setup(1 << 14);
+        let a = r.alloc(&mut mem, 64).unwrap();
+        r.set_root(&mut mem, a);
+        let r2 = Region::open(&mem).unwrap();
+        assert_eq!(r2.size(), r.size());
+        assert_eq!(r2.root(&mem), a);
+        assert_eq!(r2.allocation_count(&mem), 1);
+        // The reopened handle can free the old allocation.
+        r2.free(&mut mem, a).unwrap();
+        assert_eq!(r2.allocation_count(&mem), 0);
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mem = PageStore::new();
+        assert!(matches!(Region::open(&mem), Err(HeapError::CorruptRegion(_))));
+    }
+
+    #[test]
+    fn split_leaves_usable_remainder() {
+        let (mut mem, r) = setup(1 << 14);
+        let big = r.alloc(&mut mem, 4096).unwrap();
+        r.free(&mut mem, big).unwrap();
+        // Allocate small out of the coalesced region; remainder must be valid.
+        let _small = r.alloc(&mut mem, 16).unwrap();
+        r.validate(&mem).unwrap();
+    }
+
+    #[test]
+    fn stress_random_alloc_free() {
+        let (mut mem, r) = setup(1 << 18);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..4000 {
+            if next() % 3 != 0 || live.is_empty() {
+                let size = next() % 200 + 1;
+                if let Ok(p) = r.alloc(&mut mem, size) {
+                    let tag = next();
+                    mem.write_word(p, tag);
+                    live.push((p, tag));
+                }
+            } else {
+                let idx = (next() as usize) % live.len();
+                let (p, tag) = live.swap_remove(idx);
+                assert_eq!(mem.read_word(p), tag, "clobbered at step {step}");
+                r.free(&mut mem, p).unwrap();
+            }
+        }
+        r.validate(&mem).unwrap();
+        for (p, tag) in live {
+            assert_eq!(mem.read_word(p), tag);
+            r.free(&mut mem, p).unwrap();
+        }
+        assert_eq!(r.validate(&mem).unwrap(), 1);
+    }
+}

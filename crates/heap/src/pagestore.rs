@@ -1,0 +1,191 @@
+//! Sparse byte storage backing simulated memory.
+//!
+//! Both the DRAM half of the address space and each persistent pool are
+//! backed by a [`PageStore`]: a sparse map from page number to a fixed-size
+//! page of bytes. Pages materialize on first write, so a multi-gigabyte
+//! region costs memory proportional to the bytes actually touched.
+
+use std::collections::HashMap;
+
+/// Size of a backing page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Sparse, zero-initialized byte storage indexed by absolute offsets.
+///
+/// Reads of never-written bytes return zero, mirroring zero-filled demand
+/// paging.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::pagestore::PageStore;
+///
+/// let mut s = PageStore::new();
+/// s.write_u64(40, 0xdead_beef);
+/// assert_eq!(s.read_u64(40), 0xdead_beef);
+/// assert_eq!(s.read_u64(4096 * 10), 0);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct PageStore {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl PageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PageStore { pages: HashMap::new() }
+    }
+
+    /// Number of materialized pages (resident set, in pages).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident bytes actually held by the store.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// Drops every page, returning the store to all-zero contents.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    fn page_mut(&mut self, page_no: u64) -> &mut [u8] {
+        self.pages
+            .entry(page_no)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_no = pos / PAGE_SIZE;
+            let in_page = (pos % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize) - in_page).min(buf.len() - done);
+            match self.pages.get(&page_no) {
+                Some(p) => buf[done..done + take].copy_from_slice(&p[in_page..in_page + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+        }
+    }
+
+    /// Writes `buf` starting at `offset`, materializing pages as needed.
+    pub fn write(&mut self, offset: u64, buf: &[u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_no = pos / PAGE_SIZE;
+            let in_page = (pos % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize) - in_page).min(buf.len() - done);
+            let page = self.page_mut(page_no);
+            page[in_page..in_page + take].copy_from_slice(&buf[done..done + take]);
+            done += take;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `offset`.
+    pub fn read_u64(&self, offset: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `offset`.
+    pub fn write_u64(&mut self, offset: u64, value: u64) {
+        self.write(offset, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32` at `offset`.
+    pub fn read_u32(&self, offset: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(offset, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32` at `offset`.
+    pub fn write_u32(&mut self, offset: u64, value: u32) {
+        self.write(offset, &value.to_le_bytes());
+    }
+
+    /// Reads one byte at `offset`.
+    pub fn read_u8(&self, offset: u64) -> u8 {
+        let mut b = [0u8; 1];
+        self.read(offset, &mut b);
+        b[0]
+    }
+
+    /// Writes one byte at `offset`.
+    pub fn write_u8(&mut self, offset: u64, value: u8) {
+        self.write(offset, &[value]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let s = PageStore::new();
+        assert_eq!(s.read_u64(0), 0);
+        assert_eq!(s.read_u64(123_456_789), 0);
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trips_across_page_boundary() {
+        let mut s = PageStore::new();
+        let off = PAGE_SIZE - 3;
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        s.write(off, &data);
+        let mut back = [0u8; 8];
+        s.read(off, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn u64_round_trip_is_little_endian() {
+        let mut s = PageStore::new();
+        s.write_u64(16, 0x0102_0304_0506_0708);
+        assert_eq!(s.read_u8(16), 0x08);
+        assert_eq!(s.read_u8(23), 0x01);
+        assert_eq!(s.read_u64(16), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn u32_and_u8_accessors() {
+        let mut s = PageStore::new();
+        s.write_u32(4, 0xaabb_ccdd);
+        assert_eq!(s.read_u32(4), 0xaabb_ccdd);
+        s.write_u8(4, 0x11);
+        assert_eq!(s.read_u32(4), 0xaabb_cc11);
+    }
+
+    #[test]
+    fn clear_releases_pages() {
+        let mut s = PageStore::new();
+        s.write_u64(0, 1);
+        s.write_u64(PAGE_SIZE * 5, 2);
+        assert_eq!(s.resident_pages(), 2);
+        s.clear();
+        assert_eq!(s.resident_pages(), 0);
+        assert_eq!(s.read_u64(0), 0);
+    }
+
+    #[test]
+    fn overlapping_writes_last_wins() {
+        let mut s = PageStore::new();
+        s.write(10, &[0xff; 16]);
+        s.write(14, &[0x00; 4]);
+        let mut b = [0u8; 16];
+        s.read(10, &mut b);
+        assert_eq!(&b[0..4], &[0xff; 4]);
+        assert_eq!(&b[4..8], &[0x00; 4]);
+        assert_eq!(&b[8..16], &[0xff; 8]);
+    }
+}

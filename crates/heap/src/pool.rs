@@ -1,0 +1,213 @@
+//! Persistent memory object pools (PMOPs) and the simulated NVM device that
+//! stores them.
+//!
+//! A pool is a named, fixed-size persistent region with its own allocator
+//! (paper §II). Pools outlive processes: the [`PoolStore`] plays the role of
+//! the NVM device, so pool contents survive [`crate::AddressSpace::restart`]
+//! while everything in DRAM is lost.
+
+use crate::addr::{PoolId, MAX_POOL_ID};
+use crate::alloc::Region;
+use crate::error::{HeapError, Result};
+use crate::pagestore::PageStore;
+use std::collections::HashMap;
+
+/// Maximum pool size: intra-pool offsets must fit in 32 bits.
+pub const MAX_POOL_SIZE: u64 = u32::MAX as u64 + 1;
+
+/// A pool image as it exists on the simulated NVM device.
+#[derive(Clone, Debug)]
+pub struct PoolImage {
+    name: String,
+    size: u64,
+    data: PageStore,
+    region: Region,
+}
+
+impl PoolImage {
+    /// Pool name (unique within a [`PoolStore`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pool size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The pool's internal allocator handle.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Immutable view of the pool's bytes.
+    pub fn data(&self) -> &PageStore {
+        &self.data
+    }
+
+    /// Mutable view of the pool's bytes.
+    pub fn data_mut(&mut self) -> &mut PageStore {
+        &mut self.data
+    }
+}
+
+/// The simulated NVM device: a durable collection of pools indexed by id and
+/// name.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::pool::PoolStore;
+///
+/// let mut store = PoolStore::new();
+/// let id = store.create("ledger", 1 << 20)?;
+/// assert_eq!(store.get(id)?.name(), "ledger");
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PoolStore {
+    pools: HashMap<PoolId, PoolImage>,
+    by_name: HashMap<String, PoolId>,
+    next_id: u32,
+}
+
+impl PoolStore {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        PoolStore { pools: HashMap::new(), by_name: HashMap::new(), next_id: 1 }
+    }
+
+    /// Creates and formats a new pool, returning its system-wide id.
+    ///
+    /// # Errors
+    ///
+    /// - [`HeapError::PoolExists`] if the name is taken.
+    /// - [`HeapError::BadPoolSize`] if `size` is zero, unaligned, or exceeds
+    ///   the 32-bit offset range.
+    pub fn create(&mut self, name: &str, size: u64) -> Result<PoolId> {
+        if self.by_name.contains_key(name) {
+            return Err(HeapError::PoolExists(name.to_string()));
+        }
+        if size == 0 || size > MAX_POOL_SIZE {
+            return Err(HeapError::BadPoolSize(size));
+        }
+        if self.next_id > MAX_POOL_ID {
+            return Err(HeapError::NoAddressSpace);
+        }
+        let mut data = PageStore::new();
+        let region = Region::format(&mut data, size)?;
+        let id = PoolId::new(self.next_id);
+        self.next_id += 1;
+        self.pools.insert(id, PoolImage { name: name.to_string(), size, data, region });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks a pool up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPoolName`] when absent.
+    pub fn id_of(&self, name: &str) -> Result<PoolId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HeapError::NoSuchPoolName(name.to_string()))
+    }
+
+    /// Immutable access to a pool image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn get(&self, id: PoolId) -> Result<&PoolImage> {
+        self.pools.get(&id).ok_or(HeapError::NoSuchPool(id))
+    }
+
+    /// Mutable access to a pool image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn get_mut(&mut self, id: PoolId) -> Result<&mut PoolImage> {
+        self.pools.get_mut(&id).ok_or(HeapError::NoSuchPool(id))
+    }
+
+    /// Permanently destroys a pool and frees its name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn destroy(&mut self, id: PoolId) -> Result<()> {
+        let image = self.pools.remove(&id).ok_or(HeapError::NoSuchPool(id))?;
+        self.by_name.remove(&image.name);
+        Ok(())
+    }
+
+    /// Iterates over `(id, name, size)` of every pool on the device.
+    pub fn iter(&self) -> impl Iterator<Item = (PoolId, &str, u64)> + '_ {
+        self.pools.iter().map(|(id, img)| (*id, img.name.as_str(), img.size))
+    }
+
+    /// Number of pools on the device.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// True when the device holds no pools.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut s = PoolStore::new();
+        let a = s.create("a", 1 << 16).unwrap();
+        let b = s.create("b", 1 << 16).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.id_of("a").unwrap(), a);
+        assert_eq!(s.get(b).unwrap().name(), "b");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = PoolStore::new();
+        s.create("a", 1 << 16).unwrap();
+        assert!(matches!(s.create("a", 1 << 16), Err(HeapError::PoolExists(_))));
+    }
+
+    #[test]
+    fn bad_sizes_rejected() {
+        let mut s = PoolStore::new();
+        assert!(matches!(s.create("z", 0), Err(HeapError::BadPoolSize(0))));
+        assert!(matches!(s.create("z", MAX_POOL_SIZE + 16), Err(HeapError::BadPoolSize(_))));
+    }
+
+    #[test]
+    fn destroy_releases_name() {
+        let mut s = PoolStore::new();
+        let a = s.create("a", 1 << 16).unwrap();
+        s.destroy(a).unwrap();
+        assert!(s.get(a).is_err());
+        // Name can be reused; the id cannot (ids are never recycled).
+        let a2 = s.create("a", 1 << 16).unwrap();
+        assert_ne!(a, a2);
+    }
+
+    #[test]
+    fn pool_allocator_works_through_store() {
+        let mut s = PoolStore::new();
+        let id = s.create("p", 1 << 16).unwrap();
+        let img = s.get_mut(id).unwrap();
+        let region = img.region();
+        let off = region.alloc(img.data_mut(), 64).unwrap();
+        img.data_mut().write_u64(off, 42);
+        assert_eq!(s.get(id).unwrap().data().read_u64(off), 42);
+    }
+}

@@ -1,0 +1,592 @@
+//! The simulated process address space: a DRAM half with a volatile heap and
+//! an NVM half into which persistent pools are attached.
+//!
+//! This is the substrate underneath user-transparent persistent references:
+//! `va2ra`/`ra2va` translate between virtual addresses and pool-relative
+//! locations using the attachment table, the analogue of the kernel VATB /
+//! POTB tables the paper's hardware walks on POLB/VALB misses.
+
+use crate::addr::{PoolId, RelLoc, VirtAddr, DRAM_BASE, NVM_BASE, NVM_END};
+use crate::alloc::{MemWords, Region};
+use crate::error::{HeapError, Result};
+use crate::pagestore::PageStore;
+use crate::pool::PoolStore;
+use std::collections::{BTreeMap, HashMap};
+
+/// Default size of the volatile (DRAM) heap region.
+pub const DEFAULT_DRAM_HEAP: u64 = 256 << 20;
+
+/// Alignment at which pools are attached into the NVM half.
+pub const ATTACH_ALIGN: u64 = 1 << 20;
+
+/// A `MemWords` view of a page store shifted by a base offset, used to run
+/// the region allocator over the DRAM heap.
+struct Shifted<'a> {
+    store: &'a mut PageStore,
+    base: u64,
+}
+
+impl MemWords for Shifted<'_> {
+    fn read_word(&self, offset: u64) -> u64 {
+        self.store.read_u64(self.base + offset)
+    }
+    fn write_word(&mut self, offset: u64, value: u64) {
+        self.store.write_u64(self.base + offset, value)
+    }
+}
+
+/// One attached pool: its base virtual address and size, the unit the
+/// paper's VALB caches (base, size, id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attachment {
+    /// Pool id.
+    pub pool: PoolId,
+    /// Base virtual address in the NVM half.
+    pub base: VirtAddr,
+    /// Pool size in bytes.
+    pub size: u64,
+}
+
+/// The simulated process address space.
+///
+/// Owns the DRAM page store, a volatile heap allocator, the persistent
+/// [`PoolStore`] device, and the table of current pool attachments.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("data", 1 << 20)?;
+/// let loc = space.pmalloc(pool, 64)?;
+/// let va = space.ra2va(loc)?;
+/// space.write_u64(va, 7)?;
+/// assert_eq!(space.read_u64(va)?, 7);
+/// assert_eq!(space.va2ra(va)?, loc);
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    dram: PageStore,
+    dram_region: Region,
+    store: PoolStore,
+    /// base VA -> attachment, ordered for containing-range lookup.
+    attach_by_base: BTreeMap<u64, Attachment>,
+    attach_by_pool: HashMap<PoolId, Attachment>,
+    /// Seed for deterministic-but-varied attach base selection.
+    layout_seed: u64,
+    /// Monotonic counter mixed into base selection.
+    attach_counter: u64,
+    /// Number of restarts performed, for diagnostics.
+    generation: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space with the default DRAM heap size.
+    ///
+    /// `layout_seed` controls where pools get attached; different seeds model
+    /// the OS mapping pools at different addresses across runs (paper §II).
+    pub fn new(layout_seed: u64) -> Self {
+        Self::with_dram_heap(layout_seed, DEFAULT_DRAM_HEAP)
+    }
+
+    /// Creates an address space with a DRAM heap of `heap_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_size` is not a valid allocator region size.
+    pub fn with_dram_heap(layout_seed: u64, heap_size: u64) -> Self {
+        let mut dram = PageStore::new();
+        let dram_region = {
+            let mut view = Shifted { store: &mut dram, base: DRAM_BASE };
+            Region::format(&mut view, heap_size).expect("valid dram heap size")
+        };
+        AddressSpace {
+            dram,
+            dram_region,
+            store: PoolStore::new(),
+            attach_by_base: BTreeMap::new(),
+            attach_by_pool: HashMap::new(),
+            layout_seed,
+            attach_counter: 0,
+            generation: 0,
+        }
+    }
+
+    /// The persistent device holding pool images.
+    pub fn pool_store(&self) -> &PoolStore {
+        &self.store
+    }
+
+    /// Mutable access to the persistent device (used by in-pool services
+    /// such as the transaction log that write below the allocator).
+    pub fn pool_store_mut(&mut self) -> &mut PoolStore {
+        &mut self.store
+    }
+
+    /// Number of restarts this space has gone through.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    // ---- pool lifecycle ----------------------------------------------------
+
+    /// Creates a pool on the device and attaches it, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates creation errors ([`HeapError::PoolExists`],
+    /// [`HeapError::BadPoolSize`]) and attach errors.
+    pub fn create_pool(&mut self, name: &str, size: u64) -> Result<PoolId> {
+        let id = self.store.create(name, size)?;
+        self.attach(id)?;
+        Ok(id)
+    }
+
+    /// Opens an existing pool by name, attaching it if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPoolName`] when the pool does not exist.
+    pub fn open_pool(&mut self, name: &str) -> Result<PoolId> {
+        let id = self.store.id_of(name)?;
+        if !self.attach_by_pool.contains_key(&id) {
+            self.attach(id)?;
+        }
+        Ok(id)
+    }
+
+    fn pick_base(&mut self, size: u64) -> Result<u64> {
+        // Deterministic splitmix-style hash over (seed, counter); retry on
+        // collision with existing attachments.
+        for _ in 0..4096 {
+            self.attach_counter += 1;
+            let mut x = self
+                .layout_seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(self.attach_counter)
+                .wrapping_add(self.generation.wrapping_mul(0xbf58476d1ce4e5b9));
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d049bb133111eb);
+            x ^= x >> 31;
+            let span = NVM_END - NVM_BASE - size;
+            let base = NVM_BASE + (x % (span / ATTACH_ALIGN)) * ATTACH_ALIGN;
+            let end = base + size;
+            // Overlap check against neighbours in the base-ordered map.
+            let prev_ok = self
+                .attach_by_base
+                .range(..=base)
+                .next_back()
+                .map_or(true, |(b, a)| b + a.size <= base);
+            let next_ok = self
+                .attach_by_base
+                .range(base..)
+                .next()
+                .map_or(true, |(b, _)| *b >= end);
+            if prev_ok && next_ok {
+                return Ok(base);
+            }
+        }
+        Err(HeapError::NoAddressSpace)
+    }
+
+    /// Attaches a pool at a fresh base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] for unknown ids. Attaching an
+    /// already-attached pool is a no-op returning its current attachment.
+    pub fn attach(&mut self, id: PoolId) -> Result<Attachment> {
+        if let Some(a) = self.attach_by_pool.get(&id) {
+            return Ok(*a);
+        }
+        let size = self.store.get(id)?.size();
+        let base = self.pick_base(size)?;
+        let att = Attachment { pool: id, base: VirtAddr::new(base), size };
+        self.attach_by_base.insert(base, att);
+        self.attach_by_pool.insert(id, att);
+        Ok(att)
+    }
+
+    /// Detaches a pool: its data stays on the device but it loses its base
+    /// address, so `ra2va` on its locations faults (paper Fig. 10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::PoolDetached`] when the pool is not attached.
+    pub fn detach(&mut self, id: PoolId) -> Result<()> {
+        let att = self.attach_by_pool.remove(&id).ok_or(HeapError::PoolDetached(id))?;
+        self.attach_by_base.remove(&att.base.raw());
+        Ok(())
+    }
+
+    /// Simulates a process restart: DRAM contents are lost, the volatile
+    /// heap is reformatted, and every pool is detached. Pools must be
+    /// reopened, and will generally land at different base addresses.
+    pub fn restart(&mut self) {
+        self.generation += 1;
+        self.dram.clear();
+        let heap_size = self.dram_region.size();
+        let mut view = Shifted { store: &mut self.dram, base: DRAM_BASE };
+        self.dram_region = Region::format(&mut view, heap_size).expect("heap size unchanged");
+        self.attach_by_base.clear();
+        self.attach_by_pool.clear();
+    }
+
+    /// Current attachment of `id`, if any.
+    pub fn attachment(&self, id: PoolId) -> Option<Attachment> {
+        self.attach_by_pool.get(&id).copied()
+    }
+
+    /// Snapshot of all attachments ordered by base address (the VATB view).
+    pub fn attachments(&self) -> Vec<Attachment> {
+        self.attach_by_base.values().copied().collect()
+    }
+
+    // ---- translation -------------------------------------------------------
+
+    /// Translates a virtual address in the NVM half to a pool-relative
+    /// location (`va2ra`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NotInAnyPool`] when no attached pool contains
+    /// the address.
+    pub fn va2ra(&self, va: VirtAddr) -> Result<RelLoc> {
+        let (_, att) = self
+            .attach_by_base
+            .range(..=va.raw())
+            .next_back()
+            .ok_or(HeapError::NotInAnyPool(va))?;
+        let delta = va.raw() - att.base.raw();
+        if delta >= att.size {
+            return Err(HeapError::NotInAnyPool(va));
+        }
+        Ok(RelLoc::new(att.pool, delta as u32))
+    }
+
+    /// Translates a pool-relative location to its current virtual address
+    /// (`ra2va`).
+    ///
+    /// # Errors
+    ///
+    /// - [`HeapError::NoSuchPool`] for ids that never existed.
+    /// - [`HeapError::PoolDetached`] when the pool has no base address.
+    /// - [`HeapError::OffsetOutOfPool`] when the offset exceeds the pool.
+    pub fn ra2va(&self, loc: RelLoc) -> Result<VirtAddr> {
+        let att = match self.attach_by_pool.get(&loc.pool) {
+            Some(a) => a,
+            None => {
+                self.store.get(loc.pool)?;
+                return Err(HeapError::PoolDetached(loc.pool));
+            }
+        };
+        if u64::from(loc.offset) >= att.size {
+            return Err(HeapError::OffsetOutOfPool {
+                pool: loc.pool,
+                offset: loc.offset.into(),
+                size: att.size,
+            });
+        }
+        Ok(att.base.add(loc.offset.into()))
+    }
+
+    // ---- memory access -----------------------------------------------------
+
+    fn locate(&self, va: VirtAddr) -> Result<RelLoc> {
+        self.va2ra(va)
+    }
+
+    /// Reads bytes at `va` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::Unmapped`] for null-page accesses and
+    /// [`HeapError::NotInAnyPool`] for NVM addresses outside any pool.
+    pub fn read(&self, va: VirtAddr, buf: &mut [u8]) -> Result<()> {
+        if va.raw() < DRAM_BASE {
+            return Err(HeapError::Unmapped(va));
+        }
+        if va.is_nvm_region() {
+            let loc = self.locate(va)?;
+            let img = self.store.get(loc.pool)?;
+            img.data().read(loc.offset.into(), buf);
+        } else {
+            self.dram.read(va.raw(), buf);
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressSpace::read`].
+    pub fn write(&mut self, va: VirtAddr, buf: &[u8]) -> Result<()> {
+        if va.raw() < DRAM_BASE {
+            return Err(HeapError::Unmapped(va));
+        }
+        if va.is_nvm_region() {
+            let loc = self.locate(va)?;
+            let img = self.store.get_mut(loc.pool)?;
+            img.data_mut().write(loc.offset.into(), buf);
+        } else {
+            self.dram.write(va.raw(), buf);
+        }
+        Ok(())
+    }
+
+    /// Reads a `u64` at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressSpace::read`].
+    pub fn read_u64(&self, va: VirtAddr) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(va, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a `u64` at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressSpace::read`].
+    pub fn write_u64(&mut self, va: VirtAddr, value: u64) -> Result<()> {
+        self.write(va, &value.to_le_bytes())
+    }
+
+    // ---- allocation --------------------------------------------------------
+
+    /// Allocates `size` bytes on the volatile heap (DRAM half).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when the heap is exhausted.
+    pub fn malloc(&mut self, size: u64) -> Result<VirtAddr> {
+        let mut view = Shifted { store: &mut self.dram, base: DRAM_BASE };
+        let off = self.dram_region.alloc(&mut view, size)?;
+        Ok(VirtAddr::new(DRAM_BASE + off))
+    }
+
+    /// Frees a volatile allocation made by [`AddressSpace::malloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadFree`] for addresses that are not live
+    /// volatile allocations.
+    pub fn mfree(&mut self, va: VirtAddr) -> Result<()> {
+        if va.is_nvm_region() || va.raw() < DRAM_BASE {
+            return Err(HeapError::BadFree(va.raw()));
+        }
+        let mut view = Shifted { store: &mut self.dram, base: DRAM_BASE };
+        self.dram_region.free(&mut view, va.raw() - DRAM_BASE)
+    }
+
+    /// Allocates `size` bytes inside pool `id` (`pmalloc`), returning the
+    /// relocation-stable location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] or [`HeapError::OutOfMemory`].
+    pub fn pmalloc(&mut self, id: PoolId, size: u64) -> Result<RelLoc> {
+        let img = self.store.get_mut(id)?;
+        let region = img.region();
+        let off = region.alloc(img.data_mut(), size)?;
+        Ok(RelLoc::new(id, off as u32))
+    }
+
+    /// Frees a persistent allocation made by [`AddressSpace::pmalloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] or [`HeapError::BadFree`].
+    pub fn pfree(&mut self, loc: RelLoc) -> Result<()> {
+        let img = self.store.get_mut(loc.pool)?;
+        let region = img.region();
+        region.free(img.data_mut(), loc.offset.into())
+    }
+
+    /// Reads the root-object word of pool `id` (the durable entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] for unknown ids.
+    pub fn pool_root(&self, id: PoolId) -> Result<u64> {
+        let img = self.store.get(id)?;
+        Ok(img.region().root(img.data()))
+    }
+
+    /// Stores the root-object word of pool `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] for unknown ids.
+    pub fn set_pool_root(&mut self, id: PoolId, value: u64) -> Result<()> {
+        let img = self.store.get_mut(id)?;
+        let region = img.region();
+        region.set_root(img.data_mut(), value);
+        Ok(())
+    }
+
+    /// Destroys a pool entirely (detach + remove from device).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] for unknown ids.
+    pub fn destroy_pool(&mut self, id: PoolId) -> Result<()> {
+        let _ = self.detach(id);
+        self.store.destroy(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_heap_allocates_in_dram_half() {
+        let mut s = AddressSpace::new(7);
+        let a = s.malloc(128).unwrap();
+        assert!(!a.is_nvm_region());
+        s.write_u64(a, 99).unwrap();
+        assert_eq!(s.read_u64(a).unwrap(), 99);
+        s.mfree(a).unwrap();
+    }
+
+    #[test]
+    fn pool_allocates_in_nvm_half() {
+        let mut s = AddressSpace::new(7);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        assert!(va.is_nvm_region());
+        s.write_u64(va, 5).unwrap();
+        assert_eq!(s.read_u64(va).unwrap(), 5);
+    }
+
+    #[test]
+    fn translation_round_trips() {
+        let mut s = AddressSpace::new(3);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 256).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        assert_eq!(s.va2ra(va).unwrap(), loc);
+        let inner = va.add(200);
+        assert_eq!(s.va2ra(inner).unwrap(), loc.add(200));
+    }
+
+    #[test]
+    fn va2ra_rejects_foreign_addresses() {
+        let mut s = AddressSpace::new(3);
+        let _p = s.create_pool("p", 1 << 20).unwrap();
+        let stray = VirtAddr::new(NVM_BASE + 1);
+        // Either unattached or out of range; both are NotInAnyPool unless the
+        // pool happened to land exactly at NVM_BASE.
+        if s.va2ra(stray).is_ok() {
+            // astronomically unlikely with the chosen seed; assert layout
+            let att = s.attachments()[0];
+            assert_eq!(att.base.raw(), NVM_BASE);
+        }
+        let dram_va = VirtAddr::new(DRAM_BASE + 8);
+        assert!(matches!(s.va2ra(dram_va), Err(HeapError::NotInAnyPool(_))));
+    }
+
+    #[test]
+    fn detach_faults_ra2va_and_data_survives_reattach() {
+        let mut s = AddressSpace::new(11);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va1 = s.ra2va(loc).unwrap();
+        s.write_u64(va1, 1234).unwrap();
+        s.detach(p).unwrap();
+        assert!(matches!(s.ra2va(loc), Err(HeapError::PoolDetached(_))));
+        assert!(matches!(s.read_u64(va1), Err(HeapError::NotInAnyPool(_))));
+        let att = s.attach(p).unwrap();
+        let va2 = s.ra2va(loc).unwrap();
+        assert_eq!(va2.raw() - att.base.raw(), u64::from(loc.offset));
+        assert_eq!(s.read_u64(va2).unwrap(), 1234);
+    }
+
+    #[test]
+    fn restart_loses_dram_keeps_pools_relocates() {
+        let mut s = AddressSpace::new(5);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va1 = s.ra2va(loc).unwrap();
+        s.write_u64(va1, 77).unwrap();
+        let d = s.malloc(64).unwrap();
+        s.write_u64(d, 88).unwrap();
+
+        s.restart();
+        // DRAM content gone; heap reusable.
+        assert_eq!(s.read_u64(d).unwrap(), 0);
+        let _ = s.malloc(64).unwrap();
+        // Pool must be reopened; relative location still resolves.
+        let p2 = s.open_pool("p").unwrap();
+        assert_eq!(p2, p);
+        let va2 = s.ra2va(loc).unwrap();
+        assert_eq!(s.read_u64(va2).unwrap(), 77);
+        assert_eq!(s.generation(), 1);
+    }
+
+    #[test]
+    fn restarts_usually_relocate_pools() {
+        let mut s = AddressSpace::new(5);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let base1 = s.attachment(p).unwrap().base;
+        s.restart();
+        s.open_pool("p").unwrap();
+        let base2 = s.attachment(p).unwrap().base;
+        assert_ne!(base1, base2, "bases should differ across generations");
+    }
+
+    #[test]
+    fn null_page_is_unmapped() {
+        let mut s = AddressSpace::new(1);
+        assert!(matches!(s.read_u64(VirtAddr::new(0)), Err(HeapError::Unmapped(_))));
+        assert!(matches!(s.write_u64(VirtAddr::new(8), 1), Err(HeapError::Unmapped(_))));
+    }
+
+    #[test]
+    fn multiple_pools_do_not_overlap() {
+        let mut s = AddressSpace::new(9);
+        for i in 0..32 {
+            s.create_pool(&format!("p{i}"), 1 << 20).unwrap();
+        }
+        let atts = s.attachments();
+        for w in atts.windows(2) {
+            assert!(w[0].base.raw() + w[0].size <= w[1].base.raw());
+        }
+    }
+
+    #[test]
+    fn offset_out_of_pool_detected() {
+        let mut s = AddressSpace::new(2);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let bad = RelLoc::new(p, (1 << 20) + 8);
+        assert!(matches!(s.ra2va(bad), Err(HeapError::OffsetOutOfPool { .. })));
+    }
+
+    #[test]
+    fn pool_root_survives_restart() {
+        let mut s = AddressSpace::new(4);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        s.set_pool_root(p, 0xfeed).unwrap();
+        s.restart();
+        s.open_pool("p").unwrap();
+        assert_eq!(s.pool_root(p).unwrap(), 0xfeed);
+    }
+
+    #[test]
+    fn destroy_pool_removes_everything() {
+        let mut s = AddressSpace::new(4);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        s.destroy_pool(p).unwrap();
+        assert!(s.attachment(p).is_none());
+        assert!(s.pool_store().get(p).is_err());
+    }
+}

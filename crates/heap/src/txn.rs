@@ -1,0 +1,411 @@
+//! Persistent undo-log transactions — the crash-consistency mechanism the
+//! paper's usage model presumes (§I, §VI: a library call may be "enclosed
+//! in a persistent transaction in the application code", with logging
+//! inserted by the application's compiler).
+//!
+//! The log lives *inside the pool it protects*, so it survives crashes with
+//! the data: a reserved header slot points at a log area of
+//! `(offset, old value)` records plus an active flag. `begin` arms the log,
+//! every update logs the old word first (undo logging), `commit` disarms
+//! it, and [`UndoLog::recover`] rolls back a torn transaction after a
+//! crash.
+//!
+//! Write ordering is modelled, not enforced by fences: the simulated pool
+//! is byte-durable at every step, which corresponds to a
+//! write-through/eADR persistence domain.
+
+use crate::addr::{PoolId, RelLoc};
+use crate::error::{HeapError, Result};
+use crate::space::AddressSpace;
+
+/// Pool-header slot holding the log area's intra-pool offset (0 = no log).
+/// Slots 0x00–0x2f are used by the allocator (`crate::alloc`); 0x30 is
+/// reserved for the transaction log.
+const HDR_LOG_SLOT: u64 = 0x30;
+
+const LOG_ACTIVE: u64 = 0;
+const LOG_COUNT: u64 = 8;
+const LOG_CAPACITY: u64 = 16;
+const LOG_ENTRIES: u64 = 24;
+/// Bytes per entry: target offset + old value.
+const ENTRY_SIZE: u64 = 16;
+
+/// Handle to a pool's undo log.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::{AddressSpace, UndoLog};
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("bank", 1 << 20)?;
+/// let acct = space.pmalloc(pool, 16)?;
+/// let va = space.ra2va(acct)?;
+/// space.write_u64(va, 100)?;
+///
+/// let log = UndoLog::ensure(&mut space, pool, 64)?;
+/// log.begin(&mut space)?;
+/// log.log_word(&mut space, acct)?;   // record old value first
+/// space.write_u64(va, 40)?;          // then mutate
+/// log.commit(&mut space)?;           // durable: 40
+/// assert_eq!(space.read_u64(va)?, 40);
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct UndoLog {
+    pool: PoolId,
+    /// Intra-pool offset of the log area.
+    base: u64,
+    capacity: u64,
+}
+
+impl UndoLog {
+    /// Returns the pool's log, allocating one with room for `capacity`
+    /// entries if the pool has none yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures; [`HeapError::BadPoolSize`] when
+    /// `capacity` is zero.
+    pub fn ensure(space: &mut AddressSpace, pool: PoolId, capacity: u64) -> Result<UndoLog> {
+        if capacity == 0 {
+            return Err(HeapError::BadPoolSize(0));
+        }
+        let img = space.pool_store().get(pool)?;
+        let existing = img.data().read_u64(HDR_LOG_SLOT);
+        if existing != 0 {
+            let img = space.pool_store().get(pool)?;
+            let cap = img.data().read_u64(existing + LOG_CAPACITY);
+            return Ok(UndoLog { pool, base: existing, capacity: cap });
+        }
+        // Layout: [active][count][capacity][entries...].
+        let bytes = LOG_ENTRIES + capacity * ENTRY_SIZE;
+        let loc = space.pmalloc(pool, bytes)?;
+        let img = space.pool_store_mut().get_mut(pool)?;
+        let data = img.data_mut();
+        data.write_u64(u64::from(loc.offset) + LOG_ACTIVE, 0);
+        data.write_u64(u64::from(loc.offset) + LOG_COUNT, 0);
+        data.write_u64(u64::from(loc.offset) + LOG_CAPACITY, capacity);
+        data.write_u64(HDR_LOG_SLOT, u64::from(loc.offset));
+        Ok(UndoLog { pool, base: u64::from(loc.offset), capacity })
+    }
+
+    /// Opens the pool's existing log (after a restart).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CorruptRegion`] when the pool has no log.
+    pub fn open(space: &AddressSpace, pool: PoolId) -> Result<UndoLog> {
+        let img = space.pool_store().get(pool)?;
+        let base = img.data().read_u64(HDR_LOG_SLOT);
+        if base == 0 {
+            return Err(HeapError::CorruptRegion("pool has no transaction log"));
+        }
+        let capacity = img.data().read_u64(base + LOG_CAPACITY);
+        Ok(UndoLog { pool, base, capacity })
+    }
+
+    fn read(&self, space: &AddressSpace, off: u64) -> Result<u64> {
+        Ok(space.pool_store().get(self.pool)?.data().read_u64(self.base + off))
+    }
+
+    fn write(&self, space: &mut AddressSpace, off: u64, v: u64) -> Result<()> {
+        let img = space.pool_store_mut().get_mut(self.pool)?;
+        img.data_mut().write_u64(self.base + off, v);
+        Ok(())
+    }
+
+    /// The log area's intra-pool offset (for address-level instrumentation).
+    pub fn base_offset(&self) -> u64 {
+        self.base
+    }
+
+    /// The pool this log protects.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// True while a transaction is open (or was torn by a crash).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool lookup failures.
+    pub fn is_active(&self, space: &AddressSpace) -> Result<bool> {
+        Ok(self.read(space, LOG_ACTIVE)? != 0)
+    }
+
+    /// Number of logged words in the open transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool lookup failures.
+    pub fn len(&self, space: &AddressSpace) -> Result<u64> {
+        self.read(space, LOG_COUNT)
+    }
+
+    /// True when no words are logged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool lookup failures.
+    pub fn is_empty(&self, space: &AddressSpace) -> Result<bool> {
+        Ok(self.len(space)? == 0)
+    }
+
+    /// Opens a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CorruptRegion`] if one is already open
+    /// (transactions do not nest).
+    pub fn begin(&self, space: &mut AddressSpace) -> Result<()> {
+        if self.is_active(space)? {
+            return Err(HeapError::CorruptRegion("transaction already active"));
+        }
+        self.write(space, LOG_COUNT, 0)?;
+        self.write(space, LOG_ACTIVE, 1)
+    }
+
+    /// Records the current value of the word at `target` so a crash before
+    /// commit rolls it back. Call *before* overwriting — undo logging.
+    ///
+    /// # Errors
+    ///
+    /// - [`HeapError::CorruptRegion`] when no transaction is open;
+    /// - [`HeapError::OutOfMemory`] when the log is full.
+    pub fn log_word(&self, space: &mut AddressSpace, target: RelLoc) -> Result<()> {
+        if target.pool != self.pool {
+            return Err(HeapError::NoSuchPool(target.pool));
+        }
+        if !self.is_active(space)? {
+            return Err(HeapError::CorruptRegion("log_word outside a transaction"));
+        }
+        let count = self.read(space, LOG_COUNT)?;
+        if count >= self.capacity {
+            return Err(HeapError::OutOfMemory { requested: ENTRY_SIZE });
+        }
+        let old = {
+            let img = space.pool_store().get(self.pool)?;
+            img.data().read_u64(u64::from(target.offset))
+        };
+        let slot = LOG_ENTRIES + count * ENTRY_SIZE;
+        self.write(space, slot, u64::from(target.offset))?;
+        self.write(space, slot + 8, old)?;
+        self.write(space, LOG_COUNT, count + 1)
+    }
+
+    /// Commits: the new values become the durable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CorruptRegion`] when no transaction is open.
+    pub fn commit(&self, space: &mut AddressSpace) -> Result<()> {
+        if !self.is_active(space)? {
+            return Err(HeapError::CorruptRegion("commit outside a transaction"));
+        }
+        self.write(space, LOG_ACTIVE, 0)?;
+        self.write(space, LOG_COUNT, 0)
+    }
+
+    /// Aborts the open transaction, rolling every logged word back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CorruptRegion`] when no transaction is open.
+    pub fn abort(&self, space: &mut AddressSpace) -> Result<()> {
+        if !self.is_active(space)? {
+            return Err(HeapError::CorruptRegion("abort outside a transaction"));
+        }
+        self.rollback(space)
+    }
+
+    /// Crash recovery: if the pool carries a torn transaction, rolls it
+    /// back; otherwise does nothing. Returns whether a rollback happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool lookup failures.
+    pub fn recover(space: &mut AddressSpace, pool: PoolId) -> Result<bool> {
+        let log = match UndoLog::open(space, pool) {
+            Ok(l) => l,
+            Err(HeapError::CorruptRegion(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        if !log.is_active(space)? {
+            return Ok(false);
+        }
+        log.rollback(space)?;
+        Ok(true)
+    }
+
+    fn rollback(&self, space: &mut AddressSpace) -> Result<()> {
+        let count = self.read(space, LOG_COUNT)?;
+        // Newest-first: later writes may overwrite earlier logged words.
+        for i in (0..count).rev() {
+            let slot = LOG_ENTRIES + i * ENTRY_SIZE;
+            let offset = self.read(space, slot)?;
+            let old = self.read(space, slot + 8)?;
+            let img = space.pool_store_mut().get_mut(self.pool)?;
+            img.data_mut().write_u64(offset, old);
+        }
+        self.write(space, LOG_ACTIVE, 0)?;
+        self.write(space, LOG_COUNT, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddressSpace, PoolId, RelLoc, RelLoc) {
+        let mut space = AddressSpace::new(5);
+        let pool = space.create_pool("txn", 1 << 20).unwrap();
+        let a = space.pmalloc(pool, 16).unwrap();
+        let b = space.pmalloc(pool, 16).unwrap();
+        let va = space.ra2va(a).unwrap();
+        let vb = space.ra2va(b).unwrap();
+        space.write_u64(va, 100).unwrap();
+        space.write_u64(vb, 50).unwrap();
+        (space, pool, a, b)
+    }
+
+    fn read(space: &AddressSpace, loc: RelLoc) -> u64 {
+        space.read_u64(space.ra2va(loc).unwrap()).unwrap()
+    }
+
+    fn write(space: &mut AddressSpace, loc: RelLoc, v: u64) {
+        let va = space.ra2va(loc).unwrap();
+        space.write_u64(va, v).unwrap();
+    }
+
+    #[test]
+    fn committed_transfer_is_durable_across_crash() {
+        let (mut space, pool, a, b) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+        log.begin(&mut space).unwrap();
+        log.log_word(&mut space, a).unwrap();
+        write(&mut space, a, 70);
+        log.log_word(&mut space, b).unwrap();
+        write(&mut space, b, 80);
+        log.commit(&mut space).unwrap();
+
+        space.restart();
+        space.open_pool("txn").unwrap();
+        assert!(!UndoLog::recover(&mut space, pool).unwrap(), "nothing to roll back");
+        assert_eq!(read(&space, a), 70);
+        assert_eq!(read(&space, b), 80);
+    }
+
+    #[test]
+    fn torn_transfer_rolls_back_on_recovery() {
+        let (mut space, pool, a, b) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+        log.begin(&mut space).unwrap();
+        log.log_word(&mut space, a).unwrap();
+        write(&mut space, a, 70); // debit done...
+        log.log_word(&mut space, b).unwrap();
+        // ...crash before the credit and before commit.
+        space.restart();
+        space.open_pool("txn").unwrap();
+        assert!(UndoLog::recover(&mut space, pool).unwrap(), "rollback expected");
+        assert_eq!(read(&space, a), 100, "debit undone");
+        assert_eq!(read(&space, b), 50, "credit never applied");
+        // The pool is usable for a fresh transaction.
+        let log = UndoLog::open(&space, pool).unwrap();
+        log.begin(&mut space).unwrap();
+        log.commit(&mut space).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_immediately() {
+        let (mut space, pool, a, _) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+        log.begin(&mut space).unwrap();
+        log.log_word(&mut space, a).unwrap();
+        write(&mut space, a, 1);
+        log.abort(&mut space).unwrap();
+        assert_eq!(read(&space, a), 100);
+        assert!(!log.is_active(&space).unwrap());
+    }
+
+    #[test]
+    fn rollback_applies_newest_first() {
+        let (mut space, pool, a, _) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+        log.begin(&mut space).unwrap();
+        // Log the same word twice with an intermediate update.
+        log.log_word(&mut space, a).unwrap(); // old = 100
+        write(&mut space, a, 200);
+        log.log_word(&mut space, a).unwrap(); // old = 200
+        write(&mut space, a, 300);
+        log.abort(&mut space).unwrap();
+        assert_eq!(read(&space, a), 100, "reverse order restores the first value");
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let (mut space, pool, a, _) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 2).unwrap();
+        assert!(log.log_word(&mut space, a).is_err(), "no txn open");
+        assert!(log.commit(&mut space).is_err());
+        log.begin(&mut space).unwrap();
+        assert!(log.begin(&mut space).is_err(), "no nesting");
+        // Capacity 2: the third log_word overflows.
+        log.log_word(&mut space, a).unwrap();
+        log.log_word(&mut space, a).unwrap();
+        assert!(matches!(
+            log.log_word(&mut space, a),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        log.commit(&mut space).unwrap();
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_open_finds_it() {
+        let (mut space, pool, _, _) = setup();
+        let l1 = UndoLog::ensure(&mut space, pool, 8).unwrap();
+        let l2 = UndoLog::ensure(&mut space, pool, 8).unwrap();
+        assert_eq!(l1.base, l2.base);
+        let l3 = UndoLog::open(&space, pool).unwrap();
+        assert_eq!(l1.base, l3.base);
+        assert_eq!(l3.capacity, 8);
+    }
+
+    #[test]
+    fn foreign_pool_word_rejected() {
+        let (mut space, pool, _, _) = setup();
+        let other = space.create_pool("other", 1 << 20).unwrap();
+        let foreign = space.pmalloc(other, 16).unwrap();
+        let log = UndoLog::ensure(&mut space, pool, 8).unwrap();
+        log.begin(&mut space).unwrap();
+        assert!(matches!(
+            log.log_word(&mut space, foreign),
+            Err(HeapError::NoSuchPool(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_survives_crash_mid_transaction() {
+        // A torn transaction must not corrupt the stored capacity: after
+        // recovery the log accepts exactly `capacity` entries again.
+        let (mut space, pool, a, _) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 3).unwrap();
+        log.begin(&mut space).unwrap();
+        log.log_word(&mut space, a).unwrap();
+        write(&mut space, a, 7);
+        space.restart();
+        space.open_pool("txn").unwrap();
+        assert!(UndoLog::recover(&mut space, pool).unwrap());
+        let reopened = UndoLog::open(&space, pool).unwrap();
+        assert_eq!(read(&space, a), 100, "torn write rolled back");
+        reopened.begin(&mut space).unwrap();
+        for _ in 0..3 {
+            reopened.log_word(&mut space, a).unwrap();
+        }
+        assert!(matches!(
+            reopened.log_word(&mut space, a),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        reopened.commit(&mut space).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! # utpr-kv — the key-value store harness and YCSB-style workloads
+//!
+//! The paper evaluates its six data structures behind a PMDK-map-style
+//! key-value store driven by YCSB (10 k records, 100 k operations, 95 %
+//! GET / 5 % SET, latest-distribution keys). This crate reproduces that
+//! pipeline end to end:
+//!
+//! - [`workload`] — zipfian / latest-distribution operation streams;
+//! - [`store`] — the KV store generic over any [`utpr_ds::Index`];
+//! - [`harness`] — machine + environment assembly, warm-up, and measured
+//!   runs producing [`harness::BenchResult`]s for the figure generators.
+//!
+//! ```
+//! use utpr_kv::harness::{run_benchmark, Benchmark};
+//! use utpr_kv::workload::WorkloadSpec;
+//! use utpr_ptr::Mode;
+//! use utpr_sim::SimConfig;
+//!
+//! let spec = WorkloadSpec { records: 100, operations: 400, read_fraction: 0.95, seed: 1 };
+//! let r = run_benchmark(Benchmark::Rb, Mode::Hw, SimConfig::table_iv(), &spec)?;
+//! assert!(r.cycles > 0.0);
+//! # Ok::<(), utpr_heap::HeapError>(())
+//! ```
+
+pub mod harness;
+pub mod rng;
+pub mod store;
+pub mod workload;
+pub mod ycsb;
+
+pub use harness::{run_all_modes, run_benchmark, BenchResult, Benchmark};
+pub use store::{KvStore, RunSummary};
+pub use workload::{generate, Op, Workload, WorkloadSpec, Zipfian};
+pub use ycsb::{generate_preset, Preset};

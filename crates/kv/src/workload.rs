@@ -1,0 +1,256 @@
+//! YCSB-style workload generation (paper §VII-A).
+//!
+//! The paper's harness uses YCSB to generate 10,000 key-value pairs and
+//! 100,000 operations — 95 % GET, 5 % SET, both keys and values 8 bytes.
+//! SETs insert *new* pairs; GETs draw keys from the **latest** distribution
+//! (a zipfian over recency: recently inserted records are most popular).
+
+use crate::rng::Rng;
+
+/// Zipfian sampler over `[0, n)` with the YCSB constant θ = 0.99, using the
+/// Gray et al. rejection-free method YCSB itself implements.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Builds a sampler over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99)
+    }
+
+    /// Builds a sampler with an explicit skew θ ∈ (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; n is at most the record count (tens of thousands).
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// The support size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Internal ζ(2, θ) — exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// One key-value operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Read the value of `key`.
+    Get(u64),
+    /// Insert a new pair.
+    Set(u64, u64),
+}
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Records loaded before the measured run.
+    pub records: u64,
+    /// Measured operations.
+    pub operations: u64,
+    /// Fraction of GETs (the rest are SETs inserting new keys).
+    pub read_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's configuration: 10 k records, 100 k ops, 95 % GET.
+    pub fn paper() -> Self {
+        WorkloadSpec { records: 10_000, operations: 100_000, read_fraction: 0.95, seed: 42 }
+    }
+
+    /// A scaled-down configuration for fast tests.
+    pub fn small() -> Self {
+        WorkloadSpec { records: 1_000, operations: 5_000, read_fraction: 0.95, seed: 42 }
+    }
+}
+
+/// A generated workload: the load phase keys plus the operation stream.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Keys to insert during the load phase (values are `key ^ mask`).
+    pub load_keys: Vec<u64>,
+    /// The measured operation stream.
+    pub ops: Vec<Op>,
+}
+
+/// Maps an insertion index to its 8-byte key (a cheap injective mix, the
+/// analogue of YCSB's hashed keys).
+pub fn key_of_index(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// Generates a workload per the spec: GET keys follow the *latest*
+/// distribution (zipfian over recency), SETs append brand-new keys.
+pub fn generate(spec: &WorkloadSpec) -> Workload {
+    let mut rng = Rng::new(spec.seed);
+    let load_keys: Vec<u64> = (0..spec.records).map(key_of_index).collect();
+    let mut inserted = spec.records;
+    // The recency sampler is rebuilt lazily as the keyspace grows; YCSB
+    // does the same with its zipfian-over-count. Rebuilding at powers of
+    // growth keeps generation O(ops).
+    let mut zipf = Zipfian::new(inserted);
+    let mut ops = Vec::with_capacity(spec.operations as usize);
+    for i in 0..spec.operations {
+        if rng.f64() < spec.read_fraction {
+            if zipf.n() < inserted {
+                zipf = Zipfian::new(inserted);
+            }
+            let rank = zipf.sample(&mut rng);
+            // latest: rank 0 = newest record.
+            let index = inserted - 1 - rank;
+            ops.push(Op::Get(key_of_index(index)));
+        } else {
+            let key = key_of_index(inserted);
+            ops.push(Op::Set(key, key ^ 0x5a5a_5a5a_5a5a_5a5a ^ i));
+            inserted += 1;
+        }
+    }
+    Workload { load_keys, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_skewed_toward_low_ranks() {
+        let z = Zipfian::new(1000);
+        let mut rng = Rng::new(5);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 must be far more popular than rank 500, and the top 10
+        // ranks should cover a large share.
+        assert!(counts[0] > counts[500].max(1) * 20, "{} vs {}", counts[0], counts[500]);
+        let top10: u64 = counts[..10].iter().sum();
+        assert!(top10 > 30_000, "top-10 share {top10}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        for n in [1u64, 2, 3, 10, 10_000] {
+            let z = Zipfian::new(n);
+            let mut rng = Rng::new(1);
+            for _ in 0..2000 {
+                assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn generate_matches_spec_mix() {
+        let spec = WorkloadSpec { records: 500, operations: 20_000, read_fraction: 0.95, seed: 3 };
+        let w = generate(&spec);
+        assert_eq!(w.load_keys.len(), 500);
+        assert_eq!(w.ops.len(), 20_000);
+        let sets = w.ops.iter().filter(|o| matches!(o, Op::Set(..))).count();
+        let frac = sets as f64 / w.ops.len() as f64;
+        assert!((frac - 0.05).abs() < 0.01, "set fraction {frac}");
+    }
+
+    #[test]
+    fn sets_always_insert_fresh_keys() {
+        let spec = WorkloadSpec::small();
+        let w = generate(&spec);
+        let mut seen: std::collections::HashSet<u64> = w.load_keys.iter().copied().collect();
+        for op in &w.ops {
+            if let Op::Set(k, _) = op {
+                assert!(seen.insert(*k), "SET reused key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn gets_only_touch_existing_keys() {
+        let spec = WorkloadSpec::small();
+        let w = generate(&spec);
+        let mut existing: std::collections::HashSet<u64> =
+            w.load_keys.iter().copied().collect();
+        for op in &w.ops {
+            match op {
+                Op::Get(k) => assert!(existing.contains(k), "GET of missing key"),
+                Op::Set(k, _) => {
+                    existing.insert(*k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gets_favor_recent_keys() {
+        let spec =
+            WorkloadSpec { records: 10_000, operations: 50_000, read_fraction: 0.95, seed: 9 };
+        let w = generate(&spec);
+        // Count GETs of the most recent 10% of the load range vs the oldest
+        // 10%: latest distribution must strongly favor the former.
+        let newest: std::collections::HashSet<u64> =
+            (9000..10_000).map(key_of_index).collect();
+        let oldest: std::collections::HashSet<u64> = (0..1000).map(key_of_index).collect();
+        let (mut new_hits, mut old_hits) = (0u64, 0u64);
+        for op in &w.ops {
+            if let Op::Get(k) = op {
+                if newest.contains(k) {
+                    new_hits += 1;
+                }
+                if oldest.contains(k) {
+                    old_hits += 1;
+                }
+            }
+        }
+        assert!(new_hits > old_hits * 5, "latest skew: {new_hits} vs {old_hits}");
+    }
+
+    #[test]
+    fn key_mapping_is_injective_over_range() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(set.insert(key_of_index(i)));
+        }
+    }
+}

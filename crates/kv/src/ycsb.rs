@@ -1,0 +1,151 @@
+//! The standard YCSB core workload presets (A–D), beyond the paper's
+//! D-like configuration — useful for exploring how the four builds compare
+//! under different read/update/insert mixes and key distributions.
+
+use crate::rng::Rng;
+use crate::workload::{key_of_index, Op, Workload, Zipfian};
+
+/// YCSB core presets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Preset {
+    /// 50 % read / 50 % update, zipfian keys ("update heavy").
+    A,
+    /// 95 % read / 5 % update, zipfian keys ("read mostly").
+    B,
+    /// 100 % read, zipfian keys ("read only").
+    C,
+    /// 95 % read / 5 % insert, latest keys ("read latest") — the paper's
+    /// configuration.
+    D,
+}
+
+impl Preset {
+    /// All presets.
+    pub const ALL: [Preset; 4] = [Preset::A, Preset::B, Preset::C, Preset::D];
+
+    /// `(read, update, insert)` fractions.
+    pub fn mix(self) -> (f64, f64, f64) {
+        match self {
+            Preset::A => (0.50, 0.50, 0.0),
+            Preset::B => (0.95, 0.05, 0.0),
+            Preset::C => (1.0, 0.0, 0.0),
+            Preset::D => (0.95, 0.0, 0.05),
+        }
+    }
+
+    /// Preset letter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::A => "A",
+            Preset::B => "B",
+            Preset::C => "C",
+            Preset::D => "D",
+        }
+    }
+}
+
+/// Generates a preset workload over `records` initial keys and
+/// `operations` measured operations.
+pub fn generate_preset(preset: Preset, records: u64, operations: u64, seed: u64) -> Workload {
+    let mut rng = Rng::new(seed);
+    let load_keys: Vec<u64> = (0..records).map(key_of_index).collect();
+    let (read_f, update_f, _insert_f) = preset.mix();
+    let mut inserted = records;
+    let mut zipf = Zipfian::new(records);
+    let mut ops = Vec::with_capacity(operations as usize);
+    for i in 0..operations {
+        let dice = rng.f64();
+        if dice < read_f {
+            let index = match preset {
+                // Latest: rank 0 = newest record.
+                Preset::D => {
+                    if zipf.n() < inserted {
+                        zipf = Zipfian::new(inserted);
+                    }
+                    inserted - 1 - zipf.sample(&mut rng)
+                }
+                // Zipfian over the whole (static) keyspace: rank = index.
+                _ => zipf.sample(&mut rng),
+            };
+            ops.push(Op::Get(key_of_index(index)));
+        } else if dice < read_f + update_f {
+            // Update an existing key drawn from the same distribution.
+            let index = zipf.sample(&mut rng);
+            ops.push(Op::Set(key_of_index(index), i ^ 0xa5a5));
+        } else {
+            // Insert a brand-new key.
+            let key = key_of_index(inserted);
+            ops.push(Op::Set(key, key ^ i));
+            inserted += 1;
+        }
+    }
+    Workload { load_keys, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KvStore;
+    use utpr_ds::RbTree;
+    use utpr_heap::AddressSpace;
+    use utpr_ptr::{ExecEnv, Mode, NullSink};
+
+    #[test]
+    fn preset_mixes_are_respected() {
+        for preset in Preset::ALL {
+            let w = generate_preset(preset, 500, 10_000, 3);
+            let gets = w.ops.iter().filter(|o| matches!(o, Op::Get(_))).count() as f64;
+            let (read_f, _, _) = preset.mix();
+            let measured = gets / w.ops.len() as f64;
+            assert!(
+                (measured - read_f).abs() < 0.02,
+                "preset {}: read fraction {measured} vs {read_f}",
+                preset.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_c_never_writes() {
+        let w = generate_preset(Preset::C, 200, 2_000, 7);
+        assert!(w.ops.iter().all(|o| matches!(o, Op::Get(_))));
+    }
+
+    #[test]
+    fn workload_a_updates_touch_existing_keys() {
+        let w = generate_preset(Preset::A, 300, 3_000, 9);
+        let keys: std::collections::HashSet<u64> = w.load_keys.iter().copied().collect();
+        for op in &w.ops {
+            if let Op::Set(k, _) = op {
+                assert!(keys.contains(k), "A updates must hit loaded keys");
+            }
+        }
+    }
+
+    #[test]
+    fn every_preset_runs_against_the_store_with_full_hit_rate() {
+        for preset in Preset::ALL {
+            let mut space = AddressSpace::new(11);
+            let pool = space.create_pool("ycsb", 16 << 20).unwrap();
+            let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+            let mut store: KvStore<RbTree> = KvStore::create(&mut env).unwrap();
+            let w = generate_preset(preset, 300, 1_500, 5);
+            store.load(&mut env, &w).unwrap();
+            let summary = store.run(&mut env, &w).unwrap();
+            assert_eq!(summary.hits, summary.gets, "preset {}", preset.name());
+        }
+    }
+
+    #[test]
+    fn zipfian_presets_skew_reads_to_hot_keys() {
+        let w = generate_preset(Preset::B, 1_000, 20_000, 13);
+        let hot: std::collections::HashSet<u64> = (0..10).map(key_of_index).collect();
+        let hot_reads = w
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Get(k) if hot.contains(k)))
+            .count() as f64;
+        let reads = w.ops.iter().filter(|o| matches!(o, Op::Get(_))).count() as f64;
+        assert!(hot_reads / reads > 0.2, "top-10 share {}", hot_reads / reads);
+    }
+}

@@ -1,0 +1,231 @@
+//! A second "legacy library" ML workload: Lloyd's k-means over the matrix
+//! library. Like KNN, every matrix (points, centroids, assignments) can
+//! live in DRAM or NVM, and the same code runs in every build — persisting
+//! learned centroids across restarts is a one-placement-decision change.
+
+use crate::matrix::{Layout, Matrix, Result};
+use crate::knn::Dataset;
+use utpr_ptr::{ExecEnv, Placement, TimingSink};
+
+/// K-means state: the three matrices.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeans {
+    /// `n × d` points.
+    pub points: Matrix,
+    /// `k × d` centroids (the learned model — the thing worth persisting).
+    pub centroids: Matrix,
+    /// `n × 1` cluster assignments.
+    pub assignments: Matrix,
+    /// Cluster count.
+    pub k: u64,
+}
+
+impl KMeans {
+    /// Builds the matrices and seeds centroids with the first points of
+    /// equally spaced strata (deterministic, good enough for well-separated
+    /// clusters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/translation failures.
+    pub fn setup<S: TimingSink>(
+        env: &mut ExecEnv<S>,
+        data: &Dataset,
+        k: u64,
+        points_place: Placement,
+        model_place: Placement,
+    ) -> Result<Self> {
+        let n = data.len() as u64;
+        let d = 4u64;
+        let mut points = Matrix::create(env, points_place, n, d, Layout::ColMajor)?;
+        points.fill_with(env, |r, c| data.features[r as usize][c as usize])?;
+        let mut centroids = Matrix::create(env, model_place, k, d, Layout::RowMajor)?;
+        for i in 0..k {
+            let src = i * n / k;
+            for c in 0..d {
+                let v = points.get(env, src, c)?;
+                centroids.set(env, i, c, v)?;
+            }
+        }
+        let assignments = Matrix::create(env, model_place, n, 1, Layout::ColMajor)?;
+        Ok(KMeans { points, centroids, assignments, k })
+    }
+
+    /// One Lloyd iteration: assign every point to its nearest centroid,
+    /// then move each centroid to its members' mean. Returns the number of
+    /// points whose assignment changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn iterate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        let (n, d) = self.points.dims(env)?;
+        let mut changed = 0u64;
+        // Assignment step.
+        for i in 0..n {
+            let mut best = 0u64;
+            let mut best_d = f64::INFINITY;
+            for c in 0..self.k {
+                let dist = self.points.row_dist2(env, i, &self.centroids, c)?;
+                env.charge_exec(2);
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            let old = self.assignments.get(env, i, 0)?;
+            if old != best as f64 {
+                changed += 1;
+                self.assignments.set(env, i, 0, best as f64)?;
+            }
+        }
+        // Update step: recompute means (host accumulators model registers).
+        for c in 0..self.k {
+            let mut acc = vec![0.0f64; d as usize];
+            let mut count = 0u64;
+            for i in 0..n {
+                if self.assignments.get(env, i, 0)? == c as f64 {
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a += self.points.get(env, i, j as u64)?;
+                    }
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                for (j, a) in acc.iter().enumerate() {
+                    self.centroids.set(env, c, j as u64, a / count as f64)?;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Runs until convergence (no assignment changes) or `max_iters`.
+    /// Returns the iteration count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn run<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, max_iters: u32) -> Result<u32> {
+        for it in 1..=max_iters {
+            if self.iterate(env)? == 0 {
+                return Ok(it);
+            }
+        }
+        Ok(max_iters)
+    }
+
+    /// Sum of squared distances of points to their centroids (inertia).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn inertia<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<f64> {
+        let (n, _) = self.points.dims(env)?;
+        let mut total = 0.0;
+        for i in 0..n {
+            let c = self.assignments.get(env, i, 0)? as u64;
+            total += self.points.row_dist2(env, i, &self.centroids, c)?;
+        }
+        Ok(total)
+    }
+
+    /// Fraction of points whose cluster is the majority cluster of their
+    /// true class — cluster purity against the dataset's labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn purity<S: TimingSink>(&self, env: &mut ExecEnv<S>, data: &Dataset) -> Result<f64> {
+        let n = data.len();
+        // votes[cluster][class]
+        let mut votes = vec![[0u32; 3]; self.k as usize];
+        for i in 0..n {
+            let c = self.assignments.get(env, i as u64, 0)? as usize;
+            votes[c.min(self.k as usize - 1)][data.labels[i].min(2) as usize] += 1;
+        }
+        let correct: u32 = votes.iter().map(|v| *v.iter().max().unwrap()).sum();
+        Ok(f64::from(correct) / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utpr_heap::AddressSpace;
+    use utpr_ptr::{Mode, NullSink};
+
+    fn env(mode: Mode) -> (ExecEnv<NullSink>, Placement) {
+        let mut space = AddressSpace::new(31);
+        let pool = space.create_pool("km", 32 << 20).unwrap();
+        (ExecEnv::new(space, mode, Some(pool), NullSink), Placement::Pool(pool))
+    }
+
+    #[test]
+    fn converges_and_clusters_are_pure() {
+        let (mut e, place) = env(Mode::Hw);
+        let data = Dataset::iris_like(21);
+        let mut km = KMeans::setup(&mut e, &data, 3, Placement::Dram, place).unwrap();
+        let iters = km.run(&mut e, 50).unwrap();
+        assert!(iters < 50, "did not converge: {iters}");
+        let purity = km.purity(&mut e, &data).unwrap();
+        assert!(purity > 0.8, "purity {purity}");
+    }
+
+    #[test]
+    fn inertia_decreases_monotonically() {
+        let (mut e, place) = env(Mode::Hw);
+        let data = Dataset::iris_like(5);
+        let mut km = KMeans::setup(&mut e, &data, 3, place, place).unwrap();
+        km.iterate(&mut e).unwrap();
+        let mut prev = km.inertia(&mut e).unwrap();
+        for _ in 0..5 {
+            km.iterate(&mut e).unwrap();
+            let now = km.inertia(&mut e).unwrap();
+            assert!(now <= prev + 1e-9, "inertia rose: {prev} -> {now}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn all_modes_agree_on_assignments() {
+        let mut results = Vec::new();
+        for mode in Mode::ALL {
+            let (mut e, place) = env(mode);
+            let data = Dataset::iris_like(9);
+            let mut km = KMeans::setup(&mut e, &data, 3, Placement::Dram, place).unwrap();
+            km.run(&mut e, 30).unwrap();
+            let mut assignment_sig = 0u64;
+            for i in 0..data.len() as u64 {
+                let a = km.assignments.get(&mut e, i, 0).unwrap() as u64;
+                assignment_sig = assignment_sig.wrapping_mul(31).wrapping_add(a);
+            }
+            results.push(assignment_sig);
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+    }
+
+    #[test]
+    fn learned_centroids_survive_crash() {
+        use utpr_ptr::site;
+        let (mut e, place) = env(Mode::Hw);
+        let data = Dataset::iris_like(13);
+        let mut km = KMeans::setup(&mut e, &data, 3, Placement::Dram, place).unwrap();
+        km.run(&mut e, 50).unwrap();
+        let before: Vec<f64> = (0..3)
+            .flat_map(|c| (0..4).map(move |j| (c, j)))
+            .map(|(c, j)| km.centroids.get(&mut e, c, j).unwrap())
+            .collect();
+        e.set_root(site!("km.save", StackLocal), km.centroids.descriptor()).unwrap();
+
+        e.space_mut().restart();
+        e.space_mut().open_pool("km").unwrap();
+        let desc = e.root(site!("km.load", KnownReturn)).unwrap();
+        let model = Matrix::open(desc);
+        let after: Vec<f64> = (0..3)
+            .flat_map(|c| (0..4).map(move |j| (c, j)))
+            .map(|(c, j)| model.get(&mut e, c, j).unwrap())
+            .collect();
+        assert_eq!(before, after, "model changed across crash");
+    }
+}

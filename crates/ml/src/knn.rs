@@ -1,0 +1,321 @@
+//! The KNN case study (paper §VII-E): k-nearest-neighbour classification
+//! over an iris-like dataset, using four matrices whose DRAM/NVM placement
+//! is independently configurable — the 16 placement combinations the paper
+//! discusses.
+
+use crate::matrix::{Layout, Matrix, Result};
+use utpr_heap::AddressSpace;
+use utpr_ptr::{ExecEnv, Mode, Placement, TimingSink};
+use utpr_sim::{Machine, RangeEntry, SimConfig, SimStats};
+
+/// A synthetic iris-like dataset: 150 samples, 4 features, 3 classes.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Feature rows (`samples × 4`).
+    pub features: Vec<[f64; 4]>,
+    /// True class per sample (0, 1, 2).
+    pub labels: Vec<u64>,
+}
+
+impl Dataset {
+    /// Generates the dataset: three Gaussian clusters around the classic
+    /// iris class means (sepal/petal length/width), 50 samples each.
+    pub fn iris_like(seed: u64) -> Self {
+        // Class means from the real iris dataset; modest within-class noise.
+        const CENTERS: [[f64; 4]; 3] = [
+            [5.01, 3.43, 1.46, 0.25], // setosa
+            [5.94, 2.77, 4.26, 1.33], // versicolor
+            [6.59, 2.97, 5.55, 2.03], // virginica
+        ];
+        const SIGMA: [f64; 4] = [0.35, 0.33, 0.30, 0.20];
+        let mut rng = SimpleRng(seed.max(1));
+        let mut features = Vec::with_capacity(150);
+        let mut labels = Vec::with_capacity(150);
+        for (class, center) in CENTERS.iter().enumerate() {
+            for _ in 0..50 {
+                let mut row = [0.0; 4];
+                for (j, c) in center.iter().enumerate() {
+                    row[j] = c + SIGMA[j] * rng.gaussian();
+                }
+                features.push(row);
+                labels.push(class as u64);
+            }
+        }
+        Dataset { features, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+struct SimpleRng(u64);
+
+impl SimpleRng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn gaussian(&mut self) -> f64 {
+        let u1 = self.f64().max(1e-12);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Placement of the four KNN matrices (paper: input, internal, two
+/// outputs; any combination of DRAM/NVM must work).
+#[derive(Clone, Copy, Debug)]
+pub struct KnnPlacements {
+    /// The input feature matrix.
+    pub input: Placement,
+    /// The internal distance scratch matrix.
+    pub internal: Placement,
+    /// Output: neighbour indices.
+    pub neighbors: Placement,
+    /// Output: predicted labels.
+    pub predictions: Placement,
+}
+
+impl KnnPlacements {
+    /// The paper's default: everything persistent except the input.
+    pub fn paper_default(pool: utpr_heap::PoolId) -> Self {
+        KnnPlacements {
+            input: Placement::Dram,
+            internal: Placement::Pool(pool),
+            neighbors: Placement::Pool(pool),
+            predictions: Placement::Pool(pool),
+        }
+    }
+
+    /// All 16 DRAM/NVM combinations (the versions-explosion the paper's
+    /// productivity argument counts).
+    pub fn all_combinations(pool: utpr_heap::PoolId) -> Vec<Self> {
+        let opts = [Placement::Dram, Placement::Pool(pool)];
+        let mut v = Vec::with_capacity(16);
+        for a in opts {
+            for b in opts {
+                for c in opts {
+                    for d in opts {
+                        v.push(KnnPlacements {
+                            input: a,
+                            internal: b,
+                            neighbors: c,
+                            predictions: d,
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }
+}
+
+/// The KNN application state: the four matrices plus the training labels
+/// (kept with the input features).
+#[derive(Clone, Copy, Debug)]
+pub struct Knn {
+    /// `n × 4` features.
+    pub input: Matrix,
+    /// `n × 1` training labels (stored alongside the input).
+    pub labels: Matrix,
+    /// `n × 1` distance scratch.
+    pub internal: Matrix,
+    /// `n × k` neighbour indices.
+    pub neighbors: Matrix,
+    /// `n × 1` predictions.
+    pub predictions: Matrix,
+    /// Neighbour count.
+    pub k: u64,
+}
+
+impl Knn {
+    /// Builds the application matrices and loads the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/translation failures.
+    pub fn setup<S: TimingSink>(
+        env: &mut ExecEnv<S>,
+        data: &Dataset,
+        placements: KnnPlacements,
+        k: u64,
+    ) -> Result<Self> {
+        let n = data.len() as u64;
+        let mut input = Matrix::create(env, placements.input, n, 4, Layout::ColMajor)?;
+        let mut labels = Matrix::create(env, placements.input, n, 1, Layout::ColMajor)?;
+        input.fill_with(env, |r, c| data.features[r as usize][c as usize])?;
+        labels.fill_with(env, |r, _| data.labels[r as usize] as f64)?;
+        let internal = Matrix::create(env, placements.internal, n, 1, Layout::ColMajor)?;
+        let neighbors = Matrix::create(env, placements.neighbors, n, k, Layout::ColMajor)?;
+        let predictions = Matrix::create(env, placements.predictions, n, 1, Layout::ColMajor)?;
+        Ok(Knn { input, labels, internal, neighbors, predictions, k })
+    }
+
+    /// Classifies every sample by its k nearest neighbours (excluding
+    /// itself) and returns the fraction that matched the true label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn classify_all<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, data: &Dataset) -> Result<f64> {
+        let n = data.len() as u64;
+        let mut correct = 0u64;
+        for q in 0..n {
+            // Distances to every sample → the internal matrix.
+            for j in 0..n {
+                let d = self.input.row_dist2(env, q, &self.input, j)?;
+                self.internal.set(env, j, 0, d)?;
+            }
+            // Select the k nearest (excluding q) with k passes of
+            // selection — what a small C library would do for tiny k.
+            let mut chosen: Vec<u64> = Vec::with_capacity(self.k as usize);
+            for slot in 0..self.k {
+                let mut best = u64::MAX;
+                let mut best_d = f64::INFINITY;
+                for j in 0..n {
+                    if j == q || chosen.contains(&j) {
+                        continue;
+                    }
+                    let d = self.internal.get(env, j, 0)?;
+                    env.charge_exec(2);
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                self.neighbors.set(env, q, slot, best as f64)?;
+                chosen.push(best);
+            }
+            // Majority vote over the neighbour labels.
+            let mut votes = [0u32; 3];
+            for j in &chosen {
+                let label = self.labels.get(env, *j, 0)? as usize;
+                votes[label.min(2)] += 1;
+            }
+            let pred = (0..3).max_by_key(|c| votes[*c]).unwrap_or(0) as u64;
+            self.predictions.set(env, q, 0, pred as f64)?;
+            if pred == data.labels[q as usize] {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / n as f64)
+    }
+}
+
+/// One measured KNN run.
+#[derive(Clone, Debug)]
+pub struct KnnResult {
+    /// Build variant.
+    pub mode: Mode,
+    /// Cycles for the classification phase.
+    pub cycles: f64,
+    /// Classification accuracy (identical across modes).
+    pub accuracy: f64,
+    /// Machine counters.
+    pub sim: SimStats,
+    /// Pointer-runtime counters.
+    pub ptr: utpr_ptr::PtrStats,
+}
+
+/// Runs the full case study in one mode with the paper's default
+/// placements.
+///
+/// # Errors
+///
+/// Propagates failures.
+pub fn run_knn(mode: Mode, sim: SimConfig, k: u64, seed: u64) -> Result<KnnResult> {
+    let mut space = AddressSpace::new(0x1215);
+    let pool = space.create_pool("knn", 64 << 20)?;
+    let ranges: Vec<RangeEntry> = space
+        .attachments()
+        .iter()
+        .map(|a| RangeEntry { base: a.base.raw(), size: a.size, pool: a.pool.raw() })
+        .collect();
+    let mut machine = Machine::new(sim);
+    machine.set_pool_ranges(ranges);
+    let mut env = ExecEnv::new(space, mode, Some(pool), machine);
+
+    let data = Dataset::iris_like(seed);
+    let mut knn = Knn::setup(&mut env, &data, KnnPlacements::paper_default(pool), k)?;
+    env.sink_mut().reset_measurement();
+    env.reset_stats();
+    let accuracy = knn.classify_all(&mut env, &data)?;
+    let (_space, ptr, machine) = env.into_parts();
+    Ok(KnnResult { mode, cycles: machine.cycles(), accuracy, sim: machine.stats(), ptr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utpr_ptr::NullSink;
+
+    #[test]
+    fn dataset_shape_and_class_balance() {
+        let d = Dataset::iris_like(3);
+        assert_eq!(d.len(), 150);
+        for c in 0..3u64 {
+            assert_eq!(d.labels.iter().filter(|l| **l == c).count(), 50);
+        }
+    }
+
+    #[test]
+    fn knn_is_accurate_on_well_separated_clusters() {
+        let mut space = AddressSpace::new(2);
+        let pool = space.create_pool("knn-t", 32 << 20).unwrap();
+        let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+        let data = Dataset::iris_like(7);
+        let mut knn =
+            Knn::setup(&mut env, &data, KnnPlacements::paper_default(pool), 3).unwrap();
+        let acc = knn.classify_all(&mut env, &data).unwrap();
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn all_sixteen_placement_combinations_work() {
+        let mut space = AddressSpace::new(4);
+        let pool = space.create_pool("knn-c", 64 << 20).unwrap();
+        let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+        // A reduced dataset keeps 16 runs fast.
+        let mut data = Dataset::iris_like(5);
+        data.features.truncate(30);
+        data.labels.truncate(30);
+        let mut reference = None;
+        for placements in KnnPlacements::all_combinations(pool) {
+            let mut knn = Knn::setup(&mut env, &data, placements, 3).unwrap();
+            let acc = knn.classify_all(&mut env, &data).unwrap();
+            match reference {
+                None => reference = Some(acc),
+                Some(r) => assert_eq!(acc, r, "placement changed the answer"),
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_identical_across_modes() {
+        let mut accs = Vec::new();
+        for mode in Mode::ALL {
+            let r = run_knn(mode, SimConfig::table_iv(), 3, 11).unwrap();
+            accs.push(r.accuracy);
+        }
+        assert!(accs.windows(2).all(|w| w[0] == w[1]), "{accs:?}");
+    }
+
+    #[test]
+    fn sw_is_much_slower_than_hw_on_knn() {
+        let hw = run_knn(Mode::Hw, SimConfig::table_iv(), 3, 11).unwrap();
+        let sw = run_knn(Mode::Sw, SimConfig::table_iv(), 3, 11).unwrap();
+        assert!(sw.cycles > hw.cycles * 1.5, "sw {} hw {}", sw.cycles, hw.cycles);
+    }
+}

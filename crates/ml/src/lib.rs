@@ -1,0 +1,31 @@
+//! # utpr-ml — the KNN case study substrate (paper §VII-E)
+//!
+//! A small dense-matrix library (the Armadillo analogue) and a k-nearest-
+//! neighbour classifier (the MLPack analogue) running on the simulated
+//! persistent heap. The case study demonstrates the paper's productivity
+//! claim: persisting any combination of the four application matrices
+//! requires only changing allocation placements, while the explicit model
+//! needs per-combination code versions.
+//!
+//! ```
+//! use utpr_ml::{run_knn, Dataset};
+//! use utpr_ptr::Mode;
+//! use utpr_sim::SimConfig;
+//!
+//! let r = run_knn(Mode::Hw, SimConfig::table_iv(), 3, 1)?;
+//! assert!(r.accuracy > 0.8);
+//! # Ok::<(), utpr_heap::HeapError>(())
+//! ```
+
+pub mod kmeans;
+pub mod knn;
+pub mod matrix;
+pub mod productivity;
+
+pub use kmeans::KMeans;
+pub use knn::{run_knn, Dataset, Knn, KnnPlacements, KnnResult};
+pub use matrix::{Layout, Matrix};
+pub use productivity::{
+    measured_utpr_lines_changed, paper_benchmark_lines_changed, paper_knn_efforts,
+    MigrationEffort,
+};

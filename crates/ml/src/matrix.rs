@@ -1,0 +1,472 @@
+//! A small dense-matrix library — the Armadillo analogue of the paper's
+//! KNN case study (§VII-E).
+//!
+//! A matrix is a compound object: a descriptor holding a *pointer to the
+//! data array* plus metadata (rows, cols, and a row/column-major flag —
+//! the exact metadata the paper calls out). When the matrix lives in NVM,
+//! the data pointer must be stored in relocation-stable relative format;
+//! user-transparent references make that automatic.
+
+use utpr_heap::HeapError;
+use utpr_ptr::{site, ExecEnv, Placement, TimingSink, UPtr};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, HeapError>;
+
+const D_DATA: i64 = 0;
+const D_ROWS: i64 = 8;
+const D_COLS: i64 = 16;
+const D_LAYOUT: i64 = 24;
+const DESC_SIZE: u64 = 32;
+
+/// Element ordering in memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Layout {
+    /// Row-major storage.
+    RowMajor,
+    /// Column-major storage (Armadillo's default).
+    ColMajor,
+}
+
+/// A dense `f64` matrix in simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+/// use utpr_ptr::{ExecEnv, Mode, NullSink, Placement};
+/// use utpr_ml::{Layout, Matrix};
+///
+/// let mut space = AddressSpace::new(1);
+/// let pool = space.create_pool("m", 4 << 20)?;
+/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut m = Matrix::create(&mut env, Placement::Pool(pool), 2, 2, Layout::RowMajor)?;
+/// m.set(&mut env, 0, 1, 3.5)?;
+/// assert_eq!(m.get(&mut env, 0, 1)?, 3.5);
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Matrix {
+    desc: UPtr,
+}
+
+impl Matrix {
+    /// Allocates a zeroed `rows × cols` matrix at `place`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn create<S: TimingSink>(
+        env: &mut ExecEnv<S>,
+        place: Placement,
+        rows: u64,
+        cols: u64,
+        layout: Layout,
+    ) -> Result<Self> {
+        let desc = env.alloc_in(site!("mat.create.desc", AllocResult), place, DESC_SIZE)?;
+        let data = env.alloc_in(site!("mat.create.data", AllocResult), place, rows * cols * 8)?;
+        env.write_ptr(site!("mat.create.data-link", AllocResult), desc, D_DATA, data)?;
+        env.write_u64(site!("mat.create.rows", AllocResult), desc, D_ROWS, rows)?;
+        env.write_u64(site!("mat.create.cols", AllocResult), desc, D_COLS, cols)?;
+        let flag = match layout {
+            Layout::RowMajor => 0,
+            Layout::ColMajor => 1,
+        };
+        env.write_u64(site!("mat.create.layout", AllocResult), desc, D_LAYOUT, flag)?;
+        Ok(Matrix { desc })
+    }
+
+    /// Re-attaches to an existing descriptor.
+    pub fn open(descriptor: UPtr) -> Self {
+        Matrix { desc: descriptor }
+    }
+
+    /// The descriptor pointer.
+    pub fn descriptor(&self) -> UPtr {
+        self.desc
+    }
+
+    /// Matrix dimensions `(rows, cols)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn dims<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<(u64, u64)> {
+        let r = env.read_u64(site!("mat.dims.rows", Param), self.desc, D_ROWS)?;
+        let c = env.read_u64(site!("mat.dims.cols", Param), self.desc, D_COLS)?;
+        Ok((r, c))
+    }
+
+    /// The storage layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn layout<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<Layout> {
+        let f = env.read_u64(site!("mat.layout", Param), self.desc, D_LAYOUT)?;
+        Ok(if f == 0 { Layout::RowMajor } else { Layout::ColMajor })
+    }
+
+    /// Loads the data pointer once (the hoisted `mat.mem` access every
+    /// Armadillo kernel performs before its inner loop). Through this handle
+    /// element accesses need no further per-access translation in HW mode —
+    /// while the Explicit model re-translates per access (paper Fig. 12).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn data<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<UPtr> {
+        env.read_ptr(site!("mat.data", MemLoad), self.desc, D_DATA)
+    }
+
+    fn elem_off<S: TimingSink>(&self, env: &mut ExecEnv<S>, r: u64, c: u64) -> Result<i64> {
+        let (rows, cols) = self.dims(env)?;
+        assert!(r < rows && c < cols, "index ({r},{c}) out of {rows}x{cols}");
+        Ok(match self.layout(env)? {
+            Layout::RowMajor => ((r * cols + c) * 8) as i64,
+            Layout::ColMajor => ((c * rows + r) * 8) as i64,
+        })
+    }
+
+    /// Reads element `(r, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, r: u64, c: u64) -> Result<f64> {
+        let off = self.elem_off(env, r, c)?;
+        let data = self.data(env)?;
+        env.read_f64(site!("mat.get", MemLoad), data, off)
+    }
+
+    /// Writes element `(r, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn set<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, r: u64, c: u64, v: f64) -> Result<()> {
+        let off = self.elem_off(env, r, c)?;
+        let data = self.data(env)?;
+        env.write_f64(site!("mat.set", MemLoad), data, off, v)
+    }
+
+    /// Fills the matrix from a generator function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn fill_with<S: TimingSink>(
+        &mut self,
+        env: &mut ExecEnv<S>,
+        mut f: impl FnMut(u64, u64) -> f64,
+    ) -> Result<()> {
+        let (rows, cols) = self.dims(env)?;
+        let layout = self.layout(env)?;
+        let data = self.data(env)?;
+        for r in 0..rows {
+            for c in 0..cols {
+                let off = match layout {
+                    Layout::RowMajor => ((r * cols + c) * 8) as i64,
+                    Layout::ColMajor => ((c * rows + r) * 8) as i64,
+                };
+                env.write_f64(site!("mat.fill", MemLoad), data, off, f(r, c))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Squared Euclidean distance between row `ra` of `self` and row `rb`
+    /// of `other` — the KNN inner kernel. Data pointers are hoisted, as a
+    /// C library would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when column counts differ.
+    pub fn row_dist2<S: TimingSink>(
+        &self,
+        env: &mut ExecEnv<S>,
+        ra: u64,
+        other: &Matrix,
+        rb: u64,
+    ) -> Result<f64> {
+        let (rows_a, cols) = self.dims(env)?;
+        let (rows_b, cols_b) = other.dims(env)?;
+        assert_eq!(cols, cols_b, "column mismatch");
+        let la = self.layout(env)?;
+        let lb = other.layout(env)?;
+        let da = self.data(env)?;
+        let db = other.data(env)?;
+        let mut acc = 0.0;
+        for c in 0..cols {
+            let offa = match la {
+                Layout::RowMajor => ((ra * cols + c) * 8) as i64,
+                Layout::ColMajor => ((c * rows_a + ra) * 8) as i64,
+            };
+            let offb = match lb {
+                Layout::RowMajor => ((rb * cols + c) * 8) as i64,
+                Layout::ColMajor => ((c * rows_b + rb) * 8) as i64,
+            };
+            let a = env.read_f64(site!("mat.dist.a", MemLoad), da, offa)?;
+            let b = env.read_f64(site!("mat.dist.b", MemLoad), db, offb)?;
+            let d = a - b;
+            acc += d * d;
+            env.charge_exec(3);
+        }
+        Ok(acc)
+    }
+
+    /// Element-wise `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn add_assign<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, other: &Matrix) -> Result<()> {
+        let (rows, cols) = self.dims(env)?;
+        assert_eq!((rows, cols), other.dims(env)?, "dimension mismatch");
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = self.get(env, r, c)? + other.get(env, r, c)?;
+                self.set(env, r, c, v)?;
+                env.charge_exec(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn scale<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, factor: f64) -> Result<()> {
+        let (rows, cols) = self.dims(env)?;
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = self.get(env, r, c)? * factor;
+                self.set(env, r, c, v)?;
+                env.charge_exec(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dense matrix product `self × other`, placed at `place`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/translation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions differ.
+    pub fn matmul<S: TimingSink>(
+        &self,
+        env: &mut ExecEnv<S>,
+        other: &Matrix,
+        place: Placement,
+    ) -> Result<Matrix> {
+        let (n, k) = self.dims(env)?;
+        let (k2, m) = other.dims(env)?;
+        assert_eq!(k, k2, "inner dimension mismatch");
+        let mut out = Matrix::create(env, place, n, m, Layout::RowMajor)?;
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += self.get(env, i, p)? * other.get(env, p, j)?;
+                    env.charge_exec(2);
+                }
+                out.set(env, i, j, acc)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mean of each column, as a `1 × cols` matrix in DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn col_mean<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<Matrix> {
+        let (rows, cols) = self.dims(env)?;
+        let mut out = Matrix::create(env, Placement::Dram, 1, cols, Layout::RowMajor)?;
+        for c in 0..cols {
+            let mut acc = 0.0;
+            for r in 0..rows {
+                acc += self.get(env, r, c)?;
+                env.charge_exec(1);
+            }
+            out.set(env, 0, c, acc / rows.max(1) as f64)?;
+        }
+        Ok(out)
+    }
+
+    /// Returns a transposed copy placed at `place`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/translation failures.
+    pub fn transposed<S: TimingSink>(
+        &self,
+        env: &mut ExecEnv<S>,
+        place: Placement,
+    ) -> Result<Matrix> {
+        let (rows, cols) = self.dims(env)?;
+        let layout = self.layout(env)?;
+        let mut t = Matrix::create(env, place, cols, rows, layout)?;
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = self.get(env, r, c)?;
+                t.set(env, c, r, v)?;
+            }
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utpr_heap::AddressSpace;
+    use utpr_ptr::{Mode, NullSink};
+
+    fn env(mode: Mode) -> (ExecEnv<NullSink>, Placement) {
+        let mut space = AddressSpace::new(13);
+        let pool = space.create_pool("mat", 16 << 20).unwrap();
+        (ExecEnv::new(space, mode, Some(pool), NullSink), Placement::Pool(pool))
+    }
+
+    #[test]
+    fn set_get_round_trip_both_layouts() {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let (mut e, place) = env(Mode::Hw);
+            let mut m = Matrix::create(&mut e, place, 3, 4, layout).unwrap();
+            for r in 0..3 {
+                for c in 0..4 {
+                    m.set(&mut e, r, c, (r * 10 + c) as f64).unwrap();
+                }
+            }
+            for r in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(m.get(&mut e, r, c).unwrap(), (r * 10 + c) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let (mut e, place) = env(Mode::Hw);
+        let m = Matrix::create(&mut e, place, 4, 4, Layout::ColMajor).unwrap();
+        assert_eq!(m.get(&mut e, 3, 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn row_dist2_matches_host_math() {
+        let (mut e, place) = env(Mode::Hw);
+        let mut a = Matrix::create(&mut e, place, 2, 3, Layout::RowMajor).unwrap();
+        let mut b = Matrix::create(&mut e, place, 2, 3, Layout::ColMajor).unwrap();
+        a.fill_with(&mut e, |r, c| (r + c) as f64).unwrap();
+        b.fill_with(&mut e, |r, c| (r * c) as f64 + 1.0).unwrap();
+        // Host-side reference.
+        let av = [1.0, 2.0, 3.0]; // row 1 of a: (1+0, 1+1, 1+2)
+        let bv = [1.0, 2.0, 3.0]; // row 1 of b: (1*0+1, 1*1+1, 1*2+1)
+        let expect: f64 =
+            av.iter().zip(bv.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert_eq!(a.row_dist2(&mut e, 1, &b, 1).unwrap(), expect);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let (mut e, place) = env(Mode::Sw);
+        let mut m = Matrix::create(&mut e, place, 3, 2, Layout::RowMajor).unwrap();
+        m.fill_with(&mut e, |r, c| (r * 2 + c) as f64).unwrap();
+        let t = m.transposed(&mut e, place).unwrap();
+        assert_eq!(t.dims(&mut e).unwrap(), (2, 3));
+        for r in 0..3 {
+            for c in 0..2 {
+                assert_eq!(t.get(&mut e, c, r).unwrap(), m.get(&mut e, r, c).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn nvm_matrix_data_pointer_is_relative_in_memory() {
+        let (mut e, place) = env(Mode::Hw);
+        let m = Matrix::create(&mut e, place, 2, 2, Layout::RowMajor).unwrap();
+        let raw = e.peek_raw(m.descriptor(), D_DATA).unwrap();
+        assert_ne!(raw & (1 << 63), 0, "NVM matrix data pointer must be relative");
+    }
+
+    #[test]
+    fn dram_matrix_works_in_nvm_program() {
+        let (mut e, _) = env(Mode::Hw);
+        let mut m = Matrix::create(&mut e, Placement::Dram, 2, 2, Layout::RowMajor).unwrap();
+        m.set(&mut e, 1, 1, 9.0).unwrap();
+        assert_eq!(m.get(&mut e, 1, 1).unwrap(), 9.0);
+        let raw = e.peek_raw(m.descriptor(), D_DATA).unwrap();
+        assert_eq!(raw & (1 << 63), 0, "DRAM data pointer stays virtual");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_panics() {
+        let (mut e, place) = env(Mode::Hw);
+        let m = Matrix::create(&mut e, place, 2, 2, Layout::RowMajor).unwrap();
+        let _ = m.get(&mut e, 2, 0);
+    }
+
+    #[test]
+    fn matmul_matches_host_math() {
+        let (mut e, place) = env(Mode::Hw);
+        let mut a = Matrix::create(&mut e, place, 2, 3, Layout::RowMajor).unwrap();
+        let mut b = Matrix::create(&mut e, place, 3, 2, Layout::ColMajor).unwrap();
+        a.fill_with(&mut e, |r, c| (r * 3 + c) as f64).unwrap(); // [[0,1,2],[3,4,5]]
+        b.fill_with(&mut e, |r, c| (r * 2 + c) as f64).unwrap(); // [[0,1],[2,3],[4,5]]
+        let p = a.matmul(&mut e, &b, place).unwrap();
+        // [[10,13],[28,40]]
+        assert_eq!(p.get(&mut e, 0, 0).unwrap(), 10.0);
+        assert_eq!(p.get(&mut e, 0, 1).unwrap(), 13.0);
+        assert_eq!(p.get(&mut e, 1, 0).unwrap(), 28.0);
+        assert_eq!(p.get(&mut e, 1, 1).unwrap(), 40.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let (mut e, place) = env(Mode::Sw);
+        let mut a = Matrix::create(&mut e, place, 2, 2, Layout::RowMajor).unwrap();
+        let mut b = Matrix::create(&mut e, place, 2, 2, Layout::ColMajor).unwrap();
+        a.fill_with(&mut e, |r, c| (r + c) as f64).unwrap();
+        b.fill_with(&mut e, |_, _| 1.0).unwrap();
+        a.add_assign(&mut e, &b).unwrap();
+        a.scale(&mut e, 2.0).unwrap();
+        assert_eq!(a.get(&mut e, 0, 0).unwrap(), 2.0);
+        assert_eq!(a.get(&mut e, 1, 1).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn col_mean_computes_averages() {
+        let (mut e, place) = env(Mode::Hw);
+        let mut m = Matrix::create(&mut e, place, 4, 2, Layout::ColMajor).unwrap();
+        m.fill_with(&mut e, |r, c| (r as f64) * (c as f64 + 1.0)).unwrap();
+        let mean = m.col_mean(&mut e).unwrap();
+        assert_eq!(mean.get(&mut e, 0, 0).unwrap(), 1.5); // (0+1+2+3)/4
+        assert_eq!(mean.get(&mut e, 0, 1).unwrap(), 3.0); // (0+2+4+6)/4
+    }
+}

@@ -1,0 +1,171 @@
+//! Machine configuration — the paper's Table IV, as data.
+//!
+//! Latencies are in core cycles at the modelled 2.66 GHz Gainestown-like
+//! core. Only relative time matters for the paper's figures, so the clock
+//! itself never appears.
+
+/// Geometry and hit latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheCfg {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Hit latency in cycles.
+    pub hit_cycles: u64,
+}
+
+impl CacheCfg {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line
+    }
+}
+
+/// Geometry of a TLB level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbCfg {
+    /// Number of entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+/// Geometry and latencies of a lookaside buffer (POLB / VALB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookasideCfg {
+    /// Number of entries (fully associative).
+    pub entries: usize,
+    /// Hit latency in cycles.
+    pub hit_cycles: u64,
+    /// Walker latency on a miss (POW / VAW), in cycles.
+    pub walk_cycles: u64,
+}
+
+/// Full machine configuration (paper Table IV plus the software-cost knobs
+/// the paper folds into its compiler-generated code).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Effective cycles per plain micro-op (models a ~2-wide sustainable
+    /// dispatch on the 4-wide core).
+    pub uop_cpi: f64,
+    /// L1 data cache (32 KB, 8-way, 4 cycles).
+    pub l1: CacheCfg,
+    /// L2 cache (256 KB, 8-way, 12 cycles).
+    pub l2: CacheCfg,
+    /// L3 cache (2 MB, 8-way, 40 cycles).
+    pub l3: CacheCfg,
+    /// DRAM access latency (cycles).
+    pub dram_cycles: u64,
+    /// NVM access latency (cycles) — 2× DRAM per Table IV.
+    pub nvm_cycles: u64,
+    /// L1 data TLB (64 entries, 4-way, pipelined: no extra cycles on hit).
+    pub tlb1: TlbCfg,
+    /// L2 shared TLB (1536 entries, 4-way).
+    pub tlb2: TlbCfg,
+    /// L2 TLB hit latency.
+    pub tlb2_hit_cycles: u64,
+    /// Page-walk latency on full TLB miss.
+    pub page_walk_cycles: u64,
+    /// Page size for TLB indexing.
+    pub page_bytes: u64,
+    /// Branch misprediction penalty (Pentium-M-like predictor, 8 cycles).
+    pub branch_penalty: u64,
+    /// Branch predictor table entries (2-bit counters).
+    pub predictor_entries: usize,
+    /// Branch history bits (gshare).
+    pub history_bits: u32,
+    /// POLB: pool id → base VA.
+    pub polb: LookasideCfg,
+    /// VALB: VA range → pool id.
+    pub valb: LookasideCfg,
+    /// Extra cycles the storeP functional unit adds beyond translations.
+    pub storep_unit_cycles: u64,
+    /// Store (storeD) commit cost; stores are buffered.
+    pub store_cycles: u64,
+    /// Software `ra2va` cost beyond the emitted call uops (table lookup).
+    pub sw_ra2va_cycles: u64,
+    /// Software `va2ra` cost beyond the emitted call uops (range search).
+    pub sw_va2ra_cycles: u64,
+    /// Enable the physical-address next-line prefetcher (§VI discussion;
+    /// off in the Table IV baseline).
+    pub prefetch_next_line: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            uop_cpi: 0.5,
+            l1: CacheCfg { sets: 64, ways: 8, line: 64, hit_cycles: 4 },
+            l2: CacheCfg { sets: 512, ways: 8, line: 64, hit_cycles: 12 },
+            l3: CacheCfg { sets: 4096, ways: 8, line: 64, hit_cycles: 40 },
+            dram_cycles: 120,
+            nvm_cycles: 240,
+            tlb1: TlbCfg { entries: 64, ways: 4 },
+            tlb2: TlbCfg { entries: 1536, ways: 4 },
+            tlb2_hit_cycles: 7,
+            page_walk_cycles: 30,
+            page_bytes: 4096,
+            branch_penalty: 8,
+            predictor_entries: 4096,
+            history_bits: 12,
+            polb: LookasideCfg { entries: 32, hit_cycles: 1, walk_cycles: 30 },
+            valb: LookasideCfg { entries: 32, hit_cycles: 1, walk_cycles: 30 },
+            storep_unit_cycles: 0,
+            store_cycles: 1,
+            sw_ra2va_cycles: 12,
+            sw_va2ra_cycles: 18,
+            prefetch_next_line: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's Table IV configuration.
+    pub fn table_iv() -> Self {
+        Self::default()
+    }
+
+    /// Same configuration with a different VALB/VAW amortized latency — the
+    /// paper's Fig. 14 sensitivity sweep.
+    pub fn with_valb_latency(mut self, cycles: u64) -> Self {
+        self.valb.hit_cycles = cycles;
+        self.valb.walk_cycles = cycles.max(self.valb.walk_cycles);
+        self
+    }
+
+    /// Same configuration with a different NVM latency (ablation).
+    pub fn with_nvm_latency(mut self, cycles: u64) -> Self {
+        self.nvm_cycles = cycles;
+        self
+    }
+
+    /// Same configuration with the next-line prefetcher enabled (ablation).
+    pub fn with_prefetcher(mut self) -> Self {
+        self.prefetch_next_line = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_table_iv() {
+        let c = SimConfig::table_iv();
+        assert_eq!(c.l1.capacity(), 32 << 10);
+        assert_eq!(c.l2.capacity(), 256 << 10);
+        assert_eq!(c.l3.capacity(), 2 << 20);
+        assert_eq!(c.nvm_cycles, 2 * c.dram_cycles);
+    }
+
+    #[test]
+    fn valb_sweep_sets_latency() {
+        let c = SimConfig::table_iv().with_valb_latency(50);
+        assert_eq!(c.valb.hit_cycles, 50);
+        assert!(c.valb.walk_cycles >= 50);
+    }
+}

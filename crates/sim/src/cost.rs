@@ -1,0 +1,105 @@
+//! Hardware storage-cost model — regenerates the paper's Table II.
+//!
+//! The paper sizes three on-chip structures (the storeP unit's FSM buffer,
+//! the POLB, and the VALB) and evaluates die area with CACTI at 45 nm. We
+//! model area as linear in SRAM bytes, calibrated on the paper's own rows
+//! (512 B → 0.0205 mm², 384 B → 0.0137 mm²; the FSM's entries carry more
+//! logic per bit, hence a slightly higher coefficient).
+
+/// Area coefficient for plain SRAM structures at 45 nm (mm² per byte),
+/// calibrated on the paper's POLB/VALB rows.
+pub const SRAM_MM2_PER_BYTE: f64 = 0.0137 / 384.0;
+
+/// Area coefficient for the FSM buffer (extra comparators/state logic).
+pub const FSM_MM2_PER_BYTE: f64 = 0.0205 / 512.0;
+
+/// One hardware structure's cost line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StructureCost {
+    /// Structure name.
+    pub name: &'static str,
+    /// Bytes per entry.
+    pub entry_bytes: u64,
+    /// Number of entries.
+    pub entries: u64,
+    /// Area coefficient (mm² per byte).
+    pub mm2_per_byte: f64,
+}
+
+impl StructureCost {
+    /// Total storage in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.entry_bytes * self.entries
+    }
+
+    /// Estimated die area in mm² at 45 nm.
+    pub fn area_mm2(&self) -> f64 {
+        self.total_bytes() as f64 * self.mm2_per_byte
+    }
+}
+
+/// The paper's Table II configuration: FSM (16 B × 32), POLB (12 B × 32),
+/// VALB (12 B × 32).
+pub fn table_ii() -> Vec<StructureCost> {
+    vec![
+        StructureCost { name: "FSM", entry_bytes: 16, entries: 32, mm2_per_byte: FSM_MM2_PER_BYTE },
+        StructureCost {
+            name: "POLB",
+            entry_bytes: 12,
+            entries: 32,
+            mm2_per_byte: SRAM_MM2_PER_BYTE,
+        },
+        StructureCost {
+            name: "VALB",
+            entry_bytes: 12,
+            entries: 32,
+            mm2_per_byte: SRAM_MM2_PER_BYTE,
+        },
+    ]
+}
+
+/// Total bytes across a cost table.
+pub fn total_bytes(rows: &[StructureCost]) -> u64 {
+    rows.iter().map(StructureCost::total_bytes).sum()
+}
+
+/// Total area across a cost table.
+pub fn total_area_mm2(rows: &[StructureCost]) -> f64 {
+    rows.iter().map(StructureCost::area_mm2).sum()
+}
+
+/// Die area of the reference 45 nm octal-core Nehalem processor the paper
+/// normalizes against (mm²).
+pub const NEHALEM_8C_AREA_MM2: f64 = 684.0;
+
+/// Fraction of reference die area consumed by the structures.
+pub fn die_fraction(rows: &[StructureCost]) -> f64 {
+    total_area_mm2(rows) / NEHALEM_8C_AREA_MM2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_paper_totals() {
+        let rows = table_ii();
+        assert_eq!(total_bytes(&rows), 1280);
+        let area = total_area_mm2(&rows);
+        assert!((area - 0.0479).abs() < 0.002, "area {area}");
+    }
+
+    #[test]
+    fn per_row_bytes() {
+        let rows = table_ii();
+        assert_eq!(rows[0].total_bytes(), 512);
+        assert_eq!(rows[1].total_bytes(), 384);
+        assert_eq!(rows[2].total_bytes(), 384);
+    }
+
+    #[test]
+    fn die_fraction_is_tiny() {
+        let f = die_fraction(&table_ii());
+        assert!(f < 0.001, "well under 0.1% of the die: {f}");
+    }
+}

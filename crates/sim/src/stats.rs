@@ -1,0 +1,141 @@
+//! Aggregate simulation statistics and report helpers.
+
+use std::fmt;
+
+/// Snapshot of everything the machine counted.
+#[derive(Clone, Copy, Default, Debug, PartialEq)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: f64,
+    /// Plain micro-ops dispatched.
+    pub uops: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// storeD instructions executed.
+    pub stores: u64,
+    /// storeP instructions executed.
+    pub storep: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+    /// L2 cache misses.
+    pub l2_misses: u64,
+    /// L3 cache misses (memory accesses).
+    pub l3_misses: u64,
+    /// Full TLB misses (page walks).
+    pub tlb_walks: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// POLB lookups (hardware ra2va).
+    pub polb_accesses: u64,
+    /// POLB misses (POW walks).
+    pub polb_misses: u64,
+    /// VALB lookups (hardware va2ra).
+    pub valb_accesses: u64,
+    /// VALB misses (VAW walks).
+    pub valb_misses: u64,
+    /// Software conversion calls (SW mode).
+    pub sw_conversions: u64,
+}
+
+impl SimStats {
+    /// Total memory-reference instructions.
+    pub fn memory_refs(&self) -> u64 {
+        self.loads + self.stores + self.storep
+    }
+
+    /// Fraction of memory references that are storeP (paper Fig. 15).
+    pub fn storep_fraction(&self) -> f64 {
+        ratio(self.storep, self.memory_refs())
+    }
+
+    /// Fraction of memory references that access the POLB/POW (Fig. 15).
+    pub fn polb_fraction(&self) -> f64 {
+        ratio(self.polb_accesses, self.memory_refs())
+    }
+
+    /// Fraction of memory references that access the VALB/VAW (Fig. 15).
+    pub fn valb_fraction(&self) -> f64 {
+        ratio(self.valb_accesses, self.memory_refs())
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        ratio(self.branch_mispredicts, self.branches)
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles             {:>14.0}", self.cycles)?;
+        writeln!(f, "uops               {:>14}", self.uops)?;
+        writeln!(f, "loads              {:>14}", self.loads)?;
+        writeln!(f, "stores             {:>14}", self.stores)?;
+        writeln!(f, "storeP             {:>14}", self.storep)?;
+        writeln!(f, "L1/L2/L3 misses    {:>6} {:>6} {:>6}", self.l1_misses, self.l2_misses, self.l3_misses)?;
+        writeln!(f, "tlb walks          {:>14}", self.tlb_walks)?;
+        writeln!(
+            f,
+            "branches           {:>14}  mispredicts {} ({:.2}%)",
+            self.branches,
+            self.branch_mispredicts,
+            100.0 * self.mispredict_rate()
+        )?;
+        writeln!(
+            f,
+            "polb               {:>14}  misses {}",
+            self.polb_accesses, self.polb_misses
+        )?;
+        writeln!(
+            f,
+            "valb               {:>14}  misses {}",
+            self.valb_accesses, self.valb_misses
+        )?;
+        write!(f, "sw conversions     {:>14}", self.sw_conversions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_zero_denominator() {
+        let s = SimStats::default();
+        assert_eq!(s.storep_fraction(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn fig15_fractions() {
+        let s = SimStats {
+            loads: 60,
+            stores: 30,
+            storep: 10,
+            polb_accesses: 25,
+            valb_accesses: 5,
+            ..Default::default()
+        };
+        assert!((s.storep_fraction() - 0.1).abs() < 1e-12);
+        assert!((s.polb_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.valb_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_rows() {
+        let s = SimStats::default();
+        let text = s.to_string();
+        assert!(text.contains("cycles"));
+        assert!(text.contains("polb"));
+        assert!(text.contains("mispredicts"));
+    }
+}

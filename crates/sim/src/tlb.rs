@@ -1,0 +1,167 @@
+//! Two-level data TLB with a fixed page-walk penalty.
+
+use crate::config::SimConfig;
+
+/// A set-associative LRU TLB level over page numbers.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    sets: usize,
+    entries: Vec<Vec<(u64, u64)>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries % ways == 0, "entries must be a multiple of ways");
+        let sets = entries / ways;
+        Tlb {
+            sets,
+            entries: vec![vec![(INVALID, 0); ways]; sets],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a page number, updating LRU; returns `true` on hit.
+    pub fn access(&mut self, page: u64) -> bool {
+        let set = (page as usize) % self.sets;
+        let tag = page / self.sets as u64;
+        self.stamp += 1;
+        let ways = &mut self.entries[set];
+        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            w.1 = self.stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|(t, s)| if *t == INVALID { 0 } else { s + 1 })
+            .expect("ways nonzero");
+        *victim = (tag, self.stamp);
+        false
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Clears counters, keeping contents.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// The two-level TLB of Table IV: L1 hit is free (pipelined), L1 miss pays
+/// the L2 latency, full miss pays the page walk.
+#[derive(Clone, Debug)]
+pub struct TlbHierarchy {
+    /// L1 data TLB.
+    pub l1: Tlb,
+    /// L2 shared TLB.
+    pub l2: Tlb,
+    page_bytes: u64,
+    l2_hit_cycles: u64,
+    walk_cycles: u64,
+    walks: u64,
+}
+
+impl TlbHierarchy {
+    /// Builds the TLB hierarchy from a machine configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        TlbHierarchy {
+            l1: Tlb::new(cfg.tlb1.entries, cfg.tlb1.ways),
+            l2: Tlb::new(cfg.tlb2.entries, cfg.tlb2.ways),
+            page_bytes: cfg.page_bytes,
+            l2_hit_cycles: cfg.tlb2_hit_cycles,
+            walk_cycles: cfg.page_walk_cycles,
+            walks: 0,
+        }
+    }
+
+    /// Translates `addr`; returns the added latency in cycles.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        let page = addr / self.page_bytes;
+        if self.l1.access(page) {
+            return 0;
+        }
+        if self.l2.access(page) {
+            return self.l2_hit_cycles;
+        }
+        self.walks += 1;
+        self.walk_cycles
+    }
+
+    /// Full page walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Clears counters, keeping contents.
+    pub fn reset_counters(&mut self) {
+        self.l1.reset_counters();
+        self.l2.reset_counters();
+        self.walks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits_after_first_touch() {
+        let cfg = SimConfig::table_iv();
+        let mut t = TlbHierarchy::new(&cfg);
+        assert_eq!(t.access(0x1000), cfg.page_walk_cycles);
+        assert_eq!(t.access(0x1ff8), 0, "same page, L1 hit");
+        assert_eq!(t.walks(), 1);
+    }
+
+    #[test]
+    fn l1_capacity_miss_falls_to_l2() {
+        let cfg = SimConfig::table_iv();
+        let mut t = TlbHierarchy::new(&cfg);
+        t.access(0);
+        // Touch enough pages mapping to L1 set 0 to evict page 0 from L1
+        // but not from the much larger L2.
+        let l1_sets = (cfg.tlb1.entries / cfg.tlb1.ways) as u64;
+        for i in 1..=4u64 {
+            t.access(i * l1_sets * cfg.page_bytes);
+        }
+        assert_eq!(t.access(0), cfg.tlb2_hit_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        let _ = Tlb::new(63, 4);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut t = Tlb::new(8, 2);
+        t.access(1);
+        t.access(1);
+        t.access(2);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Micro-architectural events emitted by an [`crate::ExecEnv`] and consumed
+//! by a timing model.
+//!
+//! The execution environment performs the *functional* semantics of every
+//! operation and, in parallel, narrates what a processor would see as a
+//! stream of [`MemEvent`]s. `utpr-sim` implements [`TimingSink`] to turn the
+//! stream into cycles using the paper's Table IV machine configuration; the
+//! bundled [`CountingSink`] merely tallies events for tests and for
+//! Fig. 15-style access-mix ratios.
+
+/// One micro-architectural event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemEvent {
+    /// `n` plain ALU micro-ops (address math, compares, bookkeeping).
+    Exec(u32),
+    /// A data load at virtual address `va`. `rel_base` is true when the
+    /// effective address was generated from a relative-format pointer
+    /// (paper Table I: the hardware converts before the TLB access; the
+    /// matching [`MemEvent::PolbAccess`] is emitted separately).
+    Load {
+        /// Effective virtual address.
+        va: u64,
+        /// Address register held relative format.
+        rel_base: bool,
+    },
+    /// A data store (`storeD`).
+    Store {
+        /// Effective virtual address.
+        va: u64,
+        /// Address register held relative format.
+        rel_base: bool,
+    },
+    /// A pointer store (`storeP`): the paper's new instruction. The flags
+    /// say which conversions the storeP functional unit performed
+    /// (paper Fig. 6); matching `PolbAccess`/`ValbAccess` events are emitted
+    /// alongside.
+    StoreP {
+        /// Destination virtual address (after any conversion).
+        va: u64,
+        /// Source needed virtual→relative conversion (VALB).
+        rs_va2ra: bool,
+        /// Source needed relative→virtual conversion (POLB).
+        rs_ra2va: bool,
+        /// Destination address register was in relative format (POLB).
+        rd_ra2va: bool,
+    },
+    /// A conditional branch; `pc` identifies the static branch instruction
+    /// (software checks inside shared helper functions share a pc).
+    Branch {
+        /// Static identity of the branch instruction.
+        pc: u64,
+        /// Actual outcome.
+        taken: bool,
+    },
+    /// One hardware relative→virtual translation: a POLB lookup (backed by
+    /// the POW walker on a miss). Emitted for explicit-model per-access
+    /// translations, relative-base address generation, and loaded-pointer
+    /// conversions in HW mode.
+    PolbAccess {
+        /// Pool id being translated.
+        pool: u32,
+    },
+    /// One hardware virtual→relative translation: a VALB lookup (backed by
+    /// the VAW walker on a miss). Emitted by storeP when the source operand
+    /// holds a virtual address that must be stored in relative form.
+    ValbAccess {
+        /// Virtual address being classified.
+        va: u64,
+    },
+    /// A software `ra2va` call: pool-table lookup performed by instructions
+    /// (SW mode). The timing model charges call overhead plus table loads.
+    SwRa2Va {
+        /// Pool being looked up.
+        pool: u32,
+    },
+    /// A software `va2ra` call: range-table lookup performed by instructions
+    /// (SW mode).
+    SwVa2Ra {
+        /// Virtual address being classified.
+        va: u64,
+    },
+}
+
+/// Consumer of the event stream.
+///
+/// Implementations must be cheap: the environment calls this on every memory
+/// operation of the simulated program.
+pub trait TimingSink {
+    /// Observes one event.
+    fn event(&mut self, ev: MemEvent);
+}
+
+/// A sink that ignores everything (functional-only runs).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullSink;
+
+impl TimingSink for NullSink {
+    fn event(&mut self, _ev: MemEvent) {}
+}
+
+impl<T: TimingSink + ?Sized> TimingSink for &mut T {
+    fn event(&mut self, ev: MemEvent) {
+        (**self).event(ev)
+    }
+}
+
+/// A sink that counts events by class — useful in tests and for Fig. 15-style
+/// ratios without a full timing model.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CountingSink {
+    /// ALU micro-ops observed.
+    pub exec_uops: u64,
+    /// Loads observed.
+    pub loads: u64,
+    /// Loads whose base register was in relative format.
+    pub rel_base_loads: u64,
+    /// Plain stores observed.
+    pub stores: u64,
+    /// storeP instructions observed.
+    pub storep: u64,
+    /// storeP instructions that performed a VALB (va2ra) translation.
+    pub storep_va2ra: u64,
+    /// storeP instructions that performed a source POLB (ra2va) translation.
+    pub storep_ra2va: u64,
+    /// Branches observed.
+    pub branches: u64,
+    /// Hardware POLB accesses observed.
+    pub polb_accesses: u64,
+    /// Hardware VALB accesses observed.
+    pub valb_accesses: u64,
+    /// Software ra2va calls observed.
+    pub sw_ra2va: u64,
+    /// Software va2ra calls observed.
+    pub sw_va2ra: u64,
+}
+
+impl CountingSink {
+    /// Fresh zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total memory-reference instructions (loads + stores + storeP).
+    pub fn memory_refs(&self) -> u64 {
+        self.loads + self.stores + self.storep
+    }
+}
+
+impl TimingSink for CountingSink {
+    fn event(&mut self, ev: MemEvent) {
+        match ev {
+            MemEvent::Exec(n) => self.exec_uops += u64::from(n),
+            MemEvent::Load { rel_base, .. } => {
+                self.loads += 1;
+                if rel_base {
+                    self.rel_base_loads += 1;
+                }
+            }
+            MemEvent::Store { .. } => self.stores += 1,
+            MemEvent::StoreP { rs_va2ra, rs_ra2va, .. } => {
+                self.storep += 1;
+                if rs_va2ra {
+                    self.storep_va2ra += 1;
+                }
+                if rs_ra2va {
+                    self.storep_ra2va += 1;
+                }
+            }
+            MemEvent::Branch { .. } => self.branches += 1,
+            MemEvent::PolbAccess { .. } => self.polb_accesses += 1,
+            MemEvent::ValbAccess { .. } => self.valb_accesses += 1,
+            MemEvent::SwRa2Va { .. } => self.sw_ra2va += 1,
+            MemEvent::SwVa2Ra { .. } => self.sw_va2ra += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_classifies_events() {
+        let mut s = CountingSink::new();
+        s.event(MemEvent::Exec(3));
+        s.event(MemEvent::Load { va: 1, rel_base: true });
+        s.event(MemEvent::Load { va: 2, rel_base: false });
+        s.event(MemEvent::Store { va: 3, rel_base: false });
+        s.event(MemEvent::StoreP { va: 4, rs_va2ra: true, rs_ra2va: false, rd_ra2va: false });
+        s.event(MemEvent::Branch { pc: 9, taken: true });
+        s.event(MemEvent::PolbAccess { pool: 1 });
+        s.event(MemEvent::ValbAccess { va: 5 });
+        s.event(MemEvent::SwRa2Va { pool: 1 });
+        s.event(MemEvent::SwVa2Ra { va: 7 });
+        assert_eq!(s.exec_uops, 3);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.rel_base_loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.storep, 1);
+        assert_eq!(s.storep_va2ra, 1);
+        assert_eq!(s.storep_ra2va, 0);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.polb_accesses, 1);
+        assert_eq!(s.valb_accesses, 1);
+        assert_eq!(s.sw_ra2va, 1);
+        assert_eq!(s.sw_va2ra, 1);
+        assert_eq!(s.memory_refs(), 4);
+    }
+
+    #[test]
+    fn null_sink_is_inert() {
+        let mut s = NullSink;
+        s.event(MemEvent::Exec(1_000_000));
+    }
+
+    #[test]
+    fn mut_ref_forwarding_works() {
+        let mut s = CountingSink::new();
+        {
+            let mut r: &mut CountingSink = &mut s;
+            let r = &mut r;
+            r.event(MemEvent::Exec(2));
+        }
+        assert_eq!(s.exec_uops, 2);
+    }
+}

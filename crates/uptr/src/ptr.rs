@@ -1,0 +1,292 @@
+//! The user-transparent persistent pointer value.
+//!
+//! A [`UPtr`] is a single 64-bit word whose most-significant bit selects the
+//! interpretation of the remaining bits (paper Fig. 2):
+//!
+//! ```text
+//! bit 63 = 0:  [ 0 | 15 zero bits | 48-bit virtual address ]
+//!              bit 47 of the VA selects the NVM half of the address space
+//! bit 63 = 1:  [ 1 | 31-bit pool id | 32-bit intra-pool offset ]
+//! ```
+//!
+//! Because both formats fit the width of a conventional pointer, legacy code
+//! can hold, copy, and compare these values without knowing which format it
+//! has — the runtime (or the paper's hardware) discerns them with the
+//! `determineX`/`determineY` checks modelled by [`UPtr::space`] and
+//! [`UPtr::format`].
+
+use std::fmt;
+use utpr_heap::addr::{RelLoc, VirtAddr, NVM_REGION_BIT, VA_MASK};
+use utpr_heap::PoolId;
+
+/// Flag bit that marks the relative (persistent) pointer format.
+pub const REL_BIT: u64 = 1 << 63;
+
+/// Storage format of a pointer value — the paper's `determineY`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PtrFormat {
+    /// The value is a 48-bit virtual address.
+    Virtual,
+    /// The value is a pool id + offset pair (relative address).
+    Relative,
+}
+
+/// Which memory a pointer targets — the paper's `determineX`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PtrSpace {
+    /// Volatile memory (DRAM half).
+    Dram,
+    /// Persistent memory (NVM half or a pool).
+    Nvm,
+}
+
+/// Decoded view of a pointer value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PtrKind {
+    /// The null pointer.
+    Null,
+    /// A virtual address (volatile or persistent half).
+    Va(VirtAddr),
+    /// A pool-relative address.
+    Rel(RelLoc),
+}
+
+/// A user-transparent persistent reference: one 64-bit word that may hold
+/// either a virtual address or a pool-relative address.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_ptr::{UPtr, PtrFormat};
+/// use utpr_heap::{RelLoc, PoolId, VirtAddr};
+///
+/// let v = UPtr::from_va(VirtAddr::new(0x1000));
+/// assert_eq!(v.format(), PtrFormat::Virtual);
+///
+/// let r = UPtr::from_rel(RelLoc::new(PoolId::new(5), 0x20));
+/// assert_eq!(r.format(), PtrFormat::Relative);
+/// assert_eq!(r.as_rel(), Some(RelLoc::new(PoolId::new(5), 0x20)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UPtr(u64);
+
+impl UPtr {
+    /// The null pointer.
+    pub const NULL: UPtr = UPtr(0);
+
+    /// Builds a pointer from its raw stored bits (e.g. a word loaded from
+    /// simulated memory).
+    #[inline]
+    pub fn from_raw(bits: u64) -> Self {
+        UPtr(bits)
+    }
+
+    /// Raw bits as stored in memory.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Wraps a virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the address exceeds 48 bits (it would
+    /// collide with the relative-format flag space).
+    #[inline]
+    pub fn from_va(va: VirtAddr) -> Self {
+        debug_assert!(va.raw() <= VA_MASK);
+        UPtr(va.raw())
+    }
+
+    /// Encodes a pool-relative location.
+    #[inline]
+    pub fn from_rel(loc: RelLoc) -> Self {
+        UPtr(REL_BIT | (u64::from(loc.pool.raw()) << 32) | u64::from(loc.offset))
+    }
+
+    /// True for the all-zero null value.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The paper's `determineY`: which format the bits are in.
+    #[inline]
+    pub fn format(self) -> PtrFormat {
+        if self.0 & REL_BIT != 0 {
+            PtrFormat::Relative
+        } else {
+            PtrFormat::Virtual
+        }
+    }
+
+    /// The paper's `determineX`: does this pointer target persistent memory?
+    /// Relative pointers always do; virtual addresses do when bit 47 is set.
+    #[inline]
+    pub fn space(self) -> PtrSpace {
+        if self.0 & REL_BIT != 0 || self.0 & NVM_REGION_BIT != 0 {
+            PtrSpace::Nvm
+        } else {
+            PtrSpace::Dram
+        }
+    }
+
+    /// Decodes the pointer.
+    #[inline]
+    pub fn kind(self) -> PtrKind {
+        if self.0 == 0 {
+            PtrKind::Null
+        } else if self.0 & REL_BIT != 0 {
+            PtrKind::Rel(self.rel_unchecked())
+        } else {
+            PtrKind::Va(VirtAddr::new(self.0 & VA_MASK))
+        }
+    }
+
+    /// The virtual address, if the value is in virtual format (null returns
+    /// `None`).
+    #[inline]
+    pub fn as_va(self) -> Option<VirtAddr> {
+        match self.kind() {
+            PtrKind::Va(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The relative location, if the value is in relative format.
+    #[inline]
+    pub fn as_rel(self) -> Option<RelLoc> {
+        match self.kind() {
+            PtrKind::Rel(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn rel_unchecked(self) -> RelLoc {
+        RelLoc::new(PoolId::new(((self.0 >> 32) & 0x7fff_ffff) as u32), self.0 as u32)
+    }
+
+    /// Pointer arithmetic `p + delta` (bytes), preserving the format — the
+    /// additive-operator rows of the paper's Fig. 4 (`$$ = pxy.val op i`).
+    ///
+    /// Virtual addresses wrap within 48 bits; relative offsets wrap within
+    /// their 32-bit field (out-of-pool offsets fault later, on use, just as
+    /// out-of-object arithmetic in C is only UB when dereferenced).
+    #[inline]
+    pub fn offset(self, delta: i64) -> Self {
+        if self.0 & REL_BIT != 0 {
+            let off = (self.0 as u32).wrapping_add(delta as u32);
+            UPtr((self.0 & !0xffff_ffff) | u64::from(off))
+        } else {
+            UPtr(self.0.wrapping_add(delta as u64) & VA_MASK)
+        }
+    }
+}
+
+impl fmt::Debug for UPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            PtrKind::Null => write!(f, "UPtr(null)"),
+            PtrKind::Va(v) => write!(f, "UPtr(va {v})"),
+            PtrKind::Rel(r) => write!(f, "UPtr(rel {r})"),
+        }
+    }
+}
+
+impl fmt::Display for UPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<VirtAddr> for UPtr {
+    fn from(va: VirtAddr) -> Self {
+        UPtr::from_va(va)
+    }
+}
+
+impl From<RelLoc> for UPtr {
+    fn from(loc: RelLoc) -> Self {
+        UPtr::from_rel(loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utpr_heap::addr::NVM_BASE;
+
+    #[test]
+    fn null_is_virtual_dram() {
+        assert!(UPtr::NULL.is_null());
+        assert_eq!(UPtr::NULL.format(), PtrFormat::Virtual);
+        assert_eq!(UPtr::NULL.space(), PtrSpace::Dram);
+        assert_eq!(UPtr::NULL.kind(), PtrKind::Null);
+    }
+
+    #[test]
+    fn rel_encoding_round_trips() {
+        for (pool, off) in [(0u32, 0u32), (1, 0x20), (0x7fff_ffff, u32::MAX)] {
+            let loc = RelLoc::new(PoolId::new(pool), off);
+            let p = UPtr::from_rel(loc);
+            assert_eq!(p.format(), PtrFormat::Relative);
+            assert_eq!(p.space(), PtrSpace::Nvm);
+            assert_eq!(p.as_rel(), Some(loc));
+            assert_eq!(UPtr::from_raw(p.raw()), p);
+        }
+    }
+
+    #[test]
+    fn va_encoding_round_trips() {
+        let va = VirtAddr::new(0xdead_beef);
+        let p = UPtr::from_va(va);
+        assert_eq!(p.format(), PtrFormat::Virtual);
+        assert_eq!(p.space(), PtrSpace::Dram);
+        assert_eq!(p.as_va(), Some(va));
+    }
+
+    #[test]
+    fn nvm_half_va_is_persistent_space() {
+        let p = UPtr::from_va(VirtAddr::new(NVM_BASE + 0x100));
+        assert_eq!(p.format(), PtrFormat::Virtual);
+        assert_eq!(p.space(), PtrSpace::Nvm);
+    }
+
+    #[test]
+    fn rel_pool_zero_offset_zero_is_not_null() {
+        let p = UPtr::from_rel(RelLoc::new(PoolId::new(0), 0));
+        assert!(!p.is_null());
+    }
+
+    #[test]
+    fn offset_preserves_format() {
+        let r = UPtr::from_rel(RelLoc::new(PoolId::new(3), 16));
+        let r2 = r.offset(24);
+        assert_eq!(r2.as_rel(), Some(RelLoc::new(PoolId::new(3), 40)));
+        let r3 = r2.offset(-40);
+        assert_eq!(r3.as_rel(), Some(RelLoc::new(PoolId::new(3), 0)));
+
+        let v = UPtr::from_va(VirtAddr::new(0x1000));
+        assert_eq!(v.offset(8).as_va(), Some(VirtAddr::new(0x1008)));
+        assert_eq!(v.offset(-8).as_va(), Some(VirtAddr::new(0xff8)));
+    }
+
+    #[test]
+    fn rel_offset_wraps_in_32_bits_without_touching_pool() {
+        let r = UPtr::from_rel(RelLoc::new(PoolId::new(9), u32::MAX));
+        let r2 = r.offset(1);
+        assert_eq!(r2.as_rel(), Some(RelLoc::new(PoolId::new(9), 0)));
+    }
+
+    #[test]
+    fn debug_formats_are_distinct() {
+        let n = format!("{:?}", UPtr::NULL);
+        let v = format!("{:?}", UPtr::from_va(VirtAddr::new(0x10)));
+        let r = format!("{:?}", UPtr::from_rel(RelLoc::new(PoolId::new(1), 2)));
+        assert!(n.contains("null"));
+        assert!(v.contains("va"));
+        assert!(r.contains("rel"));
+    }
+}

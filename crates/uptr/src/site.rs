@@ -1,0 +1,176 @@
+//! Static program sites and the compiler's knowledge about them.
+//!
+//! Every pointer operation in client code (the data structures, the KV
+//! harness, the KNN case study) is tagged with a static [`Site`] describing
+//! where the pointer came from. The compiler pass of the paper (our
+//! `utpr-cc` crate) decides per site whether the pointer's property is known
+//! at compile time; where it is not, the SW version must execute a dynamic
+//! check. [`Provenance::is_statically_resolved`] encodes the outcome of that
+//! inference for each provenance class; `utpr-cc`'s tests validate the
+//! mapping against the real dataflow analysis on representative kernels.
+
+use std::fmt;
+
+/// Where a pointer operand at a site comes from, determining whether the
+/// compiler's backward dataflow analysis can resolve its property.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Provenance {
+    /// Direct result of `malloc`/`pmalloc` — property known by definition
+    /// of the allocation function (paper §V-B).
+    AllocResult,
+    /// Address of (or value held only in) a stack local whose assignments
+    /// are all visible — property propagated by the analysis.
+    StackLocal,
+    /// Function parameter — callers may pass volatile or persistent
+    /// pointers, so the property is unknown (the core motivation of the
+    /// paper: libraries receive both).
+    Param,
+    /// Value loaded from memory — the stored format depends on where the
+    /// enclosing object lives, unknown in general.
+    MemLoad,
+    /// Return value of a function the analysis has a summary for
+    /// (e.g. the pool root accessor, documented library functions).
+    KnownReturn,
+}
+
+impl Provenance {
+    /// Whether the paper's compiler inference resolves this class without a
+    /// dynamic check.
+    ///
+    /// The mapping is validated in `utpr-cc` against the actual dataflow
+    /// pass: seeds (allocation results, known returns) and everything
+    /// reached only from seeds resolve; parameters and memory loads do not.
+    pub fn is_statically_resolved(self) -> bool {
+        match self {
+            Provenance::AllocResult | Provenance::StackLocal | Provenance::KnownReturn => true,
+            Provenance::Param | Provenance::MemLoad => false,
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Provenance::AllocResult => "alloc-result",
+            Provenance::StackLocal => "stack-local",
+            Provenance::Param => "param",
+            Provenance::MemLoad => "mem-load",
+            Provenance::KnownReturn => "known-return",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A static pointer-operation site in client code.
+///
+/// Declare sites with the [`crate::site!`] macro so each gets a stable
+/// static identity:
+///
+/// ```
+/// use utpr_ptr::{site, Site, Provenance};
+///
+/// let s: &'static Site = site!("rb.insert.child-link", MemLoad);
+/// assert!(!s.is_statically_resolved());
+/// ```
+#[derive(Debug)]
+pub struct Site {
+    name: &'static str,
+    provenance: Provenance,
+}
+
+impl Site {
+    /// Creates a site (usually via [`crate::site!`]).
+    pub const fn new(name: &'static str, provenance: Provenance) -> Self {
+        Site { name, provenance }
+    }
+
+    /// Human-readable site name (`"structure.operation.operand"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The operand's provenance class.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// Whether the compiler eliminated this site's dynamic check.
+    pub fn is_statically_resolved(&self) -> bool {
+        self.provenance.is_statically_resolved()
+    }
+
+    /// A stable pseudo-pc for branches belonging to this site, mixed with a
+    /// small `kind` discriminator (one pc per inline check).
+    pub fn pc(&self, kind: u32) -> u64 {
+        // FNV-1a over the name, then mix the kind.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ (u64::from(kind) << 1)
+    }
+}
+
+/// Shared pseudo-pc of the out-of-line `pointerAssignment` helper's
+/// `determineX` branch (paper Fig. 9 emits a call, so all call sites share
+/// the helper's branches).
+pub const PC_PA_DETERMINE_X: u64 = 0x5041_5f58;
+/// Shared pseudo-pc of the helper's `determineY` branch.
+pub const PC_PA_DETERMINE_Y: u64 = 0x5041_5f59;
+/// Shared pseudo-pc of the out-of-line `determineY` runtime helper used by
+/// every other unresolved check site. The code-generation pass runs after
+/// all optimizations (paper §VI), so the helper is never inlined and every
+/// call site's outcome stream interleaves at this single branch.
+pub const PC_DETERMINE_Y_HELPER: u64 = 0x4445_545f;
+
+/// Declares a `&'static Site` in place.
+///
+/// ```
+/// use utpr_ptr::{site, Provenance};
+/// let s = site!("list.append.next", Param);
+/// assert_eq!(s.provenance(), Provenance::Param);
+/// ```
+#[macro_export]
+macro_rules! site {
+    ($name:expr, $prov:ident) => {{
+        static SITE: $crate::Site = $crate::Site::new($name, $crate::Provenance::$prov);
+        &SITE
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_mapping() {
+        assert!(Provenance::AllocResult.is_statically_resolved());
+        assert!(Provenance::StackLocal.is_statically_resolved());
+        assert!(Provenance::KnownReturn.is_statically_resolved());
+        assert!(!Provenance::Param.is_statically_resolved());
+        assert!(!Provenance::MemLoad.is_statically_resolved());
+    }
+
+    #[test]
+    fn macro_produces_static_site() {
+        let a = site!("x.y.z", Param);
+        let b = site!("x.y.z", Param);
+        // Two macro expansions are distinct statics but equal content.
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.pc(0), b.pc(0));
+    }
+
+    #[test]
+    fn pcs_differ_by_name_and_kind() {
+        let a = Site::new("a", Provenance::Param);
+        let b = Site::new("b", Provenance::Param);
+        assert_ne!(a.pc(0), b.pc(0));
+        assert_ne!(a.pc(0), a.pc(1));
+    }
+
+    #[test]
+    fn display_of_provenance() {
+        assert_eq!(Provenance::MemLoad.to_string(), "mem-load");
+    }
+}

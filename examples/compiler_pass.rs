@@ -1,0 +1,98 @@
+//! The compiler-based method end to end (paper §V-B): build a small
+//! "library function" in the IR, run the pointer-property dataflow
+//! inference, see which dynamic checks survive, and execute it through the
+//! interpreter against the simulated persistent heap.
+//!
+//! Run with: `cargo run --example compiler_pass`
+
+use utpr_cc::analysis::analyze_module;
+use utpr_cc::interp::{Interp, Val};
+use utpr_cc::ir::{CmpOp, FnBuilder, Module, Operand::*};
+use utpr_heap::AddressSpace;
+use utpr_ptr::UPtr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A legacy-style library function:
+    //   void append(Node** slot, long v) {
+    //       Node* n = pmalloc(16); n->val = v;
+    //       n->next = *slot; *slot = n;
+    //   }
+    // `slot` is a parameter — the compiler cannot know whether callers pass
+    // volatile or persistent memory, the exact situation the paper targets.
+    let mut b = FnBuilder::new("append", 2);
+    let slot = b.param(0);
+    let v = b.param(1);
+    let n = b.fresh();
+    b.pmalloc(n, Imm(16));
+    b.store(Reg(n), 0, Reg(v));
+    let old = b.fresh();
+    b.load_ptr(old, Reg(slot), 0);
+    b.store_ptr(Reg(n), 8, Reg(old));
+    b.store_ptr(Reg(slot), 0, Reg(n));
+    b.ret(None);
+
+    // sum(slot): walk the list.
+    let mut s = FnBuilder::new("sum", 1);
+    let slot_p = s.param(0);
+    let acc = s.fresh();
+    let p = s.fresh();
+    let loop_bb = s.new_block();
+    let body = s.new_block();
+    let done = s.new_block();
+    s.const_int(acc, 0);
+    s.load_ptr(p, Reg(slot_p), 0);
+    s.br(loop_bb);
+    s.switch_to(loop_bb);
+    let c = s.fresh();
+    s.cmp_ptr(c, CmpOp::Ne, Reg(p), Null);
+    s.cond_br(Reg(c), body, done);
+    s.switch_to(body);
+    let val = s.fresh();
+    s.load(val, Reg(p), 0);
+    s.int_add(acc, Reg(acc), Reg(val));
+    s.load_ptr(p, Reg(p), 8);
+    s.br(loop_bb);
+    s.switch_to(done);
+    s.ret(Some(Reg(acc)));
+
+    let mut module = Module::new();
+    module.add(b.finish());
+    module.add(s.finish());
+    module.verify()?;
+
+    println!("=== the IR the pass sees ===\n{module}\n");
+
+    // Inference: which sites keep their dynamic checks?
+    let report = analyze_module(&module);
+    for (name, analysis) in &report.functions {
+        println!(
+            "{name}: {} pointer-op sites, {} still need checks",
+            analysis.total_sites(),
+            analysis.checked_sites()
+        );
+    }
+    println!(
+        "static residual-check fraction: {:.0}% (paper measures ~42% on its benchmarks)\n",
+        100.0 * report.static_check_fraction()
+    );
+
+    // Execute against the simulated persistent heap.
+    let mut space = AddressSpace::new(3);
+    let pool = space.create_pool("cc-demo", 1 << 20)?;
+    let slot_loc = space.pmalloc(pool, 8)?;
+    let slot_ptr = Val::Ptr(UPtr::from_rel(slot_loc));
+    let mut interp = Interp::new(&mut space, pool, &module);
+    for v in 1..=10i64 {
+        interp.run("append", vec![slot_ptr, Val::Int(v)])?;
+    }
+    let total = interp.run("sum", vec![slot_ptr])?;
+    println!("sum of appended values: {total:?} (expected Some(Int(55)))");
+    let st = interp.stats();
+    println!(
+        "executed checks: {} of {} a naive compiler would run ({:.0}%)",
+        st.executed_checks,
+        st.max_checks,
+        100.0 * st.dynamic_check_fraction()
+    );
+    Ok(())
+}

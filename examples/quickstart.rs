@@ -1,0 +1,51 @@
+//! Quickstart: user-transparent persistent references in five minutes.
+//!
+//! Builds a persistent linked structure exactly the way legacy code would —
+//! plain loads, stores and pointer assignments — and shows that (a) the
+//! pointers stored in NVM are relocation-stable relative addresses, and
+//! (b) the data survives a crash and re-attachment at a different address.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use utpr_heap::AddressSpace;
+use utpr_ptr::{site, ExecEnv, Mode, NullSink, UPtr};
+
+fn main() -> Result<(), utpr_heap::HeapError> {
+    // A process address space with one persistent pool.
+    let mut space = AddressSpace::new(2024);
+    let pool = space.create_pool("quickstart", 1 << 20)?;
+    let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+
+    // Legacy-style code: build a 3-node list. Notice there is no special
+    // pointer type anywhere — the env plays the role of the hardware.
+    let mut head = UPtr::NULL;
+    for value in (1..=3u64).rev() {
+        let node = env.alloc(site!("qs.alloc", AllocResult), 16)?;
+        env.write_u64(site!("qs.val", AllocResult), node, 0, value)?;
+        env.write_ptr(site!("qs.next", AllocResult), node, 8, head)?;
+        head = node;
+    }
+    env.set_root(site!("qs.root", StackLocal), head)?;
+
+    // The stored format in NVM is relative (bit 63 set) — relocatable.
+    let raw_next = env.peek_raw(head, 8)?;
+    println!("stored next-pointer bits: {raw_next:#018x} (relative: {})", raw_next >> 63 == 1);
+
+    // Crash. DRAM is gone; the pool re-attaches at a different address.
+    let old_base = env.space().attachment(pool).unwrap().base;
+    env.space_mut().restart();
+    env.space_mut().open_pool("quickstart")?;
+    let new_base = env.space().attachment(pool).unwrap().base;
+    println!("pool base across restart: {old_base} -> {new_base}");
+
+    // Walk the recovered list through the persistent root.
+    let mut p = env.root(site!("qs.reload", KnownReturn))?;
+    print!("recovered list:");
+    while !p.is_null() {
+        print!(" {}", env.read_u64(site!("qs.walk.val", MemLoad), p, 0)?);
+        p = env.read_ptr(site!("qs.walk.next", MemLoad), p, 8)?;
+    }
+    println!();
+    println!("ok: data survived relocation with zero pointer fixup.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # utpr — user-transparent persistent references for legacy libraries on NVM
+//!
+//! A complete, executable reproduction of *"Supporting Legacy Libraries on
+//! Non-Volatile Memory: A User-Transparent Approach"* (Ye, Xu, Shen, Liao,
+//! Jin, Solihin — ISCA 2021), from the tagged 64-bit pointer format up to
+//! the interval timing model that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! This crate is the facade: it re-exports the workspace crates.
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`heap`] | simulated 48-bit address space, persistent pools, allocators |
+//! | [`uptr`] | the pointer format, Fig. 4 C11 semantics, the four-mode [`uptr::ExecEnv`] |
+//! | [`sim`]  | caches, TLBs, branch predictor, POLB/VALB, storeP unit, cycle model |
+//! | [`cc`]   | mini-IR, pointer-property dataflow inference, interpreter |
+//! | [`ds`]   | LL, Hash, RB, Splay, AVL, SG over the persistent heap |
+//! | [`kv`]   | YCSB-style workloads and the KV benchmark harness |
+//! | [`ml`]   | matrix library + KNN case study |
+//!
+//! ## A complete round trip
+//!
+//! ```
+//! use utpr::uptr::{site, ExecEnv, Mode, NullSink};
+//! use utpr::heap::AddressSpace;
+//! use utpr::ds::{Index, RbTree};
+//!
+//! let mut space = AddressSpace::new(1);
+//! let pool = space.create_pool("facade", 8 << 20)?;
+//! let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+//!
+//! let mut tree = RbTree::create(&mut env)?;
+//! tree.insert(&mut env, 42, 4242)?;
+//! env.set_root(site!("facade.save", StackLocal), tree.descriptor())?;
+//!
+//! env.space_mut().restart();                 // crash
+//! env.space_mut().open_pool("facade")?;      // new run, new base address
+//! let mut tree = RbTree::open(env.root(site!("facade.load", KnownReturn))?);
+//! assert_eq!(tree.get(&mut env, 42)?, Some(4242));
+//! # Ok::<(), utpr::heap::HeapError>(())
+//! ```
+
+pub use utpr_cc as cc;
+pub use utpr_ds as ds;
+pub use utpr_heap as heap;
+pub use utpr_kv as kv;
+pub use utpr_ml as ml;
+pub use utpr_ptr as uptr;
+pub use utpr_sim as sim;

@@ -1,0 +1,176 @@
+//! Compiler-path integration: the IR kernels executed through the
+//! interpreter (with the Fig. 4 semantics and dynamic-check accounting)
+//! must agree with native Rust oracles, and the inference must keep the
+//! residual-check fraction in the paper's neighbourhood (~42%).
+
+use proptest::prelude::*;
+use utpr_cc::analysis::analyze_module;
+use utpr_cc::interp::{Interp, Val};
+use utpr_cc::kernels;
+use utpr_heap::{AddressSpace, PoolId};
+use utpr_ptr::UPtr;
+
+fn with_pool(seed: u64) -> (AddressSpace, PoolId) {
+    let mut s = AddressSpace::new(seed);
+    let p = s.create_pool("cc-int", 8 << 20).unwrap();
+    (s, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// list_build_and_sum(n) == n(n+1)/2 for arbitrary n.
+    #[test]
+    fn list_sum_matches_closed_form(n in 0i64..300) {
+        let m = kernels::module();
+        let (mut s, pool) = with_pool(5);
+        let mut i = Interp::new(&mut s, pool, &m);
+        let out = i.run("list_build_and_sum", vec![Val::Int(n)]).unwrap();
+        prop_assert_eq!(out, Some(Val::Int(n * (n + 1) / 2)));
+    }
+
+    /// BST insert/contains agrees with a BTreeSet oracle on random keys.
+    #[test]
+    fn bst_matches_btreeset(keys in prop::collection::vec(0i64..1000, 1..80)) {
+        let m = kernels::module();
+        let (mut s, pool) = with_pool(6);
+        let slot = s.pmalloc(pool, 8).unwrap();
+        let slot_ptr = Val::Ptr(UPtr::from_rel(slot));
+        let mut interp = Interp::new(&mut s, pool, &m);
+        let mut oracle = std::collections::BTreeSet::new();
+        for k in &keys {
+            if oracle.insert(*k) {
+                interp.run("bst_insert", vec![slot_ptr, Val::Int(*k)]).unwrap();
+            }
+        }
+        for probe in 0i64..1000 {
+            let expect = i64::from(oracle.contains(&probe));
+            let got = interp.run("bst_contains", vec![slot_ptr, Val::Int(probe)]).unwrap();
+            prop_assert_eq!(got, Some(Val::Int(expect)), "probe {}", probe);
+        }
+    }
+
+    /// Hash put/get agrees with a HashMap oracle (last write wins via
+    /// prepend-and-first-match).
+    #[test]
+    fn hash_matches_hashmap(pairs in prop::collection::vec((0i64..64, any::<i32>()), 1..60)) {
+        let m = kernels::module();
+        let (mut s, pool) = with_pool(7);
+        let table = s.pmalloc(pool, 64).unwrap();
+        let tp = Val::Ptr(UPtr::from_rel(table));
+        let mut interp = Interp::new(&mut s, pool, &m);
+        let mut oracle = std::collections::HashMap::new();
+        for (k, v) in &pairs {
+            oracle.insert(*k, i64::from(*v));
+            interp
+                .run("hash_put", vec![tp, Val::Int(7), Val::Int(*k), Val::Int(i64::from(*v))])
+                .unwrap();
+        }
+        for (k, v) in &oracle {
+            let got = interp.run("hash_get", vec![tp, Val::Int(7), Val::Int(*k)]).unwrap();
+            prop_assert_eq!(got, Some(Val::Int(*v)));
+        }
+    }
+}
+
+/// The residual-check fraction lands near the paper's measured ~42%.
+#[test]
+fn inference_leaves_paper_like_residual_checks() {
+    let m = kernels::module();
+    let report = analyze_module(&m);
+    let static_fraction = report.static_check_fraction();
+    assert!(
+        static_fraction > 0.25 && static_fraction < 0.75,
+        "static residual fraction {static_fraction}"
+    );
+
+    // Dynamic fraction over a realistic op mix.
+    let (mut s, pool) = with_pool(9);
+    let mut interp = Interp::new(&mut s, pool, &m);
+    interp.run("list_build_and_sum", vec![Val::Int(150)]).unwrap();
+    let f = interp.stats().dynamic_check_fraction();
+    assert!(f > 0.2 && f < 0.8, "dynamic residual fraction {f}");
+}
+
+/// The provenance→resolution mapping used by the data-structure sites is
+/// consistent with the real dataflow analysis: alloc-result dereferences
+/// resolve, parameter/loaded-pointer dereferences do not.
+#[test]
+fn provenance_mapping_consistent_with_dataflow() {
+    use utpr_cc::ir::{FnBuilder, Operand::*};
+    use utpr_ptr::Provenance;
+
+    // Parameter deref.
+    let mut b = FnBuilder::new("p", 1);
+    let v = b.fresh();
+    b.load(v, Reg(b.param(0)), 0);
+    b.ret(Some(Reg(v)));
+    let a = utpr_cc::analysis::analyze_function(&b.finish());
+    assert_eq!(
+        a.decisions.values().next().unwrap().resolved(),
+        Provenance::Param.is_statically_resolved()
+    );
+
+    // Alloc-result deref.
+    let mut b = FnBuilder::new("a", 0);
+    let p = b.fresh();
+    b.pmalloc(p, Imm(32));
+    b.store(Reg(p), 0, Imm(1));
+    b.ret(None);
+    let a = utpr_cc::analysis::analyze_function(&b.finish());
+    assert_eq!(
+        a.decisions.values().next().unwrap().resolved(),
+        Provenance::AllocResult.is_statically_resolved()
+    );
+
+    // Loaded-pointer deref.
+    let mut b = FnBuilder::new("l", 0);
+    let p = b.fresh();
+    b.pmalloc(p, Imm(32));
+    let q = b.fresh();
+    b.load_ptr(q, Reg(p), 0);
+    let v = b.fresh();
+    b.load(v, Reg(q), 0);
+    b.ret(Some(Reg(v)));
+    let a = utpr_cc::analysis::analyze_function(&b.finish());
+    let deref_of_loaded = a
+        .decisions
+        .iter()
+        .last()
+        .map(|(_, d)| d.resolved())
+        .unwrap();
+    assert_eq!(deref_of_loaded, Provenance::MemLoad.is_statically_resolved());
+}
+
+/// IR programs keep NVM-resident pointers in relative format (the paper's
+/// stored-format soundness criterion, via the interpreter path).
+#[test]
+fn interpreter_stores_relative_pointers_in_nvm() {
+    let m = kernels::module();
+    let (mut s, pool) = with_pool(11);
+    let slot = s.pmalloc(pool, 8).unwrap();
+    let slot_ptr = Val::Ptr(UPtr::from_rel(slot));
+    let mut interp = Interp::new(&mut s, pool, &m);
+    for k in [5i64, 3, 8, 1] {
+        interp.run("bst_insert", vec![slot_ptr, Val::Int(k)]).unwrap();
+    }
+    drop(interp);
+    // Walk raw memory from the slot: all stored pointers must be relative.
+    fn walk(s: &AddressSpace, node_bits: u64, count: &mut u32) {
+        if node_bits == 0 {
+            return;
+        }
+        assert_ne!(node_bits >> 63, 0, "stored BST pointer not relative");
+        *count += 1;
+        let p = UPtr::from_raw(node_bits);
+        let va = s.ra2va(p.as_rel().unwrap()).unwrap();
+        let left = s.read_u64(va.add(8)).unwrap();
+        let right = s.read_u64(va.add(16)).unwrap();
+        walk(s, left, count);
+        walk(s, right, count);
+    }
+    let root_bits = s.read_u64(s.ra2va(slot).unwrap()).unwrap();
+    let mut count = 0;
+    walk(&s, root_bits, &mut count);
+    assert_eq!(count, 4);
+}

@@ -1,0 +1,75 @@
+//! Determinism guarantees: identical configurations produce bit-identical
+//! results and cycle counts — the property that makes every figure in
+//! EXPERIMENTS.md reproducible on any machine.
+
+use utpr_kv::harness::{run_benchmark, Benchmark};
+use utpr_kv::workload::WorkloadSpec;
+use utpr_kv::ycsb::{generate_preset, Preset};
+use utpr_kv::KvStore;
+use utpr_ds::{BPlusTree, RbTree};
+use utpr_heap::AddressSpace;
+use utpr_ptr::{ExecEnv, Mode, NullSink};
+use utpr_sim::SimConfig;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec { records: 300, operations: 1_200, read_fraction: 0.95, seed: 77 }
+}
+
+#[test]
+fn identical_runs_produce_identical_cycles() {
+    for mode in Mode::ALL {
+        let a = run_benchmark(Benchmark::Rb, mode, SimConfig::table_iv(), &spec()).unwrap();
+        let b = run_benchmark(Benchmark::Rb, mode, SimConfig::table_iv(), &spec()).unwrap();
+        assert_eq!(a.cycles, b.cycles, "{} cycles differ", mode.label());
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.sim.branch_mispredicts, b.sim.branch_mispredicts);
+        assert_eq!(a.ptr, b.ptr);
+    }
+}
+
+#[test]
+fn workload_generation_is_seed_deterministic() {
+    let w1 = utpr_kv::generate(&spec());
+    let w2 = utpr_kv::generate(&spec());
+    assert_eq!(w1.load_keys, w2.load_keys);
+    assert_eq!(w1.ops, w2.ops);
+    // A different seed changes the stream.
+    let mut other = spec();
+    other.seed = 78;
+    let w3 = utpr_kv::generate(&other);
+    assert_ne!(w1.ops, w3.ops);
+}
+
+/// Soundness extends to the YCSB preset mixes: every build computes the
+/// same summary for update-heavy and read-latest workloads, on both a
+/// binary tree and the wide-node B+ tree.
+#[test]
+fn preset_workloads_agree_across_modes_and_structures() {
+    for preset in [Preset::A, Preset::D] {
+        let w = generate_preset(preset, 250, 1_000, 5);
+        let mut summaries = Vec::new();
+        for mode in Mode::ALL {
+            // RB
+            let mut space = AddressSpace::new(7);
+            let pool = space.create_pool("det", 16 << 20).unwrap();
+            let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+            let mut store: KvStore<RbTree> = KvStore::create(&mut env).unwrap();
+            store.load(&mut env, &w).unwrap();
+            let rb = store.run(&mut env, &w).unwrap();
+            // B+
+            let mut space = AddressSpace::new(7);
+            let pool = space.create_pool("det", 16 << 20).unwrap();
+            let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+            let mut store: KvStore<BPlusTree> = KvStore::create(&mut env).unwrap();
+            store.load(&mut env, &w).unwrap();
+            let bp = store.run(&mut env, &w).unwrap();
+            assert_eq!(rb, bp, "structures disagree in {} on preset {}", mode.label(), preset.name());
+            summaries.push(rb);
+        }
+        assert!(
+            summaries.windows(2).all(|x| x[0] == x[1]),
+            "modes disagree on preset {}",
+            preset.name()
+        );
+    }
+}

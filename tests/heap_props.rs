@@ -1,0 +1,130 @@
+//! Property-based tests of the memory substrate: the allocator against a
+//! shadow model, the sparse page store against a byte map, pointer encoding
+//! round-trips, and pool lifecycle sequences.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use utpr_heap::{AddressSpace, PageStore, PoolId, Region, RelLoc};
+use utpr_ptr::UPtr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free sequences keep the allocator structurally valid,
+    /// never hand out overlapping blocks, and preserve block contents.
+    #[test]
+    fn allocator_random_ops(ops in prop::collection::vec((any::<u16>(), 1u64..400), 1..300)) {
+        let mut mem = PageStore::new();
+        let region = Region::format(&mut mem, 1 << 20).unwrap();
+        let mut live: Vec<(u64, u64, u64)> = Vec::new(); // (payload, size, tag)
+        let mut tag = 0u64;
+        for (sel, size) in ops {
+            if sel % 3 != 0 || live.is_empty() {
+                if let Ok(p) = region.alloc(&mut mem, size) {
+                    // No overlap with any live allocation.
+                    for (q, qs, _) in &live {
+                        let disjoint = p + size <= *q || q + qs <= p;
+                        prop_assert!(disjoint, "overlap: [{p},{}) vs [{q},{})", p + size, q + qs);
+                    }
+                    tag += 1;
+                    mem.write_u64(p, tag);
+                    live.push((p, size, tag));
+                }
+            } else {
+                let idx = (sel as usize) % live.len();
+                let (p, _, t) = live.swap_remove(idx);
+                prop_assert_eq!(mem.read_u64(p), t, "clobbered content");
+                region.free(&mut mem, p).unwrap();
+            }
+        }
+        region.validate(&mem).unwrap();
+        // Free everything: the region coalesces back to one block.
+        for (p, _, t) in live {
+            prop_assert_eq!(mem.read_u64(p), t);
+            region.free(&mut mem, p).unwrap();
+        }
+        prop_assert_eq!(region.validate(&mem).unwrap(), 1);
+    }
+
+    /// The sparse page store behaves exactly like a flat byte map.
+    #[test]
+    fn page_store_matches_byte_map(writes in prop::collection::vec((0u64..100_000, any::<u8>()), 1..200)) {
+        let mut store = PageStore::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (off, byte) in &writes {
+            store.write(*off, &[*byte]);
+            model.insert(*off, *byte);
+        }
+        for (off, _) in &writes {
+            let mut b = [0u8; 1];
+            store.read(*off, &mut b);
+            prop_assert_eq!(b[0], model[off]);
+        }
+        // Unwritten neighbours read zero.
+        let mut b = [0u8; 1];
+        store.read(3_000_000, &mut b);
+        prop_assert_eq!(b[0], 0);
+    }
+
+    /// Pointer encodings round-trip for every (pool, offset) pair and never
+    /// collide with virtual addresses.
+    #[test]
+    fn uptr_encoding_roundtrip(pool in 0u32..(1 << 31), offset in any::<u32>(), va in 0u64..(1u64 << 48)) {
+        let loc = RelLoc::new(PoolId::new(pool), offset);
+        let rel = UPtr::from_rel(loc);
+        prop_assert_eq!(rel.as_rel(), Some(loc));
+        prop_assert!(rel.raw() >> 63 == 1);
+        let vp = UPtr::from_va(utpr_heap::VirtAddr::new(va));
+        prop_assert!(vp.raw() >> 63 == 0);
+        prop_assert_ne!(rel.raw(), vp.raw());
+    }
+
+    /// Any sequence of detach/attach/restart keeps pool contents readable
+    /// through relative locations.
+    #[test]
+    fn pool_lifecycle_preserves_content(events in prop::collection::vec(0u8..3, 1..12)) {
+        let mut space = AddressSpace::new(1234);
+        let pool = space.create_pool("life", 1 << 20).unwrap();
+        let loc = space.pmalloc(pool, 64).unwrap();
+        let va = space.ra2va(loc).unwrap();
+        space.write_u64(va, 0xabcdef).unwrap();
+        for e in events {
+            match e {
+                0 => {
+                    let _ = space.detach(pool);
+                }
+                1 => {
+                    let _ = space.attach(pool);
+                }
+                _ => {
+                    space.restart();
+                }
+            }
+        }
+        space.open_pool("life").unwrap();
+        let va2 = space.ra2va(loc).unwrap();
+        prop_assert_eq!(space.read_u64(va2).unwrap(), 0xabcdef);
+    }
+
+    /// pmalloc never returns overlapping objects within a pool, and
+    /// translated addresses stay inside the attachment.
+    #[test]
+    fn pmalloc_objects_disjoint(sizes in prop::collection::vec(1u64..512, 1..64)) {
+        let mut space = AddressSpace::new(77);
+        let pool = space.create_pool("alloc", 4 << 20).unwrap();
+        let att = space.attachment(pool).unwrap();
+        let mut spans: Vec<(u32, u64)> = Vec::new();
+        for size in sizes {
+            let loc = space.pmalloc(pool, size).unwrap();
+            for (off, sz) in &spans {
+                let disjoint = loc.offset as u64 + size <= u64::from(*off)
+                    || u64::from(*off) + sz <= u64::from(loc.offset);
+                prop_assert!(disjoint);
+            }
+            let va = space.ra2va(loc).unwrap();
+            prop_assert!(va.raw() >= att.base.raw());
+            prop_assert!(va.raw() + size <= att.base.raw() + att.size);
+            spans.push((loc.offset, size));
+        }
+    }
+}

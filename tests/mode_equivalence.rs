@@ -1,0 +1,153 @@
+//! The central soundness theorem of the paper, as a property test: *any*
+//! program — modelled as a random sequence of allocations, field reads,
+//! field writes, pointer links, comparisons, and frees over an object
+//! graph — observes exactly the same values in all four builds (Volatile,
+//! Explicit, SW, HW), and in the persistent builds every pointer at rest in
+//! NVM is in relative format.
+
+use proptest::prelude::*;
+use utpr_heap::AddressSpace;
+use utpr_ptr::{site, CheckPolicy, ExecEnv, Mode, NullSink, UPtr};
+
+/// One abstract program step over a growing object graph.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Allocate a new object (64 bytes: 4 data words + 4 pointer slots).
+    Alloc,
+    /// Write `value` into data word `word` of object `obj`.
+    WriteData { obj: usize, word: u8, value: u64 },
+    /// Read data word `word` of object `obj` (observed).
+    ReadData { obj: usize, word: u8 },
+    /// Store a pointer to object `src` into pointer slot `slot` of `dst`.
+    Link { dst: usize, slot: u8, src: usize },
+    /// Load pointer slot `slot` of `obj` and read its target's word 0
+    /// (observed; 0 when null).
+    FollowLink { obj: usize, slot: u8 },
+    /// Compare the pointers of objects `a` and `b` (observed).
+    Compare { a: usize, b: usize },
+    /// Null-check pointer slot `slot` of `obj` (observed).
+    CheckNull { obj: usize, slot: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => Just(Step::Alloc),
+        4 => (0usize..64, 0u8..4, any::<u64>())
+            .prop_map(|(obj, word, value)| Step::WriteData { obj, word, value }),
+        4 => (0usize..64, 0u8..4).prop_map(|(obj, word)| Step::ReadData { obj, word }),
+        3 => (0usize..64, 0u8..4, 0usize..64)
+            .prop_map(|(dst, slot, src)| Step::Link { dst, slot, src }),
+        4 => (0usize..64, 0u8..4).prop_map(|(obj, slot)| Step::FollowLink { obj, slot }),
+        2 => (0usize..64, 0usize..64).prop_map(|(a, b)| Step::Compare { a, b }),
+        2 => (0usize..64, 0u8..4).prop_map(|(obj, slot)| Step::CheckNull { obj, slot }),
+    ]
+}
+
+const DATA_BASE: i64 = 0; // words 0..4
+const PTR_BASE: i64 = 32; // slots 0..4
+
+/// Executes the program in one mode and returns the observation trace.
+fn execute(steps: &[Step], mode: Mode, policy: CheckPolicy) -> Vec<u64> {
+    let mut space = AddressSpace::new(0x5EED ^ mode.label().len() as u64);
+    let pool = space.create_pool("equiv", 8 << 20).unwrap();
+    let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+    env.set_check_policy(policy);
+    let mut objects: Vec<UPtr> = Vec::new();
+    let mut trace = Vec::new();
+
+    for step in steps {
+        match *step {
+            Step::Alloc => {
+                let p = env.alloc(site!("eq.alloc", AllocResult), 64).unwrap();
+                // Zero the pointer slots so loads are well-defined.
+                for s in 0..4 {
+                    env.write_ptr(site!("eq.init", AllocResult), p, PTR_BASE + s * 8, UPtr::NULL)
+                        .unwrap();
+                }
+                objects.push(p);
+            }
+            Step::WriteData { obj, word, value } if !objects.is_empty() => {
+                let p = objects[obj % objects.len()];
+                env.write_u64(site!("eq.wd", Param), p, DATA_BASE + i64::from(word) * 8, value)
+                    .unwrap();
+            }
+            Step::ReadData { obj, word } if !objects.is_empty() => {
+                let p = objects[obj % objects.len()];
+                let v = env
+                    .read_u64(site!("eq.rd", Param), p, DATA_BASE + i64::from(word) * 8)
+                    .unwrap();
+                trace.push(v);
+            }
+            Step::Link { dst, slot, src } if !objects.is_empty() => {
+                let d = objects[dst % objects.len()];
+                let s = objects[src % objects.len()];
+                env.write_ptr(site!("eq.link", MemLoad), d, PTR_BASE + i64::from(slot) * 8, s)
+                    .unwrap();
+            }
+            Step::FollowLink { obj, slot } if !objects.is_empty() => {
+                let p = objects[obj % objects.len()];
+                let q = env
+                    .read_ptr(site!("eq.follow", MemLoad), p, PTR_BASE + i64::from(slot) * 8)
+                    .unwrap();
+                if env.ptr_is_null(site!("eq.follow-null", StackLocal), q) {
+                    trace.push(0);
+                } else {
+                    let v = env.read_u64(site!("eq.follow-rd", MemLoad), q, 0).unwrap();
+                    trace.push(v.wrapping_add(1));
+                }
+            }
+            Step::Compare { a, b } if !objects.is_empty() => {
+                let pa = objects[a % objects.len()];
+                let pb = objects[b % objects.len()];
+                let eq = env.ptr_eq(site!("eq.cmp", Param), pa, pb).unwrap();
+                trace.push(u64::from(eq));
+            }
+            Step::CheckNull { obj, slot } if !objects.is_empty() => {
+                let p = objects[obj % objects.len()];
+                let q = env
+                    .read_ptr(site!("eq.cn", MemLoad), p, PTR_BASE + i64::from(slot) * 8)
+                    .unwrap();
+                trace.push(u64::from(env.ptr_is_null(site!("eq.cn-null", StackLocal), q)));
+            }
+            _ => {} // op before any allocation: no-op in every mode
+        }
+    }
+
+    // Stored-format invariant for the persistent builds: every non-null
+    // pointer slot holds a relative (bit-63) value.
+    if mode == Mode::Hw || mode == Mode::Sw {
+        for p in &objects {
+            for s in 0..4 {
+                let raw = env.peek_raw(*p, PTR_BASE + s * 8).unwrap();
+                assert!(raw == 0 || raw >> 63 == 1, "non-relative pointer at rest in NVM");
+            }
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All four builds observe identical traces on arbitrary programs.
+    #[test]
+    fn four_builds_observe_identical_traces(steps in prop::collection::vec(step_strategy(), 1..120)) {
+        let reference = execute(&steps, Mode::Volatile, CheckPolicy::Inferred);
+        for mode in [Mode::Explicit, Mode::Sw, Mode::Hw] {
+            let got = execute(&steps, mode, CheckPolicy::Inferred);
+            prop_assert_eq!(&got, &reference, "{} diverged", mode.label());
+        }
+    }
+
+    /// The SW build's check policy never changes observable behaviour —
+    /// checks are pure overhead (the paper's "just an optimization" claim
+    /// about keeping or converting relative pointers).
+    #[test]
+    fn check_policy_is_observation_invariant(steps in prop::collection::vec(step_strategy(), 1..80)) {
+        let inferred = execute(&steps, Mode::Sw, CheckPolicy::Inferred);
+        let always = execute(&steps, Mode::Sw, CheckPolicy::AlwaysCheck);
+        let oracle = execute(&steps, Mode::Sw, CheckPolicy::Oracle);
+        prop_assert_eq!(&always, &inferred);
+        prop_assert_eq!(&oracle, &inferred);
+    }
+}

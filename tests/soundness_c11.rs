@@ -1,0 +1,258 @@
+//! Soundness battery for the Fig. 4 semantics — the analogue of the
+//! paper's LLVM test-suite validation (§VII-B): every ISO C11 pointer
+//! operation must behave identically whether the operand happens to be in
+//! virtual or relative format, and pointers stored in NVM must always hold
+//! correct relative addresses.
+
+use proptest::prelude::*;
+use utpr_heap::{AddressSpace, PoolId, VirtAddr};
+use utpr_ptr::{C11Engine, PtrFormat, PtrSpace, UPtr};
+
+/// A test world: one pool with a handful of objects, plus DRAM objects.
+struct World {
+    space: AddressSpace,
+    pool: PoolId,
+    /// (base VA, size) of each persistent object.
+    pobjs: Vec<(VirtAddr, u64)>,
+    /// (base VA, size) of each volatile object.
+    vobjs: Vec<(VirtAddr, u64)>,
+}
+
+fn build_world(seed: u64) -> World {
+    let mut space = AddressSpace::new(seed);
+    let pool = space.create_pool("c11", 1 << 20).unwrap();
+    let mut pobjs = Vec::new();
+    for i in 0..6u64 {
+        let loc = space.pmalloc(pool, 64 + i * 16).unwrap();
+        let va = space.ra2va(loc).unwrap();
+        pobjs.push((va, 64 + i * 16));
+    }
+    let mut vobjs = Vec::new();
+    for i in 0..4u64 {
+        let va = space.malloc(64 + i * 16).unwrap();
+        vobjs.push((va, 64 + i * 16));
+    }
+    World { space, pool, pobjs, vobjs }
+}
+
+/// A pointer into the world plus both of its possible encodings.
+#[derive(Clone, Copy, Debug)]
+struct TestPtr {
+    va: VirtAddr,
+    encodings: [UPtr; 2],
+}
+
+impl World {
+    /// Builds the pointer (and its encodings) for object `idx` at `off`.
+    fn ptr(&self, persistent: bool, idx: usize, off: u64) -> TestPtr {
+        if persistent {
+            let (base, size) = self.pobjs[idx % self.pobjs.len()];
+            let va = base.add(off % size);
+            let rel = self.space.va2ra(va).unwrap();
+            TestPtr { va, encodings: [UPtr::from_va(va), UPtr::from_rel(rel)] }
+        } else {
+            let (base, size) = self.vobjs[idx % self.vobjs.len()];
+            let va = base.add(off % size);
+            // Volatile pointers have a single encoding; duplicate it.
+            TestPtr { va, encodings: [UPtr::from_va(va), UPtr::from_va(va)] }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Equality and relational operators agree with native addresses for
+    /// every encoding combination (Fig. 4 relational rows).
+    #[test]
+    fn relational_ops_are_format_independent(
+        seed in 1u64..500,
+        p_pers in any::<bool>(), p_idx in 0usize..8, p_off in 0u64..128,
+        q_pers in any::<bool>(), q_idx in 0usize..8, q_off in 0u64..128,
+        p_enc in 0usize..2, q_enc in 0usize..2,
+    ) {
+        let w = build_world(seed);
+        let p = w.ptr(p_pers, p_idx, p_off);
+        let q = w.ptr(q_pers, q_idx, q_off);
+        let mut eng = C11Engine::new(&w.space);
+        let native_eq = p.va == q.va;
+        let native_ord = p.va.raw().cmp(&q.va.raw());
+        prop_assert_eq!(eng.eq(p.encodings[p_enc], q.encodings[q_enc]).unwrap(), native_eq);
+        prop_assert_eq!(eng.cmp(p.encodings[p_enc], q.encodings[q_enc]).unwrap(), native_ord);
+    }
+
+    /// `(I)p` casts and integer round-trips match native pointer values
+    /// (Fig. 4 cast rows).
+    #[test]
+    fn int_casts_are_format_independent(
+        seed in 1u64..500,
+        pers in any::<bool>(), idx in 0usize..8, off in 0u64..128, enc in 0usize..2,
+    ) {
+        let w = build_world(seed);
+        let p = w.ptr(pers, idx, off);
+        let mut eng = C11Engine::new(&w.space);
+        let i = eng.to_int(p.encodings[enc]).unwrap();
+        prop_assert_eq!(i, p.va.raw());
+        // (T*)(I)p dereferences the same location.
+        let back = C11Engine::from_int(i);
+        prop_assert_eq!(eng.deref_target(back).unwrap(), p.va);
+    }
+
+    /// Pointer differences match native subtraction in every encoding
+    /// combination within the same object (Fig. 4 additive rows).
+    #[test]
+    fn pointer_difference_is_format_independent(
+        seed in 1u64..500,
+        pers in any::<bool>(), idx in 0usize..8,
+        off_a in 0u64..64, off_b in 0u64..64,
+        enc_a in 0usize..2, enc_b in 0usize..2,
+    ) {
+        let w = build_world(seed);
+        let a = w.ptr(pers, idx, off_a);
+        let b = w.ptr(pers, idx, off_b);
+        let mut eng = C11Engine::new(&w.space);
+        let native = a.va.raw() as i64 - b.va.raw() as i64;
+        prop_assert_eq!(eng.diff(a.encodings[enc_a], b.encodings[enc_b]).unwrap(), native);
+    }
+
+    /// `p + i` preserves the format and lands on the native address
+    /// (Fig. 4: `$$ = pxy.val op i`, format tag survives).
+    #[test]
+    fn additive_ops_preserve_format(
+        seed in 1u64..500,
+        pers in any::<bool>(), idx in 0usize..8, off in 0u64..32,
+        delta in -16i64..48, enc in 0usize..2,
+    ) {
+        let w = build_world(seed);
+        let p = w.ptr(pers, idx, off);
+        let moved = C11Engine::add(p.encodings[enc], delta);
+        prop_assert_eq!(moved.format(), p.encodings[enc].format());
+        // Where the result is still inside the object, dereference agrees.
+        let target = p.va.raw() as i64 + delta;
+        if target >= p.va.raw() as i64 - off as i64 {
+            let mut eng = C11Engine::new(&w.space);
+            if let Ok(t) = eng.deref_target(moved) {
+                prop_assert_eq!(t.raw(), target as u64);
+            }
+        }
+    }
+
+    /// Dereference targets agree across encodings, and writes through one
+    /// encoding are visible through the other.
+    #[test]
+    fn loads_and_stores_agree_across_encodings(
+        seed in 1u64..500,
+        idx in 0usize..8, off in 0u64..7, value in any::<u64>(),
+    ) {
+        let mut w = build_world(seed);
+        let p = w.ptr(true, idx, off * 8);
+        let mut eng = C11Engine::new(&w.space);
+        let t0 = eng.deref_target(p.encodings[0]).unwrap();
+        let t1 = eng.deref_target(p.encodings[1]).unwrap();
+        prop_assert_eq!(t0, t1);
+        w.space.write_u64(t0, value).unwrap();
+        prop_assert_eq!(w.space.read_u64(t1).unwrap(), value);
+    }
+
+    /// The storeP value transformation is idempotent and space-correct:
+    /// NVM destinations store relative or volatile-virtual values, DRAM
+    /// destinations always store virtual values (Fig. 3 / Table I).
+    #[test]
+    fn assignment_transformation_is_sound(
+        seed in 1u64..500,
+        pers in any::<bool>(), idx in 0usize..8, off in 0u64..64, enc in 0usize..2,
+        dest_nvm in any::<bool>(),
+    ) {
+        let w = build_world(seed);
+        let p = w.ptr(pers, idx, off);
+        let mut eng = C11Engine::new(&w.space);
+        let dest = if dest_nvm { PtrSpace::Nvm } else { PtrSpace::Dram };
+        let stored = eng.assign_value(dest, p.encodings[enc]).unwrap();
+        // The stored value still designates the same location.
+        prop_assert_eq!(eng.deref_target(stored).unwrap(), p.va);
+        match dest {
+            PtrSpace::Nvm => {
+                if pers {
+                    prop_assert_eq!(stored.format(), PtrFormat::Relative,
+                        "persistent pointer in NVM must be relative");
+                } else {
+                    prop_assert_eq!(stored.format(), PtrFormat::Virtual);
+                }
+            }
+            PtrSpace::Dram => prop_assert_eq!(stored.format(), PtrFormat::Virtual),
+        }
+        // Idempotent: re-assigning to the same space changes nothing.
+        let again = eng.assign_value(dest, stored).unwrap();
+        prop_assert_eq!(again, stored);
+    }
+
+    /// Null behaves like C null in every operation.
+    #[test]
+    fn null_semantics(seed in 1u64..100, pers in any::<bool>(), idx in 0usize..8, enc in 0usize..2) {
+        let w = build_world(seed);
+        let p = w.ptr(pers, idx, 0);
+        let mut eng = C11Engine::new(&w.space);
+        prop_assert!(!eng.eq(p.encodings[enc], UPtr::NULL).unwrap());
+        prop_assert!(eng.eq(UPtr::NULL, UPtr::NULL).unwrap());
+        prop_assert!(C11Engine::is_true(p.encodings[enc]));
+        prop_assert!(!C11Engine::is_true(UPtr::NULL));
+        prop_assert!(eng.deref_target(UPtr::NULL).is_err());
+    }
+}
+
+/// Relocation: every persistent encoding keeps working after the pool moves;
+/// cached virtual addresses do not. (Deterministic, not property-based.)
+#[test]
+fn relocation_preserves_relative_but_not_virtual() {
+    let mut w = build_world(77);
+    let p = w.ptr(true, 2, 24);
+    w.space.write_u64(p.va, 0xfeed).unwrap();
+    let rel_encoding = p.encodings[1];
+
+    w.space.detach(w.pool).unwrap();
+    w.space.attach(w.pool).unwrap();
+
+    let mut eng = C11Engine::new(&w.space);
+    let new_target = eng.deref_target(rel_encoding).unwrap();
+    assert_eq!(w.space.read_u64(new_target).unwrap(), 0xfeed);
+    // The old virtual address no longer resolves into the pool.
+    assert!(w.space.va2ra(p.va).is_err());
+}
+
+/// The full-table smoke test: every operation class of Fig. 4 exercised
+/// once with mixed formats, checking against native expectations.
+#[test]
+fn fig4_operation_classes_smoke() {
+    let w = build_world(123);
+    let p = w.ptr(true, 0, 16);
+    let q = w.ptr(true, 0, 40);
+    let d = w.ptr(false, 0, 8);
+    let mut eng = C11Engine::new(&w.space);
+
+    // casts
+    assert_eq!(eng.to_int(p.encodings[1]).unwrap(), p.va.raw());
+    // unary * (deref target)
+    assert_eq!(eng.deref_target(p.encodings[1]).unwrap(), p.va);
+    // additive
+    assert_eq!(eng.diff(q.encodings[1], p.encodings[0]).unwrap(), 24);
+    // indexing: p[3] with 8-byte elements
+    assert_eq!(eng.index_target(p.encodings[1], 3, 8).unwrap(), p.va.add(24));
+    // relational / equality
+    assert!(eng.eq(p.encodings[0], p.encodings[1]).unwrap());
+    assert_eq!(eng.cmp(p.encodings[1], q.encodings[0]).unwrap(), std::cmp::Ordering::Less);
+    // logical
+    assert!(C11Engine::is_true(p.encodings[1]));
+    // assignment in all four (dest, src) space combinations
+    for (dest, src) in [
+        (PtrSpace::Nvm, p.encodings[0]),
+        (PtrSpace::Nvm, p.encodings[1]),
+        (PtrSpace::Dram, p.encodings[0]),
+        (PtrSpace::Dram, p.encodings[1]),
+    ] {
+        let stored = eng.assign_value(dest, src).unwrap();
+        assert_eq!(eng.deref_target(stored).unwrap(), p.va);
+    }
+    // volatile pointer into NVM keeps virtual format
+    let vd = eng.assign_value(PtrSpace::Nvm, d.encodings[0]).unwrap();
+    assert_eq!(vd.format(), PtrFormat::Virtual);
+}

@@ -1,0 +1,140 @@
+//! Property tests for the persistent transaction layer: arbitrary
+//! interleavings of transactional updates, commits, aborts, and crashes
+//! must always leave the pool in a state some prefix of committed
+//! transactions explains.
+
+use proptest::prelude::*;
+use utpr_heap::{AddressSpace, PoolId, RelLoc, UndoLog};
+
+const WORDS: usize = 8;
+
+#[derive(Clone, Copy, Debug)]
+enum TxnStep {
+    /// Write `value` to word `slot` inside the open transaction.
+    Write { slot: usize, value: u64 },
+    /// Commit the open transaction.
+    Commit,
+    /// Abort the open transaction.
+    Abort,
+    /// Crash: restart the space and run recovery.
+    Crash,
+}
+
+fn step_strategy() -> impl Strategy<Value = TxnStep> {
+    prop_oneof![
+        6 => (0usize..WORDS, any::<u64>()).prop_map(|(slot, value)| TxnStep::Write { slot, value }),
+        2 => Just(TxnStep::Commit),
+        1 => Just(TxnStep::Abort),
+        1 => Just(TxnStep::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After every step sequence, pool contents equal the model built from
+    /// exactly the committed transactions.
+    #[test]
+    fn pool_state_reflects_committed_transactions(steps in prop::collection::vec(step_strategy(), 1..60)) {
+        let mut space = AddressSpace::new(0x7a7a);
+        let pool: PoolId = space.create_pool("props", 1 << 20).unwrap();
+        let base = space.pmalloc(pool, (WORDS * 8) as u64).unwrap();
+        let log = UndoLog::ensure(&mut space, pool, 256).unwrap();
+
+        // The durable model (committed state) and the in-flight overlay.
+        let mut committed = [0u64; WORDS];
+
+        let write_word = |space: &mut AddressSpace, slot: usize, v: u64| {
+            let loc = RelLoc::new(pool, base.offset + (slot * 8) as u32);
+            let va = space.ra2va(loc).unwrap();
+            space.write_u64(va, v).unwrap();
+        };
+
+        log.begin(&mut space).unwrap();
+        let mut pending: Option<[u64; WORDS]> = Some(committed);
+
+        for step in steps {
+            match step {
+                TxnStep::Write { slot, value } => {
+                    if pending.is_none() {
+                        log.begin(&mut space).unwrap();
+                        pending = Some(committed);
+                    }
+                    let loc = RelLoc::new(pool, base.offset + (slot * 8) as u32);
+                    log.log_word(&mut space, loc).unwrap();
+                    write_word(&mut space, slot, value);
+                    pending.as_mut().unwrap()[slot] = value;
+                }
+                TxnStep::Commit => {
+                    if let Some(p) = pending.take() {
+                        log.commit(&mut space).unwrap();
+                        committed = p;
+                    }
+                }
+                TxnStep::Abort => {
+                    if pending.take().is_some() {
+                        log.abort(&mut space).unwrap();
+                    }
+                }
+                TxnStep::Crash => {
+                    pending = None;
+                    space.restart();
+                    space.open_pool("props").unwrap();
+                    UndoLog::recover(&mut space, pool).unwrap();
+                }
+            }
+            // Invariant: words outside an open transaction equal the model.
+            if pending.is_none() {
+                for (slot, expect) in committed.iter().enumerate() {
+                    let loc = RelLoc::new(pool, base.offset + (slot * 8) as u32);
+                    let va = space.ra2va(loc).unwrap();
+                    prop_assert_eq!(space.read_u64(va).unwrap(), *expect, "slot {}", slot);
+                }
+            }
+        }
+
+        // Final resolution: abort anything still open, then check the model.
+        if pending.is_some() {
+            log.abort(&mut space).unwrap();
+        }
+        for (slot, expect) in committed.iter().enumerate() {
+            let loc = RelLoc::new(pool, base.offset + (slot * 8) as u32);
+            let va = space.ra2va(loc).unwrap();
+            prop_assert_eq!(space.read_u64(va).unwrap(), *expect, "final slot {}", slot);
+        }
+    }
+}
+
+/// B+ scan vs a BTreeMap range oracle on arbitrary key sets.
+mod bplus_scan {
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use utpr_ds::{BPlusTree, Index};
+    use utpr_heap::AddressSpace;
+    use utpr_ptr::{ExecEnv, Mode, NullSink};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn scan_matches_btreemap_range(
+            keys in prop::collection::btree_set(0u64..5_000, 1..300),
+            start in 0u64..5_000,
+            limit in 1usize..40,
+        ) {
+            let mut space = AddressSpace::new(3);
+            let pool = space.create_pool("scan", 16 << 20).unwrap();
+            let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+            let mut t = BPlusTree::create(&mut env).unwrap();
+            let mut model = BTreeMap::new();
+            for k in &keys {
+                t.insert(&mut env, *k, k * 3).unwrap();
+                model.insert(*k, k * 3);
+            }
+            let got = t.scan(&mut env, start, limit).unwrap();
+            let expect: Vec<(u64, u64)> =
+                model.range(start..).take(limit).map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}
