@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks of the core primitives: pointer
-//! encode/decode, translations, allocator, zipfian sampling, and the
-//! simulated cache. These track the cost of the library itself, not the
-//! simulated machine.
+//! Micro-benchmarks of the core primitives: pointer encode/decode,
+//! translations, allocator, zipfian sampling, and the simulated cache.
+//! These track the cost of the library itself, not the simulated machine.
+//! Runs on the in-workspace `utpr-qc` harness (median/p95/min per op).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use utpr_qc::bench::Bench;
+use utpr_qc::{bench_group, bench_main};
 use utpr_heap::{AddressSpace, PageStore, Region};
 use utpr_kv::rng::Rng;
 use utpr_kv::workload::Zipfian;
@@ -12,7 +13,7 @@ use utpr_ptr::{C11Engine, UPtr};
 use utpr_sim::cache::Cache;
 use utpr_sim::config::CacheCfg;
 
-fn bench_ptr_ops(c: &mut Criterion) {
+fn bench_ptr_ops(c: &mut Bench) {
     let mut space = AddressSpace::new(3);
     let pool = space.create_pool("micro", 1 << 20).unwrap();
     let loc = space.pmalloc(pool, 64).unwrap();
@@ -31,7 +32,7 @@ fn bench_ptr_ops(c: &mut Criterion) {
     });
 }
 
-fn bench_allocator(c: &mut Criterion) {
+fn bench_allocator(c: &mut Bench) {
     c.bench_function("heap/alloc_free_cycle", |b| {
         let mut mem = PageStore::new();
         let region = Region::format(&mut mem, 1 << 20).unwrap();
@@ -42,7 +43,7 @@ fn bench_allocator(c: &mut Criterion) {
     });
 }
 
-fn bench_workload(c: &mut Criterion) {
+fn bench_workload(c: &mut Bench) {
     c.bench_function("kv/zipfian_sample", |b| {
         let z = Zipfian::new(10_000);
         let mut rng = Rng::new(1);
@@ -50,7 +51,7 @@ fn bench_workload(c: &mut Criterion) {
     });
 }
 
-fn bench_sim(c: &mut Criterion) {
+fn bench_sim(c: &mut Bench) {
     c.bench_function("sim/cache_access", |b| {
         let mut cache = Cache::new(CacheCfg { sets: 64, ways: 8, line: 64, hit_cycles: 4 });
         let mut addr = 0u64;
@@ -61,5 +62,5 @@ fn bench_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ptr_ops, bench_allocator, bench_workload, bench_sim);
-criterion_main!(benches);
+bench_group!(benches, bench_ptr_ops, bench_allocator, bench_workload, bench_sim);
+bench_main!(benches);

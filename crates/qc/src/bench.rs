@@ -1,0 +1,230 @@
+//! Micro-benchmark harness replacing criterion: per-function calibration,
+//! a warmup window, then fixed-count sampling with median / p95 / min
+//! reporting. The API mirrors the slice of criterion the workspace used
+//! (`bench_function` + `Bencher::iter`), so benches port mechanically.
+//!
+//! Tuning knobs (environment):
+//! - `UTPR_QC_BENCH_SAMPLES` — samples per function (default 30).
+//! - `UTPR_QC_BENCH_WARMUP_MS` — warmup window per function (default 80).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary for one benchmarked function, in nanoseconds per
+/// iteration.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark name as passed to [`Bench::bench_function`].
+    pub name: String,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// 95th percentile over samples.
+    pub p95_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Iterations per sample batch (calibrated).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Measures one batch; handed to the closure given to
+/// [`Bench::bench_function`] (criterion's `Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the batch's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness: collects one [`Summary`] per benchmarked function and
+/// prints a report on [`finish`](Bench::finish).
+pub struct Bench {
+    warmup: Duration,
+    samples: usize,
+    target_batch: Duration,
+    results: Vec<Summary>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+impl Bench {
+    /// A harness with the default (env-tunable) settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Bench::with(
+            Duration::from_millis(env_u64("UTPR_QC_BENCH_WARMUP_MS", 80)),
+            env_u64("UTPR_QC_BENCH_SAMPLES", 30) as usize,
+            Duration::from_millis(2),
+        )
+    }
+
+    /// A fully explicit harness (used by fast self-tests).
+    #[must_use]
+    pub fn with(warmup: Duration, samples: usize, target_batch: Duration) -> Self {
+        Bench { warmup, samples: samples.max(1), target_batch, results: Vec::new() }
+    }
+
+    /// Benchmarks one function: calibrate the batch size, warm up, then
+    /// collect samples. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly like under criterion.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        // Calibrate: grow the batch until one batch costs ~target_batch.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= self.target_batch || iters >= 1 << 24 {
+                break;
+            }
+            // Aim straight at the target, conservatively.
+            let scale = if b.elapsed.is_zero() {
+                16
+            } else {
+                (self.target_batch.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16)
+            };
+            iters = iters.saturating_mul(scale as u64);
+        }
+
+        // Warmup window.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+        }
+
+        // Timed samples.
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(f64::total_cmp);
+
+        let pct = |q: f64| {
+            let idx = ((per_iter_ns.len() - 1) as f64 * q).round() as usize;
+            per_iter_ns[idx]
+        };
+        self.results.push(Summary {
+            name: name.to_string(),
+            median_ns: pct(0.5),
+            p95_ns: pct(0.95),
+            min_ns: per_iter_ns[0],
+            iters_per_sample: iters,
+            samples: per_iter_ns.len(),
+        });
+    }
+
+    /// Summaries collected so far.
+    #[must_use]
+    pub fn summaries(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Prints the report table to stdout.
+    pub fn report(&self) {
+        println!(
+            "{:<28} {:>12} {:>12} {:>12} {:>10}",
+            "benchmark", "median", "p95", "min", "iters"
+        );
+        println!("{}", "-".repeat(78));
+        for s in &self.results {
+            println!(
+                "{:<28} {:>12} {:>12} {:>12} {:>10}",
+                s.name,
+                fmt_ns(s.median_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.min_ns),
+                s.iters_per_sample,
+            );
+        }
+    }
+
+    /// Prints the report (the tail call of `bench_main!`).
+    pub fn finish(self) {
+        self.report();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Groups bench functions under one name, like `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::bench::Bench) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Entry point running every group and printing the report, like
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Bench::new();
+            $($group(&mut c);)+
+            c.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_function() {
+        let mut bench =
+            Bench::with(Duration::from_millis(1), 5, Duration::from_micros(50));
+        bench.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        let s = &bench.summaries()[0];
+        assert_eq!(s.name, "noop_add");
+        assert!(s.median_ns > 0.0);
+        assert!(s.p95_ns >= s.median_ns);
+        assert!(s.median_ns >= s.min_ns);
+        assert!(s.iters_per_sample >= 1);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn formats_time_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+}

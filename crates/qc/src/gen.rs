@@ -1,0 +1,695 @@
+//! Generators and shrink trees — the proptest-shaped core of the harness.
+//!
+//! A [`Gen`] turns randomness into a [`SampleTree`]: a concrete generated
+//! value plus the knowledge of how to propose *simpler* variants of it.
+//! The runner walks those proposals greedily after a failure, so every
+//! counterexample the harness reports is a local minimum (no single
+//! simplification step still fails).
+//!
+//! The API mirrors proptest where the workspace tests used it:
+//! `any::<T>()`, integer `Range`s as generators, [`Just`], `.prop_map`,
+//! `collection::vec` / `collection::btree_set`, and the `one_of!` macro in
+//! place of `prop_oneof!`.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::rng::Rng;
+
+/// A generated value plus its simplification frontier.
+pub trait SampleTree: Clone {
+    /// The value handed to the property.
+    type Value: Clone + Debug;
+
+    /// The concrete value this tree currently represents.
+    fn current(&self) -> Self::Value;
+
+    /// Candidate simpler trees, most aggressive first. An empty vector
+    /// means the value is already minimal.
+    fn simplify(&self) -> Vec<Self>;
+}
+
+/// A strategy for producing sample trees from randomness.
+pub trait Gen: Clone {
+    /// The tree type this generator produces.
+    type Tree: SampleTree;
+
+    /// Draws one sample tree.
+    fn tree(&self, rng: &mut Rng) -> Self::Tree;
+}
+
+// ---------------------------------------------------------------------------
+// Integers
+// ---------------------------------------------------------------------------
+
+/// Integer generator over `[lo, hi)` in i128 space, shrinking toward the
+/// in-range point closest to zero.
+#[derive(Clone, Debug)]
+pub struct IntRangeGen<T> {
+    lo: i128,
+    hi: i128,
+    _marker: PhantomData<T>,
+}
+
+impl<T> IntRangeGen<T> {
+    /// Builds a generator over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[must_use]
+    pub fn new(lo: i128, hi: i128) -> Self {
+        assert!(lo < hi, "empty integer range {lo}..{hi}");
+        IntRangeGen { lo, hi, _marker: PhantomData }
+    }
+
+    fn origin(&self) -> i128 {
+        self.lo.max(0).min(self.hi - 1)
+    }
+}
+
+/// Shrink tree for integers: binary descent toward `origin`.
+#[derive(Clone, Debug)]
+pub struct IntTree<T> {
+    value: i128,
+    origin: i128,
+    _marker: PhantomData<T>,
+}
+
+macro_rules! int_impls {
+    ($($t:ty),+) => {$(
+        impl Gen for Range<$t> {
+            type Tree = IntTree<$t>;
+            fn tree(&self, rng: &mut Rng) -> IntTree<$t> {
+                IntRangeGen::<$t>::new(self.start as i128, self.end as i128).tree(rng)
+            }
+        }
+
+        impl Gen for IntRangeGen<$t> {
+            type Tree = IntTree<$t>;
+            fn tree(&self, rng: &mut Rng) -> IntTree<$t> {
+                let width = (self.hi - self.lo) as u128;
+                let draw = if width > u128::from(u64::MAX) {
+                    // Only full 64-bit-wide ranges exceed u64: raw draw.
+                    i128::from(rng.next_u64())
+                } else {
+                    i128::from(rng.below(width as u64))
+                };
+                IntTree { value: self.lo + draw, origin: self.origin(), _marker: PhantomData }
+            }
+        }
+
+        impl SampleTree for IntTree<$t> {
+            type Value = $t;
+            fn current(&self) -> $t {
+                self.value as $t
+            }
+            fn simplify(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                let mut push = |v: i128| {
+                    if v != self.value && !out.iter().any(|t: &Self| t.value == v) {
+                        out.push(IntTree { value: v, ..*self });
+                    }
+                };
+                if self.value != self.origin {
+                    push(self.origin);
+                    push(self.origin + (self.value - self.origin) / 2);
+                    push(self.value - (self.value - self.origin).signum());
+                }
+                out
+            }
+        }
+    )+};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// any::<T>() — full-domain generators
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain generator, proptest's `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The generator `any::<Self>()` returns.
+    type Gen: Gen;
+
+    /// The full-domain generator for this type.
+    fn arbitrary() -> Self::Gen;
+}
+
+/// The canonical generator for `T`'s whole domain.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Gen {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            type Gen = IntRangeGen<$t>;
+            fn arbitrary() -> IntRangeGen<$t> {
+                IntRangeGen::new(<$t>::MIN as i128, <$t>::MAX as i128 + 1)
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Generator for `bool`; `true` shrinks to `false`.
+#[derive(Clone, Debug)]
+pub struct BoolGen;
+
+/// Shrink tree for `bool`.
+#[derive(Clone, Debug)]
+pub struct BoolTree(bool);
+
+impl Gen for BoolGen {
+    type Tree = BoolTree;
+    fn tree(&self, rng: &mut Rng) -> BoolTree {
+        BoolTree(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl SampleTree for BoolTree {
+    type Value = bool;
+    fn current(&self) -> bool {
+        self.0
+    }
+    fn simplify(&self) -> Vec<Self> {
+        if self.0 { vec![BoolTree(false)] } else { Vec::new() }
+    }
+}
+
+impl Arbitrary for bool {
+    type Gen = BoolGen;
+    fn arbitrary() -> BoolGen {
+        BoolGen
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Just — constant generator
+// ---------------------------------------------------------------------------
+
+/// Always produces the given value; never shrinks.
+#[derive(Clone, Debug)]
+pub struct Just<V>(pub V);
+
+/// Tree for [`Just`].
+#[derive(Clone, Debug)]
+pub struct JustTree<V>(V);
+
+impl<V: Clone + Debug> Gen for Just<V> {
+    type Tree = JustTree<V>;
+    fn tree(&self, _rng: &mut Rng) -> JustTree<V> {
+        JustTree(self.0.clone())
+    }
+}
+
+impl<V: Clone + Debug> SampleTree for JustTree<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        self.0.clone()
+    }
+    fn simplify(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_impls {
+    ($(($($g:ident / $idx:tt),+))+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Tree = ($($g::Tree,)+);
+            fn tree(&self, rng: &mut Rng) -> Self::Tree {
+                ($(self.$idx.tree(rng),)+)
+            }
+        }
+
+        impl<$($g: SampleTree),+> SampleTree for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.$idx.current(),)+)
+            }
+            fn simplify(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.simplify() {
+                        let mut next = self.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11)
+}
+
+// ---------------------------------------------------------------------------
+// Map — proptest's prop_map
+// ---------------------------------------------------------------------------
+
+/// Generator adapter applying `f` to every produced value. Shrinking maps
+/// the *input* tree's candidates through `f`, so mapped values shrink as
+/// well as their sources do.
+#[derive(Clone)]
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+/// Tree for [`Map`].
+#[derive(Clone)]
+pub struct MapTree<T, F> {
+    inner: T,
+    f: F,
+}
+
+impl<G, F, O> Gen for Map<G, F>
+where
+    G: Gen,
+    O: Clone + Debug,
+    F: Fn(<G::Tree as SampleTree>::Value) -> O + Clone,
+{
+    type Tree = MapTree<G::Tree, F>;
+    fn tree(&self, rng: &mut Rng) -> Self::Tree {
+        MapTree { inner: self.inner.tree(rng), f: self.f.clone() }
+    }
+}
+
+impl<T, F, O> SampleTree for MapTree<T, F>
+where
+    T: SampleTree,
+    O: Clone + Debug,
+    F: Fn(T::Value) -> O + Clone,
+{
+    type Value = O;
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+    fn simplify(&self) -> Vec<Self> {
+        self.inner
+            .simplify()
+            .into_iter()
+            .map(|inner| MapTree { inner, f: self.f.clone() })
+            .collect()
+    }
+}
+
+/// Combinator methods on every generator (proptest's `Strategy` methods).
+pub trait GenExt: Gen + Sized {
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Clone + Debug,
+        F: Fn(<Self::Tree as SampleTree>::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the generator so heterogeneous strategies can share a
+    /// signature (proptest's `boxed`).
+    fn boxed(self) -> BoxedGen<<Self::Tree as SampleTree>::Value>
+    where
+        Self: 'static,
+        Self::Tree: 'static,
+    {
+        BoxedGen::new(self)
+    }
+}
+
+impl<G: Gen> GenExt for G {}
+
+// ---------------------------------------------------------------------------
+// Boxed (type-erased) generators — needed by one_of!
+// ---------------------------------------------------------------------------
+
+trait DynGen<V> {
+    fn dyn_tree(&self, rng: &mut Rng) -> BoxedTree<V>;
+}
+
+trait DynTree<V> {
+    fn dyn_current(&self) -> V;
+    fn dyn_simplify(&self) -> Vec<BoxedTree<V>>;
+}
+
+/// A type-erased generator producing values of type `V`.
+pub struct BoxedGen<V> {
+    inner: Rc<dyn DynGen<V>>,
+}
+
+impl<V> Clone for BoxedGen<V> {
+    fn clone(&self) -> Self {
+        BoxedGen { inner: Rc::clone(&self.inner) }
+    }
+}
+
+/// A type-erased sample tree producing values of type `V`.
+pub struct BoxedTree<V> {
+    inner: Rc<dyn DynTree<V>>,
+}
+
+impl<V> Clone for BoxedTree<V> {
+    fn clone(&self) -> Self {
+        BoxedTree { inner: Rc::clone(&self.inner) }
+    }
+}
+
+struct DynGenImpl<G>(G);
+struct DynTreeImpl<T>(T);
+
+impl<V, G> DynGen<V> for DynGenImpl<G>
+where
+    V: Clone + Debug + 'static,
+    G: Gen + 'static,
+    G::Tree: SampleTree<Value = V> + 'static,
+{
+    fn dyn_tree(&self, rng: &mut Rng) -> BoxedTree<V> {
+        BoxedTree { inner: Rc::new(DynTreeImpl(self.0.tree(rng))) }
+    }
+}
+
+impl<V, T> DynTree<V> for DynTreeImpl<T>
+where
+    V: Clone + Debug + 'static,
+    T: SampleTree<Value = V> + 'static,
+{
+    fn dyn_current(&self) -> V {
+        self.0.current()
+    }
+    fn dyn_simplify(&self) -> Vec<BoxedTree<V>> {
+        self.0
+            .simplify()
+            .into_iter()
+            .map(|t| BoxedTree { inner: Rc::new(DynTreeImpl(t)) as Rc<dyn DynTree<V>> })
+            .collect()
+    }
+}
+
+impl<V: Clone + Debug + 'static> BoxedGen<V> {
+    /// Erases a concrete generator.
+    pub fn new<G>(gen: G) -> Self
+    where
+        G: Gen + 'static,
+        G::Tree: SampleTree<Value = V> + 'static,
+    {
+        BoxedGen { inner: Rc::new(DynGenImpl(gen)) }
+    }
+}
+
+impl<V: Clone + Debug + 'static> Gen for BoxedGen<V> {
+    type Tree = BoxedTree<V>;
+    fn tree(&self, rng: &mut Rng) -> BoxedTree<V> {
+        self.inner.dyn_tree(rng)
+    }
+}
+
+impl<V: Clone + Debug + 'static> SampleTree for BoxedTree<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        self.inner.dyn_current()
+    }
+    fn simplify(&self) -> Vec<Self> {
+        self.inner.dyn_simplify()
+    }
+}
+
+/// Weighted choice between type-erased generators (proptest's
+/// `prop_oneof!`); built by the [`one_of!`](crate::one_of) macro.
+#[derive(Clone)]
+pub struct OneOf<V> {
+    arms: Vec<(u32, BoxedGen<V>)>,
+}
+
+impl<V: Clone + Debug + 'static> OneOf<V> {
+    /// Builds a weighted union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedGen<V>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "one_of! needs at least one arm with nonzero weight");
+        OneOf { arms }
+    }
+}
+
+impl<V: Clone + Debug + 'static> Gen for OneOf<V> {
+    type Tree = BoxedTree<V>;
+    fn tree(&self, rng: &mut Rng) -> BoxedTree<V> {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, gen) in &self.arms {
+            if pick < u64::from(*w) {
+                return gen.tree(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Collection generators (proptest's `prop::collection`).
+pub mod collection {
+    use super::{BTreeSet, Gen, Range, Rng, SampleTree};
+
+    /// `Vec` generator with a length drawn from `len` (proptest's
+    /// `prop::collection::vec`).
+    #[derive(Clone)]
+    pub struct VecGen<G> {
+        elem: G,
+        len: Range<usize>,
+    }
+
+    /// Builds a `Vec` generator.
+    pub fn vec<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+        assert!(len.start < len.end, "empty length range");
+        VecGen { elem, len }
+    }
+
+    /// Shrink tree for vectors: drops chunks, drops single elements, then
+    /// shrinks elements in place — never below the requested minimum
+    /// length.
+    #[derive(Clone)]
+    pub struct VecTree<T> {
+        elems: Vec<T>,
+        min: usize,
+    }
+
+    impl<G: Gen> Gen for VecGen<G> {
+        type Tree = VecTree<G::Tree>;
+        fn tree(&self, rng: &mut Rng) -> Self::Tree {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            let elems = (0..n).map(|_| self.elem.tree(rng)).collect();
+            VecTree { elems, min: self.len.start }
+        }
+    }
+
+    impl<T: SampleTree> VecTree<T> {
+        fn without(&self, range: Range<usize>) -> Option<Self> {
+            let keep = self.elems.len() - range.len();
+            if range.is_empty() || keep < self.min {
+                return None;
+            }
+            let mut elems = self.elems.clone();
+            elems.drain(range);
+            Some(VecTree { elems, min: self.min })
+        }
+    }
+
+    impl<T: SampleTree> SampleTree for VecTree<T> {
+        type Value = Vec<T::Value>;
+        fn current(&self) -> Self::Value {
+            self.elems.iter().map(SampleTree::current).collect()
+        }
+        fn simplify(&self) -> Vec<Self> {
+            let n = self.elems.len();
+            let mut out = Vec::new();
+            // Structural shrinks first: halves, then single removals.
+            out.extend(self.without(n / 2..n));
+            out.extend(self.without(0..n / 2));
+            for i in (0..n).rev() {
+                out.extend(self.without(i..i + 1));
+            }
+            // Element-wise shrinks.
+            for i in 0..n {
+                for cand in self.elems[i].simplify() {
+                    let mut next = self.clone();
+                    next.elems[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` generator (proptest's `prop::collection::btree_set`).
+    /// Duplicates collapse, so the realised set can be smaller than the
+    /// drawn length (as in proptest); `len.start >= 1` guarantees a
+    /// non-empty set.
+    #[derive(Clone)]
+    pub struct BTreeSetGen<G> {
+        inner: VecGen<G>,
+    }
+
+    /// Builds a `BTreeSet` generator.
+    pub fn btree_set<G: Gen>(elem: G, len: Range<usize>) -> BTreeSetGen<G> {
+        BTreeSetGen { inner: vec(elem, len) }
+    }
+
+    /// Shrink tree for sets: the underlying vector tree, collected.
+    #[derive(Clone)]
+    pub struct BTreeSetTree<T> {
+        inner: VecTree<T>,
+    }
+
+    impl<G> Gen for BTreeSetGen<G>
+    where
+        G: Gen,
+        <G::Tree as SampleTree>::Value: Ord,
+    {
+        type Tree = BTreeSetTree<G::Tree>;
+        fn tree(&self, rng: &mut Rng) -> Self::Tree {
+            BTreeSetTree { inner: self.inner.tree(rng) }
+        }
+    }
+
+    impl<T> SampleTree for BTreeSetTree<T>
+    where
+        T: SampleTree,
+        T::Value: Ord,
+    {
+        type Value = BTreeSet<T::Value>;
+        fn current(&self) -> Self::Value {
+            self.inner.current().into_iter().collect()
+        }
+        fn simplify(&self) -> Vec<Self> {
+            self.inner.simplify().into_iter().map(|inner| BTreeSetTree { inner }).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn greedy_min<T: SampleTree>(mut tree: T, fails: impl Fn(&T::Value) -> bool) -> T::Value {
+        assert!(fails(&tree.current()), "planted failure must fail");
+        'outer: loop {
+            for cand in tree.simplify() {
+                if fails(&cand.current()) {
+                    tree = cand;
+                    continue 'outer;
+                }
+            }
+            return tree.current();
+        }
+    }
+
+    #[test]
+    fn int_shrinks_to_boundary() {
+        let mut rng = Rng::new(9);
+        // Find a failing sample (>= 500), then shrink: must reach exactly 500.
+        let gen = 0u64..10_000;
+        loop {
+            let t = gen.tree(&mut rng);
+            if t.current() >= 500 {
+                assert_eq!(greedy_min(t, |v| *v >= 500), 500);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn signed_int_shrinks_toward_zero() {
+        let mut rng = Rng::new(11);
+        let gen = -1000i64..1000;
+        loop {
+            let t = gen.tree(&mut rng);
+            if t.current() <= -10 {
+                assert_eq!(greedy_min(t, |v| *v <= -10), -10);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn vec_shrinks_to_minimal_length_and_elements() {
+        let mut rng = Rng::new(5);
+        let gen = collection::vec(0u64..100, 1..40);
+        loop {
+            let t = gen.tree(&mut rng);
+            if t.current().len() >= 5 {
+                let min = greedy_min(t, |v| v.len() >= 5);
+                assert_eq!(min, vec![0, 0, 0, 0, 0]);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn map_shrinks_through_the_function() {
+        let mut rng = Rng::new(3);
+        let gen = (0u64..1000).prop_map(|x| x * 2);
+        loop {
+            let t = gen.tree(&mut rng);
+            if t.current() >= 100 {
+                assert_eq!(greedy_min(t, |v| *v >= 100), 100);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn one_of_respects_weights_roughly() {
+        let gen: OneOf<u8> = OneOf::new(vec![
+            (9, BoxedGen::new(Just(1u8))),
+            (1, BoxedGen::new(Just(2u8))),
+        ]);
+        let mut rng = Rng::new(17);
+        let ones = (0..1000).filter(|_| gen.tree(&mut rng).current() == 1).count();
+        assert!((800..=980).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn full_domain_any_is_seed_stable() {
+        let a: Vec<u64> = {
+            let mut rng = Rng::new(123);
+            (0..32).map(|_| any::<u64>().tree(&mut rng).current()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = Rng::new(123);
+            (0..32).map(|_| any::<u64>().tree(&mut rng).current()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

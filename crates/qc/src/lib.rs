@@ -1,0 +1,172 @@
+//! # utpr-qc — zero-dependency property testing and micro-benchmarks
+//!
+//! The workspace's substitute for `proptest` and `criterion`, written from
+//! scratch so the tier-1 gate (`cargo build --release && cargo test -q`)
+//! resolves, builds, and runs with **no network access and no external
+//! crates**. The paper's soundness evaluation (§VII-B) is a property
+//! battery over the Fig. 4 C11 pointer semantics; this crate is the
+//! engine that battery runs on.
+//!
+//! ## Property tests
+//!
+//! The API deliberately shadows proptest so porting is mechanical:
+//!
+//! ```
+//! use utpr_qc::prelude::*;
+//!
+//! props! {
+//!     #![cases(64)]
+//!     // In a test module, write `#[test]` above the fn exactly as under
+//!     // proptest; the attribute passes through.
+//!     fn addition_commutes(a in 0u64..1000, b in any::<u64>()) {
+//!         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+//!
+//! - Generators: integer ranges (`0u64..1000`), [`any::<T>()`](gen::any),
+//!   [`Just`](gen::Just), tuples, [`GenExt::prop_map`](gen::GenExt),
+//!   [`one_of!`] (weighted union, proptest's `prop_oneof!`), and
+//!   [`gen::collection`]'s `vec` / `btree_set`.
+//! - Failures shrink greedily ([`gen::SampleTree::simplify`]) to a local
+//!   minimum before reporting.
+//! - Runs are seeded and bit-stable; `UTPR_QC_SEED` (decimal or `0x`-hex)
+//!   overrides the base seed and every failure report prints the value to
+//!   replay it. See [`runner`] for details.
+//!
+//! ## Benchmarks
+//!
+//! [`bench::Bench`] replaces the slice of criterion the workspace used:
+//! calibrated batches, a warmup window, and median / p95 / min reporting
+//! (see the `bench_group!` / `bench_main!` macros).
+
+pub mod bench;
+pub mod gen;
+pub mod rng;
+pub mod runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::gen::collection;
+    pub use crate::gen::{any, Arbitrary, BoxedGen, Gen, GenExt, Just, OneOf, SampleTree};
+    pub use crate::runner::{for_all, Config};
+    pub use crate::{one_of, prop_assert, prop_assert_eq, prop_assert_ne, props};
+}
+
+/// Declares property tests, shadowing the `proptest!` macro.
+///
+/// ```text
+/// props! {
+///     #![cases(N)]                  // replaces ProptestConfig::with_cases(N)
+///     #[test]
+///     fn name(arg in GENERATOR, ...) { body }
+///     ...
+/// }
+/// ```
+///
+/// Each function becomes a `#[test]` that draws `N` inputs and applies the
+/// body; use the `prop_assert*` macros (or plain panics/`assert!`) inside.
+#[macro_export]
+macro_rules! props {
+    (
+        #![cases($cases:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __gen = ($($gen,)+);
+                $crate::runner::for_all(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    $crate::runner::Config::cases($cases),
+                    __gen,
+                    |($($arg,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// Weighted union of generators over one value type, shadowing
+/// `prop_oneof!`: `one_of![3 => gen_a, 1 => gen_b]`.
+#[macro_export]
+macro_rules! one_of {
+    ($($weight:expr => $gen:expr),+ $(,)?) => {
+        $crate::gen::OneOf::new(vec![
+            $(($weight as u32, $crate::gen::BoxedGen::new($gen))),+
+        ])
+    };
+}
+
+/// Fails the surrounding property when the condition is false
+/// (shadows proptest's `prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the surrounding property when the operands differ
+/// (shadows proptest's `prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `left == right`\n  left: {__l:?}\n right: {__r:?}"),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: {__l:?}\n right: {__r:?}\n {}",
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the surrounding property when the operands are equal
+/// (shadows proptest's `prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `left != right`\n  both: {__l:?}"),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left != right`\n  both: {__l:?}\n {}",
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}

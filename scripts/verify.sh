@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Fully offline: the workspace has zero external
+# crate dependencies, so no registry access is needed (and none is
+# attempted — --offline makes any accidental reintroduction of an external
+# dependency fail loudly instead of hanging on the network).
+#
+# Usage: scripts/verify.sh [--bench]
+#   --bench  additionally run the utpr-qc micro-benchmarks as a smoke test
+#
+# Environment:
+#   UTPR_QC_SEED  override the property-test base seed (decimal or 0x-hex)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q (workspace) =="
+cargo test -q --workspace --offline
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== extra: micro-benchmarks =="
+    cargo bench -p utpr-bench --bench micro --offline
+fi
+
+echo "verify: OK"

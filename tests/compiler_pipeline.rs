@@ -3,7 +3,7 @@
 //! must agree with native Rust oracles, and the inference must keep the
 //! residual-check fraction in the paper's neighbourhood (~42%).
 
-use proptest::prelude::*;
+use utpr_qc::prelude::*;
 use utpr_cc::analysis::analyze_module;
 use utpr_cc::interp::{Interp, Val};
 use utpr_cc::kernels;
@@ -16,8 +16,8 @@ fn with_pool(seed: u64) -> (AddressSpace, PoolId) {
     (s, p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    #![cases(48)]
 
     /// list_build_and_sum(n) == n(n+1)/2 for arbitrary n.
     #[test]
@@ -31,7 +31,7 @@ proptest! {
 
     /// BST insert/contains agrees with a BTreeSet oracle on random keys.
     #[test]
-    fn bst_matches_btreeset(keys in prop::collection::vec(0i64..1000, 1..80)) {
+    fn bst_matches_btreeset(keys in collection::vec(0i64..1000, 1..80)) {
         let m = kernels::module();
         let (mut s, pool) = with_pool(6);
         let slot = s.pmalloc(pool, 8).unwrap();
@@ -53,7 +53,7 @@ proptest! {
     /// Hash put/get agrees with a HashMap oracle (last write wins via
     /// prepend-and-first-match).
     #[test]
-    fn hash_matches_hashmap(pairs in prop::collection::vec((0i64..64, any::<i32>()), 1..60)) {
+    fn hash_matches_hashmap(pairs in collection::vec((0i64..64, any::<i32>()), 1..60)) {
         let m = kernels::module();
         let (mut s, pool) = with_pool(7);
         let table = s.pmalloc(pool, 64).unwrap();

@@ -2,18 +2,18 @@
 //! shadow model, the sparse page store against a byte map, pointer encoding
 //! round-trips, and pool lifecycle sequences.
 
-use proptest::prelude::*;
+use utpr_qc::prelude::*;
 use std::collections::HashMap;
 use utpr_heap::{AddressSpace, PageStore, PoolId, Region, RelLoc};
 use utpr_ptr::UPtr;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases(64)]
 
     /// Random alloc/free sequences keep the allocator structurally valid,
     /// never hand out overlapping blocks, and preserve block contents.
     #[test]
-    fn allocator_random_ops(ops in prop::collection::vec((any::<u16>(), 1u64..400), 1..300)) {
+    fn allocator_random_ops(ops in collection::vec((any::<u16>(), 1u64..400), 1..300)) {
         let mut mem = PageStore::new();
         let region = Region::format(&mut mem, 1 << 20).unwrap();
         let mut live: Vec<(u64, u64, u64)> = Vec::new(); // (payload, size, tag)
@@ -48,7 +48,7 @@ proptest! {
 
     /// The sparse page store behaves exactly like a flat byte map.
     #[test]
-    fn page_store_matches_byte_map(writes in prop::collection::vec((0u64..100_000, any::<u8>()), 1..200)) {
+    fn page_store_matches_byte_map(writes in collection::vec((0u64..100_000, any::<u8>()), 1..200)) {
         let mut store = PageStore::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
         for (off, byte) in &writes {
@@ -82,7 +82,7 @@ proptest! {
     /// Any sequence of detach/attach/restart keeps pool contents readable
     /// through relative locations.
     #[test]
-    fn pool_lifecycle_preserves_content(events in prop::collection::vec(0u8..3, 1..12)) {
+    fn pool_lifecycle_preserves_content(events in collection::vec(0u8..3, 1..12)) {
         let mut space = AddressSpace::new(1234);
         let pool = space.create_pool("life", 1 << 20).unwrap();
         let loc = space.pmalloc(pool, 64).unwrap();
@@ -109,7 +109,7 @@ proptest! {
     /// pmalloc never returns overlapping objects within a pool, and
     /// translated addresses stay inside the attachment.
     #[test]
-    fn pmalloc_objects_disjoint(sizes in prop::collection::vec(1u64..512, 1..64)) {
+    fn pmalloc_objects_disjoint(sizes in collection::vec(1u64..512, 1..64)) {
         let mut space = AddressSpace::new(77);
         let pool = space.create_pool("alloc", 4 << 20).unwrap();
         let att = space.attachment(pool).unwrap();

@@ -5,7 +5,7 @@
 //! Explicit, SW, HW), and in the persistent builds every pointer at rest in
 //! NVM is in relative format.
 
-use proptest::prelude::*;
+use utpr_qc::prelude::*;
 use utpr_heap::AddressSpace;
 use utpr_ptr::{site, CheckPolicy, ExecEnv, Mode, NullSink, UPtr};
 
@@ -29,8 +29,8 @@ enum Step {
     CheckNull { obj: usize, slot: u8 },
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
+fn step_strategy() -> OneOf<Step> {
+    one_of![
         3 => Just(Step::Alloc),
         4 => (0usize..64, 0u8..4, any::<u64>())
             .prop_map(|(obj, word, value)| Step::WriteData { obj, word, value }),
@@ -126,12 +126,12 @@ fn execute(steps: &[Step], mode: Mode, policy: CheckPolicy) -> Vec<u64> {
     trace
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+props! {
+    #![cases(96)]
 
     /// All four builds observe identical traces on arbitrary programs.
     #[test]
-    fn four_builds_observe_identical_traces(steps in prop::collection::vec(step_strategy(), 1..120)) {
+    fn four_builds_observe_identical_traces(steps in collection::vec(step_strategy(), 1..120)) {
         let reference = execute(&steps, Mode::Volatile, CheckPolicy::Inferred);
         for mode in [Mode::Explicit, Mode::Sw, Mode::Hw] {
             let got = execute(&steps, mode, CheckPolicy::Inferred);
@@ -143,7 +143,7 @@ proptest! {
     /// checks are pure overhead (the paper's "just an optimization" claim
     /// about keeping or converting relative pointers).
     #[test]
-    fn check_policy_is_observation_invariant(steps in prop::collection::vec(step_strategy(), 1..80)) {
+    fn check_policy_is_observation_invariant(steps in collection::vec(step_strategy(), 1..80)) {
         let inferred = execute(&steps, Mode::Sw, CheckPolicy::Inferred);
         let always = execute(&steps, Mode::Sw, CheckPolicy::AlwaysCheck);
         let oracle = execute(&steps, Mode::Sw, CheckPolicy::Oracle);

@@ -4,7 +4,7 @@
 //! virtual or relative format, and pointers stored in NVM must always hold
 //! correct relative addresses.
 
-use proptest::prelude::*;
+use utpr_qc::prelude::*;
 use utpr_heap::{AddressSpace, PoolId, VirtAddr};
 use utpr_ptr::{C11Engine, PtrFormat, PtrSpace, UPtr};
 
@@ -59,8 +59,8 @@ impl World {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    #![cases(256)]
 
     /// Equality and relational operators agree with native addresses for
     /// every encoding combination (Fig. 4 relational rows).

@@ -3,7 +3,7 @@
 //! must always leave the pool in a state some prefix of committed
 //! transactions explains.
 
-use proptest::prelude::*;
+use utpr_qc::prelude::*;
 use utpr_heap::{AddressSpace, PoolId, RelLoc, UndoLog};
 
 const WORDS: usize = 8;
@@ -20,8 +20,8 @@ enum TxnStep {
     Crash,
 }
 
-fn step_strategy() -> impl Strategy<Value = TxnStep> {
-    prop_oneof![
+fn step_strategy() -> OneOf<TxnStep> {
+    one_of![
         6 => (0usize..WORDS, any::<u64>()).prop_map(|(slot, value)| TxnStep::Write { slot, value }),
         2 => Just(TxnStep::Commit),
         1 => Just(TxnStep::Abort),
@@ -29,13 +29,13 @@ fn step_strategy() -> impl Strategy<Value = TxnStep> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    #![cases(128)]
 
     /// After every step sequence, pool contents equal the model built from
     /// exactly the committed transactions.
     #[test]
-    fn pool_state_reflects_committed_transactions(steps in prop::collection::vec(step_strategy(), 1..60)) {
+    fn pool_state_reflects_committed_transactions(steps in collection::vec(step_strategy(), 1..60)) {
         let mut space = AddressSpace::new(0x7a7a);
         let pool: PoolId = space.create_pool("props", 1 << 20).unwrap();
         let base = space.pmalloc(pool, (WORDS * 8) as u64).unwrap();
@@ -107,18 +107,18 @@ proptest! {
 
 /// B+ scan vs a BTreeMap range oracle on arbitrary key sets.
 mod bplus_scan {
-    use proptest::prelude::*;
+    use utpr_qc::prelude::*;
     use std::collections::BTreeMap;
     use utpr_ds::{BPlusTree, Index};
     use utpr_heap::AddressSpace;
     use utpr_ptr::{ExecEnv, Mode, NullSink};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    props! {
+        #![cases(64)]
 
         #[test]
         fn scan_matches_btreemap_range(
-            keys in prop::collection::btree_set(0u64..5_000, 1..300),
+            keys in collection::btree_set(0u64..5_000, 1..300),
             start in 0u64..5_000,
             limit in 1usize..40,
         ) {
