@@ -6,8 +6,13 @@
 //! 3. Check-elimination policy in the SW build: no inference (every site
 //!    checks), the dataflow inference, and a perfect oracle.
 //! 4. NVM/DRAM latency ratio.
+//!
+//! Each sweep's points are independent runs, so every sweep fans across
+//! the worker pool; the JSON report tags each record with its sweep name.
 
-use utpr_bench::{scale_spec, Table};
+use std::time::Instant;
+use utpr_bench::report::{BenchReport, Json};
+use utpr_bench::{par, scale_spec, Table};
 use utpr_ds::RbTree;
 use utpr_heap::AddressSpace;
 use utpr_kv::harness::{run_benchmark, Benchmark};
@@ -40,57 +45,74 @@ fn run_rb_with(mut env: ExecEnv<Machine>, spec: &utpr_kv::WorkloadSpec) -> (f64,
     (machine.cycles(), machine.stats())
 }
 
-fn ablate_polb(spec: &utpr_kv::WorkloadSpec) {
+fn record(rep: &mut BenchReport, sweep: &str, label: &str, cycles: f64, extra: Vec<(&str, Json)>) {
+    let mut pairs = vec![
+        ("sweep", Json::Str(sweep.to_string())),
+        ("label", Json::Str(label.to_string())),
+        ("cycles", Json::F64(cycles)),
+    ];
+    pairs.extend(extra);
+    rep.push_record(Json::obj(pairs));
+}
+
+fn ablate_polb(spec: &utpr_kv::WorkloadSpec, jobs: usize, rep: &mut BenchReport) {
     println!("=== Ablation: POLB capacity (HW build, RB) ===");
-    let mut t = Table::new(&["entries", "normalized time", "polb miss rate"]);
-    let mut base = None;
-    for entries in [1usize, 8, 32, 256] {
+    let entries_axis = [1usize, 8, 32, 256];
+    let runs = par::par_map(&entries_axis, jobs, |_, &entries| {
         let mut cfg = SimConfig::table_iv();
         cfg.polb.entries = entries;
-        let (cycles, stats) = run_rb_with(machine_env(Mode::Hw, cfg), spec);
-        let b = *base.get_or_insert(cycles);
+        run_rb_with(machine_env(Mode::Hw, cfg), spec)
+    });
+    let mut t = Table::new(&["entries", "normalized time", "polb miss rate"]);
+    let base = runs[0].0;
+    for (&entries, (cycles, stats)) in entries_axis.iter().zip(&runs) {
+        let miss_rate = stats.polb_misses as f64 / stats.polb_accesses.max(1) as f64;
         t.row(vec![
             entries.to_string(),
-            format!("{:.3}", cycles / b),
-            format!(
-                "{:.4}",
-                stats.polb_misses as f64 / stats.polb_accesses.max(1) as f64
-            ),
+            format!("{:.3}", cycles / base),
+            format!("{miss_rate:.4}"),
         ]);
+        record(rep, "polb_capacity", &entries.to_string(), *cycles, vec![(
+            "polb_miss_rate",
+            Json::F64(miss_rate),
+        )]);
     }
     println!("{}", t.render());
 }
 
-fn ablate_reuse(spec: &utpr_kv::WorkloadSpec) {
+fn ablate_reuse(spec: &utpr_kv::WorkloadSpec, jobs: usize, rep: &mut BenchReport) {
     println!("=== Ablation: conversion reuse (HW build, RB) ===");
-    let mut t = Table::new(&["reuse", "cycles", "polb accesses"]);
-    let mut rows = vec![];
-    for reuse in [true, false] {
+    let axis = [true, false];
+    let runs = par::par_map(&axis, jobs, |_, &reuse| {
         let mut env = machine_env(Mode::Hw, SimConfig::table_iv());
         env.set_conversion_reuse(reuse);
-        let (cycles, stats) = run_rb_with(env, spec);
-        rows.push((reuse, cycles, stats.polb_accesses));
-    }
-    let base = rows[0].1;
-    for (reuse, cycles, polb) in rows {
+        run_rb_with(env, spec)
+    });
+    let mut t = Table::new(&["reuse", "cycles", "polb accesses"]);
+    let base = runs[0].0;
+    for (&reuse, (cycles, stats)) in axis.iter().zip(&runs) {
+        let label = if reuse { "on (paper)" } else { "off" };
         t.row(vec![
-            if reuse { "on (paper)" } else { "off" }.to_string(),
+            label.to_string(),
             format!("{:.3}x", cycles / base),
-            polb.to_string(),
+            stats.polb_accesses.to_string(),
         ]);
+        record(rep, "conversion_reuse", label, *cycles, vec![(
+            "polb_accesses",
+            Json::U64(stats.polb_accesses),
+        )]);
     }
     println!("{}", t.render());
 }
 
-fn ablate_inference(spec: &utpr_kv::WorkloadSpec) {
+fn ablate_inference(spec: &utpr_kv::WorkloadSpec, jobs: usize, rep: &mut BenchReport) {
     println!("=== Ablation: check-elimination policy (SW build, RB) ===");
-    let mut t = Table::new(&["policy", "normalized time", "dynamic checks"]);
-    let mut base = None;
-    for (policy, label) in [
+    let axis = [
         (CheckPolicy::AlwaysCheck, "no inference"),
         (CheckPolicy::Inferred, "dataflow inference (paper)"),
         (CheckPolicy::Oracle, "perfect oracle"),
-    ] {
+    ];
+    let runs = par::par_map(&axis, jobs, |_, &(policy, _)| {
         let mut env = machine_env(Mode::Sw, SimConfig::table_iv());
         env.set_check_policy(policy);
         let w = generate(spec);
@@ -101,78 +123,107 @@ fn ablate_inference(spec: &utpr_kv::WorkloadSpec) {
         store.run(&mut env, &w).expect("run");
         let checks = env.stats().dynamic_checks;
         let (_s, _p, machine) = env.into_parts();
-        let cycles = machine.cycles();
-        let b = *base.get_or_insert(cycles);
-        t.row(vec![label.to_string(), format!("{:.3}", cycles / b), checks.to_string()]);
+        (machine.cycles(), checks)
+    });
+    let mut t = Table::new(&["policy", "normalized time", "dynamic checks"]);
+    let base = runs[0].0;
+    for (&(_, label), (cycles, checks)) in axis.iter().zip(&runs) {
+        t.row(vec![label.to_string(), format!("{:.3}", cycles / base), checks.to_string()]);
+        record(rep, "check_policy", label, *cycles, vec![("dynamic_checks", Json::U64(*checks))]);
     }
     println!("{}", t.render());
 }
 
-fn ablate_nvm_latency(spec: &utpr_kv::WorkloadSpec) {
+fn ablate_nvm_latency(spec: &utpr_kv::WorkloadSpec, jobs: usize, rep: &mut BenchReport) {
     println!("=== Ablation: NVM latency (HW vs Volatile, RB) ===");
-    let mut t = Table::new(&["nvm cycles", "hw / volatile"]);
-    for nvm in [120u64, 240, 480, 960] {
+    let axis = [120u64, 240, 480, 960];
+    let grid: Vec<(u64, Mode)> =
+        axis.iter().flat_map(|&nvm| [(nvm, Mode::Volatile), (nvm, Mode::Hw)]).collect();
+    let runs = par::par_map(&grid, jobs, |_, &(nvm, mode)| {
         let cfg = SimConfig::table_iv().with_nvm_latency(nvm);
-        let vol = run_benchmark(Benchmark::Rb, Mode::Volatile, cfg, spec).expect("vol").cycles;
-        let hw = run_benchmark(Benchmark::Rb, Mode::Hw, cfg, spec).expect("hw").cycles;
+        run_benchmark(Benchmark::Rb, mode, cfg, spec).expect("run").cycles
+    });
+    let mut t = Table::new(&["nvm cycles", "hw / volatile"]);
+    for (i, &nvm) in axis.iter().enumerate() {
+        let (vol, hw) = (runs[2 * i], runs[2 * i + 1]);
         t.row(vec![nvm.to_string(), format!("{:.3}", hw / vol)]);
+        record(rep, "nvm_latency", &nvm.to_string(), hw, vec![(
+            "volatile_cycles",
+            Json::F64(vol),
+        )]);
     }
     println!("{}", t.render());
 }
 
-fn ablate_txn(spec: &utpr_kv::WorkloadSpec) {
+fn ablate_txn(spec: &utpr_kv::WorkloadSpec, jobs: usize, rep: &mut BenchReport) {
     println!("=== Ablation: per-op persistent transactions (HW build, RB) ===");
-    let mut t = Table::new(&["crash consistency", "normalized time"]);
-    // Baseline: no transactions.
-    let (base, _) = run_rb_with(machine_env(Mode::Hw, SimConfig::table_iv()), spec);
-    t.row(vec!["off".into(), "1.000".into()]);
-    // Every operation wrapped in its own transaction (worst case).
-    let mut env = machine_env(Mode::Hw, SimConfig::table_iv());
-    let w = generate(spec);
-    let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
-    store.load(&mut env, &w).expect("load");
-    env.sink_mut().reset_measurement();
-    env.reset_stats();
-    for op in &w.ops {
-        env.frame_traffic(8, 4, 24);
-        env.txn_begin().expect("begin");
-        match op {
-            utpr_kv::Op::Get(k) => {
-                store.get(&mut env, *k).expect("get");
-            }
-            utpr_kv::Op::Set(k, v) => {
-                store.set(&mut env, *k, *v).expect("set");
-            }
+    let axis = [false, true];
+    let runs = par::par_map(&axis, jobs, |_, &per_op_txn| {
+        if !per_op_txn {
+            return run_rb_with(machine_env(Mode::Hw, SimConfig::table_iv()), spec).0;
         }
-        env.txn_commit().expect("commit");
-    }
-    let (_s, _p, machine) = env.into_parts();
-    t.row(vec!["per-op txn".into(), format!("{:.3}", machine.cycles() / base)]);
+        // Every operation wrapped in its own transaction (worst case).
+        let mut env = machine_env(Mode::Hw, SimConfig::table_iv());
+        let w = generate(spec);
+        let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
+        store.load(&mut env, &w).expect("load");
+        env.sink_mut().reset_measurement();
+        env.reset_stats();
+        for op in &w.ops {
+            env.frame_traffic(8, 4, 24);
+            env.txn_begin().expect("begin");
+            match op {
+                utpr_kv::Op::Get(k) => {
+                    store.get(&mut env, *k).expect("get");
+                }
+                utpr_kv::Op::Set(k, v) => {
+                    store.set(&mut env, *k, *v).expect("set");
+                }
+            }
+            env.txn_commit().expect("commit");
+        }
+        let (_s, _p, machine) = env.into_parts();
+        machine.cycles()
+    });
+    let mut t = Table::new(&["crash consistency", "normalized time"]);
+    t.row(vec!["off".into(), "1.000".into()]);
+    t.row(vec!["per-op txn".into(), format!("{:.3}", runs[1] / runs[0])]);
+    record(rep, "per_op_txn", "off", runs[0], vec![]);
+    record(rep, "per_op_txn", "per-op txn", runs[1], vec![]);
     println!("{}", t.render());
 }
 
-fn ablate_prefetcher(spec: &utpr_kv::WorkloadSpec) {
+fn ablate_prefetcher(spec: &utpr_kv::WorkloadSpec, jobs: usize, rep: &mut BenchReport) {
     println!("=== Ablation: next-line prefetcher (paper §VI: unaffected by UTPR) ===");
+    let grid: Vec<(Mode, bool)> =
+        [Mode::Volatile, Mode::Hw].iter().flat_map(|&m| [(m, false), (m, true)]).collect();
+    let runs = par::par_map(&grid, jobs, |_, &(mode, pf)| {
+        let cfg =
+            if pf { SimConfig::table_iv().with_prefetcher() } else { SimConfig::table_iv() };
+        run_benchmark(Benchmark::Ll, mode, cfg, spec).expect("run").cycles
+    });
     let mut t = Table::new(&["mode", "speedup from prefetcher"]);
-    for mode in [Mode::Volatile, Mode::Hw] {
-        let base =
-            run_benchmark(Benchmark::Ll, mode, SimConfig::table_iv(), spec).expect("base").cycles;
-        let pf = run_benchmark(Benchmark::Ll, mode, SimConfig::table_iv().with_prefetcher(), spec)
-            .expect("pf")
-            .cycles;
+    for (i, mode) in [Mode::Volatile, Mode::Hw].iter().enumerate() {
+        let (base, pf) = (runs[2 * i], runs[2 * i + 1]);
         t.row(vec![mode.label().to_string(), format!("{:.3}x", base / pf)]);
+        record(rep, "prefetcher", mode.label(), pf, vec![("base_cycles", Json::F64(base))]);
     }
     println!("{}", t.render());
 }
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("ablations: six sweeps on RB at {} records ...", spec.records);
+    let jobs = par::jobs();
+    eprintln!("ablations: six sweeps on RB at {} records on {jobs} workers ...", spec.records);
     println!();
-    ablate_polb(&spec);
-    ablate_reuse(&spec);
-    ablate_inference(&spec);
-    ablate_nvm_latency(&spec);
-    ablate_txn(&spec);
-    ablate_prefetcher(&spec);
+    let t0 = Instant::now();
+    let mut rep = BenchReport::new("ablations", jobs, std::time::Duration::ZERO);
+    ablate_polb(&spec, jobs, &mut rep);
+    ablate_reuse(&spec, jobs, &mut rep);
+    ablate_inference(&spec, jobs, &mut rep);
+    ablate_nvm_latency(&spec, jobs, &mut rep);
+    ablate_txn(&spec, jobs, &mut rep);
+    ablate_prefetcher(&spec, jobs, &mut rep);
+    rep.set_wall(t0.elapsed());
+    rep.write();
 }

@@ -4,27 +4,44 @@
 //! every build's overhead — evidence that UTPR's costs scale with pointer
 //! traffic, not data volume.
 
-use utpr_bench::{by_mode, scale_spec, Table};
-use utpr_kv::harness::{run_all_modes, Benchmark};
+use std::time::Instant;
+use utpr_bench::report::BenchReport;
+use utpr_bench::{by_mode, par, scale_spec, Table};
+use utpr_kv::harness::{run_benchmark, verify_mode_agreement, Benchmark};
 use utpr_ptr::Mode;
 use utpr_sim::SimConfig;
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("extended: 7 structures x 4 modes at {} records ...", spec.records);
+    let jobs = par::jobs();
+    eprintln!("extended: 7 structures x 4 modes at {} records on {jobs} workers ...", spec.records);
+    let grid: Vec<(Benchmark, Mode)> = Benchmark::ALL_EXTENDED
+        .iter()
+        .flat_map(|b| Mode::ALL.iter().map(move |m| (*b, *m)))
+        .collect();
+    let t0 = Instant::now();
+    let flat = par::par_map(&grid, jobs, |_, &(b, m)| {
+        run_benchmark(b, m, SimConfig::table_iv(), &spec).expect("run")
+    });
+    let wall = t0.elapsed();
     println!("\n=== Extension: all structures + B+ tree, normalized to Volatile ===");
     let mut t = Table::new(&["bench", "explicit", "sw", "hw", "hw polb/ref"]);
-    for b in Benchmark::ALL_EXTENDED {
-        let rs = run_all_modes(b, SimConfig::table_iv(), &spec).expect("run");
-        let vol = by_mode(&rs, Mode::Volatile).cycles;
-        let hw = by_mode(&rs, Mode::Hw);
+    let mut rep = BenchReport::new("extended", jobs, wall);
+    for rs in flat.chunks(Mode::ALL.len()) {
+        verify_mode_agreement(rs).expect("mode soundness");
+        let vol = by_mode(rs, Mode::Volatile).cycles;
+        let hw = by_mode(rs, Mode::Hw);
         t.row(vec![
-            b.name().to_string(),
-            format!("{:.2}", by_mode(&rs, Mode::Explicit).cycles / vol),
-            format!("{:.2}", by_mode(&rs, Mode::Sw).cycles / vol),
+            rs[0].benchmark.name().to_string(),
+            format!("{:.2}", by_mode(rs, Mode::Explicit).cycles / vol),
+            format!("{:.2}", by_mode(rs, Mode::Sw).cycles / vol),
             format!("{:.2}", hw.cycles / vol),
             format!("{:.3}", hw.sim.polb_fraction()),
         ]);
+        for r in rs {
+            rep.push_run(r);
+        }
     }
     println!("{}", t.render());
+    rep.write();
 }

@@ -4,13 +4,22 @@
 //! Paper shapes to expect: HW within a few percent of Volatile (worst on
 //! Splay), SW ≈ 2.75x on average, Explicit between HW and SW.
 
-use utpr_bench::{collect_suite, fig11, scale_spec};
+use std::time::Instant;
+use utpr_bench::report::BenchReport;
+use utpr_bench::{collect_suite, fig11, par, scale_spec};
 use utpr_sim::SimConfig;
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("fig11: running 6 benchmarks x 4 modes at {} records / {} ops ...", spec.records, spec.operations);
+    let jobs = par::jobs();
+    eprintln!(
+        "fig11: running 6 benchmarks x 4 modes at {} records / {} ops on {jobs} workers ...",
+        spec.records, spec.operations
+    );
+    let t0 = Instant::now();
     let suite = collect_suite(SimConfig::table_iv(), &spec);
+    let wall = t0.elapsed();
     println!("\n=== Fig. 11: execution time normalized to Volatile ===");
     println!("{}", fig11(&suite));
+    BenchReport::new("fig11", jobs, wall).push_suite(&suite).write();
 }

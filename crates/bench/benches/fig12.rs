@@ -4,11 +4,22 @@
 //! re-translates at every access. The table reports hardware address
 //! translations per build and their ratio.
 
-use utpr_bench::{fig12, scale_spec};
+use std::time::Instant;
+use utpr_bench::report::BenchReport;
+use utpr_bench::{fig12, fig12_runs, par, scale_spec};
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("fig12: running 6 benchmarks x 2 modes ...");
+    let jobs = par::jobs();
+    eprintln!("fig12: running 6 benchmarks x 2 modes on {jobs} workers ...");
+    let t0 = Instant::now();
+    let runs = fig12_runs(&spec, jobs);
+    let wall = t0.elapsed();
     println!("\n=== Fig. 12: address translations, Explicit vs HW (reuse) ===");
-    println!("{}", fig12(&spec));
+    println!("{}", fig12(&runs));
+    let mut rep = BenchReport::new("fig12", jobs, wall);
+    for r in &runs {
+        rep.push_run(r);
+    }
+    rep.write();
 }

@@ -3,13 +3,19 @@
 //! through shared helper pcs, which is where its extra mispredictions come
 //! from; the HW build adds none.
 
-use utpr_bench::{collect_suite, fig13, scale_spec};
+use std::time::Instant;
+use utpr_bench::report::BenchReport;
+use utpr_bench::{collect_suite, fig13, par, scale_spec};
 use utpr_sim::SimConfig;
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("fig13: running 6 benchmarks x 4 modes ...");
+    let jobs = par::jobs();
+    eprintln!("fig13: running 6 benchmarks x 4 modes on {jobs} workers ...");
+    let t0 = Instant::now();
     let suite = collect_suite(SimConfig::table_iv(), &spec);
+    let wall = t0.elapsed();
     println!("\n=== Fig. 13: branch mispredictions normalized to Volatile ===");
     println!("{}", fig13(&suite));
+    BenchReport::new("fig13", jobs, wall).push_suite(&suite).write();
 }

@@ -3,11 +3,26 @@
 //! finds less than 10% impact even at 50 cycles because storeP (and hence
 //! VALB traffic) is a tiny fraction of accesses.
 
-use utpr_bench::{fig14, scale_spec};
+use std::time::Instant;
+use utpr_bench::report::BenchReport;
+use utpr_bench::{fig14, fig14_runs, par, scale_spec};
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("fig14: sweeping VALB latency over 6 benchmarks ...");
+    let jobs = par::jobs();
+    let latencies = [1u64, 10, 20, 30, 40, 50];
+    eprintln!(
+        "fig14: sweeping VALB latency over 6 benchmarks x {} points on {jobs} workers ...",
+        latencies.len()
+    );
+    let t0 = Instant::now();
+    let runs = fig14_runs(&spec, &latencies, jobs);
+    let wall = t0.elapsed();
     println!("\n=== Fig. 14: HW runtime vs VALB latency, normalized to Explicit ===");
-    println!("{}", fig14(&spec, &[1, 10, 20, 30, 40, 50]));
+    println!("{}", fig14(&runs, &latencies));
+    let mut rep = BenchReport::new("fig14", jobs, wall);
+    for r in &runs {
+        rep.push_run(r);
+    }
+    rep.write();
 }

@@ -4,13 +4,19 @@
 //! and 12.6% on whole-program traces; ours count only data-structure
 //! accesses, so the fractions are proportionally larger).
 
-use utpr_bench::{collect_suite, fig15, scale_spec};
+use std::time::Instant;
+use utpr_bench::report::BenchReport;
+use utpr_bench::{collect_suite, fig15, par, scale_spec};
 use utpr_sim::SimConfig;
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("fig15: running 6 benchmarks x 4 modes ...");
+    let jobs = par::jobs();
+    eprintln!("fig15: running 6 benchmarks x 4 modes on {jobs} workers ...");
+    let t0 = Instant::now();
     let suite = collect_suite(SimConfig::table_iv(), &spec);
+    let wall = t0.elapsed();
     println!("\n=== Fig. 15: access mix of the HW build ===");
     println!("{}", fig15(&suite));
+    BenchReport::new("fig15", jobs, wall).push_suite(&suite).write();
 }

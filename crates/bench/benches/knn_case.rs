@@ -3,7 +3,9 @@
 //! builds. Paper: HW has marginal overhead; SW sees a 7.56x slowdown;
 //! migration costs 7 lines with UPR vs 863 with explicit references.
 
-use utpr_bench::Table;
+use std::time::Instant;
+use utpr_bench::report::{BenchReport, Json};
+use utpr_bench::{par, Table};
 use utpr_ml::{paper_knn_efforts, run_knn};
 use utpr_ptr::Mode;
 use utpr_sim::SimConfig;
@@ -30,16 +32,34 @@ fn main() {
     println!("{}", t.render());
 
     println!("=== KNN case study: performance (normalized to Volatile) ===");
-    eprintln!("knn_case: running KNN in 4 modes ...");
-    let vol = run_knn(Mode::Volatile, SimConfig::table_iv(), 3, 11).expect("volatile");
+    let jobs = par::jobs();
+    eprintln!("knn_case: running KNN in 4 modes on {jobs} workers ...");
+    let t0 = Instant::now();
+    let runs = par::par_map(&Mode::ALL, jobs, |_, &mode| {
+        run_knn(mode, SimConfig::table_iv(), 3, 11).expect("run")
+    });
+    let wall = t0.elapsed();
+    let vol = runs[0].cycles; // Mode::ALL[0] is Volatile
     let mut t = Table::new(&["mode", "normalized time", "accuracy"]);
-    for mode in Mode::ALL {
-        let r = run_knn(mode, SimConfig::table_iv(), 3, 11).expect("run");
+    let mut rep = BenchReport::new("knn_case", jobs, wall);
+    rep.set_extra(
+        "measured_utpr_lines_changed",
+        Json::U64(utpr_ml::measured_utpr_lines_changed() as u64),
+    );
+    for (mode, r) in Mode::ALL.iter().zip(&runs) {
         t.row(vec![
             mode.label().to_string(),
-            format!("{:.2}", r.cycles / vol.cycles),
+            format!("{:.2}", r.cycles / vol),
             format!("{:.3}", r.accuracy),
         ]);
+        rep.push_record(Json::obj(vec![
+            ("mode", Json::Str(mode.label().to_string())),
+            ("cycles", Json::F64(r.cycles)),
+            ("accuracy", Json::F64(r.accuracy)),
+            ("dynamic_checks", Json::U64(r.ptr.dynamic_checks)),
+            ("polb_accesses", Json::U64(r.sim.polb_accesses)),
+        ]));
     }
     println!("{}", t.render());
+    rep.write();
 }

@@ -1,15 +1,20 @@
 //! Micro-benchmarks of the core primitives: pointer encode/decode,
-//! translations, allocator, zipfian sampling, and the simulated cache.
-//! These track the cost of the library itself, not the simulated machine.
-//! Runs on the in-workspace `utpr-qc` harness (median/p95/min per op).
+//! translations, allocator, zipfian sampling, the simulated cache, and the
+//! PageStore word fast paths. These track the cost of the library itself,
+//! not the simulated machine. Runs on the in-workspace `utpr-qc` harness
+//! (median/p95/min per op) and emits `BENCH_micro.json` per summary.
 
 use std::hint::black_box;
-use utpr_qc::bench::Bench;
-use utpr_qc::{bench_group, bench_main};
+use std::time::Instant;
+use utpr_bench::par;
+use utpr_bench::report::{BenchReport, Json};
+use utpr_heap::pagestore::PAGE_SIZE;
 use utpr_heap::{AddressSpace, PageStore, Region};
 use utpr_kv::rng::Rng;
 use utpr_kv::workload::Zipfian;
 use utpr_ptr::{C11Engine, UPtr};
+use utpr_qc::bench::Bench;
+use utpr_qc::bench_group;
 use utpr_sim::cache::Cache;
 use utpr_sim::config::CacheCfg;
 
@@ -43,6 +48,36 @@ fn bench_allocator(c: &mut Bench) {
     });
 }
 
+fn bench_pagestore(c: &mut Bench) {
+    // The three paths a u64 access can take: memoized same-page (fast),
+    // alternating pages (memo miss, hash probe), page-straddling (slow
+    // multi-page copy loop).
+    let mut mem = PageStore::new();
+    for page in 0..4u64 {
+        mem.write_u64(page * PAGE_SIZE, page);
+    }
+    c.bench_function("pagestore/read_u64_same_page", |b| {
+        b.iter(|| black_box(mem.read_u64(black_box(128))));
+    });
+    c.bench_function("pagestore/read_u64_alternating", |b| {
+        let mut flip = 0u64;
+        b.iter(|| {
+            flip ^= PAGE_SIZE;
+            black_box(mem.read_u64(black_box(flip + 128)))
+        });
+    });
+    c.bench_function("pagestore/read_u64_straddle", |b| {
+        b.iter(|| black_box(mem.read_u64(black_box(PAGE_SIZE - 4))));
+    });
+    c.bench_function("pagestore/write_u64_same_page", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            mem.write_u64(black_box(256), v);
+        });
+    });
+}
+
 fn bench_workload(c: &mut Bench) {
     c.bench_function("kv/zipfian_sample", |b| {
         let z = Zipfian::new(10_000);
@@ -62,5 +97,23 @@ fn bench_sim(c: &mut Bench) {
     });
 }
 
-bench_group!(benches, bench_ptr_ops, bench_allocator, bench_workload, bench_sim);
-bench_main!(benches);
+bench_group!(benches, bench_ptr_ops, bench_allocator, bench_pagestore, bench_workload, bench_sim);
+
+fn main() {
+    let t0 = Instant::now();
+    let mut c = Bench::new();
+    benches(&mut c);
+    let mut rep = BenchReport::new("micro", par::jobs(), t0.elapsed());
+    for s in c.summaries() {
+        rep.push_record(Json::obj(vec![
+            ("name", Json::Str(s.name.clone())),
+            ("median_ns", Json::F64(s.median_ns)),
+            ("p95_ns", Json::F64(s.p95_ns)),
+            ("min_ns", Json::F64(s.min_ns)),
+            ("iters_per_sample", Json::U64(s.iters_per_sample)),
+            ("samples", Json::U64(s.samples as u64)),
+        ]));
+    }
+    c.report();
+    rep.write();
+}

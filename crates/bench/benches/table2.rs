@@ -1,7 +1,16 @@
 //! Regenerates paper Table II: on-chip storage and 45nm die area of the
 //! three added hardware structures (storeP FSM buffer, POLB, VALB).
 
+use std::time::Instant;
+use utpr_bench::par;
+use utpr_bench::report::{BenchReport, Json};
+
 fn main() {
+    let t0 = Instant::now();
+    let table = utpr_bench::table2();
     println!("\n=== Table II: hardware storage costs ===");
-    println!("{}", utpr_bench::table2());
+    println!("{table}");
+    BenchReport::new("table2", par::jobs(), t0.elapsed())
+        .set_extra("table", Json::Str(table))
+        .write();
 }

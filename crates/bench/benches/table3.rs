@@ -1,7 +1,16 @@
 //! Regenerates paper Table III: the benchmark inventory (the six Boost data
 //! structures re-implemented over the simulated persistent heap).
 
+use std::time::Instant;
+use utpr_bench::par;
+use utpr_bench::report::{BenchReport, Json};
+
 fn main() {
+    let t0 = Instant::now();
+    let table = utpr_bench::table3();
     println!("\n=== Table III: benchmarks ===");
-    println!("{}", utpr_bench::table3());
+    println!("{table}");
+    BenchReport::new("table3", par::jobs(), t0.elapsed())
+        .set_extra("table", Json::Str(table))
+        .write();
 }

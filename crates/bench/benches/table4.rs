@@ -1,6 +1,15 @@
 //! Regenerates paper Table IV: the simulated machine's parameters.
 
+use std::time::Instant;
+use utpr_bench::par;
+use utpr_bench::report::{BenchReport, Json};
+
 fn main() {
+    let t0 = Instant::now();
+    let table = utpr_bench::table4();
     println!("\n=== Table IV: simulator parameters ===");
-    println!("{}", utpr_bench::table4());
+    println!("{table}");
+    BenchReport::new("table4", par::jobs(), t0.elapsed())
+        .set_extra("table", Json::Str(table))
+        .write();
 }

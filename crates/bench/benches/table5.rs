@@ -2,13 +2,19 @@
 //! SW build and the pointer-format conversions in each direction, per
 //! benchmark.
 
-use utpr_bench::{collect_suite, scale_spec, table5};
+use std::time::Instant;
+use utpr_bench::report::BenchReport;
+use utpr_bench::{collect_suite, par, scale_spec, table5};
 use utpr_sim::SimConfig;
 
 fn main() {
     let spec = scale_spec();
-    eprintln!("table5: running 6 benchmarks x 4 modes ...");
+    let jobs = par::jobs();
+    eprintln!("table5: running 6 benchmarks x 4 modes on {jobs} workers ...");
+    let t0 = Instant::now();
     let suite = collect_suite(SimConfig::table_iv(), &spec);
+    let wall = t0.elapsed();
     println!("\n=== Table V: dynamic checks and conversions (SW build) ===");
     println!("{}", table5(&suite));
+    BenchReport::new("table5", jobs, wall).push_suite(&suite).write();
 }

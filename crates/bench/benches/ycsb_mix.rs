@@ -4,15 +4,23 @@
 //! The expectation: the SW build's penalty grows with write intensity
 //! (more storeP sites check and convert), while HW stays flat.
 
-use utpr_bench::Table;
+use std::time::Instant;
+use utpr_bench::report::{BenchReport, Json};
+use utpr_bench::{par, Table};
 use utpr_ds::RbTree;
 use utpr_heap::AddressSpace;
 use utpr_kv::ycsb::{generate_preset, Preset};
 use utpr_kv::KvStore;
 use utpr_ptr::{ExecEnv, Mode};
-use utpr_sim::{Machine, RangeEntry, SimConfig};
+use utpr_sim::{Machine, RangeEntry, SimConfig, SimStats};
 
-fn run(preset: Preset, mode: Mode, records: u64, operations: u64) -> f64 {
+struct Run {
+    cycles: f64,
+    sim: SimStats,
+    resident_bytes: u64,
+}
+
+fn run(preset: Preset, mode: Mode, records: u64, operations: u64) -> Run {
     let mut space = AddressSpace::new(0x9C5B);
     let pool = space.create_pool("ycsb", 256 << 20).expect("pool");
     let ranges: Vec<RangeEntry> = space
@@ -28,8 +36,8 @@ fn run(preset: Preset, mode: Mode, records: u64, operations: u64) -> f64 {
     store.load(&mut env, &w).expect("load");
     env.sink_mut().reset_measurement();
     store.run(&mut env, &w).expect("run");
-    let (_s, _p, machine) = env.into_parts();
-    machine.cycles()
+    let (space, _p, machine) = env.into_parts();
+    Run { cycles: machine.cycles(), sim: machine.stats(), resident_bytes: space.resident_bytes() }
 }
 
 fn main() {
@@ -38,19 +46,41 @@ fn main() {
         Ok("medium") => (5_000, 20_000),
         _ => (10_000, 100_000),
     };
-    eprintln!("ycsb_mix: 4 presets x 4 modes on RB at {records} records ...");
+    let jobs = par::jobs();
+    eprintln!("ycsb_mix: 4 presets x 4 modes on RB at {records} records on {jobs} workers ...");
+    let grid: Vec<(Preset, Mode)> =
+        Preset::ALL.iter().flat_map(|p| Mode::ALL.iter().map(move |m| (*p, *m))).collect();
+    let t0 = Instant::now();
+    let flat = par::par_map(&grid, jobs, |_, &(p, m)| run(p, m, records, operations));
+    let wall = t0.elapsed();
     println!("\n=== Extension: YCSB preset mixes, RB tree, normalized to Volatile ===");
     let mut t = Table::new(&["preset", "mix", "explicit", "sw", "hw"]);
-    for preset in Preset::ALL {
-        let vol = run(preset, Mode::Volatile, records, operations);
+    let mut rep = BenchReport::new("ycsb_mix", jobs, wall);
+    for (pi, preset) in Preset::ALL.iter().enumerate() {
+        let rs = &flat[pi * Mode::ALL.len()..(pi + 1) * Mode::ALL.len()];
+        let vol = rs[0].cycles;
         let (r, u, i) = preset.mix();
         t.row(vec![
             preset.name().to_string(),
             format!("{:.0}R/{:.0}U/{:.0}I", r * 100.0, u * 100.0, i * 100.0),
-            format!("{:.2}", run(preset, Mode::Explicit, records, operations) / vol),
-            format!("{:.2}", run(preset, Mode::Sw, records, operations) / vol),
-            format!("{:.2}", run(preset, Mode::Hw, records, operations) / vol),
+            format!("{:.2}", rs[1].cycles / vol),
+            format!("{:.2}", rs[2].cycles / vol),
+            format!("{:.2}", rs[3].cycles / vol),
         ]);
+        for (mi, mode) in Mode::ALL.iter().enumerate() {
+            let run = &rs[mi];
+            rep.push_record(Json::obj(vec![
+                ("preset", Json::Str(preset.name().to_string())),
+                ("mode", Json::Str(mode.label().to_string())),
+                ("cycles", Json::F64(run.cycles)),
+                ("resident_bytes", Json::U64(run.resident_bytes)),
+                ("branch_mispredicts", Json::U64(run.sim.branch_mispredicts)),
+                ("storep_fraction", Json::F64(run.sim.storep_fraction())),
+                ("valb_fraction", Json::F64(run.sim.valb_fraction())),
+                ("polb_fraction", Json::F64(run.sim.polb_fraction())),
+            ]));
+        }
     }
     println!("{}", t.render());
+    rep.write();
 }

@@ -10,7 +10,10 @@
 //! Scale is selected with the `UTPR_BENCH_SCALE` environment variable:
 //! `paper` (default: 10 k records / 100 k ops), `medium`, or `small`.
 
-use utpr_kv::harness::{run_all_modes, run_benchmark, BenchResult, Benchmark};
+pub mod par;
+pub mod report;
+
+use utpr_kv::harness::{run_benchmark, verify_mode_agreement, BenchResult, Benchmark};
 use utpr_kv::workload::WorkloadSpec;
 use utpr_ptr::Mode;
 use utpr_sim::SimConfig;
@@ -88,11 +91,32 @@ impl Table {
     }
 }
 
-/// Runs the full suite: every benchmark in all four modes.
+/// Runs the full suite — every benchmark in all four modes — fanned across
+/// [`par::jobs`] worker threads. Results are identical to a sequential run
+/// (see [`collect_suite_jobs`]).
 pub fn collect_suite(sim: SimConfig, spec: &WorkloadSpec) -> Vec<Vec<BenchResult>> {
-    Benchmark::ALL
+    collect_suite_jobs(sim, spec, par::jobs())
+}
+
+/// [`collect_suite`] with an explicit worker count.
+///
+/// The (benchmark, mode) grid is flattened into independent run
+/// descriptors, mapped in parallel, and reassembled in grid order; each
+/// run builds its own `ExecEnv` from fixed seeds, so per-run stats are
+/// bit-identical whatever `jobs` is. The cross-mode soundness criterion of
+/// §VII-B (`verify_mode_agreement`) is still enforced per benchmark.
+pub fn collect_suite_jobs(sim: SimConfig, spec: &WorkloadSpec, jobs: usize) -> Vec<Vec<BenchResult>> {
+    let grid: Vec<(Benchmark, Mode)> = Benchmark::ALL
         .iter()
-        .map(|b| run_all_modes(*b, sim, spec).expect("benchmark run"))
+        .flat_map(|b| Mode::ALL.iter().map(move |m| (*b, *m)))
+        .collect();
+    let flat =
+        par::par_map(&grid, jobs, |_, &(b, m)| run_benchmark(b, m, sim, spec).expect("benchmark run"));
+    flat.chunks(Mode::ALL.len())
+        .map(|results| {
+            verify_mode_agreement(results).expect("mode soundness");
+            results.to_vec()
+        })
         .collect()
 }
 
@@ -180,40 +204,65 @@ pub fn table5(suite: &[Vec<BenchResult>]) -> String {
     t.render()
 }
 
+/// Fig. 14 run matrix: per benchmark, the Explicit baseline followed by
+/// one HW run per VALB latency point, flattened in row-major order
+/// (stride `1 + latencies.len()`), fanned across `jobs` workers.
+pub fn fig14_runs(spec: &WorkloadSpec, latencies: &[u64], jobs: usize) -> Vec<BenchResult> {
+    let mut grid: Vec<(Benchmark, Mode, SimConfig)> = Vec::new();
+    for b in Benchmark::ALL {
+        grid.push((b, Mode::Explicit, SimConfig::table_iv()));
+        for lat in latencies {
+            grid.push((b, Mode::Hw, SimConfig::table_iv().with_valb_latency(*lat)));
+        }
+    }
+    par::par_map(&grid, jobs, |_, &(b, m, cfg)| run_benchmark(b, m, cfg, spec).expect("fig14 run"))
+}
+
 /// Fig. 14: execution time of the HW build under increasing VALB/VAW
-/// latency, normalized to the Explicit build at default latency.
-pub fn fig14(spec: &WorkloadSpec, latencies: &[u64]) -> String {
+/// latency, normalized to the Explicit build at default latency. `runs`
+/// comes from [`fig14_runs`] with the same `latencies`.
+pub fn fig14(runs: &[BenchResult], latencies: &[u64]) -> String {
     let mut headers: Vec<String> = vec!["bench".into()];
     headers.extend(latencies.iter().map(|l| format!("{l}cyc")));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&header_refs);
-    for b in Benchmark::ALL {
-        let explicit = run_benchmark(b, Mode::Explicit, SimConfig::table_iv(), spec)
-            .expect("explicit run")
-            .cycles;
+    let stride = 1 + latencies.len();
+    for (i, b) in Benchmark::ALL.iter().enumerate() {
+        let row = &runs[i * stride..(i + 1) * stride];
+        let explicit = row[0].cycles;
         let mut cells = vec![b.name().to_string()];
-        for lat in latencies {
-            let cfg = SimConfig::table_iv().with_valb_latency(*lat);
-            let hw = run_benchmark(b, Mode::Hw, cfg, spec).expect("hw run").cycles;
-            cells.push(format!("{:.3}", hw / explicit));
+        for hw in &row[1..] {
+            cells.push(format!("{:.3}", hw.cycles / explicit));
         }
         t.row(cells);
     }
     t.render()
 }
 
+/// Fig. 12 run matrix: per benchmark, an HW run then an Explicit run
+/// (stride 2), fanned across `jobs` workers.
+pub fn fig12_runs(spec: &WorkloadSpec, jobs: usize) -> Vec<BenchResult> {
+    let grid: Vec<(Benchmark, Mode)> = Benchmark::ALL
+        .iter()
+        .flat_map(|b| [(*b, Mode::Hw), (*b, Mode::Explicit)])
+        .collect();
+    par::par_map(&grid, jobs, |_, &(b, m)| {
+        run_benchmark(b, m, SimConfig::table_iv(), spec).expect("fig12 run")
+    })
+}
+
 /// Fig. 12: the conversion-reuse effect, isolated — address translations
 /// per build on the same workload (HW converts once per loaded pointer and
-/// reuses; Explicit translates at every object access).
-pub fn fig12(spec: &WorkloadSpec) -> String {
+/// reuses; Explicit translates at every object access). `runs` comes from
+/// [`fig12_runs`].
+pub fn fig12(runs: &[BenchResult]) -> String {
     let mut t = Table::new(&["bench", "hw translations", "explicit translations", "ratio"]);
-    for b in Benchmark::ALL {
-        let hw = run_benchmark(b, Mode::Hw, SimConfig::table_iv(), spec).expect("hw");
-        let ex = run_benchmark(b, Mode::Explicit, SimConfig::table_iv(), spec).expect("ex");
+    for pair in runs.chunks(2) {
+        let (hw, ex) = (&pair[0], &pair[1]);
         let hw_tr = hw.sim.polb_accesses + hw.sim.valb_accesses;
         let ex_tr = ex.sim.polb_accesses + ex.sim.valb_accesses;
         t.row(vec![
-            b.name().to_string(),
+            hw.benchmark.name().to_string(),
             hw_tr.to_string(),
             ex_tr.to_string(),
             format!("{:.2}x", ex_tr as f64 / hw_tr.max(1) as f64),
@@ -296,6 +345,7 @@ pub fn table3() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use utpr_kv::harness::run_all_modes;
 
     #[test]
     fn geomean_basics() {

@@ -46,6 +46,16 @@ pub enum HeapError {
     NoAddressSpace,
     /// Requested pool size is invalid (zero, too large, or unaligned).
     BadPoolSize(u64),
+    /// The soundness criterion failed: the same workload computed different
+    /// answers under different build variants (§VII-B). Raised by the
+    /// benchmark harness instead of panicking so worker threads can report
+    /// a divergence as data.
+    ModeDivergence {
+        /// Benchmark whose modes disagreed.
+        benchmark: &'static str,
+        /// Human-readable `mode=checksum` listing of the disagreement.
+        details: String,
+    },
 }
 
 impl fmt::Display for HeapError {
@@ -67,6 +77,9 @@ impl fmt::Display for HeapError {
             HeapError::CorruptRegion(why) => write!(f, "corrupt allocator region: {why}"),
             HeapError::NoAddressSpace => write!(f, "virtual address space exhausted"),
             HeapError::BadPoolSize(s) => write!(f, "invalid pool size {s:#x}"),
+            HeapError::ModeDivergence { benchmark, details } => {
+                write!(f, "modes disagree on {benchmark}: {details}")
+            }
         }
     }
 }
@@ -95,6 +108,7 @@ mod tests {
             HeapError::CorruptRegion("bad magic"),
             HeapError::NoAddressSpace,
             HeapError::BadPoolSize(0),
+            HeapError::ModeDivergence { benchmark: "RB", details: "hw=0x1, sw=0x2".into() },
         ];
         for e in samples {
             let s = e.to_string();

@@ -4,11 +4,29 @@
 //! backed by a [`PageStore`]: a sparse map from page number to a fixed-size
 //! page of bytes. Pages materialize on first write, so a multi-gigabyte
 //! region costs memory proportional to the bytes actually touched.
+//!
+//! This sits on the hottest path of the whole tree — every simulated load
+//! and store of every benchmark run funnels through it — so the layout is
+//! tuned for the common case: pages live in a slab arena (`Vec<Box<[u8]>>`)
+//! with a `HashMap` from page number to slab slot, and a one-entry
+//! last-page memo lets consecutive accesses to the same page (the
+//! overwhelmingly common pattern: a node's fields, the allocator header,
+//! a stack frame) skip the hash probe entirely. `read_u64`/`write_u64`
+//! additionally take an in-page fast path that avoids the generic
+//! multi-page copy loop whenever the word does not straddle a page
+//! boundary.
 
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Size of a backing page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Sentinel page number marking the last-page memo invalid. No reachable
+/// access maps to it: offsets near `u64::MAX` would need a page number of
+/// `u64::MAX / PAGE_SIZE`, far below this.
+const NO_PAGE: u64 = u64::MAX;
 
 /// Sparse, zero-initialized byte storage indexed by absolute offsets.
 ///
@@ -25,36 +43,79 @@ pub const PAGE_SIZE: u64 = 4096;
 /// assert_eq!(s.read_u64(40), 0xdead_beef);
 /// assert_eq!(s.read_u64(4096 * 10), 0);
 /// ```
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Debug)]
 pub struct PageStore {
-    pages: HashMap<u64, Box<[u8]>>,
+    /// Page number -> slot in `slabs`. Probed once per page, and only when
+    /// the memo misses.
+    index: HashMap<u64, u32>,
+    /// The materialized pages. Slots are never freed individually (only
+    /// `clear` drops them), so memoized slot numbers stay valid.
+    slabs: Vec<Box<[u8]>>,
+    /// Last page touched: `(page_no, slot)`. A `Cell` so read paths can
+    /// refresh it through `&self`; the store stays `Send` (each simulated
+    /// machine owns its memory privately) but is intentionally not `Sync`.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for PageStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PageStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        PageStore { pages: HashMap::new() }
+        PageStore { index: HashMap::new(), slabs: Vec::new(), last: Cell::new((NO_PAGE, 0)) }
     }
 
     /// Number of materialized pages (resident set, in pages).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.slabs.len()
     }
 
     /// Resident bytes actually held by the store.
     pub fn resident_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.slabs.len() as u64 * PAGE_SIZE
     }
 
     /// Drops every page, returning the store to all-zero contents.
     pub fn clear(&mut self) {
-        self.pages.clear();
+        self.index.clear();
+        self.slabs.clear();
+        self.last.set((NO_PAGE, 0));
     }
 
+    /// The page backing `page_no`, or `None` if it was never written.
+    /// Refreshes the last-page memo on an index hit.
+    #[inline]
+    fn page(&self, page_no: u64) -> Option<&[u8]> {
+        let (last_no, last_slot) = self.last.get();
+        if last_no == page_no {
+            return Some(&self.slabs[last_slot as usize]);
+        }
+        let slot = *self.index.get(&page_no)?;
+        self.last.set((page_no, slot));
+        Some(&self.slabs[slot as usize])
+    }
+
+    /// The page backing `page_no`, materializing it zero-filled if absent.
+    #[inline]
     fn page_mut(&mut self, page_no: u64) -> &mut [u8] {
-        self.pages
-            .entry(page_no)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let (last_no, last_slot) = self.last.get();
+        if last_no == page_no {
+            return &mut self.slabs[last_slot as usize];
+        }
+        let slot = match self.index.entry(page_no) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(v) => {
+                let slot = u32::try_from(self.slabs.len()).expect("page count fits in u32");
+                self.slabs.push(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                *v.insert(slot)
+            }
+        };
+        self.last.set((page_no, slot));
+        &mut self.slabs[slot as usize]
     }
 
     /// Reads `buf.len()` bytes starting at `offset`.
@@ -65,7 +126,7 @@ impl PageStore {
             let page_no = pos / PAGE_SIZE;
             let in_page = (pos % PAGE_SIZE) as usize;
             let take = ((PAGE_SIZE as usize) - in_page).min(buf.len() - done);
-            match self.pages.get(&page_no) {
+            match self.page(page_no) {
                 Some(p) => buf[done..done + take].copy_from_slice(&p[in_page..in_page + take]),
                 None => buf[done..done + take].fill(0),
             }
@@ -88,39 +149,72 @@ impl PageStore {
     }
 
     /// Reads a little-endian `u64` at `offset`.
+    #[inline]
     pub fn read_u64(&self, offset: u64) -> u64 {
+        let in_page = (offset % PAGE_SIZE) as usize;
+        if in_page + 8 <= PAGE_SIZE as usize {
+            return match self.page(offset / PAGE_SIZE) {
+                Some(p) => u64::from_le_bytes(p[in_page..in_page + 8].try_into().unwrap()),
+                None => 0,
+            };
+        }
         let mut b = [0u8; 8];
         self.read(offset, &mut b);
         u64::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u64` at `offset`.
+    #[inline]
     pub fn write_u64(&mut self, offset: u64, value: u64) {
+        let in_page = (offset % PAGE_SIZE) as usize;
+        if in_page + 8 <= PAGE_SIZE as usize {
+            let page = self.page_mut(offset / PAGE_SIZE);
+            page[in_page..in_page + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write(offset, &value.to_le_bytes());
     }
 
     /// Reads a little-endian `u32` at `offset`.
+    #[inline]
     pub fn read_u32(&self, offset: u64) -> u32 {
+        let in_page = (offset % PAGE_SIZE) as usize;
+        if in_page + 4 <= PAGE_SIZE as usize {
+            return match self.page(offset / PAGE_SIZE) {
+                Some(p) => u32::from_le_bytes(p[in_page..in_page + 4].try_into().unwrap()),
+                None => 0,
+            };
+        }
         let mut b = [0u8; 4];
         self.read(offset, &mut b);
         u32::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u32` at `offset`.
+    #[inline]
     pub fn write_u32(&mut self, offset: u64, value: u32) {
+        let in_page = (offset % PAGE_SIZE) as usize;
+        if in_page + 4 <= PAGE_SIZE as usize {
+            let page = self.page_mut(offset / PAGE_SIZE);
+            page[in_page..in_page + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write(offset, &value.to_le_bytes());
     }
 
     /// Reads one byte at `offset`.
+    #[inline]
     pub fn read_u8(&self, offset: u64) -> u8 {
-        let mut b = [0u8; 1];
-        self.read(offset, &mut b);
-        b[0]
+        match self.page(offset / PAGE_SIZE) {
+            Some(p) => p[(offset % PAGE_SIZE) as usize],
+            None => 0,
+        }
     }
 
     /// Writes one byte at `offset`.
+    #[inline]
     pub fn write_u8(&mut self, offset: u64, value: u8) {
-        self.write(offset, &[value]);
+        self.page_mut(offset / PAGE_SIZE)[(offset % PAGE_SIZE) as usize] = value;
     }
 }
 
@@ -158,6 +252,17 @@ mod tests {
     }
 
     #[test]
+    fn u64_straddling_a_page_boundary_round_trips() {
+        let mut s = PageStore::new();
+        for delta in 1..8 {
+            let off = PAGE_SIZE * 7 - delta;
+            let v = 0xfeed_f00d_dead_beef_u64.rotate_left(delta as u32);
+            s.write_u64(off, v);
+            assert_eq!(s.read_u64(off), v, "straddle at -{delta}");
+        }
+    }
+
+    #[test]
     fn u32_and_u8_accessors() {
         let mut s = PageStore::new();
         s.write_u32(4, 0xaabb_ccdd);
@@ -175,6 +280,10 @@ mod tests {
         s.clear();
         assert_eq!(s.resident_pages(), 0);
         assert_eq!(s.read_u64(0), 0);
+        // Memo must not resurrect dropped pages: re-write after clear.
+        s.write_u64(0, 9);
+        assert_eq!(s.read_u64(0), 9);
+        assert_eq!(s.resident_pages(), 1);
     }
 
     #[test]
@@ -187,5 +296,26 @@ mod tests {
         assert_eq!(&b[0..4], &[0xff; 4]);
         assert_eq!(&b[4..8], &[0x00; 4]);
         assert_eq!(&b[8..16], &[0xff; 8]);
+    }
+
+    #[test]
+    fn memo_survives_interleaved_pages_and_clones() {
+        let mut s = PageStore::new();
+        s.write_u64(0, 1);
+        s.write_u64(PAGE_SIZE * 3, 2);
+        // Alternate to force memo replacement both directions.
+        for _ in 0..4 {
+            assert_eq!(s.read_u64(0), 1);
+            assert_eq!(s.read_u64(PAGE_SIZE * 3), 2);
+        }
+        let c = s.clone();
+        assert_eq!(c.read_u64(0), 1);
+        assert_eq!(c.read_u64(PAGE_SIZE * 3), 2);
+    }
+
+    #[test]
+    fn store_is_send() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<PageStore>();
     }
 }

@@ -154,6 +154,12 @@ impl PoolStore {
         self.pools.len()
     }
 
+    /// Bytes actually materialized across every pool image (resident set,
+    /// as opposed to the sum of declared pool sizes).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pools.values().map(|img| img.data.resident_bytes()).sum()
+    }
+
     /// True when the device holds no pools.
     pub fn is_empty(&self) -> bool {
         self.pools.is_empty()

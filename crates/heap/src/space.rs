@@ -130,6 +130,14 @@ impl AddressSpace {
         self.generation
     }
 
+    /// Bytes materialized by this address space: the DRAM half's resident
+    /// pages plus every pool image on the device. The memory-footprint
+    /// counterpart of the cycle counters — benchmark reports include it so
+    /// footprint regressions are as visible as runtime ones.
+    pub fn resident_bytes(&self) -> u64 {
+        self.dram.resident_bytes() + self.store.resident_bytes()
+    }
+
     // ---- pool lifecycle ----------------------------------------------------
 
     /// Creates a pool on the device and attaches it, returning its id.

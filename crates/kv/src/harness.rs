@@ -76,6 +76,9 @@ pub struct BenchResult {
     pub ptr: PtrStats,
     /// Functional checksum, for cross-mode soundness assertion.
     pub checksum: u64,
+    /// Bytes materialized by the simulated address space at the end of the
+    /// run (DRAM + pool images) — the memory-footprint axis of the report.
+    pub resident_bytes: u64,
 }
 
 fn fresh_env(mode: Mode, sim: SimConfig, pool_mb: u64) -> Result<ExecEnv<Machine>> {
@@ -92,8 +95,16 @@ fn fresh_env(mode: Mode, sim: SimConfig, pool_mb: u64) -> Result<ExecEnv<Machine
 }
 
 fn finish(benchmark: Benchmark, mode: Mode, env: ExecEnv<Machine>, checksum: u64) -> BenchResult {
-    let (_space, ptr, machine) = env.into_parts();
-    BenchResult { benchmark, mode, cycles: machine.cycles(), sim: machine.stats(), ptr, checksum }
+    let (space, ptr, machine) = env.into_parts();
+    BenchResult {
+        benchmark,
+        mode,
+        cycles: machine.cycles(),
+        sim: machine.stats(),
+        ptr,
+        checksum,
+        resident_bytes: space.resident_bytes(),
+    }
 }
 
 /// Runs one of the five map benchmarks under the KV harness.
@@ -168,12 +179,36 @@ pub fn run_benchmark(
     }
 }
 
+/// Checks that every result of one benchmark computed the same answer (the
+/// soundness criterion of §VII-B).
+///
+/// # Errors
+///
+/// Returns [`HeapError::ModeDivergence`] listing each mode's checksum when
+/// they disagree — an `Err`, not a panic, so a divergence detected inside a
+/// parallel worker is reportable instead of tearing the pool down.
+pub fn verify_mode_agreement(results: &[BenchResult]) -> Result<()> {
+    let Some(first) = results.first() else { return Ok(()) };
+    if results.iter().all(|r| r.checksum == first.checksum) {
+        return Ok(());
+    }
+    Err(HeapError::ModeDivergence {
+        benchmark: first.benchmark.name(),
+        details: results
+            .iter()
+            .map(|r| format!("{}={:#x}", r.mode.label(), r.checksum))
+            .collect::<Vec<_>>()
+            .join(", "),
+    })
+}
+
 /// Convenience: runs one benchmark in all four modes and checks that every
 /// mode computed the same answer (the soundness criterion of §VII-B).
 ///
 /// # Errors
 ///
-/// Propagates failures from any run.
+/// Propagates failures from any run; returns
+/// [`HeapError::ModeDivergence`] when the modes' checksums disagree.
 pub fn run_all_modes(
     benchmark: Benchmark,
     sim: SimConfig,
@@ -183,13 +218,7 @@ pub fn run_all_modes(
     for mode in Mode::ALL {
         results.push(run_benchmark(benchmark, mode, sim, spec)?);
     }
-    let checksum = results[0].checksum;
-    assert!(
-        results.iter().all(|r| r.checksum == checksum),
-        "modes disagree on {}: {:?}",
-        benchmark.name(),
-        results.iter().map(|r| (r.mode, r.checksum)).collect::<Vec<_>>()
-    );
+    verify_mode_agreement(&results)?;
     Ok(results)
 }
 
@@ -283,5 +312,21 @@ mod tests {
     fn crash_recovery_demo() {
         let (before, after) = crash_and_recover_demo(&tiny_spec()).unwrap();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn divergent_checksums_are_an_error_not_a_panic() {
+        let mut results =
+            run_all_modes(Benchmark::Hash, SimConfig::table_iv(), &tiny_spec()).unwrap();
+        assert!(verify_mode_agreement(&results).is_ok());
+        results[2].checksum ^= 1;
+        match verify_mode_agreement(&results) {
+            Err(HeapError::ModeDivergence { benchmark, details }) => {
+                assert_eq!(benchmark, "Hash");
+                assert!(details.contains("sw="), "{details}");
+            }
+            other => panic!("expected ModeDivergence, got {other:?}"),
+        }
+        assert!(verify_mode_agreement(&[]).is_ok());
     }
 }

@@ -28,7 +28,7 @@ pub mod store;
 pub mod workload;
 pub mod ycsb;
 
-pub use harness::{run_all_modes, run_benchmark, BenchResult, Benchmark};
+pub use harness::{run_all_modes, run_benchmark, verify_mode_agreement, BenchResult, Benchmark};
 pub use store::{KvStore, RunSummary};
 pub use workload::{generate, Op, Workload, WorkloadSpec, Zipfian};
 pub use ycsb::{generate_preset, Preset};

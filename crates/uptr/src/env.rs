@@ -232,6 +232,7 @@ impl<S: TimingSink> ExecEnv<S> {
 
     /// Converts a relative location to its virtual address, charging the
     /// mode-appropriate machinery.
+    #[inline]
     fn convert_ra2va(&mut self, loc: RelLoc) -> Result<VirtAddr> {
         let va = self.space.ra2va(loc)?;
         self.stats.rel_to_abs += 1;
@@ -255,6 +256,7 @@ impl<S: TimingSink> ExecEnv<S> {
     }
 
     /// Converts a persistent-half virtual address to relative format.
+    #[inline]
     fn convert_va2ra(&mut self, va: VirtAddr) -> Result<RelLoc> {
         let loc = self.space.va2ra(va)?;
         self.stats.abs_to_rel += 1;
@@ -270,6 +272,7 @@ impl<S: TimingSink> ExecEnv<S> {
     }
 
     /// Whether a site keeps its dynamic check under the active policy.
+    #[inline]
     fn site_unresolved(&self, site: &'static Site) -> bool {
         match self.check_policy {
             CheckPolicy::Inferred => !site.is_statically_resolved(),
@@ -282,6 +285,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// The check is a call into the shared out-of-line `determineY` helper
     /// — the pass runs after inlining (paper §VI), so every unresolved site
     /// funnels its outcome stream through the helper's one branch.
+    #[inline]
     fn sw_check(&mut self, site: &'static Site, kind: u32, taken: bool) {
         if self.mode == Mode::Sw && self.site_unresolved(site) {
             let _ = kind;
@@ -294,6 +298,7 @@ impl<S: TimingSink> ExecEnv<S> {
 
     /// Resolves a pointer (+ byte offset) to the virtual address an access
     /// would touch, emitting translation events as the mode requires.
+    #[inline]
     fn resolve(&mut self, site: &'static Site, base: UPtr, off: i64) -> Result<(VirtAddr, bool)> {
         let p = base.offset(off);
         self.sw_check(site, branch_kind::DETERMINE_Y, p.format() == PtrFormat::Relative);
@@ -314,6 +319,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// # Errors
     ///
     /// Faults on null, unmapped addresses, and detached pools.
+    #[inline]
     pub fn read_u64(&mut self, site: &'static Site, base: UPtr, off: i64) -> Result<u64> {
         let (va, rel_base) = self.resolve(site, base, off)?;
         self.stats.loads += 1;
@@ -326,6 +332,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// # Errors
     ///
     /// Faults on null, unmapped addresses, and detached pools.
+    #[inline]
     pub fn write_u64(&mut self, site: &'static Site, base: UPtr, off: i64, v: u64) -> Result<()> {
         let (va, rel_base) = self.resolve(site, base, off)?;
         self.txn_log(va)?;
@@ -339,6 +346,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// # Errors
     ///
     /// Same as [`ExecEnv::read_u64`].
+    #[inline]
     pub fn read_f64(&mut self, site: &'static Site, base: UPtr, off: i64) -> Result<f64> {
         Ok(f64::from_bits(self.read_u64(site, base, off)?))
     }
@@ -348,6 +356,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// # Errors
     ///
     /// Same as [`ExecEnv::write_u64`].
+    #[inline]
     pub fn write_f64(&mut self, site: &'static Site, base: UPtr, off: i64, v: f64) -> Result<()> {
         self.write_u64(site, base, off, v.to_bits())
     }
@@ -363,6 +372,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// # Errors
     ///
     /// Faults on null/unmapped bases and detached pools.
+    #[inline]
     pub fn read_ptr(&mut self, site: &'static Site, base: UPtr, off: i64) -> Result<UPtr> {
         let (va, rel_base) = self.resolve(site, base, off)?;
         self.stats.ptr_loads += 1;
@@ -472,6 +482,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// # Errors
     ///
     /// Faults when a needed conversion hits a detached pool.
+    #[inline]
     pub fn ptr_eq(&mut self, site: &'static Site, a: UPtr, b: UPtr) -> Result<bool> {
         self.sw_check(site, branch_kind::DETERMINE_Y, a.format() == PtrFormat::Relative);
         self.sw_check(site, branch_kind::DETERMINE_Y2, b.format() == PtrFormat::Relative);
@@ -492,6 +503,7 @@ impl<S: TimingSink> ExecEnv<S> {
     /// SW mode an unresolved site still executes its `determineY` check
     /// first (the compiler cannot know `p`'s format even when comparing to
     /// null), and the *outcome* branch itself is program-intrinsic.
+    #[inline]
     pub fn ptr_is_null(&mut self, site: &'static Site, p: UPtr) -> bool {
         self.sw_check(site, branch_kind::DETERMINE_Y, p.format() == PtrFormat::Relative);
         self.emit(MemEvent::Exec(1));
@@ -499,6 +511,7 @@ impl<S: TimingSink> ExecEnv<S> {
         p.is_null()
     }
 
+    #[inline]
     fn normalize(&mut self, p: UPtr) -> Result<u64> {
         match p.as_rel() {
             Some(loc) => Ok(self.convert_ra2va(loc)?.raw()),
@@ -793,11 +806,13 @@ impl<S: TimingSink> ExecEnv<S> {
 
     /// Records a data-structure-intrinsic conditional branch (key compare,
     /// loop exit). Present in every mode; gives Fig. 13 its baseline.
+    #[inline]
     pub fn branch(&mut self, site: &'static Site, taken: bool) {
         self.emit(MemEvent::Branch { pc: site.pc(branch_kind::PROGRAM), taken });
     }
 
     /// Charges `n` plain ALU micro-ops of program work.
+    #[inline]
     pub fn charge_exec(&mut self, n: u32) {
         self.emit(MemEvent::Exec(n));
     }

@@ -4,8 +4,12 @@
 # attempted — --offline makes any accidental reintroduction of an external
 # dependency fail loudly instead of hanging on the network).
 #
-# Usage: scripts/verify.sh [--bench]
-#   --bench  additionally run the utpr-qc micro-benchmarks as a smoke test
+# Usage: scripts/verify.sh [--bench] [--bench-smoke]
+#   --bench        additionally run the utpr-qc micro-benchmarks
+#   --bench-smoke  additionally run fig11 at reduced scale with 1 worker and
+#                  then all workers, check both emit BENCH_fig11.json, and —
+#                  on machines with >= 4 cores — fail if the parallel run is
+#                  not at least as fast as the serial one (15% noise margin)
 #
 # Environment:
 #   UTPR_QC_SEED  override the property-test base seed (decimal or 0x-hex)
@@ -18,9 +22,60 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q (workspace) =="
 cargo test -q --workspace --offline
 
-if [[ "${1:-}" == "--bench" ]]; then
+run_bench=0
+run_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench) run_bench=1 ;;
+        --bench-smoke) run_smoke=1 ;;
+        *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+if [[ "$run_bench" == 1 ]]; then
     echo "== extra: micro-benchmarks =="
     cargo bench -p utpr-bench --bench micro --offline
+fi
+
+# Pulls "wall_ms":<num> out of a BENCH_*.json report without a JSON parser.
+wall_ms() {
+    sed -n 's/.*"wall_ms":\([0-9.]*\).*/\1/p' "$1"
+}
+
+if [[ "$run_smoke" == 1 ]]; then
+    echo "== extra: parallel-runner smoke (fig11, small scale) =="
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+
+    UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$smoke_dir/serial" \
+        cargo bench -q -p utpr-bench --bench fig11 --offline > /dev/null
+    [[ -f "$smoke_dir/serial/BENCH_fig11.json" ]] || {
+        echo "verify: serial run did not emit BENCH_fig11.json" >&2
+        exit 1
+    }
+    serial_ms=$(wall_ms "$smoke_dir/serial/BENCH_fig11.json")
+
+    jobs=$(nproc 2>/dev/null || echo 1)
+    UTPR_BENCH_SCALE=small UTPR_JOBS="$jobs" UTPR_BENCH_OUT="$smoke_dir/par" \
+        cargo bench -q -p utpr-bench --bench fig11 --offline > /dev/null
+    [[ -f "$smoke_dir/par/BENCH_fig11.json" ]] || {
+        echo "verify: parallel run did not emit BENCH_fig11.json" >&2
+        exit 1
+    }
+    par_ms=$(wall_ms "$smoke_dir/par/BENCH_fig11.json")
+
+    echo "smoke: serial ${serial_ms} ms, ${jobs} workers ${par_ms} ms"
+    if [[ "$jobs" -ge 4 ]]; then
+        # The parallel run must be at least as fast as serial, within a 15%
+        # noise margin. On fewer than 4 cores there is nothing to gain, so
+        # only the JSON emission is checked.
+        awk -v s="$serial_ms" -v p="$par_ms" 'BEGIN { exit !(p <= s * 1.15) }' || {
+            echo "verify: parallel fig11 (${par_ms} ms) slower than serial (${serial_ms} ms) beyond noise" >&2
+            exit 1
+        }
+    else
+        echo "smoke: < 4 cores, skipping speedup check"
+    fi
 fi
 
 echo "verify: OK"

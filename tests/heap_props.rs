@@ -66,6 +66,77 @@ props! {
         prop_assert_eq!(b[0], 0);
     }
 
+    /// The u64/u32 word fast paths (aligned or unaligned but in-page,
+    /// memoized last page, page-straddling slow path) agree with the
+    /// byte-wise generic path for arbitrary offsets — including offsets
+    /// placed right at page boundaries so straddles actually occur.
+    #[test]
+    fn page_store_word_fast_paths_match_slow_path(
+        ops in collection::vec((0u64..8, 0u64..200_000, any::<u64>()), 1..200)
+    ) {
+        const PAGE: u64 = utpr_heap::pagestore::PAGE_SIZE;
+        let mut store = PageStore::new();
+        let mut oracle: HashMap<u64, u8> = HashMap::new();
+        for (sel, raw_off, val) in ops {
+            // Bias half the offsets to hug a page boundary so the
+            // straddling path is exercised every run.
+            let off = if raw_off % 2 == 0 {
+                (raw_off / 2) % 500_000
+            } else {
+                let page = (raw_off / 16) % 32 + 1;
+                page * PAGE - (raw_off % 8) - 1
+            };
+            match sel {
+                0 => {
+                    // u64 write via store, byte-wise into the oracle.
+                    store.write_u64(off, val);
+                    for (i, b) in val.to_le_bytes().iter().enumerate() {
+                        oracle.insert(off + i as u64, *b);
+                    }
+                }
+                1 => {
+                    // u32 write.
+                    store.write_u32(off, val as u32);
+                    for (i, b) in (val as u32).to_le_bytes().iter().enumerate() {
+                        oracle.insert(off + i as u64, *b);
+                    }
+                }
+                2 => {
+                    // Generic byte-slice write: the slow-path oracle writer.
+                    let bytes = val.to_le_bytes();
+                    store.write(off, &bytes[..5]);
+                    for (i, b) in bytes[..5].iter().enumerate() {
+                        oracle.insert(off + i as u64, *b);
+                    }
+                }
+                _ => {
+                    // Reads: fast-path result must equal the byte oracle.
+                    let mut expect8 = [0u8; 8];
+                    for (i, e) in expect8.iter_mut().enumerate() {
+                        *e = *oracle.get(&(off + i as u64)).unwrap_or(&0);
+                    }
+                    prop_assert_eq!(
+                        store.read_u64(off),
+                        u64::from_le_bytes(expect8),
+                        "read_u64 at {} (in_page {})", off, off % PAGE
+                    );
+                    let mut expect4 = [0u8; 4];
+                    expect4.copy_from_slice(&expect8[..4]);
+                    prop_assert_eq!(store.read_u32(off), u32::from_le_bytes(expect4));
+                    prop_assert_eq!(store.read_u8(off), expect8[0]);
+                }
+            }
+        }
+        // Final sweep: every oracle byte is visible through both the byte
+        // reader and the word reader that covers it.
+        for (&off, &b) in &oracle {
+            let mut one = [0u8; 1];
+            store.read(off, &mut one);
+            prop_assert_eq!(one[0], b);
+            prop_assert_eq!((store.read_u64(off) & 0xff) as u8, b);
+        }
+    }
+
     /// Pointer encodings round-trip for every (pool, offset) pair and never
     /// collide with virtual addresses.
     #[test]
