@@ -31,7 +31,7 @@ fn machine_env(mode: Mode, sim: SimConfig) -> ExecEnv<Machine> {
         .collect();
     let mut machine = Machine::new(sim);
     machine.set_pool_ranges(ranges);
-    ExecEnv::new(space, mode, Some(pool), machine)
+    ExecEnv::builder(space).mode(mode).pool(pool).sink(machine).build()
 }
 
 fn run_rb_with(mut env: ExecEnv<Machine>, spec: &utpr_kv::WorkloadSpec) -> (f64, utpr_sim::SimStats) {

@@ -30,7 +30,7 @@ fn run(preset: Preset, mode: Mode, records: u64, operations: u64) -> Run {
         .collect();
     let mut machine = Machine::new(SimConfig::table_iv());
     machine.set_pool_ranges(ranges);
-    let mut env = ExecEnv::new(space, mode, Some(pool), machine);
+    let mut env = ExecEnv::builder(space).mode(mode).pool(pool).sink(machine).build();
     let w = generate_preset(preset, records, operations, 42);
     let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
     store.load(&mut env, &w).expect("load");

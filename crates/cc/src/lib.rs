@@ -33,6 +33,6 @@ pub mod passes;
 
 pub use analysis::{analyze_function, analyze_module, Decision, FnAnalysis, InferenceReport};
 pub use interp::{Interp, InterpError, InterpStats, Val};
-pub use ir::{FnBuilder, Function, Module};
+pub use ir::{FnBuilder, Function, Module, VerifyError};
 pub use parser::{parse_module, ParseError};
 pub use passes::{count_redundant_conversions, redundant_conversion_elimination};

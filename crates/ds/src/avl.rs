@@ -24,12 +24,12 @@ const DESC_SIZE: u64 = 16;
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::{AvlTree, Index};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("avl", 4 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut t = AvlTree::create(&mut env)?;
 /// t.insert(&mut env, 3, 30)?;
 /// assert_eq!(t.get(&mut env, 3)?, Some(30));
@@ -337,6 +337,10 @@ impl Index for AvlTree {
 
     fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("avl.len", Param), self.desc, D_LEN)
+    }
+
+    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        AvlTree::validate(self, env)
     }
 }
 

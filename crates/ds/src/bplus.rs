@@ -34,12 +34,12 @@ const INTERNAL_SIZE: u64 = OFF_CHILDREN as u64 + (ORDER + 1) * 8;
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::{BPlusTree, Index};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("bp", 4 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut t = BPlusTree::create(&mut env)?;
 /// for k in 0..100 {
 ///     t.insert(&mut env, k, k + 1)?;
@@ -458,6 +458,10 @@ impl Index for BPlusTree {
 
     fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("bp.len", Param), self.desc, D_LEN)
+    }
+
+    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        BPlusTree::validate(self, env)
     }
 }
 

@@ -29,12 +29,12 @@ const INITIAL_LOG2: u64 = 4;
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::{HashMapIndex, Index};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("h", 4 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut h = HashMapIndex::create(&mut env)?;
 /// h.insert(&mut env, 7, 70)?;
 /// assert_eq!(h.get(&mut env, 7)?, Some(70));
@@ -230,6 +230,10 @@ impl Index for HashMapIndex {
 
     fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("hash.len", Param), self.desc, D_LEN)
+    }
+
+    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        HashMapIndex::validate(self, env)
     }
 }
 

@@ -70,6 +70,15 @@ pub trait Index: Sized {
     /// Propagates translation failures (the length lives in the
     /// descriptor).
     fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64>;
+
+    /// Walks the whole structure checking its invariants (shape, ordering,
+    /// stored length), panicking on violation; returns the key count. Used
+    /// as the post-recovery oracle by the crash-point sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64>;
 }
 
 /// Exhaustive cross-check of an index against a model map — shared by the
@@ -84,7 +93,7 @@ pub(crate) mod testing {
     pub fn env_for(mode: Mode) -> ExecEnv<CountingSink> {
         let mut space = AddressSpace::new(97);
         let pool = space.create_pool("ds-test", 16 << 20).unwrap();
-        ExecEnv::new(space, mode, Some(pool), CountingSink::new())
+        ExecEnv::builder(space).mode(mode).pool(pool).sink(CountingSink::new()).build()
     }
 
     /// Runs a deterministic pseudo-random op sequence against the index and

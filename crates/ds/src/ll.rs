@@ -31,12 +31,12 @@ const DESC_SIZE: u64 = 24;
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::LinkedList;
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("ll", 1 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut list = LinkedList::create(&mut env)?;
 /// list.push_back(&mut env, 1, 2)?;
 /// list.push_back(&mut env, 3, 4)?;

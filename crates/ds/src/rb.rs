@@ -29,12 +29,12 @@ const DESC_SIZE: u64 = 16;
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::{Index, RbTree};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("rb", 4 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut t = RbTree::create(&mut env)?;
 /// for k in 0..100 {
 ///     t.insert(&mut env, k, k * k)?;
@@ -506,6 +506,10 @@ impl Index for RbTree {
 
     fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("rb.len", Param), self.desc, D_LEN)
+    }
+
+    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        RbTree::validate(self, env)
     }
 }
 

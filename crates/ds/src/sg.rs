@@ -34,12 +34,12 @@ const ALPHA_DEN: u64 = 10;
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::{Index, ScapegoatTree};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("sg", 4 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut t = ScapegoatTree::create(&mut env)?;
 /// t.insert(&mut env, 2, 20)?;
 /// assert_eq!(t.get(&mut env, 2)?, Some(20));
@@ -368,6 +368,10 @@ impl Index for ScapegoatTree {
 
     fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("sg.len", Param), self.desc, D_LEN)
+    }
+
+    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        ScapegoatTree::validate(self, env)
     }
 }
 

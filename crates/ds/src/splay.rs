@@ -26,12 +26,12 @@ const DESC_SIZE: u64 = 16;
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::{Index, SplayTree};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("sp", 4 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut t = SplayTree::create(&mut env)?;
 /// t.insert(&mut env, 11, 111)?;
 /// assert_eq!(t.get(&mut env, 11)?, Some(111));
@@ -359,6 +359,10 @@ impl Index for SplayTree {
 
     fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("splay.len", Param), self.desc, D_LEN)
+    }
+
+    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+        SplayTree::validate(self, env)
     }
 }
 

@@ -34,7 +34,7 @@ where
 {
     let mut space = AddressSpace::new(0xD5 ^ mode.label().len() as u64);
     let pool = space.create_pool("inv", 16 << 20).unwrap();
-    let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(mode).pool(pool).build();
     let mut t = T::create(&mut env).unwrap();
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
 

@@ -46,6 +46,14 @@ pub enum HeapError {
     NoAddressSpace,
     /// Requested pool size is invalid (zero, too large, or unaligned).
     BadPoolSize(u64),
+    /// A simulated crash fired at an armed fault-injection point
+    /// ([`crate::faults`]): the durable write that would have happened next
+    /// was suppressed and the "process" must stop. Carries the number of
+    /// durable writes that landed before the crash — the crash-point index.
+    CrashInjected {
+        /// Durable writes completed before the crash.
+        writes: u64,
+    },
     /// The soundness criterion failed: the same workload computed different
     /// answers under different build variants (§VII-B). Raised by the
     /// benchmark harness instead of panicking so worker threads can report
@@ -77,6 +85,9 @@ impl fmt::Display for HeapError {
             HeapError::CorruptRegion(why) => write!(f, "corrupt allocator region: {why}"),
             HeapError::NoAddressSpace => write!(f, "virtual address space exhausted"),
             HeapError::BadPoolSize(s) => write!(f, "invalid pool size {s:#x}"),
+            HeapError::CrashInjected { writes } => {
+                write!(f, "injected crash after {writes} durable writes")
+            }
             HeapError::ModeDivergence { benchmark, details } => {
                 write!(f, "modes disagree on {benchmark}: {details}")
             }
@@ -108,6 +119,7 @@ mod tests {
             HeapError::CorruptRegion("bad magic"),
             HeapError::NoAddressSpace,
             HeapError::BadPoolSize(0),
+            HeapError::CrashInjected { writes: 12 },
             HeapError::ModeDivergence { benchmark: "RB", details: "hw=0x1, sw=0x2".into() },
         ];
         for e in samples {

@@ -1,0 +1,319 @@
+//! Deterministic crash/fault injection for the persistent heap.
+//!
+//! The paper's usage model presumes library calls are "enclosed in a
+//! persistent transaction" (§VI) and that a crash may strike anywhere.
+//! This module turns that assumption into a *measured* property: every
+//! durable write to an NVM pool passes through a fault gate in
+//! [`AddressSpace`], which counts write boundaries and — when armed — stops
+//! the simulated process at a chosen boundary by raising
+//! [`HeapError::CrashInjected`]. A sweep then enumerates *all* boundaries
+//! of a workload (exhaustively at small scale, seeded-sampled at large
+//! scale), simulates the crash, runs [`UndoLog::recover`], and checks the
+//! caller's invariants against the recovered image.
+//!
+//! ## Fault model
+//!
+//! - The simulated pool is byte-durable at every step (a write-through /
+//!   eADR persistence domain), so "the state at crash point `k`" is exactly
+//!   the pool image after `k` durable writes.
+//! - A *durable write boundary* is one hooked mutation of a pool: a data
+//!   word/byte-range store, an undo-log append word, a root-pointer store,
+//!   or one `pmalloc`/`pfree` (allocator metadata updates are modelled as
+//!   atomic — a single boundary — as if protected by their own micro-log).
+//! - A crash drops everything volatile: DRAM contents, the attachment
+//!   table (pools re-attach at new, seed-randomized bases), and any
+//!   in-flight `ExecEnv` state such as the armed [`UndoLog`] handle or
+//!   deferred transactional frees. Pool images survive verbatim.
+//! - Recovery is exactly what a restarted process would run: re-open the
+//!   pool, then [`UndoLog::recover`] rolls a torn transaction back.
+//!
+//! ## Determinism
+//!
+//! Everything is replayable: the workload derives from its own seeds, the
+//! attach bases from the layout seed and restart generation, and sampled
+//! sweeps from the sweep seed (`UTPR_QC_SEED` at the harness level).
+//! A failure report therefore needs only `(seed, crash point)` to
+//! reproduce bit-identically.
+
+use crate::addr::PoolId;
+use crate::error::{HeapError, Result};
+use crate::space::AddressSpace;
+use crate::txn::UndoLog;
+
+/// The fault gate every durable pool write consults.
+///
+/// Disabled by default (zero overhead beyond a branch). In *counting* mode
+/// it numbers each write boundary; *armed* at `k` it lets exactly `k`
+/// writes land and raises [`HeapError::CrashInjected`] at the `k`-th
+/// boundary — and at every boundary after it, so a workload that swallows
+/// the first error still cannot mutate durable state "after death".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultState {
+    enabled: bool,
+    writes: u64,
+    crash_at: Option<u64>,
+    tripped: bool,
+}
+
+impl FaultState {
+    /// The default state: gate disabled, nothing counted.
+    pub fn disabled() -> Self {
+        FaultState::default()
+    }
+
+    /// Counting mode: number every durable write boundary, never trip.
+    pub fn counting() -> Self {
+        FaultState { enabled: true, ..FaultState::default() }
+    }
+
+    /// Armed mode: allow exactly `k` durable writes, then crash.
+    pub fn crash_at(k: u64) -> Self {
+        FaultState { enabled: true, crash_at: Some(k), ..FaultState::default() }
+    }
+
+    /// Durable write boundaries observed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// True once the armed crash point has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// True while the gate is counting or armed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Consulted by [`AddressSpace`] immediately *before* each durable
+    /// write; `Err` means the write must not happen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CrashInjected`] at and after the armed point.
+    #[inline]
+    pub fn gate(&mut self) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.tripped || self.crash_at == Some(self.writes) {
+            self.tripped = true;
+            return Err(HeapError::CrashInjected { writes: self.writes });
+        }
+        self.writes += 1;
+        Ok(())
+    }
+}
+
+/// What [`crash_and_recover`] found and did.
+#[derive(Clone, Copy, Debug)]
+pub struct Recovery {
+    /// The re-opened pool's id.
+    pub pool: PoolId,
+    /// Whether a torn transaction was rolled back.
+    pub rolled_back: bool,
+    /// Durable writes that had landed when the crash fired.
+    pub writes_before_crash: u64,
+}
+
+/// Simulates the crash a tripped gate models, then runs recovery: disarms
+/// the gate, restarts the address space (DRAM lost, pools detached and
+/// re-attached at fresh seed-randomized bases), re-opens `pool_name`, and
+/// rolls back any torn transaction.
+///
+/// # Errors
+///
+/// Propagates pool-open and recovery failures, and returns
+/// [`HeapError::CorruptRegion`] if an undo log is still active *after*
+/// recovery (recovery must always disarm the log).
+pub fn crash_and_recover(space: &mut AddressSpace, pool_name: &str) -> Result<Recovery> {
+    let writes_before_crash = space.faults().writes();
+    space.set_faults(FaultState::disabled());
+    space.restart();
+    let pool = space.open_pool(pool_name)?;
+    let rolled_back = UndoLog::recover(space, pool)?;
+    if let Ok(log) = UndoLog::open(space, pool) {
+        if log.is_active(space)? {
+            return Err(HeapError::CorruptRegion("undo log still active after recovery"));
+        }
+    }
+    Ok(Recovery { pool, rolled_back, writes_before_crash })
+}
+
+/// Picks the crash points to test for a workload with `total` durable
+/// write boundaries: every point in `0..total` when `total <=
+/// exhaustive_limit`, otherwise `samples` distinct seeded points (always
+/// including the first and last boundary — the edges are where log-arming
+/// and commit-ordering bugs live). The result is sorted and deduplicated,
+/// and depends only on the arguments.
+pub fn select_points(total: u64, exhaustive_limit: u64, samples: u64, seed: u64) -> Vec<u64> {
+    if total == 0 {
+        return Vec::new();
+    }
+    if total <= exhaustive_limit || samples >= total {
+        return (0..total).collect();
+    }
+    let mut points = Vec::with_capacity(samples as usize + 2);
+    points.push(0);
+    points.push(total - 1);
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    while (points.len() as u64) < samples.max(2) {
+        // splitmix64 step, reduced onto the boundary range.
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        points.push(z % total);
+        points.sort_unstable();
+        points.dedup();
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RelLoc;
+
+    fn setup() -> (AddressSpace, PoolId, RelLoc) {
+        let mut space = AddressSpace::new(17);
+        let pool = space.create_pool("faults", 1 << 20).unwrap();
+        let loc = space.pmalloc(pool, 64).unwrap();
+        (space, pool, loc)
+    }
+
+    #[test]
+    fn disabled_gate_is_transparent() {
+        let (mut space, _, loc) = setup();
+        let va = space.ra2va(loc).unwrap();
+        for i in 0..10 {
+            space.write_u64(va, i).unwrap();
+        }
+        assert_eq!(space.faults().writes(), 0);
+    }
+
+    #[test]
+    fn counting_numbers_every_durable_write() {
+        let (mut space, pool, loc) = setup();
+        space.set_faults(FaultState::counting());
+        let va = space.ra2va(loc).unwrap();
+        space.write_u64(va, 1).unwrap(); // 1 boundary
+        space.pmalloc(pool, 32).unwrap(); // 1 boundary (atomic alloc)
+        space.set_pool_root(pool, 7).unwrap(); // 1 boundary
+        assert_eq!(space.faults().writes(), 3);
+        // DRAM traffic is not durable and not counted.
+        let d = space.malloc(64).unwrap();
+        space.write_u64(d, 9).unwrap();
+        assert_eq!(space.faults().writes(), 3);
+    }
+
+    #[test]
+    fn armed_gate_crashes_at_exact_boundary_and_stays_dead() {
+        let (mut space, _, loc) = setup();
+        let va = space.ra2va(loc).unwrap();
+        space.set_faults(FaultState::crash_at(2));
+        space.write_u64(va, 1).unwrap();
+        space.write_u64(va.add(8), 2).unwrap();
+        let err = space.write_u64(va.add(16), 3);
+        assert!(matches!(err, Err(HeapError::CrashInjected { writes: 2 })));
+        // Every later durable write keeps failing: the process is dead.
+        assert!(matches!(space.write_u64(va, 4), Err(HeapError::CrashInjected { .. })));
+        assert!(space.faults().tripped());
+        // The first two writes landed, the third did not.
+        space.set_faults(FaultState::disabled());
+        assert_eq!(space.read_u64(va).unwrap(), 1);
+        assert_eq!(space.read_u64(va.add(8)).unwrap(), 2);
+        assert_eq!(space.read_u64(va.add(16)).unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_and_recover_rolls_back_torn_transaction() {
+        let (mut space, pool, loc) = setup();
+        let va = space.ra2va(loc).unwrap();
+        space.write_u64(va, 100).unwrap();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+
+        // Count the transaction's boundaries first.
+        space.set_faults(FaultState::counting());
+        log.begin(&mut space).unwrap();
+        log.log_word(&mut space, loc).unwrap();
+        space.write_u64(space.ra2va(loc).unwrap(), 55).unwrap();
+        let total = space.faults().writes();
+        assert!(total >= 4, "begin(2) + log_word(3) + store(1), got {total}");
+        log.commit(&mut space).unwrap();
+        space.write_u64(space.ra2va(loc).unwrap(), 100).unwrap();
+
+        // Crash at every boundary of the same transaction; the word must
+        // recover to either the old (rolled back) or new (committed) value.
+        for k in 0..total {
+            space.set_faults(FaultState::crash_at(k));
+            let log = UndoLog::open(&space, pool).unwrap();
+            let _ = log
+                .begin(&mut space)
+                .and_then(|()| log.log_word(&mut space, loc))
+                .and_then(|()| {
+                    let va = space.ra2va(loc)?;
+                    space.write_u64(va, 55)
+                });
+            let rec = crash_and_recover(&mut space, "faults").unwrap();
+            assert_eq!(rec.pool, pool);
+            let va = space.ra2va(loc).unwrap();
+            assert_eq!(space.read_u64(va).unwrap(), 100, "crash point {k}");
+            let log = UndoLog::open(&space, pool).unwrap();
+            assert!(!log.is_active(&space).unwrap(), "log disarmed after recovery");
+            // Reset for the next iteration (the value never committed).
+        }
+    }
+
+    #[test]
+    fn recovery_after_commit_keeps_new_values() {
+        let (mut space, pool, loc) = setup();
+        let va = space.ra2va(loc).unwrap();
+        space.write_u64(va, 100).unwrap();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+        log.begin(&mut space).unwrap();
+        log.log_word(&mut space, loc).unwrap();
+        space.write_u64(va, 55).unwrap();
+        log.commit(&mut space).unwrap();
+        // Crash strictly after commit: nothing to roll back.
+        space.set_faults(FaultState::counting());
+        let rec = crash_and_recover(&mut space, "faults").unwrap();
+        assert!(!rec.rolled_back);
+        let va = space.ra2va(loc).unwrap();
+        assert_eq!(space.read_u64(va).unwrap(), 55);
+    }
+
+    #[test]
+    fn select_points_exhaustive_below_limit() {
+        assert_eq!(select_points(5, 10, 3, 1), vec![0, 1, 2, 3, 4]);
+        assert_eq!(select_points(0, 10, 3, 1), Vec::<u64>::new());
+        // samples >= total also degrades to exhaustive.
+        assert_eq!(select_points(4, 2, 8, 1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_points_sampled_is_seeded_sorted_and_bounded() {
+        let a = select_points(10_000, 100, 64, 42);
+        let b = select_points(10_000, 100, 64, 42);
+        let c = select_points(10_000, 100, 64, 43);
+        assert_eq!(a, b, "same seed, same points");
+        assert_ne!(a, c, "different seed, different points");
+        assert_eq!(a.len(), 64);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(a.iter().all(|&p| p < 10_000));
+        assert_eq!(a[0], 0, "first boundary always covered");
+        assert_eq!(*a.last().unwrap(), 9_999, "last boundary always covered");
+    }
+
+    #[test]
+    fn clone_of_space_clones_gate_state() {
+        let (mut space, _, loc) = setup();
+        space.set_faults(FaultState::counting());
+        let va = space.ra2va(loc).unwrap();
+        space.write_u64(va, 1).unwrap();
+        let snapshot = space.clone();
+        assert_eq!(snapshot.faults().writes(), 1);
+    }
+}

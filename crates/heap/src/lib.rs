@@ -34,6 +34,7 @@
 pub mod addr;
 pub mod alloc;
 pub mod error;
+pub mod faults;
 pub mod pagestore;
 pub mod pool;
 pub mod space;
@@ -42,6 +43,7 @@ pub mod txn;
 pub use addr::{PoolId, RelLoc, VirtAddr};
 pub use alloc::Region;
 pub use error::{HeapError, Result};
+pub use faults::{crash_and_recover, select_points, FaultState, Recovery};
 pub use pagestore::PageStore;
 pub use pool::{PoolImage, PoolStore};
 pub use txn::UndoLog;

@@ -9,6 +9,7 @@
 use crate::addr::{PoolId, RelLoc, VirtAddr, DRAM_BASE, NVM_BASE, NVM_END};
 use crate::alloc::{MemWords, Region};
 use crate::error::{HeapError, Result};
+use crate::faults::FaultState;
 use crate::pagestore::PageStore;
 use crate::pool::PoolStore;
 use std::collections::{BTreeMap, HashMap};
@@ -80,6 +81,9 @@ pub struct AddressSpace {
     attach_counter: u64,
     /// Number of restarts performed, for diagnostics.
     generation: u64,
+    /// Fault-injection gate consulted before every durable pool write
+    /// ([`crate::faults`]). Disabled by default.
+    faults: FaultState,
 }
 
 impl AddressSpace {
@@ -111,7 +115,18 @@ impl AddressSpace {
             layout_seed,
             attach_counter: 0,
             generation: 0,
+            faults: FaultState::disabled(),
         }
+    }
+
+    /// The fault-injection gate's current state.
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Replaces the fault-injection gate (arm, start counting, disarm).
+    pub fn set_faults(&mut self, state: FaultState) {
+        self.faults = state;
     }
 
     /// The persistent device holding pool images.
@@ -121,8 +136,38 @@ impl AddressSpace {
 
     /// Mutable access to the persistent device (used by in-pool services
     /// such as the transaction log that write below the allocator).
+    ///
+    /// Writes through this handle bypass the fault gate; prefer
+    /// [`AddressSpace::pool_write_u64`] for anything that should count as a
+    /// durable write boundary.
     pub fn pool_store_mut(&mut self) -> &mut PoolStore {
         &mut self.store
+    }
+
+    /// Reads the `u64` at intra-pool offset `off` in pool `id`, without
+    /// going through address translation (for in-pool services such as the
+    /// undo log, which must work while the pool is detached conceptually).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] for unknown ids.
+    pub fn pool_read_u64(&self, id: PoolId, off: u64) -> Result<u64> {
+        Ok(self.store.get(id)?.data().read_u64(off))
+    }
+
+    /// Writes the `u64` at intra-pool offset `off` in pool `id` — one
+    /// durable write boundary: the fault gate is consulted first, so undo
+    /// log appends and flag flips are individually crashable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] for unknown ids and
+    /// [`HeapError::CrashInjected`] when an armed fault point fires.
+    pub fn pool_write_u64(&mut self, id: PoolId, off: u64, value: u64) -> Result<()> {
+        let img = self.store.get_mut(id)?;
+        self.faults.gate()?;
+        img.data_mut().write_u64(off, value);
+        Ok(())
     }
 
     /// Number of restarts this space has gone through.
@@ -340,6 +385,7 @@ impl AddressSpace {
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
             let img = self.store.get_mut(loc.pool)?;
+            self.faults.gate()?;
             img.data_mut().write(loc.offset.into(), buf);
         } else {
             self.dram.write(va.raw(), buf);
@@ -402,6 +448,9 @@ impl AddressSpace {
     /// Returns [`HeapError::NoSuchPool`] or [`HeapError::OutOfMemory`].
     pub fn pmalloc(&mut self, id: PoolId, size: u64) -> Result<RelLoc> {
         let img = self.store.get_mut(id)?;
+        // One durable boundary per allocation: the allocator's metadata
+        // update is modelled as atomic (see `crate::faults`).
+        self.faults.gate()?;
         let region = img.region();
         let off = region.alloc(img.data_mut(), size)?;
         Ok(RelLoc::new(id, off as u32))
@@ -414,6 +463,8 @@ impl AddressSpace {
     /// Returns [`HeapError::NoSuchPool`] or [`HeapError::BadFree`].
     pub fn pfree(&mut self, loc: RelLoc) -> Result<()> {
         let img = self.store.get_mut(loc.pool)?;
+        // One durable boundary per free, mirroring `pmalloc`.
+        self.faults.gate()?;
         let region = img.region();
         region.free(img.data_mut(), loc.offset.into())
     }
@@ -435,6 +486,7 @@ impl AddressSpace {
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     pub fn set_pool_root(&mut self, id: PoolId, value: u64) -> Result<()> {
         let img = self.store.get_mut(id)?;
+        self.faults.gate()?;
         let region = img.region();
         region.set_root(img.data_mut(), value);
         Ok(())

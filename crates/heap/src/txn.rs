@@ -78,16 +78,18 @@ impl UndoLog {
             let cap = img.data().read_u64(existing + LOG_CAPACITY);
             return Ok(UndoLog { pool, base: existing, capacity: cap });
         }
-        // Layout: [active][count][capacity][entries...].
+        // Layout: [active][count][capacity][entries...]. Each init store is
+        // its own durable boundary; the header-slot store comes last so a
+        // crash mid-init leaves the pool logless rather than pointing at a
+        // half-initialized area.
         let bytes = LOG_ENTRIES + capacity * ENTRY_SIZE;
         let loc = space.pmalloc(pool, bytes)?;
-        let img = space.pool_store_mut().get_mut(pool)?;
-        let data = img.data_mut();
-        data.write_u64(u64::from(loc.offset) + LOG_ACTIVE, 0);
-        data.write_u64(u64::from(loc.offset) + LOG_COUNT, 0);
-        data.write_u64(u64::from(loc.offset) + LOG_CAPACITY, capacity);
-        data.write_u64(HDR_LOG_SLOT, u64::from(loc.offset));
-        Ok(UndoLog { pool, base: u64::from(loc.offset), capacity })
+        let base = u64::from(loc.offset);
+        space.pool_write_u64(pool, base + LOG_ACTIVE, 0)?;
+        space.pool_write_u64(pool, base + LOG_COUNT, 0)?;
+        space.pool_write_u64(pool, base + LOG_CAPACITY, capacity)?;
+        space.pool_write_u64(pool, HDR_LOG_SLOT, base)?;
+        Ok(UndoLog { pool, base, capacity })
     }
 
     /// Opens the pool's existing log (after a restart).
@@ -106,13 +108,13 @@ impl UndoLog {
     }
 
     fn read(&self, space: &AddressSpace, off: u64) -> Result<u64> {
-        Ok(space.pool_store().get(self.pool)?.data().read_u64(self.base + off))
+        space.pool_read_u64(self.pool, self.base + off)
     }
 
     fn write(&self, space: &mut AddressSpace, off: u64, v: u64) -> Result<()> {
-        let img = space.pool_store_mut().get_mut(self.pool)?;
-        img.data_mut().write_u64(self.base + off, v);
-        Ok(())
+        // Routed through the gated accessor: every log word — append, count
+        // bump, active flip — is an individually crashable boundary.
+        space.pool_write_u64(self.pool, self.base + off, v)
     }
 
     /// The log area's intra-pool offset (for address-level instrumentation).
@@ -152,7 +154,59 @@ impl UndoLog {
         Ok(self.len(space)? == 0)
     }
 
+    /// Runs `body` inside a transaction: `begin`, then the closure, then
+    /// `commit` on `Ok` — or rollback on `Err`, so callers can no longer
+    /// leak an armed log on the error path. Prefer this over raw
+    /// [`UndoLog::begin`]/[`UndoLog::commit`].
+    ///
+    /// An injected crash ([`HeapError::CrashInjected`]) skips the rollback:
+    /// a real crash kills the process before any abort could run, and the
+    /// torn log is exactly what [`UndoLog::recover`] is for.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `begin`/`commit` failures and the closure's error.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use utpr_heap::{AddressSpace, UndoLog};
+    ///
+    /// let mut space = AddressSpace::new(1);
+    /// let pool = space.create_pool("bank", 1 << 20)?;
+    /// let acct = space.pmalloc(pool, 16)?;
+    /// let log = UndoLog::ensure(&mut space, pool, 64)?;
+    /// log.run(&mut space, |space, txn| {
+    ///     txn.log_word(space, acct)?;
+    ///     let va = space.ra2va(acct)?;
+    ///     space.write_u64(va, 40)
+    /// })?;
+    /// # Ok::<(), utpr_heap::HeapError>(())
+    /// ```
+    pub fn run<T, F>(&self, space: &mut AddressSpace, body: F) -> Result<T>
+    where
+        F: FnOnce(&mut AddressSpace, &UndoLog) -> Result<T>,
+    {
+        self.begin(space)?;
+        match body(space, self) {
+            Ok(value) => {
+                self.commit(space)?;
+                Ok(value)
+            }
+            Err(e) => {
+                if !matches!(e, HeapError::CrashInjected { .. }) {
+                    self.abort(space)?;
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Opens a transaction.
+    ///
+    /// Prefer the closure-scoped [`UndoLog::run`], which cannot leak an
+    /// armed log; raw `begin`/`commit` remain for callers that need to
+    /// hold a transaction open across non-lexical scopes.
     ///
     /// # Errors
     ///
@@ -184,10 +238,7 @@ impl UndoLog {
         if count >= self.capacity {
             return Err(HeapError::OutOfMemory { requested: ENTRY_SIZE });
         }
-        let old = {
-            let img = space.pool_store().get(self.pool)?;
-            img.data().read_u64(u64::from(target.offset))
-        };
+        let old = space.pool_read_u64(self.pool, u64::from(target.offset))?;
         let slot = LOG_ENTRIES + count * ENTRY_SIZE;
         self.write(space, slot, u64::from(target.offset))?;
         self.write(space, slot + 8, old)?;
@@ -195,6 +246,8 @@ impl UndoLog {
     }
 
     /// Commits: the new values become the durable state.
+    ///
+    /// Prefer [`UndoLog::run`], which pairs this with `begin` automatically.
     ///
     /// # Errors
     ///
@@ -245,8 +298,7 @@ impl UndoLog {
             let slot = LOG_ENTRIES + i * ENTRY_SIZE;
             let offset = self.read(space, slot)?;
             let old = self.read(space, slot + 8)?;
-            let img = space.pool_store_mut().get_mut(self.pool)?;
-            img.data_mut().write_u64(offset, old);
+            space.pool_write_u64(self.pool, offset, old)?;
         }
         self.write(space, LOG_ACTIVE, 0)?;
         self.write(space, LOG_COUNT, 0)
@@ -358,6 +410,57 @@ mod tests {
             Err(HeapError::OutOfMemory { .. })
         ));
         log.commit(&mut space).unwrap();
+    }
+
+    #[test]
+    fn run_commits_on_ok_and_rolls_back_on_err() {
+        let (mut space, pool, a, b) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+        let sum = log
+            .run(&mut space, |space, txn| {
+                txn.log_word(space, a)?;
+                let va = space.ra2va(a)?;
+                space.write_u64(va, 70)?;
+                txn.log_word(space, b)?;
+                let vb = space.ra2va(b)?;
+                space.write_u64(vb, 80)?;
+                Ok(70 + 80)
+            })
+            .unwrap();
+        assert_eq!(sum, 150);
+        assert!(!log.is_active(&space).unwrap());
+        assert_eq!(read(&space, a), 70);
+        assert_eq!(read(&space, b), 80);
+
+        // Err path: the debit is rolled back, the log is disarmed.
+        let err = log.run(&mut space, |space, txn| {
+            txn.log_word(space, a)?;
+            let va = space.ra2va(a)?;
+            space.write_u64(va, 0)?;
+            Err::<(), _>(HeapError::OutOfMemory { requested: 1 })
+        });
+        assert!(matches!(err, Err(HeapError::OutOfMemory { .. })));
+        assert!(!log.is_active(&space).unwrap());
+        assert_eq!(read(&space, a), 70, "rolled back to pre-txn value");
+    }
+
+    #[test]
+    fn run_leaves_log_armed_on_injected_crash() {
+        let (mut space, pool, a, _) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
+        space.set_faults(crate::faults::FaultState::crash_at(4));
+        let err = log.run(&mut space, |space, txn| {
+            txn.log_word(space, a)?;
+            let va = space.ra2va(a)?;
+            space.write_u64(va, 7)
+        });
+        assert!(matches!(err, Err(HeapError::CrashInjected { .. })));
+        // No abort ran: the torn log is recovery's job, as after a real
+        // crash. (It may or may not be armed depending on the point.)
+        space.set_faults(crate::faults::FaultState::disabled());
+        UndoLog::recover(&mut space, pool).unwrap();
+        assert!(!log.is_active(&space).unwrap());
+        assert_eq!(read(&space, a), 100);
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! Systematic crash-point sweep over the data structures.
+//!
+//! For each structure this module builds a prepopulated pool, counts the
+//! durable-write boundaries of a transaction-wrapped insert/remove
+//! workload, then re-runs that workload once per crash point with the
+//! fault gate armed ([`utpr_heap::FaultState::crash_at`]): the "process"
+//! dies at the chosen boundary, [`utpr_heap::crash_and_recover`] restarts
+//! the address space and rolls back the torn transaction, and the
+//! recovered structure is checked against three oracles:
+//!
+//! 1. its own invariant validator ([`Index::validate`]),
+//! 2. exact contents against the transaction-prefix model the recovered
+//!    image must equal (the op being crashed either rolled back or — when
+//!    the crash struck its post-commit deferred frees — committed),
+//! 3. a mutation probe: the recovered structure must accept an
+//!    insert/lookup/remove and validate again.
+//!
+//! Everything derives from [`SweepSpec::seed`], so a failure reproduces
+//! from `(seed, crash point)` alone — the two numbers every
+//! [`SweepFailure`] carries.
+
+use crate::harness::Benchmark;
+use crate::rng::Rng;
+use crate::store::KvStore;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use utpr_ds::{
+    AvlTree, BPlusTree, HashMapIndex, Index, LinkedList, RbTree, ScapegoatTree, SplayTree,
+};
+use utpr_heap::{crash_and_recover, select_points, AddressSpace, FaultState, HeapError, PoolId};
+use utpr_ptr::{site, ExecEnv, Mode, NullSink};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, HeapError>;
+
+/// Pool name every sweep uses.
+const POOL: &str = "faultsweep";
+const POOL_BYTES: u64 = 8 << 20;
+
+/// Shape of one structure's sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepSpec {
+    /// Keys inserted before the gate is armed (the committed baseline).
+    pub prepopulate: u64,
+    /// Transaction-wrapped operations run while armed.
+    pub txn_ops: u64,
+    /// Boundary counts up to this are swept exhaustively.
+    pub exhaustive_limit: u64,
+    /// Seeded sample size above the exhaustive limit.
+    pub samples: u64,
+    /// Master seed: workload, layout, and sampling all derive from it.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Tier-1 scale: small enough that every boundary is swept.
+    pub fn small(seed: u64) -> SweepSpec {
+        SweepSpec { prepopulate: 8, txn_ops: 6, exhaustive_limit: u64::MAX, samples: 0, seed }
+    }
+
+    /// Bench scale: bigger workload, seeded-sampled crash points.
+    pub fn sampled(seed: u64, txn_ops: u64, samples: u64) -> SweepSpec {
+        SweepSpec { prepopulate: 64, txn_ops, exhaustive_limit: 0, samples, seed }
+    }
+}
+
+/// One crash point that did not recover cleanly.
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// Boundary index the gate was armed at.
+    pub crash_point: u64,
+    /// The sweep's master seed (set `UTPR_QC_SEED` to this to replay).
+    pub seed: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crash point {} (replay with UTPR_QC_SEED={}): {}",
+            self.crash_point, self.seed, self.detail
+        )
+    }
+}
+
+/// What sweeping one structure produced.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Table III name of the structure.
+    pub benchmark: &'static str,
+    /// Durable-write boundaries the armed workload crosses.
+    pub boundaries: u64,
+    /// Crash points actually tested (== `boundaries` when exhaustive).
+    pub tested: u64,
+    /// Recoveries that rolled back a torn transaction.
+    pub rollbacks: u64,
+    /// Crash points that failed an oracle.
+    pub failures: Vec<SweepFailure>,
+}
+
+/// Mixes the structure name into the master seed so each structure gets
+/// its own deterministic workload and pool layout.
+fn structure_seed(seed: u64, name: &str) -> u64 {
+    let mut x = seed ^ 0x243f_6a88_85a3_08d3;
+    for b in name.bytes() {
+        x = (x ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    x
+}
+
+// ---- map-structure sweep ---------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+}
+
+fn map_ops(spec: &SweepSpec, seed: u64) -> Vec<MapOp> {
+    let mut rng = Rng::new(seed);
+    let keyspace = (spec.prepopulate * 2).max(4);
+    (0..spec.txn_ops)
+        .map(|_| {
+            let k = rng.below(keyspace);
+            if rng.below(3) == 0 {
+                MapOp::Remove(k)
+            } else {
+                MapOp::Insert(k, rng.next_u64() >> 1)
+            }
+        })
+        .collect()
+}
+
+fn fresh_env(space: AddressSpace, pool: PoolId) -> ExecEnv<NullSink> {
+    ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build()
+}
+
+/// Runs `ops` each inside its own transaction; returns the number that
+/// committed and the error (if any) that killed the run.
+fn run_map_ops<I: Index>(
+    env: &mut ExecEnv<NullSink>,
+    store: &mut KvStore<I>,
+    ops: &[MapOp],
+) -> (usize, Option<HeapError>) {
+    for (i, op) in ops.iter().enumerate() {
+        let r = env.with_txn(|env| match *op {
+            MapOp::Insert(k, v) => store.set(env, k, v).map(|_| ()),
+            MapOp::Remove(k) => store.remove(env, k).map(|_| ()),
+        });
+        if let Err(e) = r {
+            return (i, Some(e));
+        }
+    }
+    (ops.len(), None)
+}
+
+fn open_store<I: Index>(env: &mut ExecEnv<NullSink>) -> Result<KvStore<I>> {
+    let desc = env.root(site!("faultsweep.open-root", KnownReturn))?;
+    Ok(KvStore::open(desc))
+}
+
+/// Checks the recovered store against `model`: exact length and every key.
+fn check_map_contents<I: Index>(
+    env: &mut ExecEnv<NullSink>,
+    store: &mut KvStore<I>,
+    model: &BTreeMap<u64, u64>,
+    keyspace: u64,
+) -> Result<bool> {
+    if store.len(env)? != model.len() as u64 {
+        return Ok(false);
+    }
+    for k in 0..keyspace {
+        if store.get(env, k)? != model.get(&k).copied() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn sweep_map<I: Index>(spec: &SweepSpec) -> Result<SweepReport> {
+    let sseed = structure_seed(spec.seed, I::NAME);
+    let keyspace = (spec.prepopulate * 2).max(4);
+
+    // Base image: prepopulated store, root set, undo log materialized (so
+    // its one-time allocation is not part of the armed boundary count).
+    let mut space = AddressSpace::new(sseed);
+    let pool = space.create_pool(POOL, POOL_BYTES)?;
+    let mut env = fresh_env(space, pool);
+    let mut store: KvStore<I> = KvStore::create(&mut env)?;
+    let mut model = BTreeMap::new();
+    let mut rng = Rng::new(sseed ^ 0x517c_c1b7_2722_0a95);
+    for _ in 0..spec.prepopulate {
+        let k = rng.below(keyspace);
+        let v = rng.next_u64() >> 1;
+        store.set(&mut env, k, v)?;
+        model.insert(k, v);
+    }
+    env.set_root(site!("faultsweep.set-root", StackLocal), store.index().descriptor())?;
+    env.txn_begin()?;
+    env.txn_commit()?;
+    let (base_space, _, _) = env.into_parts();
+
+    // Transaction-prefix models: models[j] = state after j committed ops.
+    let ops = map_ops(spec, sseed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut models = vec![model.clone()];
+    for op in &ops {
+        let mut m = models.last().unwrap().clone();
+        match *op {
+            MapOp::Insert(k, v) => {
+                m.insert(k, v);
+            }
+            MapOp::Remove(k) => {
+                m.remove(&k);
+            }
+        }
+        models.push(m);
+    }
+
+    // Count the armed workload's durable-write boundaries.
+    let total = {
+        let mut env = fresh_env(base_space.clone(), pool);
+        env.space_mut().set_faults(FaultState::counting());
+        let mut store: KvStore<I> = open_store(&mut env)?;
+        let (done, err) = run_map_ops(&mut env, &mut store, &ops);
+        if let Some(e) = err {
+            return Err(e);
+        }
+        debug_assert_eq!(done, ops.len());
+        env.space().faults().writes()
+    };
+
+    let points = select_points(total, spec.exhaustive_limit, spec.samples, spec.seed);
+    let mut report = SweepReport {
+        benchmark: I::NAME,
+        boundaries: total,
+        tested: points.len() as u64,
+        rollbacks: 0,
+        failures: Vec::new(),
+    };
+
+    for k in points {
+        let mut env = fresh_env(base_space.clone(), pool);
+        env.space_mut().set_faults(FaultState::crash_at(k));
+        let mut store: KvStore<I> = open_store(&mut env)?;
+        let (committed, err) = run_map_ops(&mut env, &mut store, &ops);
+        match err {
+            Some(HeapError::CrashInjected { .. }) => {}
+            Some(e) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("armed run died of a non-crash error: {e}"),
+                });
+                continue;
+            }
+            None => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: "armed run completed without crashing".into(),
+                });
+                continue;
+            }
+        }
+
+        let (mut space, _, _) = env.into_parts();
+        let rec = match crash_and_recover(&mut space, POOL) {
+            Ok(r) => r,
+            Err(e) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("recovery failed: {e}"),
+                });
+                continue;
+            }
+        };
+        if rec.rolled_back {
+            report.rollbacks += 1;
+        }
+
+        let mut env = fresh_env(space, rec.pool);
+        let mut store: KvStore<I> = open_store(&mut env)?;
+
+        // Oracle 1: the structure's own invariants.
+        let desc = store.index().descriptor();
+        let validated = catch_unwind(AssertUnwindSafe(|| I::open(desc).validate(&mut env)));
+        let count = match validated {
+            Ok(Ok(n)) => n,
+            Ok(Err(e)) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("validator errored: {e}"),
+                });
+                continue;
+            }
+            Err(panic) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("invariant violated: {}", panic_message(&panic)),
+                });
+                continue;
+            }
+        };
+
+        // Oracle 2: exact contents. The crashed op either rolled back
+        // (state == models[committed]) or the crash struck its deferred
+        // post-commit frees (state == models[committed + 1]).
+        let candidates = [committed, (committed + 1).min(ops.len())];
+        let mut matched = false;
+        for &j in &candidates {
+            if models[j].len() as u64 == count
+                && check_map_contents(&mut env, &mut store, &models[j], keyspace)?
+            {
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            report.failures.push(SweepFailure {
+                crash_point: k,
+                seed: spec.seed,
+                detail: format!(
+                    "recovered contents match no transaction boundary (committed {committed}, count {count})"
+                ),
+            });
+            continue;
+        }
+
+        // Oracle 3: the recovered structure still works.
+        let probe_key = u64::MAX - 1;
+        store.set(&mut env, probe_key, 0xFEED)?;
+        if store.get(&mut env, probe_key)? != Some(0xFEED) {
+            report.failures.push(SweepFailure {
+                crash_point: k,
+                seed: spec.seed,
+                detail: "post-recovery probe key not readable".into(),
+            });
+            continue;
+        }
+        store.remove(&mut env, probe_key)?;
+    }
+    Ok(report)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".into()
+    }
+}
+
+// ---- linked-list sweep -----------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum LlOp {
+    Push(u64, u64),
+    Pop,
+}
+
+fn ll_ops(spec: &SweepSpec, seed: u64) -> Vec<LlOp> {
+    let mut rng = Rng::new(seed);
+    (0..spec.txn_ops)
+        .map(|_| {
+            if rng.below(3) == 0 {
+                LlOp::Pop
+            } else {
+                LlOp::Push(rng.next_u64() >> 1, rng.next_u64() >> 1)
+            }
+        })
+        .collect()
+}
+
+fn run_ll_ops(
+    env: &mut ExecEnv<NullSink>,
+    list: &mut LinkedList,
+    ops: &[LlOp],
+) -> (usize, Option<HeapError>) {
+    for (i, op) in ops.iter().enumerate() {
+        let r = env.with_txn(|env| match *op {
+            LlOp::Push(v0, v1) => list.push_back(env, v0, v1),
+            LlOp::Pop => list.pop_front(env).map(|_| ()),
+        });
+        if let Err(e) = r {
+            return (i, Some(e));
+        }
+    }
+    (ops.len(), None)
+}
+
+fn ll_model_matches(
+    env: &mut ExecEnv<NullSink>,
+    list: &LinkedList,
+    model: &VecDeque<(u64, u64)>,
+) -> Result<bool> {
+    if list.len(env)? != model.len() as u64 {
+        return Ok(false);
+    }
+    let sum: u64 = model.iter().fold(0u64, |a, (v0, v1)| a.wrapping_add(*v0).wrapping_add(*v1));
+    Ok(list.iter_sum(env)? == sum)
+}
+
+fn sweep_ll(spec: &SweepSpec) -> Result<SweepReport> {
+    let sseed = structure_seed(spec.seed, "LL");
+
+    let mut space = AddressSpace::new(sseed);
+    let pool = space.create_pool(POOL, POOL_BYTES)?;
+    let mut env = fresh_env(space, pool);
+    let mut list = LinkedList::create(&mut env)?;
+    let mut model = VecDeque::new();
+    let mut rng = Rng::new(sseed ^ 0x517c_c1b7_2722_0a95);
+    for _ in 0..spec.prepopulate {
+        let (v0, v1) = (rng.next_u64() >> 1, rng.next_u64() >> 1);
+        list.push_back(&mut env, v0, v1)?;
+        model.push_back((v0, v1));
+    }
+    env.set_root(site!("faultsweep.ll-root", StackLocal), list.descriptor())?;
+    env.txn_begin()?;
+    env.txn_commit()?;
+    let (base_space, _, _) = env.into_parts();
+
+    let ops = ll_ops(spec, sseed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut models = vec![model.clone()];
+    for op in &ops {
+        let mut m = models.last().unwrap().clone();
+        match *op {
+            LlOp::Push(v0, v1) => m.push_back((v0, v1)),
+            LlOp::Pop => {
+                m.pop_front();
+            }
+        }
+        models.push(m);
+    }
+
+    let total = {
+        let mut env = fresh_env(base_space.clone(), pool);
+        env.space_mut().set_faults(FaultState::counting());
+        let desc = env.root(site!("faultsweep.ll-count", KnownReturn))?;
+        let mut list = LinkedList::open(desc);
+        let (done, err) = run_ll_ops(&mut env, &mut list, &ops);
+        if let Some(e) = err {
+            return Err(e);
+        }
+        debug_assert_eq!(done, ops.len());
+        env.space().faults().writes()
+    };
+
+    let points = select_points(total, spec.exhaustive_limit, spec.samples, spec.seed);
+    let mut report = SweepReport {
+        benchmark: "LL",
+        boundaries: total,
+        tested: points.len() as u64,
+        rollbacks: 0,
+        failures: Vec::new(),
+    };
+
+    for k in points {
+        let mut env = fresh_env(base_space.clone(), pool);
+        env.space_mut().set_faults(FaultState::crash_at(k));
+        let desc = env.root(site!("faultsweep.ll-armed", KnownReturn))?;
+        let mut list = LinkedList::open(desc);
+        let (committed, err) = run_ll_ops(&mut env, &mut list, &ops);
+        match err {
+            Some(HeapError::CrashInjected { .. }) => {}
+            Some(e) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("armed run died of a non-crash error: {e}"),
+                });
+                continue;
+            }
+            None => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: "armed run completed without crashing".into(),
+                });
+                continue;
+            }
+        }
+
+        let (mut space, _, _) = env.into_parts();
+        let rec = match crash_and_recover(&mut space, POOL) {
+            Ok(r) => r,
+            Err(e) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("recovery failed: {e}"),
+                });
+                continue;
+            }
+        };
+        if rec.rolled_back {
+            report.rollbacks += 1;
+        }
+
+        let mut env = fresh_env(space, rec.pool);
+        let desc = env.root(site!("faultsweep.ll-check", KnownReturn))?;
+        let list = LinkedList::open(desc);
+
+        let validated = catch_unwind(AssertUnwindSafe(|| list.validate(&mut env)));
+        match validated {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("validator errored: {e}"),
+                });
+                continue;
+            }
+            Err(panic) => {
+                report.failures.push(SweepFailure {
+                    crash_point: k,
+                    seed: spec.seed,
+                    detail: format!("invariant violated: {}", panic_message(&panic)),
+                });
+                continue;
+            }
+        }
+
+        let candidates = [committed, (committed + 1).min(ops.len())];
+        let mut matched = false;
+        for &j in &candidates {
+            if ll_model_matches(&mut env, &list, &models[j])? {
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            report.failures.push(SweepFailure {
+                crash_point: k,
+                seed: spec.seed,
+                detail: format!(
+                    "recovered list matches no transaction boundary (committed {committed})"
+                ),
+            });
+            continue;
+        }
+
+        let mut list = LinkedList::open(desc);
+        let before = list.len(&mut env)?;
+        list.push_back(&mut env, 1, 2)?;
+        if list.len(&mut env)? != before + 1 {
+            report.failures.push(SweepFailure {
+                crash_point: k,
+                seed: spec.seed,
+                detail: "post-recovery probe push not visible".into(),
+            });
+        }
+    }
+    Ok(report)
+}
+
+// ---- dispatch --------------------------------------------------------------
+
+/// Sweeps one structure; see the module docs for the oracle battery.
+///
+/// # Errors
+///
+/// Propagates setup failures (workload bugs, not crash-consistency
+/// findings — those land in [`SweepReport::failures`]).
+pub fn sweep_structure(benchmark: Benchmark, spec: &SweepSpec) -> Result<SweepReport> {
+    match benchmark {
+        Benchmark::Ll => sweep_ll(spec),
+        Benchmark::Hash => sweep_map::<HashMapIndex>(spec),
+        Benchmark::Rb => sweep_map::<RbTree>(spec),
+        Benchmark::Splay => sweep_map::<SplayTree>(spec),
+        Benchmark::Avl => sweep_map::<AvlTree>(spec),
+        Benchmark::Sg => sweep_map::<ScapegoatTree>(spec),
+        Benchmark::Bplus => sweep_map::<BPlusTree>(spec),
+    }
+}
+
+/// Sweeps the paper's six structures ([`Benchmark::ALL`]).
+///
+/// # Errors
+///
+/// Propagates setup failures from any structure.
+pub fn sweep_all(spec: &SweepSpec) -> Result<Vec<SweepReport>> {
+    Benchmark::ALL.iter().map(|b| sweep_structure(*b, spec)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_exhaustive_and_clean_for_rb() {
+        let spec = SweepSpec::small(7);
+        let r = sweep_structure(Benchmark::Rb, &spec).unwrap();
+        assert_eq!(r.tested, r.boundaries, "small scale sweeps every boundary");
+        assert!(r.boundaries > 0);
+        assert!(r.rollbacks > 0, "some crash points must tear a transaction");
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn small_sweep_is_clean_for_ll() {
+        let spec = SweepSpec::small(7);
+        let r = sweep_structure(Benchmark::Ll, &spec).unwrap();
+        assert_eq!(r.tested, r.boundaries);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_under_a_fixed_seed() {
+        let spec = SweepSpec::small(42);
+        let a = sweep_structure(Benchmark::Hash, &spec).unwrap();
+        let b = sweep_structure(Benchmark::Hash, &spec).unwrap();
+        assert_eq!(a.boundaries, b.boundaries);
+        assert_eq!(a.tested, b.tested);
+        assert_eq!(a.rollbacks, b.rollbacks);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn sampled_sweep_respects_the_sample_budget() {
+        let spec = SweepSpec::sampled(11, 24, 16);
+        let r = sweep_structure(Benchmark::Avl, &spec).unwrap();
+        assert!(r.tested <= r.boundaries);
+        assert!(r.tested >= 2, "edges always covered");
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+}

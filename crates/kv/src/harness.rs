@@ -91,7 +91,7 @@ fn fresh_env(mode: Mode, sim: SimConfig, pool_mb: u64) -> Result<ExecEnv<Machine
         .collect();
     let mut machine = Machine::new(sim);
     machine.set_pool_ranges(ranges);
-    Ok(ExecEnv::new(space, mode, Some(pool), machine))
+    Ok(ExecEnv::builder(space).mode(mode).pool(pool).sink(machine).build())
 }
 
 fn finish(benchmark: Benchmark, mode: Mode, env: ExecEnv<Machine>, checksum: u64) -> BenchResult {

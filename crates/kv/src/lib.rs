@@ -22,12 +22,14 @@
 //! # Ok::<(), utpr_heap::HeapError>(())
 //! ```
 
+pub mod faultsweep;
 pub mod harness;
 pub mod rng;
 pub mod store;
 pub mod workload;
 pub mod ycsb;
 
+pub use faultsweep::{sweep_all, sweep_structure, SweepFailure, SweepReport, SweepSpec};
 pub use harness::{run_all_modes, run_benchmark, verify_mode_agreement, BenchResult, Benchmark};
 pub use store::{KvStore, RunSummary};
 pub use workload::{generate, Op, Workload, WorkloadSpec, Zipfian};

@@ -29,13 +29,13 @@ pub struct RunSummary {
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{ExecEnv, Mode, NullSink};
+/// use utpr_ptr::{ExecEnv, Mode};
 /// use utpr_ds::RbTree;
 /// use utpr_kv::KvStore;
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("kv", 8 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut store: KvStore<RbTree> = KvStore::create(&mut env)?;
 /// store.set(&mut env, 1, 10)?;
 /// assert_eq!(store.get(&mut env, 1)?, Some(10));
@@ -82,6 +82,15 @@ impl<I: Index> KvStore<I> {
     /// Propagates index failures.
     pub fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
         self.index.get(env, key)
+    }
+
+    /// Removes a key, returning its value if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index failures.
+    pub fn remove<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+        self.index.remove(env, key)
     }
 
     /// Number of pairs stored.
@@ -144,7 +153,7 @@ mod tests {
     fn env(mode: Mode) -> ExecEnv<NullSink> {
         let mut space = AddressSpace::new(55);
         let pool = space.create_pool("kv-test", 32 << 20).unwrap();
-        ExecEnv::new(space, mode, Some(pool), NullSink)
+        ExecEnv::builder(space).mode(mode).pool(pool).build()
     }
 
     fn summary_for<I: Index>(mode: Mode) -> RunSummary {

@@ -88,7 +88,7 @@ mod tests {
     use crate::store::KvStore;
     use utpr_ds::RbTree;
     use utpr_heap::AddressSpace;
-    use utpr_ptr::{ExecEnv, Mode, NullSink};
+    use utpr_ptr::{ExecEnv, Mode};
 
     #[test]
     fn preset_mixes_are_respected() {
@@ -127,7 +127,7 @@ mod tests {
         for preset in Preset::ALL {
             let mut space = AddressSpace::new(11);
             let pool = space.create_pool("ycsb", 16 << 20).unwrap();
-            let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+            let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
             let mut store: KvStore<RbTree> = KvStore::create(&mut env).unwrap();
             let w = generate_preset(preset, 300, 1_500, 5);
             store.load(&mut env, &w).unwrap();

@@ -158,7 +158,7 @@ mod tests {
     fn env(mode: Mode) -> (ExecEnv<NullSink>, Placement) {
         let mut space = AddressSpace::new(31);
         let pool = space.create_pool("km", 32 << 20).unwrap();
-        (ExecEnv::new(space, mode, Some(pool), NullSink), Placement::Pool(pool))
+        (ExecEnv::builder(space).mode(mode).pool(pool).build(), Placement::Pool(pool))
     }
 
     #[test]

@@ -245,7 +245,7 @@ pub fn run_knn(mode: Mode, sim: SimConfig, k: u64, seed: u64) -> Result<KnnResul
         .collect();
     let mut machine = Machine::new(sim);
     machine.set_pool_ranges(ranges);
-    let mut env = ExecEnv::new(space, mode, Some(pool), machine);
+    let mut env = ExecEnv::builder(space).mode(mode).pool(pool).sink(machine).build();
 
     let data = Dataset::iris_like(seed);
     let mut knn = Knn::setup(&mut env, &data, KnnPlacements::paper_default(pool), k)?;
@@ -259,7 +259,6 @@ pub fn run_knn(mode: Mode, sim: SimConfig, k: u64, seed: u64) -> Result<KnnResul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use utpr_ptr::NullSink;
 
     #[test]
     fn dataset_shape_and_class_balance() {
@@ -274,7 +273,7 @@ mod tests {
     fn knn_is_accurate_on_well_separated_clusters() {
         let mut space = AddressSpace::new(2);
         let pool = space.create_pool("knn-t", 32 << 20).unwrap();
-        let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+        let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
         let data = Dataset::iris_like(7);
         let mut knn =
             Knn::setup(&mut env, &data, KnnPlacements::paper_default(pool), 3).unwrap();
@@ -286,7 +285,7 @@ mod tests {
     fn all_sixteen_placement_combinations_work() {
         let mut space = AddressSpace::new(4);
         let pool = space.create_pool("knn-c", 64 << 20).unwrap();
-        let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+        let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
         // A reduced dataset keeps 16 runs fast.
         let mut data = Dataset::iris_like(5);
         data.features.truncate(30);

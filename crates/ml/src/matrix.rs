@@ -39,7 +39,7 @@ pub enum Layout {
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("m", 4 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 /// let mut m = Matrix::create(&mut env, Placement::Pool(pool), 2, 2, Layout::RowMajor)?;
 /// m.set(&mut env, 0, 1, 3.5)?;
 /// assert_eq!(m.get(&mut env, 0, 1)?, 3.5);
@@ -349,7 +349,7 @@ mod tests {
     fn env(mode: Mode) -> (ExecEnv<NullSink>, Placement) {
         let mut space = AddressSpace::new(13);
         let pool = space.create_pool("mat", 16 << 20).unwrap();
-        (ExecEnv::new(space, mode, Some(pool), NullSink), Placement::Pool(pool))
+        (ExecEnv::builder(space).mode(mode).pool(pool).build(), Placement::Pool(pool))
     }
 
     #[test]

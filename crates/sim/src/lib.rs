@@ -19,7 +19,7 @@
 //! let mut space = AddressSpace::new(3);
 //! let pool = space.create_pool("p", 1 << 20)?;
 //! let machine = Machine::new(SimConfig::table_iv());
-//! let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), machine);
+//! let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).sink(machine).build();
 //!
 //! let node = env.alloc(site!("doc.alloc", AllocResult), 32)?;
 //! env.write_u64(site!("doc.store", StackLocal), node, 0, 1)?;

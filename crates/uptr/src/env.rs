@@ -28,7 +28,7 @@ use crate::ptr::{PtrFormat, UPtr};
 use crate::site::{Site, PC_DETERMINE_Y_HELPER, PC_PA_DETERMINE_X, PC_PA_DETERMINE_Y};
 use crate::stats::PtrStats;
 use utpr_heap::addr::VirtAddr;
-use utpr_heap::{AddressSpace, HeapError, PoolId, RelLoc};
+use utpr_heap::{AddressSpace, FaultState, HeapError, PoolId, RelLoc};
 
 /// Which build of the program is being simulated.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -109,11 +109,11 @@ pub mod branch_kind {
 ///
 /// ```
 /// use utpr_heap::AddressSpace;
-/// use utpr_ptr::{site, ExecEnv, Mode, NullSink, Placement};
+/// use utpr_ptr::{site, ExecEnv, Mode, Placement};
 ///
 /// let mut space = AddressSpace::new(7);
 /// let pool = space.create_pool("nodes", 1 << 20)?;
-/// let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+/// let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 ///
 /// let node = env.alloc(site!("ex.alloc", AllocResult), 32)?;
 /// env.write_u64(site!("ex.init", StackLocal), node, 0, 99)?;
@@ -138,23 +138,132 @@ pub struct ExecEnv<S: TimingSink = NullSink> {
     txn_frees: Vec<UPtr>,
 }
 
-impl<S: TimingSink> ExecEnv<S> {
-    /// Creates an environment. `pool` is the default placement for
-    /// [`ExecEnv::alloc`]; it is ignored in [`Mode::Volatile`], which always
-    /// allocates volatile memory.
-    pub fn new(space: AddressSpace, mode: Mode, pool: Option<PoolId>, sink: S) -> Self {
+/// Builder for [`ExecEnv`] — the one construction path that names every
+/// knob: mode, default pool, event sink, check policy, conversion reuse,
+/// and the fault-injection gate.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_heap::AddressSpace;
+/// use utpr_ptr::{CountingSink, ExecEnv, Mode};
+///
+/// let mut space = AddressSpace::new(7);
+/// let pool = space.create_pool("nodes", 1 << 20)?;
+/// let env = ExecEnv::builder(space)
+///     .mode(Mode::Hw)
+///     .pool(pool)
+///     .sink(CountingSink::new())
+///     .build();
+/// assert_eq!(env.mode(), Mode::Hw);
+/// # Ok::<(), utpr_heap::HeapError>(())
+/// ```
+#[derive(Debug)]
+pub struct ExecEnvBuilder<S: TimingSink = NullSink> {
+    space: AddressSpace,
+    mode: Mode,
+    pool: Option<PoolId>,
+    sink: S,
+    check_policy: CheckPolicy,
+    conversion_reuse: bool,
+    faults: Option<FaultState>,
+}
+
+impl<S: TimingSink> ExecEnvBuilder<S> {
+    /// Sets the simulated build variant (default: [`Mode::Volatile`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the default pool placement for [`ExecEnv::alloc`].
+    pub fn pool(mut self, pool: PoolId) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Replaces the event sink (default: [`NullSink`]).
+    pub fn sink<T: TimingSink>(self, sink: T) -> ExecEnvBuilder<T> {
+        ExecEnvBuilder {
+            space: self.space,
+            mode: self.mode,
+            pool: self.pool,
+            sink,
+            check_policy: self.check_policy,
+            conversion_reuse: self.conversion_reuse,
+            faults: self.faults,
+        }
+    }
+
+    /// Sets which sites execute software checks (SW-mode ablation).
+    pub fn check_policy(mut self, policy: CheckPolicy) -> Self {
+        self.check_policy = policy;
+        self
+    }
+
+    /// Enables/disables conversion reuse for loaded pointers (Fig. 12
+    /// ablation; default: enabled).
+    pub fn conversion_reuse(mut self, on: bool) -> Self {
+        self.conversion_reuse = on;
+        self
+    }
+
+    /// Installs a fault-injection gate on the address space at build time
+    /// (counting or armed — see [`FaultState`]).
+    pub fn faults(mut self, faults: FaultState) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> ExecEnv<S> {
+        let mut space = self.space;
+        if let Some(f) = self.faults {
+            space.set_faults(f);
+        }
         ExecEnv {
             space,
-            mode,
-            pool,
+            mode: self.mode,
+            pool: self.pool,
             stats: PtrStats::new(),
-            sink,
-            check_policy: CheckPolicy::Inferred,
-            conversion_reuse: true,
+            sink: self.sink,
+            check_policy: self.check_policy,
+            conversion_reuse: self.conversion_reuse,
             frame_cursor: 0,
             txn: None,
             txn_frees: Vec::new(),
         }
+    }
+}
+
+impl ExecEnv<NullSink> {
+    /// Starts building an environment over `space`; see [`ExecEnvBuilder`].
+    pub fn builder(space: AddressSpace) -> ExecEnvBuilder<NullSink> {
+        ExecEnvBuilder {
+            space,
+            mode: Mode::Volatile,
+            pool: None,
+            sink: NullSink,
+            check_policy: CheckPolicy::Inferred,
+            conversion_reuse: true,
+            faults: None,
+        }
+    }
+}
+
+impl<S: TimingSink> ExecEnv<S> {
+    /// Creates an environment. `pool` is the default placement for
+    /// [`ExecEnv::alloc`]; it is ignored in [`Mode::Volatile`], which always
+    /// allocates volatile memory.
+    ///
+    /// Thin wrapper over [`ExecEnv::builder`], kept for positional-call
+    /// compatibility; prefer the builder, which names every knob.
+    pub fn new(space: AddressSpace, mode: Mode, pool: Option<PoolId>, sink: S) -> Self {
+        let mut b = ExecEnv::builder(space).mode(mode).sink(sink);
+        if let Some(p) = pool {
+            b = b.pool(p);
+        }
+        b.build()
     }
 
     /// Overrides which sites execute software checks (SW-mode ablation).
@@ -673,6 +782,41 @@ impl<S: TimingSink> ExecEnv<S> {
         Ok(())
     }
 
+    /// Runs `body` inside a persistent transaction: [`ExecEnv::txn_begin`],
+    /// the closure, then [`ExecEnv::txn_commit`] on `Ok` — or
+    /// [`ExecEnv::txn_abort`] on `Err`, so the armed log can never leak
+    /// past the closure. Prefer this over the raw begin/commit pair.
+    ///
+    /// An injected crash ([`HeapError::CrashInjected`]) skips the abort —
+    /// a real crash kills the process before any rollback could run — and
+    /// instead drops the dead environment's volatile transaction state;
+    /// the torn log in the pool is [`utpr_heap::UndoLog::recover`]'s job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates begin/commit failures and the closure's error.
+    pub fn with_txn<T, F>(&mut self, body: F) -> Result<T>
+    where
+        F: FnOnce(&mut Self) -> Result<T>,
+    {
+        self.txn_begin()?;
+        match body(self) {
+            Ok(value) => {
+                self.txn_commit()?;
+                Ok(value)
+            }
+            Err(e) => {
+                if matches!(e, HeapError::CrashInjected { .. }) {
+                    self.txn = None;
+                    self.txn_frees.clear();
+                } else {
+                    self.txn_abort()?;
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// True while a transaction is open.
     pub fn in_txn(&self) -> bool {
         self.txn.is_some()
@@ -866,7 +1010,97 @@ mod tests {
     fn env(mode: Mode) -> ExecEnv<CountingSink> {
         let mut space = AddressSpace::new(23);
         let pool = space.create_pool("t", 1 << 20).unwrap();
-        ExecEnv::new(space, mode, Some(pool), CountingSink::new())
+        ExecEnv::builder(space).mode(mode).pool(pool).sink(CountingSink::new()).build()
+    }
+
+    #[test]
+    fn builder_defaults_and_knobs() {
+        let space = AddressSpace::new(3);
+        let e = ExecEnv::builder(space).build();
+        assert_eq!(e.mode(), Mode::Volatile);
+        assert_eq!(e.check_policy(), CheckPolicy::Inferred);
+        assert_eq!(e.default_placement(), Placement::Dram);
+
+        let mut space = AddressSpace::new(3);
+        let pool = space.create_pool("b", 1 << 20).unwrap();
+        let e = ExecEnv::builder(space)
+            .mode(Mode::Sw)
+            .pool(pool)
+            .check_policy(CheckPolicy::AlwaysCheck)
+            .conversion_reuse(false)
+            .faults(utpr_heap::FaultState::counting())
+            .build();
+        assert_eq!(e.mode(), Mode::Sw);
+        assert_eq!(e.check_policy(), CheckPolicy::AlwaysCheck);
+        assert_eq!(e.default_placement(), Placement::Pool(pool));
+        assert!(e.space().faults().is_enabled());
+    }
+
+    #[test]
+    fn new_is_a_thin_builder_wrapper() {
+        let mut space = AddressSpace::new(23);
+        let pool = space.create_pool("t", 1 << 20).unwrap();
+        let e = ExecEnv::new(space, Mode::Hw, Some(pool), CountingSink::new());
+        assert_eq!(e.mode(), Mode::Hw);
+        assert_eq!(e.default_placement(), Placement::Pool(pool));
+    }
+
+    /// Like `env`, with room for the default-capacity undo log.
+    fn txn_env(mode: Mode) -> ExecEnv<CountingSink> {
+        let mut space = AddressSpace::new(23);
+        let pool = space.create_pool("t", 1 << 22).unwrap();
+        ExecEnv::builder(space).mode(mode).pool(pool).sink(CountingSink::new()).build()
+    }
+
+    #[test]
+    fn with_txn_commits_on_ok_and_aborts_on_err() {
+        let mut e = txn_env(Mode::Hw);
+        let a = e.alloc(site!("t.a", AllocResult), 32).unwrap();
+        e.write_u64(site!("t.init", StackLocal), a, 0, 10).unwrap();
+
+        let v = e
+            .with_txn(|e| {
+                e.write_u64(site!("t.w", StackLocal), a, 0, 20)?;
+                Ok(20)
+            })
+            .unwrap();
+        assert_eq!(v, 20);
+        assert!(!e.in_txn());
+        assert_eq!(e.read_u64(site!("t.r", StackLocal), a, 0).unwrap(), 20);
+
+        let err: Result<()> = e.with_txn(|e| {
+            e.write_u64(site!("t.w2", StackLocal), a, 0, 30)?;
+            Err(HeapError::OutOfMemory { requested: 1 })
+        });
+        assert!(err.is_err());
+        assert!(!e.in_txn());
+        assert_eq!(
+            e.read_u64(site!("t.r2", StackLocal), a, 0).unwrap(),
+            20,
+            "aborted txn rolled back"
+        );
+    }
+
+    #[test]
+    fn with_txn_crash_skips_abort_and_recovery_rolls_back() {
+        let mut e = txn_env(Mode::Hw);
+        let a = e.alloc(site!("t.a", AllocResult), 32).unwrap();
+        e.write_u64(site!("t.init", StackLocal), a, 0, 10).unwrap();
+        let loc = e.space().va2ra(a.as_va().unwrap()).unwrap();
+        // Materialize the log before arming so the crash strikes the
+        // transaction body, not the one-time log allocation.
+        e.txn_begin().unwrap();
+        e.txn_commit().unwrap();
+
+        e.space_mut().set_faults(utpr_heap::FaultState::crash_at(4));
+        let err: Result<()> = e.with_txn(|e| e.write_u64(site!("t.w", StackLocal), a, 0, 99));
+        assert!(matches!(err, Err(HeapError::CrashInjected { .. })));
+        assert!(!e.in_txn(), "dead env dropped its volatile txn handle");
+
+        let rec = utpr_heap::crash_and_recover(e.space_mut(), "t").unwrap();
+        assert_eq!(rec.pool, loc.pool);
+        let va = e.space().ra2va(loc).unwrap();
+        assert_eq!(e.space().read_u64(va).unwrap(), 10, "torn write rolled back");
     }
 
     #[test]

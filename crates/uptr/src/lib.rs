@@ -28,7 +28,11 @@
 //!
 //! let mut space = AddressSpace::new(1);
 //! let pool = space.create_pool("list", 1 << 20)?;
-//! let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), CountingSink::new());
+//! let mut env = ExecEnv::builder(space)
+//!     .mode(Mode::Hw)
+//!     .pool(pool)
+//!     .sink(CountingSink::new())
+//!     .build();
 //!
 //! // Build a two-node persistent list exactly as legacy code would.
 //! let head = env.alloc(site!("ex.head", AllocResult), 16)?;
@@ -49,7 +53,7 @@ pub mod site;
 pub mod stats;
 
 pub use c11::C11Engine;
-pub use env::{branch_kind, CheckPolicy, ExecEnv, Mode, Placement};
+pub use env::{branch_kind, CheckPolicy, ExecEnv, ExecEnvBuilder, Mode, Placement};
 pub use event::{CountingSink, MemEvent, NullSink, TimingSink};
 pub use ptr::{PtrFormat, PtrKind, PtrSpace, UPtr};
 pub use site::{Provenance, Site, PC_DETERMINE_Y_HELPER, PC_PA_DETERMINE_X, PC_PA_DETERMINE_Y};

@@ -5,13 +5,12 @@
 //!
 //! Run with: `cargo run --example compiler_pass`
 
-use utpr_cc::analysis::analyze_module;
-use utpr_cc::interp::{Interp, Val};
-use utpr_cc::ir::{CmpOp, FnBuilder, Module, Operand::*};
-use utpr_heap::AddressSpace;
-use utpr_ptr::UPtr;
+use utpr::cc::analysis::analyze_module;
+use utpr::cc::interp::{Interp, Val};
+use utpr::cc::ir::{CmpOp, FnBuilder, Module, Operand::*};
+use utpr::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> utpr::Result<()> {
     // A legacy-style library function:
     //   void append(Node** slot, long v) {
     //       Node* n = pmalloc(16); n->val = v;

@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
-use utpr_kv::harness::crash_and_recover_demo;
-use utpr_kv::workload::WorkloadSpec;
+use utpr::kv::harness::crash_and_recover_demo;
+use utpr::prelude::*;
 
-fn main() -> Result<(), utpr_heap::HeapError> {
+fn main() -> utpr::Result<()> {
     let spec = WorkloadSpec { records: 1_000, operations: 0, read_fraction: 0.95, seed: 77 };
     println!("loading {} records into a persistent RB-tree KV store...", spec.records);
     let (before, after) = crash_and_recover_demo(&spec)?;

@@ -5,16 +5,15 @@
 //!
 //! Run with: `cargo run --release --example knn_pipeline`
 
-use utpr_heap::AddressSpace;
-use utpr_ml::{run_knn, Dataset, Knn, KnnPlacements};
-use utpr_ptr::{ExecEnv, Mode, NullSink};
-use utpr_sim::SimConfig;
+use utpr::ml::{run_knn, Dataset, Knn, KnnPlacements};
+use utpr::prelude::*;
+use utpr::sim::SimConfig;
 
-fn main() -> Result<(), utpr_heap::HeapError> {
+fn main() -> utpr::Result<()> {
     // Part 1: every placement combination computes the same predictions.
     let mut space = AddressSpace::new(99);
     let pool = space.create_pool("knn-demo", 64 << 20)?;
-    let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
     let mut data = Dataset::iris_like(11);
     data.features.truncate(60);
     data.labels.truncate(60);
@@ -49,7 +48,7 @@ fn main() -> Result<(), utpr_heap::HeapError> {
 
     // Part 3: the productivity comparison the paper reports.
     println!("\nmigration effort (paper §VII-E):");
-    for e in utpr_ml::paper_knn_efforts() {
+    for e in utpr::ml::paper_knn_efforts() {
         println!(
             "  {:<32} {:>4} lines, {:>2} versions needed",
             e.approach, e.lines_changed, e.versions_needed

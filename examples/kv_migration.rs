@@ -6,12 +6,11 @@
 //!
 //! Run with: `cargo run --release --example kv_migration`
 
-use utpr_kv::harness::{run_all_modes, Benchmark};
-use utpr_kv::workload::WorkloadSpec;
-use utpr_ptr::Mode;
-use utpr_sim::SimConfig;
+use utpr::prelude::*;
+use utpr::kv::harness::run_all_modes;
+use utpr::sim::SimConfig;
 
-fn main() -> Result<(), utpr_heap::HeapError> {
+fn main() -> utpr::Result<()> {
     let spec = WorkloadSpec { records: 2_000, operations: 10_000, read_fraction: 0.95, seed: 7 };
     println!(
         "running the RB key-value benchmark ({} records, {} ops) in all four builds...\n",

@@ -7,14 +7,13 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use utpr_heap::AddressSpace;
-use utpr_ptr::{site, ExecEnv, Mode, NullSink, UPtr};
+use utpr::prelude::*;
 
-fn main() -> Result<(), utpr_heap::HeapError> {
+fn main() -> utpr::Result<()> {
     // A process address space with one persistent pool.
     let mut space = AddressSpace::new(2024);
     let pool = space.create_pool("quickstart", 1 << 20)?;
-    let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 
     // Legacy-style code: build a 3-node list. Notice there is no special
     // pointer type anywhere — the env plays the role of the hardware.

@@ -6,14 +6,12 @@
 //!
 //! Run with: `cargo run --example transactions`
 
-use utpr_ds::{Index, RbTree};
-use utpr_heap::{AddressSpace, UndoLog};
-use utpr_ptr::{site, ExecEnv, Mode, NullSink};
+use utpr::prelude::*;
 
-fn main() -> Result<(), utpr_heap::HeapError> {
+fn main() -> utpr::Result<()> {
     let mut space = AddressSpace::new(808);
     let pool = space.create_pool("ledger", 16 << 20)?;
-    let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
 
     let mut tree = RbTree::create(&mut env)?;
     for k in 0..50u64 {
@@ -22,7 +20,8 @@ fn main() -> Result<(), utpr_heap::HeapError> {
     env.set_root(site!("txn-ex.save", StackLocal), tree.descriptor())?;
     println!("ledger holds {} entries", tree.len(&mut env)?);
 
-    // A multi-step update that must be atomic: move 3 entries.
+    // A multi-step update that must be atomic: move 3 entries. Use the raw
+    // begin so we can "crash" before the commit ever happens.
     env.txn_begin()?;
     tree.remove(&mut env, 10)?;
     tree.remove(&mut env, 11)?;
@@ -46,11 +45,12 @@ fn main() -> Result<(), utpr_heap::HeapError> {
     tree.validate(&mut env)?;
     println!("tree invariants verified — the unmodified library is crash-consistent.");
 
-    // The same update, committed this time.
-    env.txn_begin()?;
-    tree.remove(&mut env, 10)?;
-    tree.insert(&mut env, 1000, 42)?;
-    env.txn_commit()?;
+    // The same update, committed this time — `with_txn` scopes the
+    // transaction to a closure and commits on success, aborts on error.
+    env.with_txn(|env| {
+        tree.remove(env, 10)?;
+        tree.insert(env, 1000, 42)
+    })?;
     println!(
         "committed: {} entries, key 1000 = {:?}",
         tree.len(&mut env)?,

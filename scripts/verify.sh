@@ -4,12 +4,15 @@
 # attempted — --offline makes any accidental reintroduction of an external
 # dependency fail loudly instead of hanging on the network).
 #
-# Usage: scripts/verify.sh [--bench] [--bench-smoke]
+# Usage: scripts/verify.sh [--bench] [--bench-smoke] [--faults]
 #   --bench        additionally run the utpr-qc micro-benchmarks
 #   --bench-smoke  additionally run fig11 at reduced scale with 1 worker and
 #                  then all workers, check both emit BENCH_fig11.json, and —
 #                  on machines with >= 4 cores — fail if the parallel run is
 #                  not at least as fast as the serial one (15% noise margin)
+#   --faults       additionally run a crash-point fault-sweep smoke: one
+#                  structure, small scale, exhaustive; check BENCH_faults.json
+#                  is emitted and reports zero failures
 #
 # Environment:
 #   UTPR_QC_SEED  override the property-test base seed (decimal or 0x-hex)
@@ -24,10 +27,12 @@ cargo test -q --workspace --offline
 
 run_bench=0
 run_smoke=0
+run_faults=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
         --bench-smoke) run_smoke=1 ;;
+        --faults) run_faults=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -76,6 +81,25 @@ if [[ "$run_smoke" == 1 ]]; then
     else
         echo "smoke: < 4 cores, skipping speedup check"
     fi
+fi
+
+if [[ "$run_faults" == 1 ]]; then
+    echo "== extra: crash-point fault-sweep smoke (RB, small scale) =="
+    faults_dir=$(mktemp -d)
+    trap 'rm -rf "$faults_dir"' EXIT
+
+    UTPR_BENCH_SCALE=small UTPR_FAULTS_ONLY=RB UTPR_BENCH_OUT="$faults_dir" \
+        cargo bench -q -p utpr-bench --bench faults --offline
+    [[ -f "$faults_dir/BENCH_faults.json" ]] || {
+        echo "verify: fault sweep did not emit BENCH_faults.json" >&2
+        exit 1
+    }
+    grep -q '"total_failures":0' "$faults_dir/BENCH_faults.json" || {
+        echo "verify: fault sweep reported failures:" >&2
+        cat "$faults_dir/BENCH_faults.json" >&2
+        exit 1
+    }
+    echo "smoke: fault sweep clean"
 fi
 
 echo "verify: OK"

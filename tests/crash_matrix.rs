@@ -1,12 +1,12 @@
 //! Crash/relocation matrix: every index structure, loaded through the KV
 //! store, must survive repeated restarts (each re-attaching the pool at a
-//! different base) in both user-transparent builds.
+//! different base) in both user-transparent builds — and, with the fault
+//! engine armed, must recover cleanly from a crash injected at *every*
+//! durable-write boundary of a transaction-wrapped workload.
 
-use utpr_ds::{AvlTree, HashMapIndex, Index, RbTree, ScapegoatTree, SplayTree};
-use utpr_heap::AddressSpace;
-use utpr_kv::workload::{generate, WorkloadSpec};
-use utpr_kv::KvStore;
-use utpr_ptr::{site, ExecEnv, Mode, NullSink};
+use utpr::prelude::*;
+use utpr::kv::faultsweep::sweep_structure;
+use utpr::kv::workload::generate;
 
 fn spec() -> WorkloadSpec {
     WorkloadSpec { records: 300, operations: 0, read_fraction: 1.0, seed: 31 }
@@ -15,7 +15,7 @@ fn spec() -> WorkloadSpec {
 fn crash_cycle<I: Index>(mode: Mode) {
     let mut space = AddressSpace::new(61);
     let pool = space.create_pool("crash", 32 << 20).unwrap();
-    let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(mode).pool(pool).build();
     let w = generate(&spec());
 
     let mut store: KvStore<I> = KvStore::create(&mut env).unwrap();
@@ -89,4 +89,69 @@ fn hash_map_survives_crashes_hw_and_sw() {
 #[test]
 fn explicit_mode_also_recovers() {
     crash_cycle::<RbTree>(Mode::Explicit);
+}
+
+/// Exhaustive crash-point sweep: inject a crash at every durable-write
+/// boundary of a transaction-wrapped workload, recover via the undo log, and
+/// check structural invariants + contents against a prefix model. The seed
+/// comes from `UTPR_QC_SEED`, so any failure this prints is replayable.
+fn fault_sweep(bench: Benchmark) {
+    let name = bench.name();
+    let seed = utpr_qc::runner::base_seed();
+    let spec = SweepSpec::small(seed);
+    let report = sweep_structure(bench, &spec).unwrap();
+    assert_eq!(report.tested, report.boundaries, "{name}: small scale must sweep every boundary");
+    assert!(report.boundaries > 0, "{name}: workload produced no durable writes");
+    assert!(report.rollbacks > 0, "{name}: no crash point ever tore a transaction");
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("FAIL {name}: {f}");
+        }
+        panic!(
+            "{name}: {} of {} crash points failed — replay with UTPR_QC_SEED={seed}",
+            report.failures.len(),
+            report.boundaries
+        );
+    }
+}
+
+#[test]
+fn fault_sweep_ll_every_crash_point_recovers() {
+    fault_sweep(Benchmark::Ll);
+}
+
+#[test]
+fn fault_sweep_hash_every_crash_point_recovers() {
+    fault_sweep(Benchmark::Hash);
+}
+
+#[test]
+fn fault_sweep_rb_every_crash_point_recovers() {
+    fault_sweep(Benchmark::Rb);
+}
+
+#[test]
+fn fault_sweep_splay_every_crash_point_recovers() {
+    fault_sweep(Benchmark::Splay);
+}
+
+#[test]
+fn fault_sweep_avl_every_crash_point_recovers() {
+    fault_sweep(Benchmark::Avl);
+}
+
+#[test]
+fn fault_sweep_sg_every_crash_point_recovers() {
+    fault_sweep(Benchmark::Sg);
+}
+
+/// The whole sweep is bit-deterministic under a fixed seed.
+#[test]
+fn fault_sweep_is_deterministic() {
+    let spec = SweepSpec::small(20260806);
+    let a = sweep_structure(Benchmark::Rb, &spec).unwrap();
+    let b = sweep_structure(Benchmark::Rb, &spec).unwrap();
+    assert_eq!(a.boundaries, b.boundaries);
+    assert_eq!(a.rollbacks, b.rollbacks);
+    assert_eq!(a.failures.len(), b.failures.len());
 }

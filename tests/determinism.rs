@@ -8,7 +8,7 @@ use utpr_kv::ycsb::{generate_preset, Preset};
 use utpr_kv::KvStore;
 use utpr_ds::{BPlusTree, RbTree};
 use utpr_heap::AddressSpace;
-use utpr_ptr::{ExecEnv, Mode, NullSink};
+use utpr_ptr::{ExecEnv, Mode};
 use utpr_sim::SimConfig;
 
 fn spec() -> WorkloadSpec {
@@ -52,14 +52,14 @@ fn preset_workloads_agree_across_modes_and_structures() {
             // RB
             let mut space = AddressSpace::new(7);
             let pool = space.create_pool("det", 16 << 20).unwrap();
-            let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+            let mut env = ExecEnv::builder(space).mode(mode).pool(pool).build();
             let mut store: KvStore<RbTree> = KvStore::create(&mut env).unwrap();
             store.load(&mut env, &w).unwrap();
             let rb = store.run(&mut env, &w).unwrap();
             // B+
             let mut space = AddressSpace::new(7);
             let pool = space.create_pool("det", 16 << 20).unwrap();
-            let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+            let mut env = ExecEnv::builder(space).mode(mode).pool(pool).build();
             let mut store: KvStore<BPlusTree> = KvStore::create(&mut env).unwrap();
             store.load(&mut env, &w).unwrap();
             let bp = store.run(&mut env, &w).unwrap();

@@ -7,7 +7,7 @@
 
 use utpr_qc::prelude::*;
 use utpr_heap::AddressSpace;
-use utpr_ptr::{site, CheckPolicy, ExecEnv, Mode, NullSink, UPtr};
+use utpr_ptr::{site, CheckPolicy, ExecEnv, Mode, UPtr};
 
 /// One abstract program step over a growing object graph.
 #[derive(Clone, Copy, Debug)]
@@ -50,7 +50,7 @@ const PTR_BASE: i64 = 32; // slots 0..4
 fn execute(steps: &[Step], mode: Mode, policy: CheckPolicy) -> Vec<u64> {
     let mut space = AddressSpace::new(0x5EED ^ mode.label().len() as u64);
     let pool = space.create_pool("equiv", 8 << 20).unwrap();
-    let mut env = ExecEnv::new(space, mode, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(mode).pool(pool).build();
     env.set_check_policy(policy);
     let mut objects: Vec<UPtr> = Vec::new();
     let mut trace = Vec::new();

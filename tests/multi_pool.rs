@@ -18,7 +18,7 @@ fn build_env(pools: usize, sim: SimConfig) -> (ExecEnv<Machine>, Vec<utpr_heap::
         .collect();
     let mut machine = Machine::new(sim);
     machine.set_pool_ranges(ranges);
-    let env = ExecEnv::new(space, Mode::Hw, Some(ids[0]), machine);
+    let env = ExecEnv::builder(space).mode(Mode::Hw).pool(ids[0]).sink(machine).build();
     (env, ids)
 }
 

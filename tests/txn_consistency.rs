@@ -14,7 +14,7 @@ use utpr_ptr::{site, ExecEnv, Mode, NullSink};
 fn setup() -> (ExecEnv<NullSink>, RbTree, Vec<u64>) {
     let mut space = AddressSpace::new(404);
     let pool = space.create_pool("txn-kv", 16 << 20).unwrap();
-    let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
     let mut tree = RbTree::create(&mut env).unwrap();
     let keys: Vec<u64> = (0..100).map(|k| k * 13 % 251).collect();
     for k in &keys {
@@ -93,7 +93,7 @@ fn transactions_do_not_nest_and_require_a_pool() {
     assert!(env.txn_commit().is_err(), "double commit rejected");
 
     let space = AddressSpace::new(1);
-    let mut volatile_env = ExecEnv::new(space, Mode::Volatile, None, NullSink);
+    let mut volatile_env = ExecEnv::builder(space).build();
     assert!(volatile_env.txn_begin().is_err(), "no pool, no transaction");
 }
 
@@ -101,7 +101,7 @@ fn transactions_do_not_nest_and_require_a_pool() {
 fn sw_mode_transactions_work_identically() {
     let mut space = AddressSpace::new(77);
     let pool = space.create_pool("txn-sw", 16 << 20).unwrap();
-    let mut env = ExecEnv::new(space, Mode::Sw, Some(pool), NullSink);
+    let mut env = ExecEnv::builder(space).mode(Mode::Sw).pool(pool).build();
     let mut tree = RbTree::create(&mut env).unwrap();
     tree.insert(&mut env, 1, 10).unwrap();
     env.txn_begin().unwrap();

@@ -111,7 +111,7 @@ mod bplus_scan {
     use std::collections::BTreeMap;
     use utpr_ds::{BPlusTree, Index};
     use utpr_heap::AddressSpace;
-    use utpr_ptr::{ExecEnv, Mode, NullSink};
+    use utpr_ptr::{ExecEnv, Mode};
 
     props! {
         #![cases(64)]
@@ -124,7 +124,7 @@ mod bplus_scan {
         ) {
             let mut space = AddressSpace::new(3);
             let pool = space.create_pool("scan", 16 << 20).unwrap();
-            let mut env = ExecEnv::new(space, Mode::Hw, Some(pool), NullSink);
+            let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
             let mut t = BPlusTree::create(&mut env).unwrap();
             let mut model = BTreeMap::new();
             for k in &keys {
