@@ -171,16 +171,11 @@ fn ablate_txn(spec: &utpr_kv::WorkloadSpec, jobs: usize, rep: &mut BenchReport) 
         env.reset_stats();
         for op in &w.ops {
             env.frame_traffic(8, 4, 24);
-            env.txn_begin().expect("begin");
-            match op {
-                utpr_kv::Op::Get(k) => {
-                    store.get(&mut env, *k).expect("get");
-                }
-                utpr_kv::Op::Set(k, v) => {
-                    store.set(&mut env, *k, *v).expect("set");
-                }
-            }
-            env.txn_commit().expect("commit");
+            env.with_txn(|env| match op {
+                utpr_kv::Op::Get(k) => store.get(env, *k).map(|_| ()),
+                utpr_kv::Op::Set(k, v) => store.set(env, *k, *v).map(|_| ()),
+            })
+            .expect("txn op");
         }
         let (_s, _p, machine) = env.into_parts();
         machine.cycles()

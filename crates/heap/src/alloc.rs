@@ -16,14 +16,21 @@
 //! 0x18  allocated bytes  statistic
 //! 0x20  allocation count statistic
 //! 0x28  root object      user-settable persistent root (like pmemobj root)
+//! 0x38  version + CRC    low 32: format version, high 32: header CRC32
 //! 0x40  first block
 //! ```
+//!
+//! The header CRC covers only the *immutable* header fields (magic, size,
+//! version), so it never needs rewriting on the hot path; mutable words
+//! (free head, statistics, root) are covered by the page-level sidecar in
+//! [`crate::integrity`] instead.
 //!
 //! Each block starts with a `u64` header `size | allocated_bit` and ends
 //! with an identical footer so that `free` can coalesce with its neighbours
 //! in O(1). Free blocks store `next`/`prev` free-list links in their payload.
 
 use crate::error::{HeapError, Result};
+use crate::integrity::{crc32, FORMAT_VERSION};
 
 /// Memory a [`Region`] manages: 8-byte loads and stores at region-relative
 /// offsets. Implemented by pool backing stores and the DRAM half.
@@ -50,6 +57,9 @@ const OFF_FREE_HEAD: u64 = 0x10;
 const OFF_ALLOC_BYTES: u64 = 0x18;
 const OFF_ALLOC_COUNT: u64 = 0x20;
 const OFF_ROOT: u64 = 0x28;
+/// Low 32 bits: format version; high 32 bits: CRC32 of the immutable
+/// header fields. (0x30 is reserved for the transaction log pointer.)
+const OFF_VERSION: u64 = 0x38;
 const FIRST_BLOCK: u64 = 0x40;
 
 const ALLOCATED: u64 = 1;
@@ -58,6 +68,40 @@ const SIZE_MASK: u64 = !0xf;
 const MIN_BLOCK: u64 = 32;
 /// Header + footer overhead per block.
 const OVERHEAD: u64 = 16;
+
+/// CRC32 of the immutable header fields (magic, size, format version).
+fn header_crc(size: u64) -> u32 {
+    let mut bytes = [0u8; 20];
+    bytes[..8].copy_from_slice(&MAGIC.to_le_bytes());
+    bytes[8..16].copy_from_slice(&size.to_le_bytes());
+    bytes[16..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    crc32(&bytes)
+}
+
+/// One block the salvage walk found intact (header and footer agree and
+/// the block lies fully inside the region).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SalvageBlock {
+    /// Region-relative payload offset (what `alloc` returned for it).
+    pub payload: u64,
+    /// Payload bytes.
+    pub size: u64,
+    /// Whether the block was marked allocated.
+    pub allocated: bool,
+}
+
+/// What [`Region::salvage`] recovered from a damaged region.
+#[derive(Clone, Debug, Default)]
+pub struct SalvageReport {
+    /// Every structurally-intact block, in address order.
+    pub blocks: Vec<SalvageBlock>,
+    /// Bytes covered by intact blocks (headers included).
+    pub intact_bytes: u64,
+    /// Bytes skipped because no plausible block explained them.
+    pub lost_bytes: u64,
+    /// Number of times the walk lost block framing and had to re-sync.
+    pub resyncs: u64,
+}
 
 /// Handle to an allocator-managed region of simulated memory.
 ///
@@ -103,6 +147,8 @@ impl Region {
         mem.write_word(OFF_ALLOC_BYTES, 0);
         mem.write_word(OFF_ALLOC_COUNT, 0);
         mem.write_word(OFF_ROOT, 0);
+        let crc = header_crc(size);
+        mem.write_word(OFF_VERSION, u64::from(FORMAT_VERSION) | (u64::from(crc) << 32));
         let block_size = size - FIRST_BLOCK;
         let region = Region { size };
         region.set_header(mem, FIRST_BLOCK, block_size, false);
@@ -111,21 +157,40 @@ impl Region {
         Ok(region)
     }
 
-    /// Opens an already-formatted region, validating its header.
+    /// Opens an already-formatted region, validating its versioned header
+    /// (magic, size plausibility, format version, header CRC) and then the
+    /// full allocator structure — free-list links and block header/footer
+    /// agreement — so a damaged pool is rejected with a typed error instead
+    /// of handing out overlapping or out-of-bounds allocations later.
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::CorruptRegion`] when the magic or size field is
-    /// implausible.
+    /// - [`HeapError::BadPoolHeader`] when a header field is rejected;
+    /// - [`HeapError::CorruptRegion`] when the block walk or free list
+    ///   violates an invariant (see [`Region::validate`]). Use
+    ///   [`Region::salvage`] to enumerate what survives in such a region.
     pub fn open<M: MemWords>(mem: &M) -> Result<Region> {
         if mem.read_word(OFF_MAGIC) != MAGIC {
-            return Err(HeapError::CorruptRegion("bad magic"));
+            return Err(HeapError::BadPoolHeader { reason: "bad magic" });
         }
         let size = mem.read_word(OFF_SIZE);
         if size < FIRST_BLOCK + MIN_BLOCK {
-            return Err(HeapError::CorruptRegion("implausible size"));
+            return Err(HeapError::BadPoolHeader { reason: "implausible size" });
         }
-        Ok(Region { size })
+        if size % 16 != 0 {
+            return Err(HeapError::BadPoolHeader { reason: "unaligned size" });
+        }
+        let vword = mem.read_word(OFF_VERSION);
+        let version = (vword & 0xffff_ffff) as u32;
+        if version != FORMAT_VERSION {
+            return Err(HeapError::BadPoolHeader { reason: "unsupported format version" });
+        }
+        if (vword >> 32) as u32 != header_crc(size) {
+            return Err(HeapError::BadPoolHeader { reason: "header checksum mismatch" });
+        }
+        let region = Region { size };
+        region.validate(mem)?;
+        Ok(region)
     }
 
     /// Total region size in bytes.
@@ -338,6 +403,67 @@ impl Region {
         }
         Ok(blocks)
     }
+
+    /// Best-effort enumeration of intact blocks in a region that may be
+    /// damaged — the degraded-mode counterpart of [`Region::validate`].
+    ///
+    /// The walk starts at the first block and trusts a header only when it
+    /// is plausible (size ≥ minimum, 16-byte aligned, in bounds) *and* its
+    /// footer agrees. On disagreement it drops to a 16-byte-step forward
+    /// scan until block framing re-syncs, accounting the skipped span as
+    /// lost. The cursor strictly increases, so the walk always terminates
+    /// and never panics, whatever the bytes contain.
+    ///
+    /// `size_hint` is used when the region's own size field is implausible
+    /// (e.g. the header page is what got damaged); pass the pool size.
+    pub fn salvage<M: MemWords>(mem: &M, size_hint: u64) -> SalvageReport {
+        let stored = mem.read_word(OFF_SIZE);
+        let plausible =
+            stored >= FIRST_BLOCK + MIN_BLOCK && stored % 16 == 0 && (size_hint == 0 || stored <= size_hint);
+        let size = if plausible { stored } else { size_hint };
+        let mut report = SalvageReport::default();
+        if size < FIRST_BLOCK + MIN_BLOCK {
+            return report;
+        }
+        let probe = Region { size };
+        let intact = |block: u64| -> Option<(u64, bool)> {
+            let (bsize, allocated) = probe.header(mem, block);
+            if bsize < MIN_BLOCK || bsize % 16 != 0 || block + bsize > size {
+                return None;
+            }
+            (mem.read_word(block + bsize - 8) == mem.read_word(block)).then_some((bsize, allocated))
+        };
+        let mut cursor = FIRST_BLOCK;
+        let mut lost_from: Option<u64> = None;
+        while cursor + MIN_BLOCK <= size {
+            match intact(cursor) {
+                Some((bsize, allocated)) => {
+                    if let Some(from) = lost_from.take() {
+                        report.lost_bytes += cursor - from;
+                        report.resyncs += 1;
+                    }
+                    report.blocks.push(SalvageBlock {
+                        payload: cursor + 8,
+                        size: bsize - OVERHEAD,
+                        allocated,
+                    });
+                    report.intact_bytes += bsize;
+                    cursor += bsize;
+                }
+                None => {
+                    lost_from.get_or_insert(cursor);
+                    cursor += 16;
+                }
+            }
+        }
+        if let Some(from) = lost_from {
+            report.lost_bytes += size - from;
+            report.resyncs += 1;
+        } else {
+            report.lost_bytes += size.saturating_sub(cursor.max(FIRST_BLOCK));
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -434,7 +560,107 @@ mod tests {
     #[test]
     fn open_rejects_garbage() {
         let mem = PageStore::new();
-        assert!(matches!(Region::open(&mem), Err(HeapError::CorruptRegion(_))));
+        assert!(matches!(
+            Region::open(&mem),
+            Err(HeapError::BadPoolHeader { reason: "bad magic" })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_wrong_version_and_header_crc() {
+        let (mut mem, _r) = setup(1 << 14);
+        let vword = mem.read_word(OFF_VERSION);
+        // Wrong version, CRC untouched.
+        mem.write_word(OFF_VERSION, (vword & !0xffff_ffff) | u64::from(FORMAT_VERSION + 1));
+        assert!(matches!(
+            Region::open(&mem),
+            Err(HeapError::BadPoolHeader { reason: "unsupported format version" })
+        ));
+        // Right version, flipped CRC bit.
+        mem.write_word(OFF_VERSION, vword ^ (1 << 40));
+        assert!(matches!(
+            Region::open(&mem),
+            Err(HeapError::BadPoolHeader { reason: "header checksum mismatch" })
+        ));
+        // A size that disagrees with the CRC'd size is also caught.
+        mem.write_word(OFF_VERSION, vword);
+        mem.write_word(OFF_SIZE, 1 << 13);
+        assert!(matches!(
+            Region::open(&mem),
+            Err(HeapError::BadPoolHeader { reason: "header checksum mismatch" })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_corrupt_block_structure_with_reason() {
+        let (mut mem, r) = setup(1 << 14);
+        let a = r.alloc(&mut mem, 64).unwrap();
+        // Smash the block header: footer no longer agrees.
+        mem.write_word(a - 8, (MIN_BLOCK * 4) | ALLOCATED);
+        match Region::open(&mem) {
+            Err(HeapError::CorruptRegion(reason)) => assert!(!reason.is_empty()),
+            other => panic!("expected CorruptRegion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_on_healthy_region_finds_every_block_and_loses_nothing() {
+        let (mut mem, r) = setup(1 << 14);
+        let a = r.alloc(&mut mem, 64).unwrap();
+        let _b = r.alloc(&mut mem, 64).unwrap();
+        r.free(&mut mem, a).unwrap();
+        let blocks = r.validate(&mem).unwrap();
+        let report = Region::salvage(&mem, 1 << 14);
+        assert_eq!(report.blocks.len(), blocks);
+        assert_eq!(report.lost_bytes, 0);
+        assert_eq!(report.resyncs, 0);
+        assert_eq!(report.intact_bytes, (1 << 14) - FIRST_BLOCK);
+        let allocated: Vec<u64> =
+            report.blocks.iter().filter(|b| b.allocated).map(|b| b.payload).collect();
+        assert!(allocated.contains(&_b));
+        assert!(!allocated.contains(&a));
+    }
+
+    #[test]
+    fn salvage_resyncs_past_a_smashed_block() {
+        let (mut mem, r) = setup(1 << 14);
+        let mut payloads = Vec::new();
+        for _ in 0..6 {
+            payloads.push(r.alloc(&mut mem, 48).unwrap());
+        }
+        // Destroy the second block's header word entirely.
+        mem.write_word(payloads[1] - 8, 0xdead_beef_dead_beef);
+        assert!(Region::open(&mem).is_err(), "validation must reject it");
+        let report = Region::salvage(&mem, 1 << 14);
+        let found: Vec<u64> =
+            report.blocks.iter().filter(|b| b.allocated).map(|b| b.payload).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            if i == 1 {
+                assert!(!found.contains(p), "smashed block cannot be trusted");
+            } else {
+                assert!(found.contains(p), "block {i} should survive");
+            }
+        }
+        assert!(report.lost_bytes > 0);
+        assert!(report.resyncs >= 1);
+    }
+
+    #[test]
+    fn salvage_never_panics_on_garbage_and_respects_the_hint() {
+        let mut mem = PageStore::new();
+        // Pure noise, no header at all.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for i in 0..512 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            mem.write_word(i * 8, x);
+        }
+        let report = Region::salvage(&mem, 4096);
+        assert!(report.intact_bytes + report.lost_bytes <= 4096);
+        // Zero hint and garbage size field: nothing to walk.
+        let empty = Region::salvage(&PageStore::new(), 0);
+        assert!(empty.blocks.is_empty());
     }
 
     #[test]

@@ -42,6 +42,21 @@ pub enum HeapError {
     BadFree(u64),
     /// A region was opened whose header is not a valid allocator header.
     CorruptRegion(&'static str),
+    /// The integrity layer detected damaged media: a sealed page's CRC no
+    /// longer matches its bytes ([`crate::integrity`]). The pool is
+    /// quarantined; access it through the salvage path.
+    MediaCorruption {
+        /// Pool whose image is damaged.
+        pool: PoolId,
+        /// First page whose checksum failed.
+        page: u64,
+    },
+    /// A pool's versioned header (magic, format version, size, header CRC)
+    /// failed validation on open/attach.
+    BadPoolHeader {
+        /// Which header field was rejected.
+        reason: &'static str,
+    },
     /// Address-space exhaustion while attaching a pool.
     NoAddressSpace,
     /// Requested pool size is invalid (zero, too large, or unaligned).
@@ -83,6 +98,10 @@ impl fmt::Display for HeapError {
             }
             HeapError::BadFree(off) => write!(f, "free of non-allocated offset {off:#x}"),
             HeapError::CorruptRegion(why) => write!(f, "corrupt allocator region: {why}"),
+            HeapError::MediaCorruption { pool, page } => {
+                write!(f, "media corruption in {pool}: page {page} fails its checksum")
+            }
+            HeapError::BadPoolHeader { reason } => write!(f, "bad pool header: {reason}"),
             HeapError::NoAddressSpace => write!(f, "virtual address space exhausted"),
             HeapError::BadPoolSize(s) => write!(f, "invalid pool size {s:#x}"),
             HeapError::CrashInjected { writes } => {
@@ -117,6 +136,8 @@ mod tests {
             HeapError::OutOfMemory { requested: 64 },
             HeapError::BadFree(16),
             HeapError::CorruptRegion("bad magic"),
+            HeapError::MediaCorruption { pool: PoolId::new(3), page: 5 },
+            HeapError::BadPoolHeader { reason: "unsupported format version" },
             HeapError::NoAddressSpace,
             HeapError::BadPoolSize(0),
             HeapError::CrashInjected { writes: 12 },

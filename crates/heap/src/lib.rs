@@ -35,16 +35,18 @@ pub mod addr;
 pub mod alloc;
 pub mod error;
 pub mod faults;
+pub mod integrity;
 pub mod pagestore;
 pub mod pool;
 pub mod space;
 pub mod txn;
 
 pub use addr::{PoolId, RelLoc, VirtAddr};
-pub use alloc::Region;
+pub use alloc::{Region, SalvageBlock, SalvageReport};
 pub use error::{HeapError, Result};
-pub use faults::{crash_and_recover, select_points, FaultState, Recovery};
+pub use faults::{crash_and_recover, inject_bitflips, select_points, FaultPlan, GateVerdict, Recovery};
+pub use integrity::{crc32, IntegrityMode, PoolScrub, ScrubReport, FORMAT_VERSION};
 pub use pagestore::PageStore;
 pub use pool::{PoolImage, PoolStore};
 pub use txn::UndoLog;
-pub use space::{AddressSpace, Attachment};
+pub use space::{AddressSpace, Attachment, FlushModel};

@@ -51,6 +51,15 @@ pub struct PageStore {
     /// The materialized pages. Slots are never freed individually (only
     /// `clear` drops them), so memoized slot numbers stay valid.
     slabs: Vec<Box<[u8]>>,
+    /// Slot -> page number, the reverse of `index` (kept so dirty-page and
+    /// resident-page enumeration never walks the hash map).
+    slot_pages: Vec<u64>,
+    /// Per-slot dirty bitmap, maintained only while `track_dirty` is set.
+    /// Slot `s` lives at bit `s % 64` of word `s / 64`.
+    dirty: Vec<u64>,
+    /// Whether writes mark their page dirty (the integrity layer's hook:
+    /// one predictable branch on the write path when off).
+    track_dirty: bool,
     /// Last page touched: `(page_no, slot)`. A `Cell` so read paths can
     /// refresh it through `&self`; the store stays `Send` (each simulated
     /// machine owns its memory privately) but is intentionally not `Sync`.
@@ -66,7 +75,14 @@ impl Default for PageStore {
 impl PageStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        PageStore { index: HashMap::new(), slabs: Vec::new(), last: Cell::new((NO_PAGE, 0)) }
+        PageStore {
+            index: HashMap::new(),
+            slabs: Vec::new(),
+            slot_pages: Vec::new(),
+            dirty: Vec::new(),
+            track_dirty: false,
+            last: Cell::new((NO_PAGE, 0)),
+        }
     }
 
     /// Number of materialized pages (resident set, in pages).
@@ -83,7 +99,94 @@ impl PageStore {
     pub fn clear(&mut self) {
         self.index.clear();
         self.slabs.clear();
+        self.slot_pages.clear();
+        self.dirty.clear();
         self.last.set((NO_PAGE, 0));
+    }
+
+    // ---- integrity hooks ---------------------------------------------------
+
+    /// Turns dirty-page tracking on or off. Enabling conservatively marks
+    /// every already-resident page dirty (their checksums are unknown).
+    pub fn set_dirty_tracking(&mut self, on: bool) {
+        self.track_dirty = on;
+        if on {
+            self.dirty.clear();
+            self.dirty.resize(self.slabs.len().div_ceil(64), !0u64);
+        } else {
+            self.dirty.clear();
+        }
+    }
+
+    /// Whether writes currently mark their page dirty.
+    pub fn dirty_tracking(&self) -> bool {
+        self.track_dirty
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, slot: u32) {
+        if self.track_dirty {
+            let word = slot as usize / 64;
+            if word >= self.dirty.len() {
+                self.dirty.resize(word + 1, 0);
+            }
+            self.dirty[word] |= 1u64 << (slot % 64);
+        }
+    }
+
+    /// Page numbers written since the last [`PageStore::clear_dirty`],
+    /// sorted. Empty when tracking is off.
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self
+            .dirty
+            .iter()
+            .enumerate()
+            .flat_map(|(w, bits)| {
+                let mut bits = *bits;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + b)
+                })
+            })
+            .filter_map(|slot| self.slot_pages.get(slot).copied())
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Forgets all dirty marks (after the pages were checksummed).
+    pub fn clear_dirty(&mut self) {
+        for w in &mut self.dirty {
+            *w = 0;
+        }
+    }
+
+    /// Every materialized page number, sorted.
+    pub fn resident_page_numbers(&self) -> Vec<u64> {
+        let mut pages = self.slot_pages.clone();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// The raw bytes of page `page_no`, or `None` if never written.
+    pub fn page_bytes(&self, page_no: u64) -> Option<&[u8]> {
+        self.page(page_no)
+    }
+
+    /// Flips bit `bit` of the byte at `offset` — *without* marking the page
+    /// dirty, so the integrity layer's sealed checksum goes stale, exactly
+    /// as silent media decay would leave it. Returns `false` (no flip) when
+    /// the page was never materialized.
+    pub fn corrupt_bit(&mut self, offset: u64, bit: u8) -> bool {
+        let Some(&slot) = self.index.get(&(offset / PAGE_SIZE)) else {
+            return false;
+        };
+        self.slabs[slot as usize][(offset % PAGE_SIZE) as usize] ^= 1 << (bit % 8);
+        true
     }
 
     /// The page backing `page_no`, or `None` if it was never written.
@@ -100,10 +203,12 @@ impl PageStore {
     }
 
     /// The page backing `page_no`, materializing it zero-filled if absent.
+    /// Every caller is a write path, so the page is marked dirty here.
     #[inline]
     fn page_mut(&mut self, page_no: u64) -> &mut [u8] {
         let (last_no, last_slot) = self.last.get();
         if last_no == page_no {
+            self.mark_dirty(last_slot);
             return &mut self.slabs[last_slot as usize];
         }
         let slot = match self.index.entry(page_no) {
@@ -111,10 +216,12 @@ impl PageStore {
             Entry::Vacant(v) => {
                 let slot = u32::try_from(self.slabs.len()).expect("page count fits in u32");
                 self.slabs.push(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                self.slot_pages.push(page_no);
                 *v.insert(slot)
             }
         };
         self.last.set((page_no, slot));
+        self.mark_dirty(slot);
         &mut self.slabs[slot as usize]
     }
 
@@ -317,5 +424,49 @@ mod tests {
     fn store_is_send() {
         fn assert_send<T: Send + 'static>() {}
         assert_send::<PageStore>();
+    }
+
+    #[test]
+    fn dirty_tracking_marks_both_memo_paths_and_clears() {
+        let mut s = PageStore::new();
+        s.write_u64(0, 1); // resident before tracking starts
+        s.set_dirty_tracking(true);
+        assert_eq!(s.dirty_pages(), vec![0], "pre-existing pages start dirty");
+        s.clear_dirty();
+        assert!(s.dirty_pages().is_empty());
+        s.write_u64(PAGE_SIZE * 4, 2); // miss path
+        s.write_u64(PAGE_SIZE * 4 + 8, 3); // memo-hit path
+        s.write_u64(8, 4); // index-hit path
+        assert_eq!(s.dirty_pages(), vec![0, 4]);
+        s.clear_dirty();
+        assert!(s.dirty_pages().is_empty());
+        assert_eq!(s.resident_page_numbers(), vec![0, 4]);
+    }
+
+    #[test]
+    fn reads_do_not_dirty_and_tracking_off_is_silent() {
+        let mut s = PageStore::new();
+        s.set_dirty_tracking(true);
+        s.write_u64(0, 7);
+        s.clear_dirty();
+        let _ = s.read_u64(0);
+        assert!(s.dirty_pages().is_empty(), "reads never dirty a page");
+        s.set_dirty_tracking(false);
+        s.write_u64(PAGE_SIZE, 9);
+        assert!(s.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn corrupt_bit_flips_without_dirtying() {
+        let mut s = PageStore::new();
+        s.set_dirty_tracking(true);
+        s.write_u64(16, 0b100);
+        s.clear_dirty();
+        assert!(s.corrupt_bit(16, 2));
+        assert_eq!(s.read_u64(16), 0, "bit 2 flipped off");
+        assert!(s.dirty_pages().is_empty(), "corruption is silent");
+        assert!(!s.corrupt_bit(PAGE_SIZE * 99, 0), "absent page: no flip");
+        assert!(s.page_bytes(0).is_some());
+        assert!(s.page_bytes(99).is_none());
     }
 }

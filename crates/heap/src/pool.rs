@@ -9,8 +9,9 @@
 use crate::addr::{PoolId, MAX_POOL_ID};
 use crate::alloc::Region;
 use crate::error::{HeapError, Result};
-use crate::pagestore::PageStore;
-use std::collections::HashMap;
+use crate::integrity::{crc32, IntegrityMode, PageCrcs, PoolScrub, ScrubReport};
+use crate::pagestore::{PageStore, PAGE_SIZE};
+use std::collections::{BTreeMap, HashMap};
 
 /// Maximum pool size: intra-pool offsets must fit in 32 bits.
 pub const MAX_POOL_SIZE: u64 = u32::MAX as u64 + 1;
@@ -22,6 +23,9 @@ pub struct PoolImage {
     size: u64,
     data: PageStore,
     region: Region,
+    /// Per-page CRC sidecar ([`crate::integrity`]): the out-of-band
+    /// checksum area a controller would keep. Empty when integrity is off.
+    crcs: PageCrcs,
 }
 
 impl PoolImage {
@@ -49,6 +53,53 @@ impl PoolImage {
     pub fn data_mut(&mut self) -> &mut PageStore {
         &mut self.data
     }
+
+    /// The pool's sealed CRC sidecar.
+    pub fn crcs(&self) -> &PageCrcs {
+        &self.crcs
+    }
+
+    /// Checksums every dirty page into the sidecar and clears the dirty
+    /// set — the quiesce-point seal.
+    fn seal(&mut self) {
+        for page in self.data.dirty_pages() {
+            if let Some(bytes) = self.data.page_bytes(page) {
+                self.crcs.seal(page, crc32(bytes));
+            }
+        }
+        self.data.clear_dirty();
+    }
+
+    /// Re-verifies every sealed, non-dirty page (a dirty page has
+    /// legitimate unsealed writes, so its sealed checksum is stale by
+    /// design). Returns the first page whose bytes no longer match their
+    /// sealed checksum.
+    pub fn verify_sealed(&self) -> Option<u64> {
+        let dirty = self.data.dirty_pages();
+        for page in self.crcs.sealed_pages() {
+            if dirty.binary_search(&page).is_ok() {
+                continue;
+            }
+            if let Some(bytes) = self.data.page_bytes(page) {
+                if crc32(bytes) != self.crcs.get(page).expect("sealed page has a crc") {
+                    return Some(page);
+                }
+            }
+        }
+        None
+    }
+
+    /// Recomputes the whole sidecar from the current bytes, accepting any
+    /// damage as the new sealed state (the salvage path's last step).
+    fn reseal(&mut self) {
+        self.crcs.clear();
+        for page in self.data.resident_page_numbers() {
+            if let Some(bytes) = self.data.page_bytes(page) {
+                self.crcs.seal(page, crc32(bytes));
+            }
+        }
+        self.data.clear_dirty();
+    }
 }
 
 /// The simulated NVM device: a durable collection of pools indexed by id and
@@ -69,12 +120,43 @@ pub struct PoolStore {
     pools: HashMap<PoolId, PoolImage>,
     by_name: HashMap<String, PoolId>,
     next_id: u32,
+    /// Whether pools maintain CRC sidecars (default: they do).
+    integrity: IntegrityMode,
+    /// Pools with detected media corruption → first bad page. Normal
+    /// access errors until [`PoolStore::release`]; ordered so diagnostics
+    /// enumerate deterministically.
+    quarantined: BTreeMap<PoolId, u64>,
 }
 
 impl PoolStore {
     /// Creates an empty device.
     pub fn new() -> Self {
-        PoolStore { pools: HashMap::new(), by_name: HashMap::new(), next_id: 1 }
+        PoolStore {
+            pools: HashMap::new(),
+            by_name: HashMap::new(),
+            next_id: 1,
+            integrity: IntegrityMode::default(),
+            quarantined: BTreeMap::new(),
+        }
+    }
+
+    /// The device's integrity mode.
+    pub fn integrity(&self) -> IntegrityMode {
+        self.integrity
+    }
+
+    /// Switches integrity mode for this device and every existing pool.
+    /// Turning CRC off drops all sidecars (the CRC-overhead baseline);
+    /// turning it on marks everything dirty so the next seal covers it.
+    pub fn set_integrity(&mut self, mode: IntegrityMode) {
+        self.integrity = mode;
+        let on = mode == IntegrityMode::Crc;
+        for img in self.pools.values_mut() {
+            img.data.set_dirty_tracking(on);
+            if !on {
+                img.crcs.clear();
+            }
+        }
     }
 
     /// Creates and formats a new pool, returning its system-wide id.
@@ -95,10 +177,14 @@ impl PoolStore {
             return Err(HeapError::NoAddressSpace);
         }
         let mut data = PageStore::new();
+        data.set_dirty_tracking(self.integrity == IntegrityMode::Crc);
         let region = Region::format(&mut data, size)?;
         let id = PoolId::new(self.next_id);
         self.next_id += 1;
-        self.pools.insert(id, PoolImage { name: name.to_string(), size, data, region });
+        self.pools.insert(
+            id,
+            PoolImage { name: name.to_string(), size, data, region, crcs: PageCrcs::new() },
+        );
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -115,12 +201,27 @@ impl PoolStore {
             .ok_or_else(|| HeapError::NoSuchPoolName(name.to_string()))
     }
 
+    #[inline]
+    fn quarantine_guard(&self, id: PoolId) -> Result<()> {
+        // One branch on the empty map in the common case; the lookup only
+        // happens while some pool somewhere is quarantined.
+        if !self.quarantined.is_empty() {
+            if let Some(&page) = self.quarantined.get(&id) {
+                return Err(HeapError::MediaCorruption { pool: id, page });
+            }
+        }
+        Ok(())
+    }
+
     /// Immutable access to a pool image.
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown and
+    /// [`HeapError::MediaCorruption`] when the pool is quarantined.
+    #[inline]
     pub fn get(&self, id: PoolId) -> Result<&PoolImage> {
+        self.quarantine_guard(id)?;
         self.pools.get(&id).ok_or(HeapError::NoSuchPool(id))
     }
 
@@ -128,9 +229,144 @@ impl PoolStore {
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown and
+    /// [`HeapError::MediaCorruption`] when the pool is quarantined.
+    #[inline]
     pub fn get_mut(&mut self, id: PoolId) -> Result<&mut PoolImage> {
+        self.quarantine_guard(id)?;
         self.pools.get_mut(&id).ok_or(HeapError::NoSuchPool(id))
+    }
+
+    /// Immutable access that bypasses quarantine — the salvage path's way
+    /// in to a damaged pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn peek(&self, id: PoolId) -> Result<&PoolImage> {
+        self.pools.get(&id).ok_or(HeapError::NoSuchPool(id))
+    }
+
+    /// Mutable access that bypasses quarantine (salvage, fault injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn peek_mut(&mut self, id: PoolId) -> Result<&mut PoolImage> {
+        self.pools.get_mut(&id).ok_or(HeapError::NoSuchPool(id))
+    }
+
+    // ---- integrity lifecycle ----------------------------------------------
+
+    /// Seals pool `id`: checksums its dirty pages into the sidecar. Called
+    /// at quiesce points (restart, detach). No-op when integrity is off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn seal(&mut self, id: PoolId) -> Result<()> {
+        let img = self.peek_mut(id)?;
+        if img.data.dirty_tracking() {
+            img.seal();
+        }
+        Ok(())
+    }
+
+    /// Seals every pool on the device.
+    pub fn seal_all(&mut self) {
+        for img in self.pools.values_mut() {
+            if img.data.dirty_tracking() {
+                img.seal();
+            }
+        }
+    }
+
+    /// Verifies pool `id` against its sealed checksums without side
+    /// effects. Returns the first corrupt page, or `None` when clean
+    /// (always `None` with integrity off).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn verify(&self, id: PoolId) -> Result<Option<u64>> {
+        Ok(self.peek(id)?.verify_sealed())
+    }
+
+    /// Recomputes pool `id`'s entire sidecar from its current bytes,
+    /// blessing any damage as the new sealed state. The salvage path calls
+    /// this after harvesting so the pool can be released and re-attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
+    pub fn reseal(&mut self, id: PoolId) -> Result<()> {
+        let img = self.peek_mut(id)?;
+        if img.data.dirty_tracking() {
+            img.reseal();
+        }
+        Ok(())
+    }
+
+    /// Scrubs pool `id`: re-verifies every sealed page (the patrol read).
+    /// On a mismatch the pool is quarantined and the report names the page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when the id is unknown. Detected
+    /// corruption is reported, not raised — scrubbing a damaged pool is
+    /// exactly the point.
+    pub fn scrub(&mut self, id: PoolId) -> Result<PoolScrub> {
+        let img = self.peek(id)?;
+        let scrub = PoolScrub {
+            pages_scanned: img.crcs.len() as u64,
+            bytes_scanned: img.crcs.len() as u64 * PAGE_SIZE,
+            corrupt_page: img.verify_sealed(),
+        };
+        if let Some(page) = scrub.corrupt_page {
+            self.quarantine(id, page);
+        }
+        Ok(scrub)
+    }
+
+    /// Scrubs every pool on the device, quarantining any that fail.
+    pub fn scrub_all(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut ids: Vec<PoolId> = self.pools.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let scrub = self.scrub(id).expect("pool enumerated from the device");
+            report.pools += 1;
+            report.pages_scanned += scrub.pages_scanned;
+            report.bytes_scanned += scrub.bytes_scanned;
+            if let Some(page) = scrub.corrupt_page {
+                report.corrupt.push((id, page));
+            }
+        }
+        report
+    }
+
+    // ---- quarantine --------------------------------------------------------
+
+    /// Marks pool `id` quarantined with `page` as the first known-bad page:
+    /// [`PoolStore::get`]/[`PoolStore::get_mut`] return
+    /// [`HeapError::MediaCorruption`] until [`PoolStore::release`].
+    pub fn quarantine(&mut self, id: PoolId, page: u64) {
+        self.quarantined.entry(id).or_insert(page);
+    }
+
+    /// Whether pool `id` is quarantined.
+    pub fn is_quarantined(&self, id: PoolId) -> bool {
+        self.quarantined.contains_key(&id)
+    }
+
+    /// The first known-bad page of a quarantined pool.
+    pub fn quarantine_info(&self, id: PoolId) -> Option<u64> {
+        self.quarantined.get(&id).copied()
+    }
+
+    /// Lifts pool `id`'s quarantine (after salvage + reseal).
+    pub fn release(&mut self, id: PoolId) {
+        self.quarantined.remove(&id);
     }
 
     /// Permanently destroys a pool and frees its name.
@@ -141,6 +377,7 @@ impl PoolStore {
     pub fn destroy(&mut self, id: PoolId) -> Result<()> {
         let image = self.pools.remove(&id).ok_or(HeapError::NoSuchPool(id))?;
         self.by_name.remove(&image.name);
+        self.quarantined.remove(&id);
         Ok(())
     }
 
@@ -215,5 +452,63 @@ mod tests {
         let off = region.alloc(img.data_mut(), 64).unwrap();
         img.data_mut().write_u64(off, 42);
         assert_eq!(s.get(id).unwrap().data().read_u64(off), 42);
+    }
+
+    #[test]
+    fn seal_then_verify_is_clean_and_catches_silent_decay() {
+        let mut s = PoolStore::new();
+        let id = s.create("p", 1 << 16).unwrap();
+        s.get_mut(id).unwrap().data_mut().write_u64(256, 0xBEEF);
+        s.seal(id).unwrap();
+        assert_eq!(s.verify(id).unwrap(), None);
+        // A legitimate (dirty) write does not trip verification...
+        s.get_mut(id).unwrap().data_mut().write_u64(264, 1);
+        assert_eq!(s.verify(id).unwrap(), None, "dirty pages are exempt");
+        s.seal(id).unwrap();
+        // ...but a silent flip under a sealed page does.
+        assert!(s.peek_mut(id).unwrap().data_mut().corrupt_bit(256, 0));
+        assert_eq!(s.verify(id).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn scrub_quarantines_and_release_restores_access() {
+        let mut s = PoolStore::new();
+        let id = s.create("p", 1 << 16).unwrap();
+        let ok = s.create("ok", 1 << 16).unwrap();
+        s.seal_all();
+        s.peek_mut(id).unwrap().data_mut().corrupt_bit(8, 3);
+        let report = s.scrub_all();
+        assert_eq!(report.pools, 2);
+        assert_eq!(report.corrupt, vec![(id, 0)]);
+        assert!(report.pages_scanned >= 2);
+        assert_eq!(report.bytes_scanned, report.pages_scanned * PAGE_SIZE);
+        assert!(s.is_quarantined(id));
+        assert!(!s.is_quarantined(ok));
+        assert!(matches!(s.get(id), Err(HeapError::MediaCorruption { page: 0, .. })));
+        assert!(matches!(s.get_mut(id), Err(HeapError::MediaCorruption { .. })));
+        assert!(s.get(ok).is_ok(), "healthy pools stay accessible");
+        // Salvage path: peek works, reseal blesses the damage, release.
+        assert!(s.peek(id).is_ok());
+        s.reseal(id).unwrap();
+        s.release(id);
+        assert!(s.get(id).is_ok());
+        assert!(s.scrub(id).unwrap().corrupt_page.is_none(), "resealed state is clean");
+    }
+
+    #[test]
+    fn integrity_off_skips_sidecars_entirely() {
+        let mut s = PoolStore::new();
+        s.set_integrity(IntegrityMode::Off);
+        let id = s.create("p", 1 << 16).unwrap();
+        s.get_mut(id).unwrap().data_mut().write_u64(128, 5);
+        s.seal_all();
+        assert!(s.peek(id).unwrap().crcs().is_empty());
+        s.peek_mut(id).unwrap().data_mut().corrupt_bit(128, 1);
+        assert_eq!(s.verify(id).unwrap(), None, "decay is silent without CRC");
+        // Turning integrity back on re-arms tracking for existing pools.
+        s.set_integrity(IntegrityMode::Crc);
+        s.seal(id).unwrap();
+        assert!(!s.peek(id).unwrap().crcs().is_empty());
+        assert_eq!(s.verify(id).unwrap(), None);
     }
 }

@@ -9,7 +9,8 @@
 use crate::addr::{PoolId, RelLoc, VirtAddr, DRAM_BASE, NVM_BASE, NVM_END};
 use crate::alloc::{MemWords, Region};
 use crate::error::{HeapError, Result};
-use crate::faults::FaultState;
+use crate::faults::{splitmix64, FaultPlan, GateVerdict};
+use crate::integrity::IntegrityMode;
 use crate::pagestore::PageStore;
 use crate::pool::PoolStore;
 use std::collections::{BTreeMap, HashMap};
@@ -19,6 +20,25 @@ pub const DEFAULT_DRAM_HEAP: u64 = 256 << 20;
 
 /// Alignment at which pools are attached into the NVM half.
 pub const ATTACH_ALIGN: u64 = 1 << 20;
+
+/// Cache-line granularity of the persistence domain under ADR.
+pub const LINE_SIZE: u64 = 64;
+
+/// What the platform guarantees about CPU caches at power loss
+/// (paper §II discusses both persistence domains).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlushModel {
+    /// Extended ADR: caches are in the persistence domain, every store is
+    /// durable the moment it retires. The PR-3 model, still the default.
+    #[default]
+    Eadr,
+    /// Plain ADR: only the memory controller is protected. A store is
+    /// durable only after its cache line is flushed and fenced
+    /// ([`AddressSpace::fence`]); at power loss, unfenced lines drain
+    /// unpredictably — all-old on a clean crash, a per-word seeded mix
+    /// under a torn plan ([`FaultPlan::torn_at`]).
+    Adr,
+}
 
 /// A `MemWords` view of a page store shifted by a base offset, used to run
 /// the region allocator over the DRAM heap.
@@ -83,7 +103,18 @@ pub struct AddressSpace {
     generation: u64,
     /// Fault-injection gate consulted before every durable pool write
     /// ([`crate::faults`]). Disabled by default.
-    faults: FaultState,
+    faults: FaultPlan,
+    /// Persistence-domain model. Under [`FlushModel::Adr`], written lines
+    /// are volatile until fenced.
+    flush_model: FlushModel,
+    /// Unfenced lines: `(pool, line offset)` → the line's *durable* bytes
+    /// (the pool image itself holds the newest bytes). Ordered so the
+    /// power-loss drain is deterministic. Always empty under eADR.
+    pending: BTreeMap<(PoolId, u64), [u8; LINE_SIZE as usize]>,
+    /// Fence events issued (ADR accounting).
+    fences: u64,
+    /// Lines flushed to durability (ADR accounting).
+    lines_flushed: u64,
 }
 
 impl AddressSpace {
@@ -115,18 +146,111 @@ impl AddressSpace {
             layout_seed,
             attach_counter: 0,
             generation: 0,
-            faults: FaultState::disabled(),
+            faults: FaultPlan::disabled(),
+            flush_model: FlushModel::default(),
+            pending: BTreeMap::new(),
+            fences: 0,
+            lines_flushed: 0,
         }
     }
 
     /// The fault-injection gate's current state.
-    pub fn faults(&self) -> &FaultState {
+    pub fn faults(&self) -> &FaultPlan {
         &self.faults
     }
 
     /// Replaces the fault-injection gate (arm, start counting, disarm).
-    pub fn set_faults(&mut self, state: FaultState) {
-        self.faults = state;
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    // ---- flush model -------------------------------------------------------
+
+    /// The current persistence-domain model.
+    pub fn flush_model(&self) -> FlushModel {
+        self.flush_model
+    }
+
+    /// Switches the persistence-domain model. Moving from ADR to eADR
+    /// implicitly fences (lines in flight become durable).
+    pub fn set_flush_model(&mut self, model: FlushModel) {
+        if model == FlushModel::Eadr {
+            self.lines_flushed += self.pending.len() as u64;
+            self.pending.clear();
+        }
+        self.flush_model = model;
+    }
+
+    /// Flush + store fence: every written line becomes durable. A no-op
+    /// under eADR apart from the event count.
+    pub fn fence(&mut self) {
+        self.fences += 1;
+        self.lines_flushed += self.pending.len() as u64;
+        self.pending.clear();
+    }
+
+    /// Flushes the single line containing intra-pool offset `off` of
+    /// `pool` (a targeted `clwb`), without a fence-wide drain.
+    pub fn flush_line(&mut self, pool: PoolId, off: u64) {
+        if self.pending.remove(&(pool, off / LINE_SIZE * LINE_SIZE)).is_some() {
+            self.lines_flushed += 1;
+        }
+    }
+
+    /// Fence events issued so far.
+    pub fn fence_count(&self) -> u64 {
+        self.fences
+    }
+
+    /// Lines flushed to durability so far (ADR accounting).
+    pub fn lines_flushed(&self) -> u64 {
+        self.lines_flushed
+    }
+
+    /// Lines currently written but not yet fenced.
+    pub fn pending_lines(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Under ADR, snapshots the durable bytes of every line overlapped by
+    /// `[off, off + len)` in `pool` before a write lands there. Must be
+    /// called *before* the write mutates the image.
+    #[inline]
+    fn stage_lines(pending: &mut BTreeMap<(PoolId, u64), [u8; LINE_SIZE as usize]>,
+                   img: &crate::pool::PoolImage,
+                   pool: PoolId,
+                   off: u64,
+                   len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = off / LINE_SIZE * LINE_SIZE;
+        let last = (off + len - 1) / LINE_SIZE * LINE_SIZE;
+        let mut line = first;
+        loop {
+            pending.entry((pool, line)).or_insert_with(|| {
+                let mut old = [0u8; LINE_SIZE as usize];
+                img.data().read(line, &mut old);
+                old
+            });
+            if line >= last {
+                break;
+            }
+            line += LINE_SIZE;
+        }
+    }
+
+    // ---- integrity ---------------------------------------------------------
+
+    /// The pool device's integrity mode.
+    pub fn integrity(&self) -> IntegrityMode {
+        self.store.integrity()
+    }
+
+    /// Switches the pool device's integrity mode (see
+    /// [`PoolStore::set_integrity`]).
+    pub fn set_integrity(&mut self, mode: IntegrityMode) {
+        self.store.set_integrity(mode);
     }
 
     /// The persistent device holding pool images.
@@ -165,9 +289,16 @@ impl AddressSpace {
     /// [`HeapError::CrashInjected`] when an armed fault point fires.
     pub fn pool_write_u64(&mut self, id: PoolId, off: u64, value: u64) -> Result<()> {
         let img = self.store.get_mut(id)?;
-        self.faults.gate()?;
+        let verdict = self.faults.gate_tearable()?;
+        if self.flush_model == FlushModel::Adr {
+            Self::stage_lines(&mut self.pending, img, id, off, 8);
+        }
         img.data_mut().write_u64(off, value);
-        Ok(())
+        match verdict {
+            GateVerdict::Proceed => Ok(()),
+            // The in-flight write landed in the cache; the process is dead.
+            GateVerdict::TornCrash => Err(self.faults.crash_error()),
+        }
     }
 
     /// Number of restarts this space has gone through.
@@ -246,17 +377,32 @@ impl AddressSpace {
         Err(HeapError::NoAddressSpace)
     }
 
-    /// Attaches a pool at a fresh base address.
+    /// Attaches a pool at a fresh base address, first verifying its image:
+    /// sealed pages are checked against the CRC sidecar (a mismatch
+    /// quarantines the pool) and the allocator header and structure are
+    /// validated ([`Region::open`]).
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::NoSuchPool`] for unknown ids. Attaching an
-    /// already-attached pool is a no-op returning its current attachment.
+    /// - [`HeapError::NoSuchPool`] for unknown ids;
+    /// - [`HeapError::MediaCorruption`] when the pool is quarantined or a
+    ///   sealed page fails its checksum;
+    /// - [`HeapError::BadPoolHeader`] / [`HeapError::CorruptRegion`] when
+    ///   header or allocator validation fails.
+    ///
+    /// Attaching an already-attached pool is a no-op returning its current
+    /// attachment.
     pub fn attach(&mut self, id: PoolId) -> Result<Attachment> {
         if let Some(a) = self.attach_by_pool.get(&id) {
             return Ok(*a);
         }
-        let size = self.store.get(id)?.size();
+        let img = self.store.get(id)?; // quarantine-guarded
+        if let Some(page) = img.verify_sealed() {
+            self.store.quarantine(id, page);
+            return Err(HeapError::MediaCorruption { pool: id, page });
+        }
+        Region::open(img.data())?;
+        let size = img.size();
         let base = self.pick_base(size)?;
         let att = Attachment { pool: id, base: VirtAddr::new(base), size };
         self.attach_by_base.insert(base, att);
@@ -265,7 +411,9 @@ impl AddressSpace {
     }
 
     /// Detaches a pool: its data stays on the device but it loses its base
-    /// address, so `ra2va` on its locations faults (paper Fig. 10).
+    /// address, so `ra2va` on its locations faults (paper Fig. 10). A
+    /// graceful detach flushes the pool's in-flight lines (they become
+    /// durable, not torn) and seals its CRC sidecar.
     ///
     /// # Errors
     ///
@@ -273,13 +421,49 @@ impl AddressSpace {
     pub fn detach(&mut self, id: PoolId) -> Result<()> {
         let att = self.attach_by_pool.remove(&id).ok_or(HeapError::PoolDetached(id))?;
         self.attach_by_base.remove(&att.base.raw());
+        let before = self.pending.len();
+        self.pending.retain(|(pool, _), _| *pool != id);
+        self.lines_flushed += (before - self.pending.len()) as u64;
+        let _ = self.store.seal(id);
         Ok(())
     }
 
-    /// Simulates a process restart: DRAM contents are lost, the volatile
-    /// heap is reformatted, and every pool is detached. Pools must be
-    /// reopened, and will generally land at different base addresses.
+    /// Simulates a process restart (power cycle): DRAM contents are lost,
+    /// the volatile heap is reformatted, and every pool is detached. Under
+    /// [`FlushModel::Adr`], unfenced lines first *drain*: each reverts to
+    /// its durable bytes — or, when the installed [`FaultPlan`] is a torn
+    /// one, a seeded per-word subset of the new words lands instead. The
+    /// resulting durable image is then sealed into the CRC sidecars, as an
+    /// NVM controller checkpointing its metadata on power loss would.
+    /// Pools must be reopened, and will generally land at different base
+    /// addresses.
     pub fn restart(&mut self) {
+        let torn_seed = self.faults.torn_drain_seed();
+        let pending = std::mem::take(&mut self.pending);
+        for ((pool, line), old) in pending {
+            let Ok(img) = self.store.peek_mut(pool) else { continue };
+            match torn_seed {
+                None => {
+                    // Clean power loss: the whole unfenced line is lost.
+                    img.data_mut().write(line, &old);
+                }
+                Some(seed) => {
+                    // Torn: an 8-byte-word lottery decides, per word,
+                    // whether the in-flight value landed or the durable
+                    // one survived.
+                    for w in 0..(LINE_SIZE / 8) {
+                        let h = splitmix64(
+                            seed ^ splitmix64(u64::from(pool.raw()) ^ (line + w * 8)),
+                        );
+                        if h & 1 == 0 {
+                            let at = (w * 8) as usize;
+                            img.data_mut().write(line + w * 8, &old[at..at + 8]);
+                        }
+                    }
+                }
+            }
+        }
+        self.store.seal_all();
         self.generation += 1;
         self.dram.clear();
         let heap_size = self.dram_region.size();
@@ -385,8 +569,16 @@ impl AddressSpace {
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
             let img = self.store.get_mut(loc.pool)?;
-            self.faults.gate()?;
+            let verdict = self.faults.gate_tearable()?;
+            if self.flush_model == FlushModel::Adr {
+                Self::stage_lines(&mut self.pending, img, loc.pool, loc.offset.into(), buf.len() as u64);
+            }
             img.data_mut().write(loc.offset.into(), buf);
+            if verdict == GateVerdict::TornCrash {
+                // The in-flight write landed in the cache; the process is
+                // dead and the line drains at restart.
+                return Err(self.faults.crash_error());
+            }
         } else {
             self.dram.write(va.raw(), buf);
         }
@@ -447,9 +639,12 @@ impl AddressSpace {
     ///
     /// Returns [`HeapError::NoSuchPool`] or [`HeapError::OutOfMemory`].
     pub fn pmalloc(&mut self, id: PoolId, size: u64) -> Result<RelLoc> {
+        // The allocator fences before touching its metadata so that no
+        // unfenced data line can share a pending snapshot with (and later
+        // drain over) allocator words — its update is modelled as atomic.
+        self.fence();
         let img = self.store.get_mut(id)?;
-        // One durable boundary per allocation: the allocator's metadata
-        // update is modelled as atomic (see `crate::faults`).
+        // One durable boundary per allocation (see `crate::faults`).
         self.faults.gate()?;
         let region = img.region();
         let off = region.alloc(img.data_mut(), size)?;
@@ -462,6 +657,8 @@ impl AddressSpace {
     ///
     /// Returns [`HeapError::NoSuchPool`] or [`HeapError::BadFree`].
     pub fn pfree(&mut self, loc: RelLoc) -> Result<()> {
+        // Fence-first for the same reason as `pmalloc`.
+        self.fence();
         let img = self.store.get_mut(loc.pool)?;
         // One durable boundary per free, mirroring `pmalloc`.
         self.faults.gate()?;
@@ -485,6 +682,8 @@ impl AddressSpace {
     ///
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     pub fn set_pool_root(&mut self, id: PoolId, value: u64) -> Result<()> {
+        // Root publication orders after everything it points at.
+        self.fence();
         let img = self.store.get_mut(id)?;
         self.faults.gate()?;
         let region = img.region();
@@ -639,6 +838,45 @@ mod tests {
         s.restart();
         s.open_pool("p").unwrap();
         assert_eq!(s.pool_root(p).unwrap(), 0xfeed);
+    }
+
+    #[test]
+    fn adr_fence_accounting_tracks_pending_lines() {
+        let mut s = AddressSpace::new(21);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 256).unwrap();
+        s.set_flush_model(FlushModel::Adr);
+        let fences0 = s.fence_count();
+        let va = s.ra2va(loc).unwrap();
+        s.write_u64(va, 1).unwrap();
+        s.write_u64(va.add(8), 2).unwrap(); // same line
+        s.write_u64(va.add(128), 3).unwrap(); // different line
+        assert_eq!(s.pending_lines(), 2);
+        s.flush_line(p, u64::from(loc.offset) + 128);
+        assert_eq!(s.pending_lines(), 1);
+        s.fence();
+        assert_eq!(s.pending_lines(), 0);
+        assert_eq!(s.fence_count(), fences0 + 1);
+        assert_eq!(s.lines_flushed(), 2);
+        // Under eADR nothing ever pends.
+        s.set_flush_model(FlushModel::Eadr);
+        s.write_u64(va, 9).unwrap();
+        assert_eq!(s.pending_lines(), 0);
+    }
+
+    #[test]
+    fn detach_flushes_and_seals_so_reattach_verifies() {
+        let mut s = AddressSpace::new(23);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        s.set_flush_model(FlushModel::Adr);
+        let va = s.ra2va(loc).unwrap();
+        s.write_u64(va, 0x77).unwrap();
+        s.detach(p).unwrap();
+        assert_eq!(s.pending_lines(), 0, "graceful detach flushes in-flight lines");
+        s.attach(p).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        assert_eq!(s.read_u64(va).unwrap(), 0x77, "the unfenced write was flushed, not lost");
     }
 
     #[test]

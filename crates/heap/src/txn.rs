@@ -10,9 +10,14 @@
 //! it, and [`UndoLog::recover`] rolls back a torn transaction after a
 //! crash.
 //!
-//! Write ordering is modelled, not enforced by fences: the simulated pool
-//! is byte-durable at every step, which corresponds to a
-//! write-through/eADR persistence domain.
+//! Write ordering *is* enforced by fences: every log-arming step ends with
+//! an [`AddressSpace::fence`]. Under the default eADR flush model those
+//! fences are free (every store is already durable); under
+//! [`crate::space::FlushModel::Adr`] they are what keeps recovery sound —
+//! a log entry is fenced durable *before* the count word publishes it, and
+//! the count is fenced *before* the caller's data write, so a torn
+//! power-loss drain can never leave a published entry with garbage bytes
+//! (see the DESIGN.md media-fault model section).
 
 use crate::addr::{PoolId, RelLoc};
 use crate::error::{HeapError, Result};
@@ -44,11 +49,12 @@ const ENTRY_SIZE: u64 = 16;
 /// space.write_u64(va, 100)?;
 ///
 /// let log = UndoLog::ensure(&mut space, pool, 64)?;
-/// log.begin(&mut space)?;
-/// log.log_word(&mut space, acct)?;   // record old value first
-/// space.write_u64(va, 40)?;          // then mutate
-/// log.commit(&mut space)?;           // durable: 40
-/// assert_eq!(space.read_u64(va)?, 40);
+/// log.run(&mut space, |space, txn| {
+///     txn.log_word(space, acct)?;    // record old value first
+///     let va = space.ra2va(acct)?;
+///     space.write_u64(va, 40)        // then mutate
+/// })?;                               // durable: 40
+/// assert_eq!(space.read_u64(space.ra2va(acct)?)?, 40);
 /// # Ok::<(), utpr_heap::HeapError>(())
 /// ```
 #[derive(Clone, Copy, Debug)]
@@ -79,8 +85,9 @@ impl UndoLog {
             return Ok(UndoLog { pool, base: existing, capacity: cap });
         }
         // Layout: [active][count][capacity][entries...]. Each init store is
-        // its own durable boundary; the header-slot store comes last so a
-        // crash mid-init leaves the pool logless rather than pointing at a
+        // its own durable boundary; the init fields are fenced durable
+        // before the header-slot store publishes them, so a crash (or torn
+        // drain) mid-init leaves the pool logless rather than pointing at a
         // half-initialized area.
         let bytes = LOG_ENTRIES + capacity * ENTRY_SIZE;
         let loc = space.pmalloc(pool, bytes)?;
@@ -88,7 +95,9 @@ impl UndoLog {
         space.pool_write_u64(pool, base + LOG_ACTIVE, 0)?;
         space.pool_write_u64(pool, base + LOG_COUNT, 0)?;
         space.pool_write_u64(pool, base + LOG_CAPACITY, capacity)?;
+        space.fence();
         space.pool_write_u64(pool, HDR_LOG_SLOT, base)?;
+        space.fence();
         Ok(UndoLog { pool, base, capacity })
     }
 
@@ -205,19 +214,23 @@ impl UndoLog {
     /// Opens a transaction.
     ///
     /// Prefer the closure-scoped [`UndoLog::run`], which cannot leak an
-    /// armed log; raw `begin`/`commit` remain for callers that need to
-    /// hold a transaction open across non-lexical scopes.
+    /// armed log; raw `begin`/`commit`/`abort` remain (hidden from docs)
+    /// only for callers that must hold a transaction open across
+    /// non-lexical scopes, such as state-machine tests.
     ///
     /// # Errors
     ///
     /// Returns [`HeapError::CorruptRegion`] if one is already open
     /// (transactions do not nest).
+    #[doc(hidden)]
     pub fn begin(&self, space: &mut AddressSpace) -> Result<()> {
         if self.is_active(space)? {
             return Err(HeapError::CorruptRegion("transaction already active"));
         }
         self.write(space, LOG_COUNT, 0)?;
-        self.write(space, LOG_ACTIVE, 1)
+        self.write(space, LOG_ACTIVE, 1)?;
+        space.fence();
+        Ok(())
     }
 
     /// Records the current value of the word at `target` so a crash before
@@ -242,7 +255,13 @@ impl UndoLog {
         let slot = LOG_ENTRIES + count * ENTRY_SIZE;
         self.write(space, slot, u64::from(target.offset))?;
         self.write(space, slot + 8, old)?;
-        self.write(space, LOG_COUNT, count + 1)
+        // The entry must be durable before the count word publishes it —
+        // otherwise a torn drain could publish an entry with garbage bytes
+        // and recovery would "restore" garbage.
+        space.fence();
+        self.write(space, LOG_COUNT, count + 1)?;
+        space.fence();
+        Ok(())
     }
 
     /// Commits: the new values become the durable state.
@@ -252,12 +271,19 @@ impl UndoLog {
     /// # Errors
     ///
     /// Returns [`HeapError::CorruptRegion`] when no transaction is open.
+    #[doc(hidden)]
     pub fn commit(&self, space: &mut AddressSpace) -> Result<()> {
         if !self.is_active(space)? {
             return Err(HeapError::CorruptRegion("commit outside a transaction"));
         }
+        // The transaction's data writes must be durable before the active
+        // flag clears — a cleared flag with drained-away data would be a
+        // committed transaction that silently lost its writes.
+        space.fence();
         self.write(space, LOG_ACTIVE, 0)?;
-        self.write(space, LOG_COUNT, 0)
+        self.write(space, LOG_COUNT, 0)?;
+        space.fence();
+        Ok(())
     }
 
     /// Aborts the open transaction, rolling every logged word back.
@@ -265,6 +291,7 @@ impl UndoLog {
     /// # Errors
     ///
     /// Returns [`HeapError::CorruptRegion`] when no transaction is open.
+    #[doc(hidden)]
     pub fn abort(&self, space: &mut AddressSpace) -> Result<()> {
         if !self.is_active(space)? {
             return Err(HeapError::CorruptRegion("abort outside a transaction"));
@@ -293,6 +320,12 @@ impl UndoLog {
 
     fn rollback(&self, space: &mut AddressSpace) -> Result<()> {
         let count = self.read(space, LOG_COUNT)?;
+        // A count the capacity cannot hold means the log words themselves
+        // are damaged (e.g. a torn or decayed count word that slipped past
+        // the CRC layer). Surface it rather than replaying garbage.
+        if count > self.capacity {
+            return Err(HeapError::CorruptRegion("log count exceeds capacity"));
+        }
         // Newest-first: later writes may overwrite earlier logged words.
         for i in (0..count).rev() {
             let slot = LOG_ENTRIES + i * ENTRY_SIZE;
@@ -301,7 +334,12 @@ impl UndoLog {
             space.pool_write_u64(self.pool, offset, old)?;
         }
         self.write(space, LOG_ACTIVE, 0)?;
-        self.write(space, LOG_COUNT, 0)
+        self.write(space, LOG_COUNT, 0)?;
+        // Fence the restorations and the disarm together: without it, a
+        // second power loss right after recovery would drain the rollback
+        // itself away.
+        space.fence();
+        Ok(())
     }
 }
 
@@ -448,7 +486,7 @@ mod tests {
     fn run_leaves_log_armed_on_injected_crash() {
         let (mut space, pool, a, _) = setup();
         let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
-        space.set_faults(crate::faults::FaultState::crash_at(4));
+        space.set_faults(crate::faults::FaultPlan::crash_at(4));
         let err = log.run(&mut space, |space, txn| {
             txn.log_word(space, a)?;
             let va = space.ra2va(a)?;
@@ -457,7 +495,7 @@ mod tests {
         assert!(matches!(err, Err(HeapError::CrashInjected { .. })));
         // No abort ran: the torn log is recovery's job, as after a real
         // crash. (It may or may not be armed depending on the point.)
-        space.set_faults(crate::faults::FaultState::disabled());
+        space.set_faults(crate::faults::FaultPlan::disabled());
         UndoLog::recover(&mut space, pool).unwrap();
         assert!(!log.is_active(&space).unwrap());
         assert_eq!(read(&space, a), 100);
@@ -510,5 +548,18 @@ mod tests {
             Err(HeapError::OutOfMemory { .. })
         ));
         reopened.commit(&mut space).unwrap();
+    }
+
+    #[test]
+    fn rollback_rejects_implausible_count_instead_of_replaying() {
+        let (mut space, pool, a, _b) = setup();
+        let log = UndoLog::ensure(&mut space, pool, 8).unwrap();
+        // Forge a mid-crash image whose count word decayed past the
+        // capacity — replaying it would scatter garbage over the pool.
+        space.pool_write_u64(pool, log.base + LOG_ACTIVE, 1).unwrap();
+        space.pool_write_u64(pool, log.base + LOG_COUNT, 99).unwrap();
+        let err = UndoLog::recover(&mut space, pool).unwrap_err();
+        assert!(matches!(err, HeapError::CorruptRegion("log count exceeds capacity")));
+        assert_eq!(read(&space, a), 100, "no replay happened");
     }
 }

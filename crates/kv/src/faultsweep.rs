@@ -1,9 +1,9 @@
-//! Systematic crash-point sweep over the data structures.
+//! Systematic crash-point and media-fault sweeps over the data structures.
 //!
 //! For each structure this module builds a prepopulated pool, counts the
 //! durable-write boundaries of a transaction-wrapped insert/remove
 //! workload, then re-runs that workload once per crash point with the
-//! fault gate armed ([`utpr_heap::FaultState::crash_at`]): the "process"
+//! fault gate armed ([`utpr_heap::FaultPlan::crash_at`]): the "process"
 //! dies at the chosen boundary, [`utpr_heap::crash_and_recover`] restarts
 //! the address space and rolls back the torn transaction, and the
 //! recovered structure is checked against three oracles:
@@ -14,6 +14,24 @@
 //!    the crash struck its post-commit deferred frees — committed),
 //! 3. a mutation probe: the recovered structure must accept an
 //!    insert/lookup/remove and validate again.
+//!
+//! Two media-fault variants ride on the same machinery:
+//!
+//! * **Torn sweeps** ([`SweepSpec::torn`]) run the armed workload under
+//!   the ADR flush model with [`utpr_heap::FaultPlan::torn_at`]: the
+//!   in-flight durable write at the crash boundary lands partially (a
+//!   seeded subset of its 8-byte words), and every unfenced line drains
+//!   word-by-lottery at restart. The oracle battery is unchanged — the
+//!   undo log's fence discipline must make recovery exact — except that a
+//!   *typed* corruption error from recovery counts as detected, never as
+//!   a silent failure.
+//! * **Bit-flip campaigns** ([`bitflip_campaign`]) inject seeded retention
+//!   errors into pool pages between detach and re-attach. With CRC
+//!   integrity on, re-attach must fail with
+//!   [`utpr_heap::HeapError::MediaCorruption`]; the campaign then walks
+//!   the quarantine → salvage → reseal path and reports recovered vs
+//!   lost keys. With CRC off, the same flips measure the silent-wrong
+//!   rate the integrity layer exists to prevent.
 //!
 //! Everything derives from [`SweepSpec::seed`], so a failure reproduces
 //! from `(seed, crash point)` alone — the two numbers every
@@ -28,7 +46,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use utpr_ds::{
     AvlTree, BPlusTree, HashMapIndex, Index, LinkedList, RbTree, ScapegoatTree, SplayTree,
 };
-use utpr_heap::{crash_and_recover, select_points, AddressSpace, FaultState, HeapError, PoolId};
+use utpr_heap::{
+    crash_and_recover, select_points, AddressSpace, FaultPlan, FlushModel, HeapError,
+    IntegrityMode, PoolId, Region,
+};
 use utpr_ptr::{site, ExecEnv, Mode, NullSink};
 
 /// Result alias.
@@ -37,6 +58,16 @@ pub type Result<T> = std::result::Result<T, HeapError>;
 /// Pool name every sweep uses.
 const POOL: &str = "faultsweep";
 const POOL_BYTES: u64 = 8 << 20;
+
+/// What kind of media fault the armed run injects at the crash boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultFlavor {
+    /// Clean power loss: the in-flight durable write is wholly suppressed.
+    Crash,
+    /// Torn power loss under ADR: the in-flight write lands, then every
+    /// unfenced cache line drains a seeded subset of its 8-byte words.
+    Torn,
+}
 
 /// Shape of one structure's sweep.
 #[derive(Clone, Copy, Debug)]
@@ -51,18 +82,67 @@ pub struct SweepSpec {
     pub samples: u64,
     /// Master seed: workload, layout, and sampling all derive from it.
     pub seed: u64,
+    /// Whether crashes are clean or torn.
+    pub flavor: FaultFlavor,
 }
 
 impl SweepSpec {
     /// Tier-1 scale: small enough that every boundary is swept.
     pub fn small(seed: u64) -> SweepSpec {
-        SweepSpec { prepopulate: 8, txn_ops: 6, exhaustive_limit: u64::MAX, samples: 0, seed }
+        SweepSpec {
+            prepopulate: 8,
+            txn_ops: 6,
+            exhaustive_limit: u64::MAX,
+            samples: 0,
+            seed,
+            flavor: FaultFlavor::Crash,
+        }
     }
 
     /// Bench scale: bigger workload, seeded-sampled crash points.
     pub fn sampled(seed: u64, txn_ops: u64, samples: u64) -> SweepSpec {
-        SweepSpec { prepopulate: 64, txn_ops, exhaustive_limit: 0, samples, seed }
+        SweepSpec {
+            prepopulate: 64,
+            txn_ops,
+            exhaustive_limit: 0,
+            samples,
+            seed,
+            flavor: FaultFlavor::Crash,
+        }
     }
+
+    /// Switches the sweep to torn-write crashes under the ADR flush model.
+    #[must_use]
+    pub fn torn(mut self) -> SweepSpec {
+        self.flavor = FaultFlavor::Torn;
+        self
+    }
+}
+
+/// Arms the fault gate for crash point `k` according to the spec's flavor.
+fn arm(env: &mut ExecEnv<NullSink>, spec: &SweepSpec, k: u64) {
+    match spec.flavor {
+        FaultFlavor::Crash => env.space_mut().set_faults(FaultPlan::crash_at(k)),
+        FaultFlavor::Torn => {
+            // ADR: durable writes pend per cache line until a fence; the
+            // torn seed decides which pending words survive the drain.
+            env.space_mut().set_flush_model(FlushModel::Adr);
+            let tseed = spec.seed ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            env.space_mut().set_faults(FaultPlan::torn_at(k, tseed));
+        }
+    }
+}
+
+/// In torn mode a *typed* corruption error from recovery is an acceptable
+/// (detected, not silent) outcome; in clean-crash mode it is a bug.
+fn is_detected_corruption(spec: &SweepSpec, e: &HeapError) -> bool {
+    spec.flavor == FaultFlavor::Torn
+        && matches!(
+            e,
+            HeapError::MediaCorruption { .. }
+                | HeapError::BadPoolHeader { .. }
+                | HeapError::CorruptRegion(_)
+        )
 }
 
 /// One crash point that did not recover cleanly.
@@ -97,6 +177,9 @@ pub struct SweepReport {
     pub tested: u64,
     /// Recoveries that rolled back a torn transaction.
     pub rollbacks: u64,
+    /// Crash points where recovery surfaced a typed corruption error
+    /// (torn flavor only — detected damage, not a silent wrong answer).
+    pub detected: u64,
     /// Crash points that failed an oracle.
     pub failures: Vec<SweepFailure>,
 }
@@ -199,8 +282,7 @@ fn sweep_map<I: Index>(spec: &SweepSpec) -> Result<SweepReport> {
         model.insert(k, v);
     }
     env.set_root(site!("faultsweep.set-root", StackLocal), store.index().descriptor())?;
-    env.txn_begin()?;
-    env.txn_commit()?;
+    env.with_txn(|_| Ok(()))?; // materialize the undo log outside the armed count
     let (base_space, _, _) = env.into_parts();
 
     // Transaction-prefix models: models[j] = state after j committed ops.
@@ -222,7 +304,7 @@ fn sweep_map<I: Index>(spec: &SweepSpec) -> Result<SweepReport> {
     // Count the armed workload's durable-write boundaries.
     let total = {
         let mut env = fresh_env(base_space.clone(), pool);
-        env.space_mut().set_faults(FaultState::counting());
+        env.space_mut().set_faults(FaultPlan::counting());
         let mut store: KvStore<I> = open_store(&mut env)?;
         let (done, err) = run_map_ops(&mut env, &mut store, &ops);
         if let Some(e) = err {
@@ -238,12 +320,13 @@ fn sweep_map<I: Index>(spec: &SweepSpec) -> Result<SweepReport> {
         boundaries: total,
         tested: points.len() as u64,
         rollbacks: 0,
+        detected: 0,
         failures: Vec::new(),
     };
 
     for k in points {
         let mut env = fresh_env(base_space.clone(), pool);
-        env.space_mut().set_faults(FaultState::crash_at(k));
+        arm(&mut env, spec, k);
         let mut store: KvStore<I> = open_store(&mut env)?;
         let (committed, err) = run_map_ops(&mut env, &mut store, &ops);
         match err {
@@ -269,6 +352,10 @@ fn sweep_map<I: Index>(spec: &SweepSpec) -> Result<SweepReport> {
         let (mut space, _, _) = env.into_parts();
         let rec = match crash_and_recover(&mut space, POOL) {
             Ok(r) => r,
+            Err(e) if is_detected_corruption(spec, &e) => {
+                report.detected += 1;
+                continue;
+            }
             Err(e) => {
                 report.failures.push(SweepFailure {
                     crash_point: k,
@@ -423,8 +510,7 @@ fn sweep_ll(spec: &SweepSpec) -> Result<SweepReport> {
         model.push_back((v0, v1));
     }
     env.set_root(site!("faultsweep.ll-root", StackLocal), list.descriptor())?;
-    env.txn_begin()?;
-    env.txn_commit()?;
+    env.with_txn(|_| Ok(()))?; // materialize the undo log outside the armed count
     let (base_space, _, _) = env.into_parts();
 
     let ops = ll_ops(spec, sseed ^ 0x9e37_79b9_7f4a_7c15);
@@ -442,7 +528,7 @@ fn sweep_ll(spec: &SweepSpec) -> Result<SweepReport> {
 
     let total = {
         let mut env = fresh_env(base_space.clone(), pool);
-        env.space_mut().set_faults(FaultState::counting());
+        env.space_mut().set_faults(FaultPlan::counting());
         let desc = env.root(site!("faultsweep.ll-count", KnownReturn))?;
         let mut list = LinkedList::open(desc);
         let (done, err) = run_ll_ops(&mut env, &mut list, &ops);
@@ -459,12 +545,13 @@ fn sweep_ll(spec: &SweepSpec) -> Result<SweepReport> {
         boundaries: total,
         tested: points.len() as u64,
         rollbacks: 0,
+        detected: 0,
         failures: Vec::new(),
     };
 
     for k in points {
         let mut env = fresh_env(base_space.clone(), pool);
-        env.space_mut().set_faults(FaultState::crash_at(k));
+        arm(&mut env, spec, k);
         let desc = env.root(site!("faultsweep.ll-armed", KnownReturn))?;
         let mut list = LinkedList::open(desc);
         let (committed, err) = run_ll_ops(&mut env, &mut list, &ops);
@@ -491,6 +578,10 @@ fn sweep_ll(spec: &SweepSpec) -> Result<SweepReport> {
         let (mut space, _, _) = env.into_parts();
         let rec = match crash_and_recover(&mut space, POOL) {
             Ok(r) => r,
+            Err(e) if is_detected_corruption(spec, &e) => {
+                report.detected += 1;
+                continue;
+            }
             Err(e) => {
                 report.failures.push(SweepFailure {
                     crash_point: k,
@@ -562,6 +653,374 @@ fn sweep_ll(spec: &SweepSpec) -> Result<SweepReport> {
     Ok(report)
 }
 
+// ---- bit-flip retention campaign -------------------------------------------
+
+/// Shape of one structure's bit-flip (retention-error) campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct BitflipSpec {
+    /// Keys inserted (and quiesced) before the simulated power-off.
+    pub prepopulate: u64,
+    /// Bit flips injected into resident pool pages per trial.
+    pub flips: u64,
+    /// Independent trials, each with a fresh pool and fresh flip sites.
+    pub trials: u64,
+    /// Master seed: workload, layout, and flip sites all derive from it.
+    pub seed: u64,
+    /// Whether the pool keeps CRC page sidecars (the detection layer).
+    pub crc: bool,
+}
+
+impl BitflipSpec {
+    /// Tier-1 scale, CRC on.
+    pub fn small(seed: u64) -> BitflipSpec {
+        BitflipSpec { prepopulate: 24, flips: 3, trials: 8, seed, crc: true }
+    }
+
+    /// Same campaign with the integrity layer off — the baseline arm that
+    /// measures the silent-wrong rate CRC exists to prevent.
+    #[must_use]
+    pub fn crc_off(mut self) -> BitflipSpec {
+        self.crc = false;
+        self
+    }
+}
+
+/// What a bit-flip campaign produced.
+#[derive(Clone, Debug)]
+pub struct BitflipReport {
+    /// Table III name of the structure.
+    pub benchmark: &'static str,
+    /// Trials run.
+    pub trials: u64,
+    /// Trials where the damage surfaced as an error — `MediaCorruption`
+    /// at re-attach, or a typed error / validator panic during probing.
+    pub detected: u64,
+    /// Trials that returned a wrong answer with no error at all. Data in
+    /// the CRC-off arm; an oracle failure when CRC is on.
+    pub silent_wrong: u64,
+    /// Trials where every key read back correctly (flips cancelled or hit
+    /// slack bytes).
+    pub clean: u64,
+    /// Keys proven intact by the post-salvage probe (detected trials).
+    pub recovered_keys: u64,
+    /// Keys the damage took with it (detected trials).
+    pub lost_keys: u64,
+    /// Intact allocator blocks the salvage walks enumerated.
+    pub salvaged_blocks: u64,
+    /// Bytes the salvage walks wrote off as unexplained.
+    pub salvage_lost_bytes: u64,
+    /// Oracle violations (always empty when the integrity layer works).
+    pub failures: Vec<SweepFailure>,
+}
+
+/// How one probe of a recovered image went.
+enum Probe {
+    /// Every key matched the model.
+    Clean,
+    /// At least one wrong answer with no error raised.
+    Wrong(u64),
+    /// A typed error or panic surfaced while probing — noisy, not silent.
+    Errored,
+}
+
+fn probe_map<I: Index>(
+    env: &mut ExecEnv<NullSink>,
+    model: &BTreeMap<u64, u64>,
+    keyspace: u64,
+) -> Probe {
+    let mut wrong = 0u64;
+    let mut errored = false;
+    for k in 0..keyspace {
+        let r = catch_unwind(AssertUnwindSafe(|| -> Result<Option<u64>> {
+            let desc = env.root(site!("faultsweep.flip-probe", KnownReturn))?;
+            let mut store = KvStore::<I>::open(desc);
+            store.get(env, k)
+        }));
+        match r {
+            Ok(Ok(got)) => {
+                if got != model.get(&k).copied() {
+                    wrong += 1;
+                }
+            }
+            _ => errored = true,
+        }
+    }
+    let validated = catch_unwind(AssertUnwindSafe(|| -> Result<u64> {
+        let desc = env.root(site!("faultsweep.flip-validate", KnownReturn))?;
+        I::open(desc).validate(env)
+    }));
+    match validated {
+        Ok(Ok(n)) if n != model.len() as u64 => wrong += 1,
+        Ok(Ok(_)) => {}
+        _ => errored = true,
+    }
+    if errored {
+        Probe::Errored
+    } else if wrong > 0 {
+        Probe::Wrong(wrong)
+    } else {
+        Probe::Clean
+    }
+}
+
+/// Walks the degraded path after detected corruption: salvage the
+/// allocator substrate, bless the damage (`release` + `reseal`), re-attach,
+/// and count which keys survived.
+fn salvage_and_probe<I: Index>(
+    mut space: AddressSpace,
+    model: &BTreeMap<u64, u64>,
+    report: &mut BitflipReport,
+) -> Result<()> {
+    let id = space.pool_store().id_of(POOL)?;
+    {
+        let img = space.pool_store().peek(id)?;
+        let salv = Region::salvage(img.data(), img.size());
+        report.salvaged_blocks += salv.blocks.len() as u64;
+        report.salvage_lost_bytes += salv.lost_bytes;
+    }
+    space.pool_store_mut().release(id);
+    space.pool_store_mut().reseal(id)?;
+    let pool = match space.open_pool(POOL) {
+        Ok(p) => p,
+        // The flip hit the pool header itself; nothing is reachable.
+        Err(_) => {
+            report.lost_keys += model.len() as u64;
+            return Ok(());
+        }
+    };
+    let mut env = fresh_env(space, pool);
+    for (k, v) in model {
+        let got = catch_unwind(AssertUnwindSafe(|| -> Result<Option<u64>> {
+            let desc = env.root(site!("faultsweep.flip-salvage", KnownReturn))?;
+            let mut store = KvStore::<I>::open(desc);
+            store.get(&mut env, *k)
+        }));
+        match got {
+            Ok(Ok(Some(x))) if x == *v => report.recovered_keys += 1,
+            _ => report.lost_keys += 1,
+        }
+    }
+    Ok(())
+}
+
+fn bitflip_map<I: Index>(spec: &BitflipSpec) -> Result<BitflipReport> {
+    let sseed = structure_seed(spec.seed, I::NAME);
+    let keyspace = (spec.prepopulate * 2).max(4);
+    let mut report = BitflipReport {
+        benchmark: I::NAME,
+        trials: spec.trials,
+        detected: 0,
+        silent_wrong: 0,
+        clean: 0,
+        recovered_keys: 0,
+        lost_keys: 0,
+        salvaged_blocks: 0,
+        salvage_lost_bytes: 0,
+        failures: Vec::new(),
+    };
+
+    for t in 0..spec.trials {
+        let tseed = sseed ^ (t.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+        let mut space = AddressSpace::new(tseed);
+        space.set_integrity(if spec.crc { IntegrityMode::Crc } else { IntegrityMode::Off });
+        let pool = space.create_pool(POOL, POOL_BYTES)?;
+        let mut env = fresh_env(space, pool);
+        let mut store: KvStore<I> = KvStore::create(&mut env)?;
+        let mut model = BTreeMap::new();
+        let mut rng = Rng::new(tseed ^ 0x517c_c1b7_2722_0a95);
+        for _ in 0..spec.prepopulate {
+            let k = rng.below(keyspace);
+            let v = rng.next_u64() >> 1;
+            store.set(&mut env, k, v)?;
+            model.insert(k, v);
+        }
+        env.set_root(site!("faultsweep.flip-root", StackLocal), store.index().descriptor())?;
+        env.with_txn(|_| Ok(()))?; // materialize the undo log
+        let (mut space, _, _) = env.into_parts();
+
+        // Power off with retention errors queued for the off window.
+        space.set_faults(
+            FaultPlan::counting().with_bitflips(tseed ^ 0xf11b_f11b, spec.flips),
+        );
+        match crash_and_recover(&mut space, POOL) {
+            Ok(rec) => {
+                let mut env = fresh_env(space, rec.pool);
+                match probe_map::<I>(&mut env, &model, keyspace) {
+                    Probe::Clean => report.clean += 1,
+                    Probe::Errored => report.detected += 1,
+                    Probe::Wrong(n) => {
+                        report.silent_wrong += 1;
+                        if spec.crc {
+                            report.failures.push(SweepFailure {
+                                crash_point: t,
+                                seed: spec.seed,
+                                detail: format!(
+                                    "CRC on, yet {n} wrong answers surfaced with no error"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            Err(
+                HeapError::MediaCorruption { .. }
+                | HeapError::CorruptRegion(_)
+                | HeapError::BadPoolHeader { .. },
+            ) => {
+                // Typed detection: the CRC sidecar at re-attach, or the
+                // hardened allocator/header validation underneath it.
+                report.detected += 1;
+                salvage_and_probe::<I>(space, &model, &mut report)?;
+            }
+            Err(e) => {
+                report.failures.push(SweepFailure {
+                    crash_point: t,
+                    seed: spec.seed,
+                    detail: format!("power-off recovery failed unexpectedly: {e}"),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn bitflip_ll(spec: &BitflipSpec) -> Result<BitflipReport> {
+    let sseed = structure_seed(spec.seed, "LL");
+    let mut report = BitflipReport {
+        benchmark: "LL",
+        trials: spec.trials,
+        detected: 0,
+        silent_wrong: 0,
+        clean: 0,
+        recovered_keys: 0,
+        lost_keys: 0,
+        salvaged_blocks: 0,
+        salvage_lost_bytes: 0,
+        failures: Vec::new(),
+    };
+
+    for t in 0..spec.trials {
+        let tseed = sseed ^ (t.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+        let mut space = AddressSpace::new(tseed);
+        space.set_integrity(if spec.crc { IntegrityMode::Crc } else { IntegrityMode::Off });
+        let pool = space.create_pool(POOL, POOL_BYTES)?;
+        let mut env = fresh_env(space, pool);
+        let mut list = LinkedList::create(&mut env)?;
+        let mut model = VecDeque::new();
+        let mut rng = Rng::new(tseed ^ 0x517c_c1b7_2722_0a95);
+        for _ in 0..spec.prepopulate {
+            let (v0, v1) = (rng.next_u64() >> 1, rng.next_u64() >> 1);
+            list.push_back(&mut env, v0, v1)?;
+            model.push_back((v0, v1));
+        }
+        env.set_root(site!("faultsweep.flip-ll-root", StackLocal), list.descriptor())?;
+        env.with_txn(|_| Ok(()))?;
+        let (mut space, _, _) = env.into_parts();
+
+        space.set_faults(
+            FaultPlan::counting().with_bitflips(tseed ^ 0xf11b_f11b, spec.flips),
+        );
+        // Whole-structure accounting: a list either survives its probe or
+        // its elements are written off together.
+        let probe_list = |env: &mut ExecEnv<NullSink>| -> Probe {
+            let r = catch_unwind(AssertUnwindSafe(|| -> Result<bool> {
+                let desc = env.root(site!("faultsweep.flip-ll-probe", KnownReturn))?;
+                let list = LinkedList::open(desc);
+                list.validate(env)?;
+                let sum: u64 = model
+                    .iter()
+                    .fold(0u64, |a, (v0, v1)| a.wrapping_add(*v0).wrapping_add(*v1));
+                Ok(list.len(env)? == model.len() as u64 && list.iter_sum(env)? == sum)
+            }));
+            match r {
+                Ok(Ok(true)) => Probe::Clean,
+                Ok(Ok(false)) => Probe::Wrong(1),
+                _ => Probe::Errored,
+            }
+        };
+        match crash_and_recover(&mut space, POOL) {
+            Ok(rec) => {
+                let mut env = fresh_env(space, rec.pool);
+                match probe_list(&mut env) {
+                    Probe::Clean => report.clean += 1,
+                    Probe::Errored => report.detected += 1,
+                    Probe::Wrong(_) => {
+                        report.silent_wrong += 1;
+                        if spec.crc {
+                            report.failures.push(SweepFailure {
+                                crash_point: t,
+                                seed: spec.seed,
+                                detail: "CRC on, yet the list silently lost elements".into(),
+                            });
+                        }
+                    }
+                }
+            }
+            Err(
+                HeapError::MediaCorruption { .. }
+                | HeapError::CorruptRegion(_)
+                | HeapError::BadPoolHeader { .. },
+            ) => {
+                report.detected += 1;
+                let id = space.pool_store().id_of(POOL)?;
+                {
+                    let img = space.pool_store().peek(id)?;
+                    let salv = Region::salvage(img.data(), img.size());
+                    report.salvaged_blocks += salv.blocks.len() as u64;
+                    report.salvage_lost_bytes += salv.lost_bytes;
+                }
+                space.pool_store_mut().release(id);
+                space.pool_store_mut().reseal(id)?;
+                match space.open_pool(POOL) {
+                    Ok(pool) => {
+                        let mut env = fresh_env(space, pool);
+                        match probe_list(&mut env) {
+                            Probe::Clean => report.recovered_keys += model.len() as u64,
+                            _ => report.lost_keys += model.len() as u64,
+                        }
+                    }
+                    Err(_) => report.lost_keys += model.len() as u64,
+                }
+            }
+            Err(e) => {
+                report.failures.push(SweepFailure {
+                    crash_point: t,
+                    seed: spec.seed,
+                    detail: format!("power-off recovery failed unexpectedly: {e}"),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the bit-flip retention campaign for one structure.
+///
+/// # Errors
+///
+/// Propagates setup failures (campaign findings land in
+/// [`BitflipReport::failures`]).
+pub fn bitflip_campaign(benchmark: Benchmark, spec: &BitflipSpec) -> Result<BitflipReport> {
+    match benchmark {
+        Benchmark::Ll => bitflip_ll(spec),
+        Benchmark::Hash => bitflip_map::<HashMapIndex>(spec),
+        Benchmark::Rb => bitflip_map::<RbTree>(spec),
+        Benchmark::Splay => bitflip_map::<SplayTree>(spec),
+        Benchmark::Avl => bitflip_map::<AvlTree>(spec),
+        Benchmark::Sg => bitflip_map::<ScapegoatTree>(spec),
+        Benchmark::Bplus => bitflip_map::<BPlusTree>(spec),
+    }
+}
+
+/// Runs the bit-flip campaign for the paper's six structures.
+///
+/// # Errors
+///
+/// Propagates setup failures from any structure.
+pub fn bitflip_all(spec: &BitflipSpec) -> Result<Vec<BitflipReport>> {
+    Benchmark::ALL.iter().map(|b| bitflip_campaign(*b, spec)).collect()
+}
+
 // ---- dispatch --------------------------------------------------------------
 
 /// Sweeps one structure; see the module docs for the oracle battery.
@@ -622,6 +1081,53 @@ mod tests {
         assert_eq!(a.tested, b.tested);
         assert_eq!(a.rollbacks, b.rollbacks);
         assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn torn_small_sweep_is_exhaustive_and_silent_free_for_rb() {
+        let spec = SweepSpec::small(7).torn();
+        let r = sweep_structure(Benchmark::Rb, &spec).unwrap();
+        assert_eq!(r.tested, r.boundaries, "small scale sweeps every boundary");
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn torn_small_sweep_is_silent_free_for_ll() {
+        let spec = SweepSpec::small(11).torn();
+        let r = sweep_structure(Benchmark::Ll, &spec).unwrap();
+        assert_eq!(r.tested, r.boundaries);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn bitflips_with_crc_never_go_silent() {
+        let spec = BitflipSpec::small(9);
+        let r = bitflip_campaign(Benchmark::Hash, &spec).unwrap();
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert_eq!(r.silent_wrong, 0, "CRC must turn every flip into a typed error");
+        assert!(r.detected > 0, "flips into resident pages must trip the page CRCs");
+        assert_eq!(r.detected + r.clean, r.trials);
+    }
+
+    #[test]
+    fn bitflip_salvage_accounts_for_every_model_key() {
+        let spec = BitflipSpec::small(13);
+        let r = bitflip_campaign(Benchmark::Rb, &spec).unwrap();
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        // Detected trials route through salvage; each accounts for all keys.
+        assert!(
+            r.detected == 0 || r.recovered_keys + r.lost_keys > 0,
+            "detected trials must classify keys as recovered or lost"
+        );
+        assert!(r.detected == 0 || r.salvaged_blocks > 0, "salvage finds intact blocks");
+    }
+
+    #[test]
+    fn bitflips_without_crc_measure_but_never_fail_the_oracle() {
+        let spec = BitflipSpec::small(9).crc_off();
+        let r = bitflip_campaign(Benchmark::Hash, &spec).unwrap();
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert_eq!(r.detected + r.clean + r.silent_wrong, r.trials);
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod store;
 pub mod workload;
 pub mod ycsb;
 
-pub use faultsweep::{sweep_all, sweep_structure, SweepFailure, SweepReport, SweepSpec};
+pub use faultsweep::{
+    bitflip_all, bitflip_campaign, sweep_all, sweep_structure, BitflipReport, BitflipSpec,
+    FaultFlavor, SweepFailure, SweepReport, SweepSpec,
+};
 pub use harness::{run_all_modes, run_benchmark, verify_mode_agreement, BenchResult, Benchmark};
 pub use store::{KvStore, RunSummary};
 pub use workload::{generate, Op, Workload, WorkloadSpec, Zipfian};

@@ -28,7 +28,7 @@ use crate::ptr::{PtrFormat, UPtr};
 use crate::site::{Site, PC_DETERMINE_Y_HELPER, PC_PA_DETERMINE_X, PC_PA_DETERMINE_Y};
 use crate::stats::PtrStats;
 use utpr_heap::addr::VirtAddr;
-use utpr_heap::{AddressSpace, FaultState, HeapError, PoolId, RelLoc};
+use utpr_heap::{AddressSpace, FaultPlan, HeapError, PoolId, RelLoc};
 
 /// Which build of the program is being simulated.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -166,7 +166,7 @@ pub struct ExecEnvBuilder<S: TimingSink = NullSink> {
     sink: S,
     check_policy: CheckPolicy,
     conversion_reuse: bool,
-    faults: Option<FaultState>,
+    faults: Option<FaultPlan>,
 }
 
 impl<S: TimingSink> ExecEnvBuilder<S> {
@@ -209,8 +209,8 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
     }
 
     /// Installs a fault-injection gate on the address space at build time
-    /// (counting or armed — see [`FaultState`]).
-    pub fn faults(mut self, faults: FaultState) -> Self {
+    /// (counting or armed — see [`FaultPlan`]).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
         self
     }
@@ -1028,7 +1028,7 @@ mod tests {
             .pool(pool)
             .check_policy(CheckPolicy::AlwaysCheck)
             .conversion_reuse(false)
-            .faults(utpr_heap::FaultState::counting())
+            .faults(utpr_heap::FaultPlan::counting())
             .build();
         assert_eq!(e.mode(), Mode::Sw);
         assert_eq!(e.check_policy(), CheckPolicy::AlwaysCheck);
@@ -1092,7 +1092,7 @@ mod tests {
         e.txn_begin().unwrap();
         e.txn_commit().unwrap();
 
-        e.space_mut().set_faults(utpr_heap::FaultState::crash_at(4));
+        e.space_mut().set_faults(utpr_heap::FaultPlan::crash_at(4));
         let err: Result<()> = e.with_txn(|e| e.write_u64(site!("t.w", StackLocal), a, 0, 99));
         assert!(matches!(err, Err(HeapError::CrashInjected { .. })));
         assert!(!e.in_txn(), "dead env dropped its volatile txn handle");

@@ -4,7 +4,7 @@
 # attempted — --offline makes any accidental reintroduction of an external
 # dependency fail loudly instead of hanging on the network).
 #
-# Usage: scripts/verify.sh [--bench] [--bench-smoke] [--faults]
+# Usage: scripts/verify.sh [--bench] [--bench-smoke] [--faults] [--corruption]
 #   --bench        additionally run the utpr-qc micro-benchmarks
 #   --bench-smoke  additionally run fig11 at reduced scale with 1 worker and
 #                  then all workers, check both emit BENCH_fig11.json, and —
@@ -13,6 +13,10 @@
 #   --faults       additionally run a crash-point fault-sweep smoke: one
 #                  structure, small scale, exhaustive; check BENCH_faults.json
 #                  is emitted and reports zero failures
+#   --corruption   additionally run the media-fault campaign smoke (torn
+#                  sweeps + bit-flip trials + CRC overhead, small scale);
+#                  check BENCH_corruption.json is emitted, reports zero
+#                  oracle failures, and CRC write-path overhead <= 15%
 #
 # Environment:
 #   UTPR_QC_SEED  override the property-test base seed (decimal or 0x-hex)
@@ -28,11 +32,13 @@ cargo test -q --workspace --offline
 run_bench=0
 run_smoke=0
 run_faults=0
+run_corruption=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
         --bench-smoke) run_smoke=1 ;;
         --faults) run_faults=1 ;;
+        --corruption) run_corruption=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -100,6 +106,32 @@ if [[ "$run_faults" == 1 ]]; then
         exit 1
     }
     echo "smoke: fault sweep clean"
+fi
+
+if [[ "$run_corruption" == 1 ]]; then
+    echo "== extra: media-fault campaign smoke (small scale) =="
+    corr_dir=$(mktemp -d)
+    trap 'rm -rf "$corr_dir"' EXIT
+
+    # The bench itself exits nonzero on any oracle failure (silent wrong
+    # answer, undetected flip, failed recovery) — set -e propagates that.
+    UTPR_BENCH_SCALE=small UTPR_BENCH_OUT="$corr_dir" \
+        cargo bench -q -p utpr-bench --bench corruption --offline
+    [[ -f "$corr_dir/BENCH_corruption.json" ]] || {
+        echo "verify: media-fault campaign did not emit BENCH_corruption.json" >&2
+        exit 1
+    }
+    grep -q '"total_failures":0' "$corr_dir/BENCH_corruption.json" || {
+        echo "verify: media-fault campaign reported oracle failures:" >&2
+        cat "$corr_dir/BENCH_corruption.json" >&2
+        exit 1
+    }
+    overhead=$(sed -n 's/.*"crc_overhead_frac":\(-\{0,1\}[0-9.]*\).*/\1/p' "$corr_dir/BENCH_corruption.json")
+    awk -v o="$overhead" 'BEGIN { exit !(o <= 0.15) }' || {
+        echo "verify: CRC write-path overhead ${overhead} exceeds the 15% budget" >&2
+        exit 1
+    }
+    echo "smoke: media-fault campaign clean (CRC overhead ${overhead})"
 fi
 
 echo "verify: OK"

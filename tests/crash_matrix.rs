@@ -145,6 +145,71 @@ fn fault_sweep_sg_every_crash_point_recovers() {
     fault_sweep(Benchmark::Sg);
 }
 
+/// Torn-write sweeps: the same oracle battery under the ADR flush model,
+/// where the in-flight write at the crash boundary lands partially and
+/// unfenced lines drain word-by-lottery. The undo log's fence discipline
+/// must make every recovery exact (or surface a typed corruption error —
+/// never a silent wrong answer).
+#[test]
+fn torn_sweep_every_structure_recovers_or_detects() {
+    let seed = utpr_qc::runner::base_seed();
+    for bench in Benchmark::ALL {
+        let name = bench.name();
+        let spec = SweepSpec::small(seed).torn();
+        let report = sweep_structure(bench, &spec).unwrap();
+        assert_eq!(report.tested, report.boundaries, "{name}: torn sweep must be exhaustive");
+        if !report.failures.is_empty() {
+            for f in &report.failures {
+                eprintln!("FAIL torn {name}: {f}");
+            }
+            panic!(
+                "{name}: {} of {} torn crash points failed — replay with UTPR_QC_SEED={seed}",
+                report.failures.len(),
+                report.boundaries
+            );
+        }
+    }
+}
+
+/// A corrupted undo-log word at rest is *detected* at re-attach, not
+/// silently replayed into the data image: the page CRC sidecar fails
+/// verification before `UndoLog::recover` ever reads the damaged count.
+#[test]
+fn torn_undo_log_word_is_detected_not_replayed() {
+    let mut space = AddressSpace::new(77);
+    let pool = space.create_pool("tornlog", 8 << 20).unwrap();
+    let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
+    let mut store: KvStore<RbTree> = KvStore::create(&mut env).unwrap();
+    for k in 0..16u64 {
+        store.set(&mut env, k, k + 100).unwrap();
+    }
+    env.set_root(site!("cm.torn-root", StackLocal), store.index().descriptor()).unwrap();
+    env.with_txn(|_| Ok(())).unwrap(); // materialize the undo log before arming
+
+    // Die mid-transaction so the log is active with live entries.
+    env.space_mut().set_faults(utpr::heap::FaultPlan::crash_at(6));
+    let crashed = env.with_txn(|env| store.set(env, 99, 1).map(|_| ())).is_err();
+    assert!(crashed, "the armed transaction must die at boundary 6");
+
+    let (mut space, _, _) = env.into_parts();
+    let log_base = utpr::heap::UndoLog::open(&space, pool).unwrap().base_offset();
+    space.restart(); // seals every resident page
+    space.set_faults(utpr::heap::FaultPlan::disabled());
+
+    // Retention error strikes the log's count word while the machine is
+    // off (offset 8 in the [active][count][capacity] layout).
+    let img = space.pool_store_mut().peek_mut(pool).unwrap();
+    assert!(img.data_mut().corrupt_bit(log_base + 8, 5), "log page must be resident");
+
+    // Re-attach detects the damage before any rollback can replay it.
+    let err = space.open_pool("tornlog").unwrap_err();
+    assert!(
+        matches!(err, utpr::heap::HeapError::MediaCorruption { .. }),
+        "expected MediaCorruption, got: {err}"
+    );
+    assert!(space.pool_store().is_quarantined(pool), "detected pools are quarantined");
+}
+
 /// The whole sweep is bit-deterministic under a fixed seed.
 #[test]
 fn fault_sweep_is_deterministic() {

@@ -177,6 +177,32 @@ props! {
         prop_assert_eq!(space.read_u64(va2).unwrap(), 0xabcdef);
     }
 
+    /// Smashing one random aligned word of a live allocator region never
+    /// panics `Region::open` or `Region::salvage` — damage surfaces as a
+    /// typed error (or is survived), and salvage accounting stays inside
+    /// the region.
+    #[test]
+    fn corrupted_allocator_word_never_panics_open_or_salvage(
+        allocs in collection::vec(1u64..300, 1..24),
+        word in any::<u64>(),
+        val in any::<u64>(),
+    ) {
+        const SIZE: u64 = 1 << 16;
+        let mut mem = PageStore::new();
+        let region = Region::format(&mut mem, SIZE).unwrap();
+        for s in allocs {
+            let _ = region.alloc(&mut mem, s);
+        }
+        mem.write_u64((word % (SIZE / 8)) * 8, val);
+        // Typed error or success — a panic fails this test.
+        let _ = Region::open(&mem);
+        let rep = Region::salvage(&mem, SIZE);
+        prop_assert!(rep.intact_bytes + rep.lost_bytes <= SIZE);
+        for b in &rep.blocks {
+            prop_assert!(b.payload + b.size <= SIZE, "salvaged block escapes the region");
+        }
+    }
+
     /// pmalloc never returns overlapping objects within a pool, and
     /// translated addresses stay inside the attachment.
     #[test]
@@ -198,4 +224,27 @@ props! {
             spans.push((loc.offset, size));
         }
     }
+}
+
+/// The media-fault errors round-trip through the workspace facade: the
+/// `utpr::Error` wrapper preserves their Display text and exposes the
+/// heap error as `source()`.
+#[test]
+fn media_fault_errors_round_trip_through_the_facade() {
+    use std::error::Error as _;
+
+    let heap_err = utpr_heap::HeapError::MediaCorruption { pool: PoolId::new(3), page: 5 };
+    let wrapped: utpr::Error = heap_err.clone().into();
+    assert_eq!(wrapped.to_string(), heap_err.to_string());
+    assert!(wrapped.to_string().contains("media corruption"));
+    let src = wrapped.source().expect("facade keeps the heap error as source");
+    assert_eq!(src.to_string(), heap_err.to_string());
+
+    let heap_err = utpr_heap::HeapError::BadPoolHeader { reason: "unsupported format version" };
+    let wrapped: utpr::Error = heap_err.clone().into();
+    assert_eq!(wrapped.to_string(), heap_err.to_string());
+    assert!(wrapped.to_string().contains("bad pool header"));
+    assert!(wrapped.to_string().contains("unsupported format version"));
+    let src = wrapped.source().expect("facade keeps the heap error as source");
+    assert_eq!(src.to_string(), heap_err.to_string());
 }
