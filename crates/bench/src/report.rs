@@ -132,8 +132,14 @@ pub fn run_json(r: &BenchResult) -> Json {
         ("valb_fraction", Json::F64(r.sim.valb_fraction())),
         ("polb_fraction", Json::F64(r.sim.polb_fraction())),
         ("dynamic_checks", Json::U64(r.ptr.dynamic_checks)),
+        ("checks_elided", Json::U64(r.ptr.checks_elided)),
         ("abs_to_rel", Json::U64(r.ptr.abs_to_rel)),
         ("rel_to_abs", Json::U64(r.ptr.rel_to_abs)),
+        ("spolb_hits", Json::U64(r.trans.spolb_hits)),
+        ("spolb_misses", Json::U64(r.trans.spolb_misses)),
+        ("svalb_hits", Json::U64(r.trans.svalb_hits)),
+        ("svalb_misses", Json::U64(r.trans.svalb_misses)),
+        ("trans_epoch_bumps", Json::U64(r.trans.epoch_bumps)),
     ])
 }
 

@@ -143,6 +143,16 @@ impl PoolId {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Crate-internal constructor for values already known to be valid ids
+    /// (e.g. read back out of the translation caches, which only ever hold
+    /// ids that went through [`PoolId::new`]): skips the range assert so
+    /// the translation fast path carries no panic edge.
+    #[inline(always)]
+    pub(crate) fn from_raw_trusted(id: u32) -> Self {
+        debug_assert!(id <= MAX_POOL_ID);
+        PoolId(id)
+    }
 }
 
 impl fmt::Debug for PoolId {

@@ -42,9 +42,11 @@ pub trait MemWords {
 }
 
 impl MemWords for crate::pagestore::PageStore {
+    #[inline]
     fn read_word(&self, offset: u64) -> u64 {
         self.read_u64(offset)
     }
+    #[inline]
     fn write_word(&mut self, offset: u64, value: u64) {
         self.write_u64(offset, value)
     }
@@ -221,21 +223,25 @@ impl Region {
 
     // ---- block primitives -------------------------------------------------
 
+    #[inline]
     fn header(&self, mem: &impl MemWords, block: u64) -> (u64, bool) {
         let h = mem.read_word(block);
         (h & SIZE_MASK, h & ALLOCATED != 0)
     }
 
+    #[inline]
     fn set_header<M: MemWords>(&self, mem: &mut M, block: u64, size: u64, allocated: bool) {
         let word = size | if allocated { ALLOCATED } else { 0 };
         mem.write_word(block, word);
         mem.write_word(block + size - 8, word);
     }
 
+    #[inline]
     fn links(&self, mem: &impl MemWords, block: u64) -> (u64, u64) {
         (mem.read_word(block + 8), mem.read_word(block + 16))
     }
 
+    #[inline]
     fn set_links<M: MemWords>(&self, mem: &mut M, block: u64, next: u64, prev: u64) {
         mem.write_word(block + 8, next);
         mem.write_word(block + 16, prev);

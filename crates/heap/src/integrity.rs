@@ -74,6 +74,7 @@ static CRC_TABLE: [u32; 256] = build_crc_table();
 /// use utpr_heap::integrity::crc32;
 /// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
 /// ```
+#[inline]
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in bytes {
@@ -100,6 +101,7 @@ impl PageCrcs {
     }
 
     /// The sealed checksum of `page`, if it has one.
+    #[inline]
     pub fn get(&self, page: u64) -> Option<u32> {
         self.map.get(&page).copied()
     }

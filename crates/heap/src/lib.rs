@@ -36,6 +36,7 @@ pub mod alloc;
 pub mod error;
 pub mod faults;
 pub mod integrity;
+pub mod lookaside;
 pub mod pagestore;
 pub mod pool;
 pub mod space;
@@ -48,5 +49,6 @@ pub use faults::{crash_and_recover, inject_bitflips, select_points, FaultPlan, G
 pub use integrity::{crc32, IntegrityMode, PoolScrub, ScrubReport, FORMAT_VERSION};
 pub use pagestore::PageStore;
 pub use pool::{PoolImage, PoolStore};
+pub use lookaside::TransStats;
 pub use txn::UndoLog;
 pub use space::{AddressSpace, Attachment, FlushModel};

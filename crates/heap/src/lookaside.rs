@@ -1,0 +1,332 @@
+//! Software translation lookasides: generation-stamped inline caches in
+//! front of the attachment-table walks in [`crate::AddressSpace`].
+//!
+//! The paper accelerates `ra2va`/`va2ra` in hardware with two lookaside
+//! buffers: the POLB (pool id → base VA) and the VALB (VA range → pool id,
+//! a TCAM over the VATB). This module mirrors both as *software* caches on
+//! the simulated hot path:
+//!
+//! - **sPOLB** — a dense array indexed by raw pool id holding the pool's
+//!   current `(base, size)`, replacing the per-access registry probe in
+//!   `ra2va`.
+//! - **sVALB** — a one-entry last-hit memo plus a small direct-mapped array
+//!   of `(base, size, pool)` ranges, consulted before the BTree
+//!   containing-range walk in `va2ra`.
+//!
+//! Both are **generation-stamped**: every entry carries the epoch at which
+//! it was filled, and a single epoch bump — performed on attach, detach,
+//! restart, pool destruction, integrity-mode switches, and any mutable
+//! escape-hatch access to the pool device (quarantine / reseal / salvage
+//! all go through it) — invalidates every cached entry in O(1). Because
+//! entries are only ever installed from a *successful* slow-path walk of
+//! the same epoch, a cache hit returns exactly what the walk would have,
+//! and misses (detached pools, foreign addresses) always take the slow
+//! path, so error semantics (`PoolDetached`, `NotInAnyPool`,
+//! `OffsetOutOfPool`, quarantine faults) are bit-identical with the cache
+//! on or off. There is deliberately no negative caching.
+//!
+//! All cache state lives in [`std::cell::Cell`]s so the read-only
+//! translation methods (`&self`) can refill entries; like the
+//! [`crate::pagestore::PageStore`] memo this keeps the space `Send` but
+//! not `Sync`, which is fine — each simulated machine owns its memory
+//! privately.
+
+use std::cell::Cell;
+
+/// Number of direct-mapped sVALB range slots. Pools attach at 1 MiB
+/// alignment, so hashing the MiB index of the address spreads distinct
+/// pools across slots; 64 covers every multi-pool working set in the
+/// benchmark suite without conflict thrash.
+const VALB_WAYS: usize = 64;
+
+/// Epoch value that no live entry can carry: slots start zeroed and the
+/// cache's epoch starts at 1, so an all-zero slot is simply stale.
+const NEVER: u64 = 0;
+
+/// One sPOLB entry: the attachment of pool `raw id == index` as of `stamp`.
+#[derive(Clone, Copy, Debug, Default)]
+struct PolbSlot {
+    stamp: u64,
+    base: u64,
+    size: u64,
+}
+
+/// One sVALB entry: an attached range `[base, base + size)` owned by
+/// `pool`, valid while `stamp` matches the cache epoch.
+#[derive(Clone, Copy, Debug, Default)]
+struct ValbSlot {
+    stamp: u64,
+    base: u64,
+    size: u64,
+    pool: u32,
+}
+
+/// Hit/miss/invalidation counters for the software lookasides.
+///
+/// These are *host-side* diagnostics: they never feed the simulated cycle
+/// model, events, or checksums, so they may differ between cache-enabled
+/// and cache-disabled runs of the same workload (that is the point). They
+/// are still fully deterministic for a fixed op sequence and layout seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransStats {
+    /// `ra2va` translations served from the sPOLB.
+    pub spolb_hits: u64,
+    /// `ra2va` translations that fell through to the registry probe.
+    pub spolb_misses: u64,
+    /// `va2ra` translations served from the sVALB (memo or array).
+    pub svalb_hits: u64,
+    /// `va2ra` translations that fell through to the BTree walk.
+    pub svalb_misses: u64,
+    /// Epoch bumps (each one invalidates every cached entry).
+    pub epoch_bumps: u64,
+}
+
+impl TransStats {
+    /// sVALB hit rate over all cached `va2ra` translations, in `[0, 1]`.
+    pub fn svalb_hit_rate(&self) -> f64 {
+        let total = self.svalb_hits + self.svalb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.svalb_hits as f64 / total as f64
+        }
+    }
+
+    /// sPOLB hit rate over all cached `ra2va` translations, in `[0, 1]`.
+    pub fn spolb_hit_rate(&self) -> f64 {
+        let total = self.spolb_hits + self.spolb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.spolb_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The software lookaside layer. Owned by [`crate::AddressSpace`]; see the
+/// module docs for the invalidation contract.
+#[derive(Clone, Debug)]
+pub(crate) struct TransCache {
+    enabled: bool,
+    /// Current generation. Entries are valid iff `slot.stamp == epoch`.
+    epoch: Cell<u64>,
+    /// sPOLB: dense by raw pool id (slot 0 unused — ids start at 1).
+    /// Grown on attach; ids past the end simply take the slow path.
+    polb: Vec<Cell<PolbSlot>>,
+    /// sVALB last-hit memo, checked before the direct-mapped array.
+    last: Cell<ValbSlot>,
+    /// sVALB direct-mapped range array.
+    valb: [Cell<ValbSlot>; VALB_WAYS],
+    spolb_hits: Cell<u64>,
+    spolb_misses: Cell<u64>,
+    svalb_hits: Cell<u64>,
+    svalb_misses: Cell<u64>,
+    epoch_bumps: Cell<u64>,
+}
+
+impl TransCache {
+    pub(crate) fn new() -> Self {
+        TransCache {
+            enabled: true,
+            epoch: Cell::new(NEVER + 1),
+            polb: Vec::new(),
+            last: Cell::new(ValbSlot::default()),
+            valb: std::array::from_fn(|_| Cell::new(ValbSlot::default())),
+            spolb_hits: Cell::new(0),
+            spolb_misses: Cell::new(0),
+            svalb_hits: Cell::new(0),
+            svalb_misses: Cell::new(0),
+            epoch_bumps: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The current generation. Exposed so higher layers (the per-site
+    /// check caches in `utpr-ptr`) can stamp their own entries against the
+    /// same invalidation clock.
+    #[inline]
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Turns the lookasides on or off. Disabling (and re-enabling) bumps
+    /// the epoch so no entry filled earlier can ever hit again.
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.bump();
+    }
+
+    /// Invalidates every cached entry in O(1) by advancing the epoch.
+    #[inline]
+    pub(crate) fn bump(&mut self) {
+        self.epoch.set(self.epoch.get() + 1);
+        self.epoch_bumps.set(self.epoch_bumps.get() + 1);
+    }
+
+    /// Grows the sPOLB to cover raw id `raw` and installs its attachment
+    /// under the current epoch (called from `attach`, which owns `&mut`).
+    pub(crate) fn install_pool(&mut self, raw: u32, base: u64, size: u64) {
+        let idx = raw as usize;
+        if idx >= self.polb.len() {
+            self.polb.resize_with(idx + 1, || Cell::new(PolbSlot::default()));
+        }
+        self.polb[idx].set(PolbSlot { stamp: self.epoch.get(), base, size });
+    }
+
+    /// sPOLB probe: the `(base, size)` of pool `raw` if cached this epoch.
+    #[inline]
+    pub(crate) fn lookup_pool(&self, raw: u32) -> Option<(u64, u64)> {
+        if let Some(slot) = self.polb.get(raw as usize) {
+            let s = slot.get();
+            if s.stamp == self.epoch.get() {
+                self.spolb_hits.set(self.spolb_hits.get() + 1);
+                return Some((s.base, s.size));
+            }
+        }
+        self.spolb_misses.set(self.spolb_misses.get() + 1);
+        None
+    }
+
+    /// Refills pool `raw`'s sPOLB entry after a successful slow-path
+    /// lookup. Ids beyond the array (never attached since the last grow)
+    /// are skipped — they keep taking the slow path.
+    #[inline]
+    pub(crate) fn fill_pool(&self, raw: u32, base: u64, size: u64) {
+        if let Some(slot) = self.polb.get(raw as usize) {
+            slot.set(PolbSlot { stamp: self.epoch.get(), base, size });
+        }
+    }
+
+    #[inline]
+    fn valb_index(va: u64) -> usize {
+        // Pools attach at 1 MiB boundaries: fold the MiB index.
+        ((va >> 20) ^ (va >> 26)) as usize & (VALB_WAYS - 1)
+    }
+
+    /// sVALB probe: the `(pool, base, size)` of the attached range
+    /// containing `va`, if cached this epoch.
+    #[inline]
+    pub(crate) fn lookup_va(&self, va: u64) -> Option<(u32, u64, u64)> {
+        let epoch = self.epoch.get();
+        let l = self.last.get();
+        if l.stamp == epoch && va.wrapping_sub(l.base) < l.size {
+            self.svalb_hits.set(self.svalb_hits.get() + 1);
+            return Some((l.pool, l.base, l.size));
+        }
+        let s = self.valb[Self::valb_index(va)].get();
+        if s.stamp == epoch && va.wrapping_sub(s.base) < s.size {
+            self.last.set(s);
+            self.svalb_hits.set(self.svalb_hits.get() + 1);
+            return Some((s.pool, s.base, s.size));
+        }
+        self.svalb_misses.set(self.svalb_misses.get() + 1);
+        None
+    }
+
+    /// Refills the sVALB (memo + the slot `va` maps to) after a successful
+    /// slow-path walk found `va` inside `pool`'s range.
+    #[inline]
+    pub(crate) fn fill_va(&self, va: u64, pool: u32, base: u64, size: u64) {
+        let slot = ValbSlot { stamp: self.epoch.get(), base, size, pool };
+        self.last.set(slot);
+        self.valb[Self::valb_index(va)].set(slot);
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub(crate) fn stats(&self) -> TransStats {
+        TransStats {
+            spolb_hits: self.spolb_hits.get(),
+            spolb_misses: self.spolb_misses.get(),
+            svalb_hits: self.svalb_hits.get(),
+            svalb_misses: self.svalb_misses.get(),
+            epoch_bumps: self.epoch_bumps.get(),
+        }
+    }
+
+    /// Zeroes the hit/miss counters (cached entries stay valid).
+    pub(crate) fn reset_stats(&self) {
+        self.spolb_hits.set(0);
+        self.spolb_misses.set(0);
+        self.svalb_hits.set(0);
+        self.svalb_misses.set(0);
+        self.epoch_bumps.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cache_misses_everything() {
+        let c = TransCache::new();
+        assert!(c.lookup_pool(1).is_none());
+        assert!(c.lookup_va(1 << 47).is_none());
+        let s = c.stats();
+        assert_eq!((s.spolb_hits, s.spolb_misses), (0, 1));
+        assert_eq!((s.svalb_hits, s.svalb_misses), (0, 1));
+    }
+
+    #[test]
+    fn install_then_lookup_hits_until_bump() {
+        let mut c = TransCache::new();
+        c.install_pool(3, 0x8000_0000_0000, 1 << 20);
+        assert_eq!(c.lookup_pool(3), Some((0x8000_0000_0000, 1 << 20)));
+        c.bump();
+        assert_eq!(c.lookup_pool(3), None, "epoch bump invalidates in O(1)");
+        c.fill_pool(3, 0x9000_0000_0000, 1 << 20);
+        assert_eq!(c.lookup_pool(3), Some((0x9000_0000_0000, 1 << 20)));
+    }
+
+    #[test]
+    fn valb_contains_and_rejects_by_range() {
+        let c = TransCache::new();
+        let base = (1u64 << 47) + (5 << 20);
+        c.fill_va(base, 7, base, 1 << 20);
+        assert_eq!(c.lookup_va(base), Some((7, base, 1 << 20)));
+        assert_eq!(c.lookup_va(base + (1 << 20) - 1), Some((7, base, 1 << 20)));
+        assert!(c.lookup_va(base + (1 << 20)).is_none(), "one past the end");
+        assert!(c.lookup_va(base - 1).is_none(), "below the base");
+    }
+
+    #[test]
+    fn valb_memo_survives_direct_map_conflicts() {
+        let c = TransCache::new();
+        let a = (1u64 << 47) + (1 << 20);
+        // Find a distinct range mapping to the same direct-mapped slot as
+        // `a`: its fill evicts `a`'s array entry, but `b` stays hot in the
+        // memo.
+        let b = (2..)
+            .map(|k| a + (k << 20))
+            .find(|&va| TransCache::valb_index(va) == TransCache::valb_index(a))
+            .unwrap();
+        c.fill_va(a, 1, a, 1 << 20);
+        c.fill_va(b, 2, b, 1 << 20);
+        assert_eq!(c.lookup_va(b), Some((2, b, 1 << 20)), "memo holds b");
+        assert!(c.lookup_va(a).is_none(), "a evicted from its slot");
+    }
+
+    #[test]
+    fn counters_reset_without_invalidating() {
+        let mut c = TransCache::new();
+        c.install_pool(1, 1 << 47, 1 << 20);
+        let _ = c.lookup_pool(1);
+        c.reset_stats();
+        assert_eq!(c.stats(), TransStats::default());
+        assert!(c.lookup_pool(1).is_some(), "entries survive a stats reset");
+    }
+
+    #[test]
+    fn disabling_bumps_the_epoch() {
+        let mut c = TransCache::new();
+        c.install_pool(1, 1 << 47, 1 << 20);
+        c.set_enabled(false);
+        assert!(!c.enabled());
+        c.set_enabled(true);
+        assert!(c.lookup_pool(1).is_none(), "pre-disable entries are stale");
+    }
+}

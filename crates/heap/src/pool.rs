@@ -117,7 +117,13 @@ impl PoolImage {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PoolStore {
-    pools: HashMap<PoolId, PoolImage>,
+    /// Pool images, dense by raw id: `slots[id.raw()]`. Ids are handed out
+    /// sequentially from 1 and never recycled, so slot 0 is permanently
+    /// empty and a destroyed pool leaves a `None` hole. Dense indexing
+    /// keeps [`PoolStore::get`] — which sits under every simulated memory
+    /// access — to a bounds check and a discriminant test instead of a
+    /// hash probe.
+    slots: Vec<Option<PoolImage>>,
     by_name: HashMap<String, PoolId>,
     next_id: u32,
     /// Whether pools maintain CRC sidecars (default: they do).
@@ -132,12 +138,20 @@ impl PoolStore {
     /// Creates an empty device.
     pub fn new() -> Self {
         PoolStore {
-            pools: HashMap::new(),
+            slots: Vec::new(),
             by_name: HashMap::new(),
             next_id: 1,
             integrity: IntegrityMode::default(),
             quarantined: BTreeMap::new(),
         }
+    }
+
+    /// Live `(id, image)` pairs in id order.
+    fn entries(&self) -> impl Iterator<Item = (PoolId, &PoolImage)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|img| (PoolId::new(i as u32), img)))
     }
 
     /// The device's integrity mode.
@@ -151,7 +165,7 @@ impl PoolStore {
     pub fn set_integrity(&mut self, mode: IntegrityMode) {
         self.integrity = mode;
         let on = mode == IntegrityMode::Crc;
-        for img in self.pools.values_mut() {
+        for img in self.slots.iter_mut().flatten() {
             img.data.set_dirty_tracking(on);
             if !on {
                 img.crcs.clear();
@@ -181,10 +195,12 @@ impl PoolStore {
         let region = Region::format(&mut data, size)?;
         let id = PoolId::new(self.next_id);
         self.next_id += 1;
-        self.pools.insert(
-            id,
-            PoolImage { name: name.to_string(), size, data, region, crcs: PageCrcs::new() },
-        );
+        let idx = id.raw() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        self.slots[idx] =
+            Some(PoolImage { name: name.to_string(), size, data, region, crcs: PageCrcs::new() });
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -222,7 +238,10 @@ impl PoolStore {
     #[inline]
     pub fn get(&self, id: PoolId) -> Result<&PoolImage> {
         self.quarantine_guard(id)?;
-        self.pools.get(&id).ok_or(HeapError::NoSuchPool(id))
+        match self.slots.get(id.raw() as usize) {
+            Some(Some(img)) => Ok(img),
+            _ => Err(HeapError::NoSuchPool(id)),
+        }
     }
 
     /// Mutable access to a pool image.
@@ -234,7 +253,10 @@ impl PoolStore {
     #[inline]
     pub fn get_mut(&mut self, id: PoolId) -> Result<&mut PoolImage> {
         self.quarantine_guard(id)?;
-        self.pools.get_mut(&id).ok_or(HeapError::NoSuchPool(id))
+        match self.slots.get_mut(id.raw() as usize) {
+            Some(Some(img)) => Ok(img),
+            _ => Err(HeapError::NoSuchPool(id)),
+        }
     }
 
     /// Immutable access that bypasses quarantine — the salvage path's way
@@ -244,7 +266,10 @@ impl PoolStore {
     ///
     /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
     pub fn peek(&self, id: PoolId) -> Result<&PoolImage> {
-        self.pools.get(&id).ok_or(HeapError::NoSuchPool(id))
+        match self.slots.get(id.raw() as usize) {
+            Some(Some(img)) => Ok(img),
+            _ => Err(HeapError::NoSuchPool(id)),
+        }
     }
 
     /// Mutable access that bypasses quarantine (salvage, fault injection).
@@ -253,7 +278,10 @@ impl PoolStore {
     ///
     /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
     pub fn peek_mut(&mut self, id: PoolId) -> Result<&mut PoolImage> {
-        self.pools.get_mut(&id).ok_or(HeapError::NoSuchPool(id))
+        match self.slots.get_mut(id.raw() as usize) {
+            Some(Some(img)) => Ok(img),
+            _ => Err(HeapError::NoSuchPool(id)),
+        }
     }
 
     // ---- integrity lifecycle ----------------------------------------------
@@ -274,7 +302,7 @@ impl PoolStore {
 
     /// Seals every pool on the device.
     pub fn seal_all(&mut self) {
-        for img in self.pools.values_mut() {
+        for img in self.slots.iter_mut().flatten() {
             if img.data.dirty_tracking() {
                 img.seal();
             }
@@ -331,8 +359,7 @@ impl PoolStore {
     /// Scrubs every pool on the device, quarantining any that fail.
     pub fn scrub_all(&mut self) -> ScrubReport {
         let mut report = ScrubReport::default();
-        let mut ids: Vec<PoolId> = self.pools.keys().copied().collect();
-        ids.sort_unstable();
+        let ids: Vec<PoolId> = self.entries().map(|(id, _)| id).collect();
         for id in ids {
             let scrub = self.scrub(id).expect("pool enumerated from the device");
             report.pools += 1;
@@ -375,31 +402,36 @@ impl PoolStore {
     ///
     /// Returns [`HeapError::NoSuchPool`] when the id is unknown.
     pub fn destroy(&mut self, id: PoolId) -> Result<()> {
-        let image = self.pools.remove(&id).ok_or(HeapError::NoSuchPool(id))?;
+        let image = self
+            .slots
+            .get_mut(id.raw() as usize)
+            .and_then(Option::take)
+            .ok_or(HeapError::NoSuchPool(id))?;
         self.by_name.remove(&image.name);
         self.quarantined.remove(&id);
         Ok(())
     }
 
-    /// Iterates over `(id, name, size)` of every pool on the device.
+    /// Iterates over `(id, name, size)` of every pool on the device, in
+    /// id order.
     pub fn iter(&self) -> impl Iterator<Item = (PoolId, &str, u64)> + '_ {
-        self.pools.iter().map(|(id, img)| (*id, img.name.as_str(), img.size))
+        self.entries().map(|(id, img)| (id, img.name.as_str(), img.size))
     }
 
     /// Number of pools on the device.
     pub fn len(&self) -> usize {
-        self.pools.len()
+        self.slots.iter().flatten().count()
     }
 
     /// Bytes actually materialized across every pool image (resident set,
     /// as opposed to the sum of declared pool sizes).
     pub fn resident_bytes(&self) -> u64 {
-        self.pools.values().map(|img| img.data.resident_bytes()).sum()
+        self.slots.iter().flatten().map(|img| img.data.resident_bytes()).sum()
     }
 
     /// True when the device holds no pools.
     pub fn is_empty(&self) -> bool {
-        self.pools.is_empty()
+        self.len() == 0
     }
 }
 

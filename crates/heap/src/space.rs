@@ -11,6 +11,8 @@ use crate::alloc::{MemWords, Region};
 use crate::error::{HeapError, Result};
 use crate::faults::{splitmix64, FaultPlan, GateVerdict};
 use crate::integrity::IntegrityMode;
+use crate::lookaside::TransCache;
+pub use crate::lookaside::TransStats;
 use crate::pagestore::PageStore;
 use crate::pool::PoolStore;
 use std::collections::{BTreeMap, HashMap};
@@ -115,6 +117,10 @@ pub struct AddressSpace {
     fences: u64,
     /// Lines flushed to durability (ADR accounting).
     lines_flushed: u64,
+    /// Software POLB/VALB in front of the translation walks
+    /// ([`crate::lookaside`]). Generation-stamped: any mutation that can
+    /// move, remove, or quarantine an attachment bumps its epoch.
+    trans: TransCache,
 }
 
 impl AddressSpace {
@@ -151,7 +157,44 @@ impl AddressSpace {
             pending: BTreeMap::new(),
             fences: 0,
             lines_flushed: 0,
+            trans: TransCache::new(),
         }
+    }
+
+    // ---- software lookasides ----------------------------------------------
+
+    /// Turns the software translation lookasides (sPOLB/sVALB) on or off.
+    /// They are on by default; disabling forces every translation through
+    /// the registry probe / BTree walk (the cache-off baseline the
+    /// equivalence properties compare against).
+    pub fn set_translation_cache(&mut self, on: bool) {
+        self.trans.set_enabled(on);
+    }
+
+    /// Whether the software translation lookasides are enabled.
+    pub fn translation_cache_enabled(&self) -> bool {
+        self.trans.enabled()
+    }
+
+    /// The translation-cache generation. Any event that can invalidate a
+    /// cached translation (attach, detach, restart, destroy, integrity
+    /// switches, escape-hatch device access) advances it; higher-level
+    /// caches stamp their entries against this clock too.
+    #[inline]
+    pub fn translation_epoch(&self) -> u64 {
+        self.trans.epoch()
+    }
+
+    /// Hit/miss counters for the software lookasides. Host-side
+    /// diagnostics only: these never feed the simulated cycle model,
+    /// events, or checksums.
+    pub fn trans_stats(&self) -> TransStats {
+        self.trans.stats()
+    }
+
+    /// Zeroes the lookaside hit/miss counters (cached entries stay valid).
+    pub fn reset_trans_stats(&self) {
+        self.trans.reset_stats()
     }
 
     /// The fault-injection gate's current state.
@@ -250,6 +293,7 @@ impl AddressSpace {
     /// Switches the pool device's integrity mode (see
     /// [`PoolStore::set_integrity`]).
     pub fn set_integrity(&mut self, mode: IntegrityMode) {
+        self.trans.bump();
         self.store.set_integrity(mode);
     }
 
@@ -264,7 +308,14 @@ impl AddressSpace {
     /// Writes through this handle bypass the fault gate; prefer
     /// [`AddressSpace::pool_write_u64`] for anything that should count as a
     /// durable write boundary.
+    ///
+    /// Taking this handle bumps the translation-cache epoch: quarantine,
+    /// release, reseal, and salvage all go through it, and each must
+    /// invalidate the software lookasides. Every caller is a cold
+    /// recovery/diagnostic path, so the conservative bump costs nothing on
+    /// the hot path.
     pub fn pool_store_mut(&mut self) -> &mut PoolStore {
+        self.trans.bump();
         &mut self.store
     }
 
@@ -407,6 +458,11 @@ impl AddressSpace {
         let att = Attachment { pool: id, base: VirtAddr::new(base), size };
         self.attach_by_base.insert(base, att);
         self.attach_by_pool.insert(id, att);
+        // New epoch (a re-attach lands at a new base, so every older
+        // cached translation is wrong), then eagerly install the fresh
+        // attachment in the sPOLB under it.
+        self.trans.bump();
+        self.trans.install_pool(id.raw(), base, size);
         Ok(att)
     }
 
@@ -421,6 +477,7 @@ impl AddressSpace {
     pub fn detach(&mut self, id: PoolId) -> Result<()> {
         let att = self.attach_by_pool.remove(&id).ok_or(HeapError::PoolDetached(id))?;
         self.attach_by_base.remove(&att.base.raw());
+        self.trans.bump();
         let before = self.pending.len();
         self.pending.retain(|(pool, _), _| *pool != id);
         self.lines_flushed += (before - self.pending.len()) as u64;
@@ -471,6 +528,7 @@ impl AddressSpace {
         self.dram_region = Region::format(&mut view, heap_size).expect("heap size unchanged");
         self.attach_by_base.clear();
         self.attach_by_pool.clear();
+        self.trans.bump();
     }
 
     /// Current attachment of `id`, if any.
@@ -488,11 +546,48 @@ impl AddressSpace {
     /// Translates a virtual address in the NVM half to a pool-relative
     /// location (`va2ra`).
     ///
+    /// Served from the sVALB when it holds a current-epoch range containing
+    /// `va`; misses fall through to the BTree containing-range walk, whose
+    /// successful result refills the cache. Results and errors are
+    /// bit-identical with the cache on or off.
+    ///
     /// # Errors
     ///
     /// Returns [`HeapError::NotInAnyPool`] when no attached pool contains
     /// the address.
+    #[inline(always)]
     pub fn va2ra(&self, va: VirtAddr) -> Result<RelLoc> {
+        if self.trans.enabled() {
+            if let Some((pool, base, _)) = self.trans.lookup_va(va.raw()) {
+                return Ok(RelLoc::new(PoolId::from_raw_trusted(pool), (va.raw() - base) as u32));
+            }
+        }
+        self.va2ra_walk(va)
+    }
+
+    /// The sVALB miss path: the BTree containing-range walk (the software
+    /// analogue of the kernel walking the VATB on a VALB miss).
+    #[inline(never)]
+    fn va2ra_walk(&self, va: VirtAddr) -> Result<RelLoc> {
+        let (_, att) = self
+            .attach_by_base
+            .range(..=va.raw())
+            .next_back()
+            .ok_or(HeapError::NotInAnyPool(va))?;
+        let delta = va.raw() - att.base.raw();
+        if delta >= att.size {
+            return Err(HeapError::NotInAnyPool(va));
+        }
+        if self.trans.enabled() {
+            self.trans.fill_va(va.raw(), att.pool.raw(), att.base.raw(), att.size);
+        }
+        Ok(RelLoc::new(att.pool, delta as u32))
+    }
+
+    /// `va2ra` that never consults or fills the software lookasides — the
+    /// oracle/debug flavour. Faultsweep oracles and raw peeks use this so
+    /// they can never observe (or perturb) cache state.
+    pub fn va2ra_uncached(&self, va: VirtAddr) -> Result<RelLoc> {
         let (_, att) = self
             .attach_by_base
             .range(..=va.raw())
@@ -508,12 +603,34 @@ impl AddressSpace {
     /// Translates a pool-relative location to its current virtual address
     /// (`ra2va`).
     ///
+    /// Served from the dense sPOLB array when it holds a current-epoch
+    /// entry for the pool; misses fall through to the registry probe,
+    /// whose successful result refills the cache. Results and errors are
+    /// bit-identical with the cache on or off (the cached entry carries
+    /// the pool size, so `OffsetOutOfPool` still fires on the fast path).
+    ///
     /// # Errors
     ///
     /// - [`HeapError::NoSuchPool`] for ids that never existed.
     /// - [`HeapError::PoolDetached`] when the pool has no base address.
     /// - [`HeapError::OffsetOutOfPool`] when the offset exceeds the pool.
+    #[inline]
     pub fn ra2va(&self, loc: RelLoc) -> Result<VirtAddr> {
+        if self.trans.enabled() {
+            if let Some((base, size)) = self.trans.lookup_pool(loc.pool.raw()) {
+                if u64::from(loc.offset) >= size {
+                    return Err(Self::offset_out_of_pool(loc, size));
+                }
+                return Ok(VirtAddr::new(base).add(loc.offset.into()));
+            }
+        }
+        self.ra2va_probe(loc)
+    }
+
+    /// The sPOLB miss path: the attachment-registry probe (the software
+    /// analogue of the kernel walking the POTB on a POLB miss).
+    #[inline(never)]
+    fn ra2va_probe(&self, loc: RelLoc) -> Result<VirtAddr> {
         let att = match self.attach_by_pool.get(&loc.pool) {
             Some(a) => a,
             None => {
@@ -522,17 +639,37 @@ impl AddressSpace {
             }
         };
         if u64::from(loc.offset) >= att.size {
-            return Err(HeapError::OffsetOutOfPool {
-                pool: loc.pool,
-                offset: loc.offset.into(),
-                size: att.size,
-            });
+            return Err(Self::offset_out_of_pool(loc, att.size));
+        }
+        if self.trans.enabled() {
+            self.trans.fill_pool(loc.pool.raw(), att.base.raw(), att.size);
         }
         Ok(att.base.add(loc.offset.into()))
     }
 
+    /// `ra2va` that never consults or fills the software lookasides.
+    pub fn ra2va_uncached(&self, loc: RelLoc) -> Result<VirtAddr> {
+        let att = match self.attach_by_pool.get(&loc.pool) {
+            Some(a) => a,
+            None => {
+                self.store.get(loc.pool)?;
+                return Err(HeapError::PoolDetached(loc.pool));
+            }
+        };
+        if u64::from(loc.offset) >= att.size {
+            return Err(Self::offset_out_of_pool(loc, att.size));
+        }
+        Ok(att.base.add(loc.offset.into()))
+    }
+
+    #[cold]
+    fn offset_out_of_pool(loc: RelLoc, size: u64) -> HeapError {
+        HeapError::OffsetOutOfPool { pool: loc.pool, offset: loc.offset.into(), size }
+    }
+
     // ---- memory access -----------------------------------------------------
 
+    #[inline]
     fn locate(&self, va: VirtAddr) -> Result<RelLoc> {
         self.va2ra(va)
     }
@@ -585,14 +722,43 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Reads bytes at `va` without consulting or filling the software
+    /// lookasides — the oracle/debug read path. Otherwise identical to
+    /// [`AddressSpace::read`], including every error condition.
+    pub fn read_uncached(&self, va: VirtAddr, buf: &mut [u8]) -> Result<()> {
+        if va.raw() < DRAM_BASE {
+            return Err(HeapError::Unmapped(va));
+        }
+        if va.is_nvm_region() {
+            let loc = self.va2ra_uncached(va)?;
+            let img = self.store.get(loc.pool)?;
+            img.data().read(loc.offset.into(), buf);
+        } else {
+            self.dram.read(va.raw(), buf);
+        }
+        Ok(())
+    }
+
     /// Reads a `u64` at `va`.
     ///
     /// # Errors
     ///
     /// Same conditions as [`AddressSpace::read`].
+    #[inline]
     pub fn read_u64(&self, va: VirtAddr) -> Result<u64> {
         let mut b = [0u8; 8];
         self.read(va, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `u64` at `va` via [`AddressSpace::read_uncached`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressSpace::read`].
+    pub fn read_u64_uncached(&self, va: VirtAddr) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_uncached(va, &mut b)?;
         Ok(u64::from_le_bytes(b))
     }
 
@@ -698,6 +864,7 @@ impl AddressSpace {
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     pub fn destroy_pool(&mut self, id: PoolId) -> Result<()> {
         let _ = self.detach(id);
+        self.trans.bump();
         self.store.destroy(id)
     }
 }
@@ -877,6 +1044,94 @@ mod tests {
         s.attach(p).unwrap();
         let va = s.ra2va(loc).unwrap();
         assert_eq!(s.read_u64(va).unwrap(), 0x77, "the unfenced write was flushed, not lost");
+    }
+
+    #[test]
+    fn cached_translations_hit_and_match_uncached() {
+        let mut s = AddressSpace::new(31);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        s.reset_trans_stats();
+        let va = s.ra2va(loc).unwrap();
+        assert_eq!(s.ra2va(loc).unwrap(), va, "second lookup identical");
+        assert_eq!(s.trans_stats().spolb_hits, 2, "eager install hits at once");
+        let _ = s.va2ra(va).unwrap(); // miss fills the sVALB
+        assert_eq!(s.va2ra(va).unwrap(), loc);
+        assert_eq!(s.trans_stats().svalb_hits, 1);
+        assert_eq!(s.ra2va_uncached(loc).unwrap(), va);
+        assert_eq!(s.va2ra_uncached(va).unwrap(), loc);
+    }
+
+    #[test]
+    fn reattach_at_new_base_never_serves_stale_translations() {
+        let mut s = AddressSpace::new(37);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va1 = s.ra2va(loc).unwrap();
+        s.write_u64(va1, 0xCAFE).unwrap();
+        let _ = s.va2ra(va1).unwrap(); // warm the sVALB
+        s.detach(p).unwrap();
+        assert!(matches!(s.ra2va(loc), Err(HeapError::PoolDetached(_))));
+        assert!(matches!(s.va2ra(va1), Err(HeapError::NotInAnyPool(_))));
+        let att = s.attach(p).unwrap();
+        let va2 = s.ra2va(loc).unwrap();
+        assert_ne!(va2, va1, "relocated");
+        assert_eq!(va2.raw(), att.base.raw() + u64::from(loc.offset));
+        assert_eq!(s.va2ra(va2).unwrap(), loc);
+        assert!(matches!(s.va2ra(va1), Err(HeapError::NotInAnyPool(_))), "old VA stays dead");
+        assert_eq!(s.read_u64(va2).unwrap(), 0xCAFE);
+    }
+
+    #[test]
+    fn quarantine_through_escape_hatch_invalidates_caches() {
+        let mut s = AddressSpace::new(41);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        s.write_u64(va, 7).unwrap();
+        let bumps_before = s.trans_stats().epoch_bumps;
+        s.pool_store_mut().quarantine(p, 0);
+        assert!(s.trans_stats().epoch_bumps > bumps_before);
+        // Translation still resolves (the attachment exists) but the access
+        // itself faults on the quarantined device — cached or not.
+        assert_eq!(s.va2ra(va).unwrap(), loc);
+        assert!(matches!(s.read_u64(va), Err(HeapError::MediaCorruption { .. })));
+        assert!(matches!(s.read_u64_uncached(va), Err(HeapError::MediaCorruption { .. })));
+        s.pool_store_mut().release(p);
+        assert_eq!(s.read_u64(va).unwrap(), 7);
+    }
+
+    #[test]
+    fn disabled_cache_takes_slow_path_with_identical_results() {
+        let mut s = AddressSpace::new(43);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        s.set_translation_cache(false);
+        assert!(!s.translation_cache_enabled());
+        s.reset_trans_stats();
+        let va = s.ra2va(loc).unwrap();
+        assert_eq!(s.va2ra(va).unwrap(), loc);
+        let stats = s.trans_stats();
+        assert_eq!(stats.spolb_hits + stats.spolb_misses, 0, "cache untouched");
+        assert_eq!(stats.svalb_hits + stats.svalb_misses, 0);
+        s.set_translation_cache(true);
+        assert_eq!(s.ra2va(loc).unwrap(), va);
+    }
+
+    #[test]
+    fn uncached_reads_leave_no_cache_trace() {
+        let mut s = AddressSpace::new(47);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        s.write_u64(va, 0xABCD).unwrap();
+        s.reset_trans_stats();
+        assert_eq!(s.read_u64_uncached(va).unwrap(), 0xABCD);
+        assert_eq!(s.va2ra_uncached(va).unwrap(), loc);
+        assert_eq!(s.ra2va_uncached(loc).unwrap(), va);
+        let stats = s.trans_stats();
+        assert_eq!(stats.spolb_hits + stats.spolb_misses, 0);
+        assert_eq!(stats.svalb_hits + stats.svalb_misses, 0);
     }
 
     #[test]

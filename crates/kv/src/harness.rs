@@ -5,7 +5,7 @@
 use crate::store::KvStore;
 use crate::workload::{generate, WorkloadSpec};
 use utpr_ds::{AvlTree, BPlusTree, HashMapIndex, Index, LinkedList, RbTree, ScapegoatTree, SplayTree};
-use utpr_heap::{AddressSpace, HeapError};
+use utpr_heap::{AddressSpace, HeapError, TransStats};
 use utpr_ptr::{site, ExecEnv, Mode, PtrStats};
 use utpr_sim::{Machine, RangeEntry, SimConfig, SimStats};
 
@@ -79,6 +79,9 @@ pub struct BenchResult {
     /// Bytes materialized by the simulated address space at the end of the
     /// run (DRAM + pool images) — the memory-footprint axis of the report.
     pub resident_bytes: u64,
+    /// Software-lookaside (sPOLB/sVALB) hit/miss counters for the run,
+    /// including warm-up (host-side cache telemetry, not modelled cycles).
+    pub trans: TransStats,
 }
 
 fn fresh_env(mode: Mode, sim: SimConfig, pool_mb: u64) -> Result<ExecEnv<Machine>> {
@@ -104,6 +107,7 @@ fn finish(benchmark: Benchmark, mode: Mode, env: ExecEnv<Machine>, checksum: u64
         ptr,
         checksum,
         resident_bytes: space.resident_bytes(),
+        trans: space.trans_stats(),
     }
 }
 

@@ -99,8 +99,20 @@ pub mod branch_kind {
     pub const DETERMINE_Y: u32 = 0;
     /// Second operand's `determineY` in binary operations.
     pub const DETERMINE_Y2: u32 = 1;
+    /// The `pointerAssignment` helper's determineX/determineY pair,
+    /// cached as one unit by the site check cache.
+    pub const PA_PAIR: u32 = 2;
     /// Data-structure intrinsic branch (key compare, loop exit).
     pub const PROGRAM: u32 = 8;
+}
+
+/// One entry of the per-site monomorphic check cache: the last observed
+/// check outcome at a `(site, kind)` pair, stamped with the translation
+/// epoch it was observed under.
+#[derive(Clone, Copy, Debug)]
+struct SiteCheckEntry {
+    outcome: u8,
+    epoch: u64,
 }
 
 /// The instrumented execution environment.
@@ -130,6 +142,12 @@ pub struct ExecEnv<S: TimingSink = NullSink> {
     sink: S,
     check_policy: CheckPolicy,
     conversion_reuse: bool,
+    /// Whether the per-site monomorphic check cache is active (SW mode;
+    /// default off — an explicitly opted-in *modelled* optimization that
+    /// changes the emitted event stream, unlike the translation caches).
+    site_check_cache: bool,
+    /// `(site id, kind)` → last observed outcome, epoch-stamped.
+    site_cache: std::collections::HashMap<(usize, u32), SiteCheckEntry>,
     frame_cursor: u64,
     txn: Option<utpr_heap::UndoLog>,
     /// Frees issued inside the open transaction, applied at commit: the
@@ -166,6 +184,8 @@ pub struct ExecEnvBuilder<S: TimingSink = NullSink> {
     sink: S,
     check_policy: CheckPolicy,
     conversion_reuse: bool,
+    site_check_cache: bool,
+    translation_cache: bool,
     faults: Option<FaultPlan>,
 }
 
@@ -191,6 +211,8 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
             sink,
             check_policy: self.check_policy,
             conversion_reuse: self.conversion_reuse,
+            site_check_cache: self.site_check_cache,
+            translation_cache: self.translation_cache,
             faults: self.faults,
         }
     }
@@ -208,6 +230,25 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
         self
     }
 
+    /// Enables the per-site monomorphic check cache (SW mode; default:
+    /// off). A *modelled* optimization: an elided check skips the
+    /// `determineX/Y` events and charges one guard micro-op instead, with
+    /// [`PtrStats::checks_elided`] counting the elisions — so enabling it
+    /// changes the event stream by design, unlike the translation caches.
+    pub fn site_check_cache(mut self, on: bool) -> Self {
+        self.site_check_cache = on;
+        self
+    }
+
+    /// Enables/disables the address space's software translation
+    /// lookasides (default: enabled). Turning them off is the cache-off
+    /// baseline the equivalence properties compare against; results are
+    /// bit-identical either way.
+    pub fn translation_cache(mut self, on: bool) -> Self {
+        self.translation_cache = on;
+        self
+    }
+
     /// Installs a fault-injection gate on the address space at build time
     /// (counting or armed — see [`FaultPlan`]).
     pub fn faults(mut self, faults: FaultPlan) -> Self {
@@ -221,6 +262,9 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
         if let Some(f) = self.faults {
             space.set_faults(f);
         }
+        if space.translation_cache_enabled() != self.translation_cache {
+            space.set_translation_cache(self.translation_cache);
+        }
         ExecEnv {
             space,
             mode: self.mode,
@@ -229,6 +273,8 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
             sink: self.sink,
             check_policy: self.check_policy,
             conversion_reuse: self.conversion_reuse,
+            site_check_cache: self.site_check_cache,
+            site_cache: std::collections::HashMap::new(),
             frame_cursor: 0,
             txn: None,
             txn_frees: Vec::new(),
@@ -246,6 +292,8 @@ impl ExecEnv<NullSink> {
             sink: NullSink,
             check_policy: CheckPolicy::Inferred,
             conversion_reuse: true,
+            site_check_cache: false,
+            translation_cache: true,
             faults: None,
         }
     }
@@ -274,6 +322,21 @@ impl<S: TimingSink> ExecEnv<S> {
     /// The active check policy.
     pub fn check_policy(&self) -> CheckPolicy {
         self.check_policy
+    }
+
+    /// Enables/disables the per-site monomorphic check cache at runtime
+    /// (see [`ExecEnvBuilder::site_check_cache`]). Disabling drops every
+    /// cached outcome.
+    pub fn set_site_check_cache(&mut self, on: bool) {
+        self.site_check_cache = on;
+        if !on {
+            self.site_cache.clear();
+        }
+    }
+
+    /// Whether the per-site monomorphic check cache is active.
+    pub fn site_check_cache_enabled(&self) -> bool {
+        self.site_check_cache
     }
 
     /// Enables/disables the conversion-reuse behaviour of loaded pointers
@@ -390,6 +453,28 @@ impl<S: TimingSink> ExecEnv<S> {
         }
     }
 
+    /// Consults the per-site monomorphic check cache: when the `(site,
+    /// kind)` pair last observed exactly `outcome` under the current
+    /// translation epoch, the check is elided — `n` elisions are counted
+    /// and one guard micro-op is charged (the inline cache's epoch/format
+    /// compare). Otherwise the entry is (re)armed with `outcome` and the
+    /// caller must execute the full check. The outcome byte keeps
+    /// polymorphic sites executing every time, and the epoch stamp forces
+    /// re-validation after any attach/detach/quarantine churn.
+    fn try_elide(&mut self, site: &'static Site, kind: u32, outcome: u8, n: u64) -> bool {
+        let epoch = self.space.translation_epoch();
+        let key = (site.id(), kind);
+        if let Some(e) = self.site_cache.get(&key) {
+            if e.epoch == epoch && e.outcome == outcome {
+                self.stats.checks_elided += n;
+                self.emit(MemEvent::Exec(1));
+                return true;
+            }
+        }
+        self.site_cache.insert(key, SiteCheckEntry { outcome, epoch });
+        false
+    }
+
     /// Executes a software dynamic check (SW mode, unresolved sites only).
     /// The check is a call into the shared out-of-line `determineY` helper
     /// — the pass runs after inlining (paper §VI), so every unresolved site
@@ -397,7 +482,9 @@ impl<S: TimingSink> ExecEnv<S> {
     #[inline]
     fn sw_check(&mut self, site: &'static Site, kind: u32, taken: bool) {
         if self.mode == Mode::Sw && self.site_unresolved(site) {
-            let _ = kind;
+            if self.site_check_cache && self.try_elide(site, kind, u8::from(taken), 1) {
+                return;
+            }
             self.stats.dynamic_checks += 1;
             self.stats.check_branches += 1;
             self.emit(MemEvent::Exec(SW_CHECK_UOPS));
@@ -529,14 +616,17 @@ impl<S: TimingSink> ExecEnv<S> {
         // every call site (this is where Fig. 13's mispredictions live).
         let unresolved_sw = self.mode == Mode::Sw && self.site_unresolved(site);
         if unresolved_sw {
-            self.stats.dynamic_checks += 2;
-            self.stats.check_branches += 2;
-            self.emit(MemEvent::Exec(PA_CALL_UOPS));
-            self.emit(MemEvent::Branch { pc: PC_PA_DETERMINE_X, taken: dest_nvm });
-            self.emit(MemEvent::Branch {
-                pc: PC_PA_DETERMINE_Y,
-                taken: value.format() == PtrFormat::Relative,
-            });
+            // The helper's two outcomes are cached as one unit: a site that
+            // always links the same formats skips the whole call.
+            let value_rel = value.format() == PtrFormat::Relative;
+            let outcome = u8::from(dest_nvm) | (u8::from(value_rel) << 1);
+            if !(self.site_check_cache && self.try_elide(site, branch_kind::PA_PAIR, outcome, 2)) {
+                self.stats.dynamic_checks += 2;
+                self.stats.check_branches += 2;
+                self.emit(MemEvent::Exec(PA_CALL_UOPS));
+                self.emit(MemEvent::Branch { pc: PC_PA_DETERMINE_X, taken: dest_nvm });
+                self.emit(MemEvent::Branch { pc: PC_PA_DETERMINE_Y, taken: value_rel });
+            }
         }
 
         let mut rs_va2ra = false;
@@ -989,14 +1079,16 @@ impl<S: TimingSink> ExecEnv<S> {
     /// # Errors
     ///
     /// Faults on unmapped addresses.
+    /// The read goes through the uncached translation/read APIs, so the
+    /// oracle can never observe — or perturb — software-lookaside state.
     pub fn peek_raw(&self, base: UPtr, off: i64) -> Result<u64> {
         let p = base.offset(off);
         let va = match p.kind() {
             crate::ptr::PtrKind::Null => return Err(HeapError::Unmapped(VirtAddr::new(0))),
             crate::ptr::PtrKind::Va(va) => va,
-            crate::ptr::PtrKind::Rel(loc) => self.space.ra2va(loc)?,
+            crate::ptr::PtrKind::Rel(loc) => self.space.ra2va_uncached(loc)?,
         };
-        self.space.read_u64(va)
+        self.space.read_u64_uncached(va)
     }
 }
 
@@ -1266,6 +1358,101 @@ mod tests {
         assert_eq!(e.stats().conversions(), conv0);
         let back = e.read_ptr(site!("t.load", MemLoad), a, 0).unwrap();
         assert!(back.is_null());
+    }
+
+    #[test]
+    fn site_check_cache_elides_monomorphic_sites_and_conserves_checks() {
+        // Same op sequence with the cache off and on: every check is either
+        // executed or elided, never dropped.
+        let run = |cache: bool| {
+            let mut space = AddressSpace::new(23);
+            let pool = space.create_pool("t", 1 << 20).unwrap();
+            let mut e = ExecEnv::builder(space)
+                .mode(Mode::Sw)
+                .pool(pool)
+                .sink(CountingSink::new())
+                .site_check_cache(cache)
+                .build();
+            let a = e.alloc(site!("t.a", AllocResult), 32).unwrap();
+            let b = e.alloc(site!("t.b", AllocResult), 32).unwrap();
+            for _ in 0..8 {
+                e.read_u64(site!("t.r.param", Param), a, 0).unwrap();
+                e.write_ptr(site!("t.link", MemLoad), a, 0, b).unwrap();
+            }
+            e.stats()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.checks_elided, 0);
+        assert!(on.checks_elided > 0, "repeated monomorphic sites elide");
+        assert!(on.dynamic_checks < off.dynamic_checks);
+        assert_eq!(
+            on.dynamic_checks + on.checks_elided,
+            off.dynamic_checks,
+            "conservation: every check executed or elided"
+        );
+        assert_eq!(on.memory_ops(), off.memory_ops(), "data traffic unchanged");
+    }
+
+    #[test]
+    fn site_check_cache_is_off_by_default() {
+        let mut e = env(Mode::Sw);
+        assert!(!e.site_check_cache_enabled());
+        let a = e.alloc(site!("t.a", AllocResult), 32).unwrap();
+        for _ in 0..4 {
+            e.read_u64(site!("t.r.param", Param), a, 0).unwrap();
+        }
+        assert_eq!(e.stats().checks_elided, 0);
+    }
+
+    #[test]
+    fn site_check_cache_revalidates_after_epoch_churn() {
+        let mut space = AddressSpace::new(29);
+        let pool = space.create_pool("t", 1 << 20).unwrap();
+        let mut e = ExecEnv::builder(space)
+            .mode(Mode::Sw)
+            .pool(pool)
+            .sink(CountingSink::new())
+            .site_check_cache(true)
+            .build();
+        let a = e.alloc(site!("t.a", AllocResult), 32).unwrap();
+        let loc = e.space().va2ra_uncached(a.as_va().unwrap()).unwrap();
+        // One site (each site! expansion is a distinct static identity).
+        let s = site!("t.r.param", Param);
+        e.read_u64(s, a, 0).unwrap(); // arms
+        e.read_u64(s, a, 0).unwrap(); // elides
+        assert_eq!(e.stats().checks_elided, 1);
+        // Detach/re-attach: the epoch advances, the cached outcome is stale.
+        e.space_mut().detach(pool).unwrap();
+        e.space_mut().attach(pool).unwrap();
+        let a2 = UPtr::from_va(e.space().ra2va_uncached(loc).unwrap());
+        let checks0 = e.stats().dynamic_checks;
+        e.read_u64(s, a2, 0).unwrap();
+        assert_eq!(e.stats().dynamic_checks, checks0 + 1, "re-validated, not elided");
+        assert_eq!(e.stats().checks_elided, 1);
+    }
+
+    #[test]
+    fn polymorphic_sites_never_elide() {
+        let mut space = AddressSpace::new(31);
+        let pool = space.create_pool("t", 1 << 20).unwrap();
+        let mut e = ExecEnv::builder(space)
+            .mode(Mode::Sw)
+            .pool(pool)
+            .sink(CountingSink::new())
+            .site_check_cache(true)
+            .conversion_reuse(false)
+            .build();
+        let nvm = e.alloc(site!("t.a", AllocResult), 32).unwrap();
+        let rel = UPtr::from_rel(e.space().va2ra_uncached(nvm.as_va().unwrap()).unwrap());
+        // One site alternating between virtual and relative operand
+        // formats: the determineY outcome flips every call.
+        let s = site!("t.poly", Param);
+        for i in 0..6 {
+            let p = if i % 2 == 0 { nvm } else { rel };
+            e.read_u64(s, p, 0).unwrap();
+        }
+        assert_eq!(e.stats().checks_elided, 0, "alternating outcomes defeat the cache");
     }
 
     #[test]

@@ -99,6 +99,15 @@ impl Site {
         self.provenance.is_statically_resolved()
     }
 
+    /// A stable identity for this site: sites are `'static` (the
+    /// [`crate::site!`] macro pins each in a static), so the address is
+    /// unique per declaration and constant for the program's lifetime —
+    /// exactly what a per-site inline cache needs as its key.
+    #[inline]
+    pub fn id(&'static self) -> usize {
+        self as *const Site as usize
+    }
+
     /// A stable pseudo-pc for branches belonging to this site, mixed with a
     /// small `kind` discriminator (one pc per inline check).
     pub fn pc(&self, kind: u32) -> u64 {

@@ -12,6 +12,11 @@ use std::ops::{Add, AddAssign};
 pub struct PtrStats {
     /// Software dynamic format checks executed (SW mode only).
     pub dynamic_checks: u64,
+    /// Software checks *elided* by the per-site monomorphic check cache
+    /// (SW mode with the cache enabled): for every check the compiler's
+    /// static pass left in, either this or `dynamic_checks` advances, so
+    /// `dynamic_checks + checks_elided` is invariant under the cache.
+    pub checks_elided: u64,
     /// Conversions from absolute (virtual) to relative format (`va2ra`).
     pub abs_to_rel: u64,
     /// Conversions from relative to absolute format (`ra2va`).
@@ -62,6 +67,7 @@ impl Add for PtrStats {
 impl AddAssign for PtrStats {
     fn add_assign(&mut self, rhs: PtrStats) {
         self.dynamic_checks += rhs.dynamic_checks;
+        self.checks_elided += rhs.checks_elided;
         self.abs_to_rel += rhs.abs_to_rel;
         self.rel_to_abs += rhs.rel_to_abs;
         self.loads += rhs.loads;
@@ -79,8 +85,9 @@ impl fmt::Display for PtrStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "checks={} abs->rel={} rel->abs={} loads={} stores={} storeP={} ptr_loads={} explicit_xlat={}",
+            "checks={} elided={} abs->rel={} rel->abs={} loads={} stores={} storeP={} ptr_loads={} explicit_xlat={}",
             self.dynamic_checks,
+            self.checks_elided,
             self.abs_to_rel,
             self.rel_to_abs,
             self.loads,
@@ -100,6 +107,7 @@ mod tests {
     fn add_accumulates_every_field() {
         let a = PtrStats {
             dynamic_checks: 1,
+            checks_elided: 12,
             abs_to_rel: 2,
             rel_to_abs: 3,
             loads: 4,
@@ -113,6 +121,7 @@ mod tests {
         };
         let sum = a + a;
         assert_eq!(sum.dynamic_checks, 2);
+        assert_eq!(sum.checks_elided, 24);
         assert_eq!(sum.frees, 22);
         assert_eq!(sum.memory_ops(), 2 * (4 + 5 + 6 + 7));
         assert_eq!(sum.conversions(), 2 * (2 + 3));

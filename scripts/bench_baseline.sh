@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Deterministic-performance baseline gate.
+#
+# The simulator's *modelled* outputs — simulated cycles and workload
+# checksums per (benchmark, mode) — are bit-deterministic for a fixed seed
+# and scale, so they can be committed and diffed like any other artifact.
+# This script records them under baselines/ and fails CI-style when a code
+# change regresses modelled cycles by more than 10% or perturbs a workload
+# checksum at all.
+#
+# Host-time fields (wall_ms, median_ns, p95_ns, ...) are machine noise and
+# are deliberately NEVER compared.
+#
+# Usage:
+#   scripts/bench_baseline.sh check    compare a fresh run against baselines/
+#                                      (default when no argument is given)
+#   scripts/bench_baseline.sh record   re-run and overwrite baselines/
+#
+# Both modes run fig11 and hotpath at small scale with UTPR_JOBS=1 so the
+# parallel scheduler cannot reorder anything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+# Absolute: cargo bench runs with the package dir as cwd, so a relative
+# UTPR_BENCH_OUT would land the reports inside crates/bench/.
+base_dir="$(pwd)/baselines"
+tolerance=0.10
+
+run_benches() {
+    local out="$1"
+    UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
+        cargo bench -q -p utpr-bench --bench fig11 --offline > /dev/null
+    UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
+        cargo bench -q -p utpr-bench --bench hotpath --offline > /dev/null
+}
+
+# Emits "key cycles checksum" lines from a BENCH_*.json report: one line per
+# run record that carries modelled cycles. fig11 records are keyed
+# benchmark/mode; hotpath YCSB records are keyed by their run name. Records
+# without a "cycles" field (host-timing summaries, the report header) are
+# skipped. Checksums are kept as strings — they are full u64s and would lose
+# precision as awk doubles.
+extract() {
+    awk '
+        BEGIN { RS = "{"; FS = "," }
+        {
+            key = ""; name = ""; cyc = ""; sum = ""
+            for (i = 1; i <= NF; i++) {
+                if ($i ~ /^"benchmark":/) {
+                    v = $i; gsub(/.*:"|"/, "", v); key = v
+                } else if ($i ~ /^"mode":/) {
+                    v = $i; gsub(/.*:"|"/, "", v); key = key "/" v
+                } else if ($i ~ /^"name":/) {
+                    v = $i; gsub(/.*:"|"/, "", v); name = v
+                } else if ($i ~ /^"cycles":/) {
+                    v = $i; sub(/.*:/, "", v); cyc = v
+                } else if ($i ~ /^"checksum":/) {
+                    v = $i; sub(/.*:/, "", v); sum = v
+                }
+            }
+            if (key == "") key = name
+            if (key != "" && cyc != "") print key, cyc, sum
+        }' "$1"
+}
+
+compare() {
+    # $1 = baseline extract, $2 = current extract, $3 = report label
+    awk -v tol="$tolerance" -v label="$3" '
+        NR == FNR { cyc[$1] = $2; sum[$1] = $3; next }
+        {
+            if (!($1 in cyc)) {
+                printf "%s: %s has no committed baseline (run `scripts/bench_baseline.sh record`)\n", label, $1
+                bad = 1; next
+            }
+            seen[$1] = 1
+            if (sum[$1] != $3) {
+                printf "%s: %s checksum drifted %s -> %s (workload results changed!)\n", label, $1, sum[$1], $3
+                bad = 1
+            }
+            b = cyc[$1] + 0; c = $2 + 0
+            if (b > 0 && c > b * (1 + tol)) {
+                printf "%s: %s regressed: %d cycles vs baseline %d (%+.1f%%)\n", label, $1, c, b, (c - b) * 100.0 / b
+                bad = 1
+            } else if (b > 0 && c < b * (1 - tol)) {
+                printf "%s: %s improved beyond tolerance: %d cycles vs baseline %d (%+.1f%%) — consider re-recording\n", label, $1, c, b, (c - b) * 100.0 / b
+            }
+        }
+        END {
+            for (k in cyc) if (!(k in seen)) {
+                printf "%s: baseline key %s missing from current run\n", label, k
+                bad = 1
+            }
+            exit bad
+        }' "$1" "$2"
+}
+
+case "$mode" in
+record)
+    mkdir -p "$base_dir"
+    echo "== recording baselines (small scale, 1 worker) =="
+    run_benches "$base_dir"
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json; do
+        n=$(extract "$f" | wc -l)
+        echo "recorded $f ($n keyed runs)"
+    done
+    ;;
+check)
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json; do
+        [[ -f "$f" ]] || {
+            echo "bench_baseline: $f missing — run \`scripts/bench_baseline.sh record\` first" >&2
+            exit 2
+        }
+    done
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    echo "== baseline check (small scale, 1 worker, ${tolerance} cycle tolerance) =="
+    run_benches "$work"
+    ok=1
+    for name in fig11 hotpath; do
+        extract "$base_dir/BENCH_$name.json" > "$work/$name.base"
+        extract "$work/BENCH_$name.json" > "$work/$name.cur"
+        if compare "$work/$name.base" "$work/$name.cur" "$name"; then
+            echo "$name: $(wc -l < "$work/$name.cur") runs within baseline"
+        else
+            ok=0
+        fi
+    done
+    [[ "$ok" == 1 ]] || { echo "bench_baseline: FAILED" >&2; exit 1; }
+    echo "bench_baseline: OK"
+    ;;
+*)
+    echo "usage: scripts/bench_baseline.sh [check|record]" >&2
+    exit 2
+    ;;
+esac

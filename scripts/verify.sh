@@ -17,6 +17,11 @@
 #                  sweeps + bit-flip trials + CRC overhead, small scale);
 #                  check BENCH_corruption.json is emitted, reports zero
 #                  oracle failures, and CRC write-path overhead <= 15%
+#   --hotpath      additionally run the software-lookaside smoke (small
+#                  scale): check BENCH_hotpath.json is emitted, the
+#                  cached-vs-uncached equivalence probes passed, the YCSB-A
+#                  sVALB hit rate is >= 0.95, and the cached va2ra fast
+#                  path is >= 3x the cold BTree walk
 #
 # Environment:
 #   UTPR_QC_SEED  override the property-test base seed (decimal or 0x-hex)
@@ -33,12 +38,14 @@ run_bench=0
 run_smoke=0
 run_faults=0
 run_corruption=0
+run_hotpath=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
         --bench-smoke) run_smoke=1 ;;
         --faults) run_faults=1 ;;
         --corruption) run_corruption=1 ;;
+        --hotpath) run_hotpath=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -132,6 +139,37 @@ if [[ "$run_corruption" == 1 ]]; then
         exit 1
     }
     echo "smoke: media-fault campaign clean (CRC overhead ${overhead})"
+fi
+
+if [[ "$run_hotpath" == 1 ]]; then
+    echo "== extra: software-lookaside smoke (small scale) =="
+    hp_dir=$(mktemp -d)
+    trap 'rm -rf "$hp_dir"' EXIT
+
+    # The bench exits nonzero itself when any cached-vs-uncached divergence
+    # is observed — set -e propagates that.
+    UTPR_BENCH_SCALE=small UTPR_BENCH_OUT="$hp_dir" \
+        cargo bench -q -p utpr-bench --bench hotpath --offline
+    [[ -f "$hp_dir/BENCH_hotpath.json" ]] || {
+        echo "verify: hotpath smoke did not emit BENCH_hotpath.json" >&2
+        exit 1
+    }
+    grep -q '"equivalence_ok":true' "$hp_dir/BENCH_hotpath.json" || {
+        echo "verify: hotpath smoke reported cached-vs-uncached divergence:" >&2
+        cat "$hp_dir/BENCH_hotpath.json" >&2
+        exit 1
+    }
+    hit_rate=$(sed -n 's/.*"svalb_hit_rate":\([0-9.]*\).*/\1/p' "$hp_dir/BENCH_hotpath.json")
+    awk -v h="$hit_rate" 'BEGIN { exit !(h >= 0.95) }' || {
+        echo "verify: YCSB-A sVALB hit rate ${hit_rate} below the 0.95 floor" >&2
+        exit 1
+    }
+    speedup=$(sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' "$hp_dir/BENCH_hotpath.json")
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 3.0) }' || {
+        echo "verify: cached va2ra only ${speedup}x the cold walk (need >= 3x)" >&2
+        exit 1
+    }
+    echo "smoke: lookasides clean (speedup ${speedup}x, sVALB hit rate ${hit_rate})"
 fi
 
 echo "verify: OK"

@@ -210,6 +210,49 @@ fn torn_undo_log_word_is_detected_not_replayed() {
     assert!(space.pool_store().is_quarantined(pool), "detected pools are quarantined");
 }
 
+/// The `peek_raw` oracle must stay outside the software-lookaside layer:
+/// it is what the crash matrix and fault sweeps use to inspect stored
+/// pointer bytes, so it can neither *read through* a stale cache entry nor
+/// *warm* the cache and mask a translation bug it was brought in to catch.
+#[test]
+fn peek_raw_bypasses_translation_caches() {
+    let mut space = AddressSpace::new(47);
+    let pool = space.create_pool("oracle", 1 << 20).unwrap();
+    let loc = space.pmalloc(pool, 64).unwrap();
+    let va = space.ra2va(loc).unwrap();
+    space.write_u64(va, 0xDEAD_BEEF_F00Du64).unwrap();
+    let mut env = ExecEnv::builder(space).pool(pool).build();
+    let p = UPtr::from_rel(loc);
+
+    // The oracle agrees with the instrumented view of the same word…
+    env.space().reset_trans_stats();
+    for _ in 0..32 {
+        assert_eq!(env.peek_raw(p, 0).unwrap(), 0xDEAD_BEEF_F00Du64);
+    }
+    // …without touching sPOLB/sVALB at all: no hits, no misses, no fills.
+    let s = env.space().trans_stats();
+    assert_eq!(
+        (s.spolb_hits, s.spolb_misses, s.svalb_hits, s.svalb_misses),
+        (0, 0, 0, 0),
+        "peek_raw perturbed the lookasides: {s:?}"
+    );
+
+    // Warm the caches at the current base, then force a relocation: the
+    // pool re-attaches at a different address and the oracle must follow
+    // the *registry*, not any stamp-stale cache entry.
+    let _ = env.space().ra2va(loc).unwrap();
+    let old_base = env.space().attachment(pool).unwrap().base;
+    env.space_mut().restart();
+    env.space_mut().open_pool("oracle").unwrap();
+    let new_base = env.space().attachment(pool).unwrap().base;
+    assert_ne!(old_base, new_base, "restart must relocate the pool");
+    assert_eq!(env.peek_raw(p, 0).unwrap(), 0xDEAD_BEEF_F00Du64);
+
+    // And a detached pool faults identically through the oracle path.
+    env.space_mut().detach(pool).unwrap();
+    assert!(env.peek_raw(p, 0).is_err(), "oracle must fault on a detached pool");
+}
+
 /// The whole sweep is bit-deterministic under a fixed seed.
 #[test]
 fn fault_sweep_is_deterministic() {

@@ -226,6 +226,159 @@ props! {
     }
 }
 
+// ---- translation-cache transparency at the AddressSpace level -------------
+//
+// Random op sequences — allocation, reads, writes, translations of good and
+// bad addresses, detach/re-attach, quarantine probes, full restarts — must
+// observe exactly the same values *and errors* whether the software
+// lookasides are enabled or disabled.
+
+/// One AddressSpace operation; indices are reduced modulo live state.
+#[derive(Clone, Copy, Debug)]
+enum SpaceOp {
+    Pmalloc { pool: u8, size: u16 },
+    Pfree { idx: u8 },
+    ReadU64 { idx: u8 },
+    WriteU64 { idx: u8, value: u64 },
+    Va2RaProbe { idx: u8, delta: u32 },
+    Ra2VaProbe { idx: u8, off_delta: u32 },
+    BadPool { raw: u16, off: u32 },
+    DetachAttach { pool: u8 },
+    QuarantineProbe { pool: u8, idx: u8 },
+    Restart,
+}
+
+fn space_op_strategy() -> OneOf<SpaceOp> {
+    one_of![
+        4 => (any::<u8>(), 8u16..256).prop_map(|(pool, size)| SpaceOp::Pmalloc { pool, size }),
+        1 => any::<u8>().prop_map(|idx| SpaceOp::Pfree { idx }),
+        4 => any::<u8>().prop_map(|idx| SpaceOp::ReadU64 { idx }),
+        4 => (any::<u8>(), any::<u64>()).prop_map(|(idx, value)| SpaceOp::WriteU64 { idx, value }),
+        3 => (any::<u8>(), 0u32..(1 << 21)).prop_map(|(idx, delta)| SpaceOp::Va2RaProbe { idx, delta }),
+        3 => (any::<u8>(), 0u32..(1 << 21)).prop_map(|(idx, off_delta)| SpaceOp::Ra2VaProbe { idx, off_delta }),
+        1 => (any::<u16>(), any::<u32>()).prop_map(|(raw, off)| SpaceOp::BadPool { raw, off }),
+        2 => any::<u8>().prop_map(|pool| SpaceOp::DetachAttach { pool }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(pool, idx)| SpaceOp::QuarantineProbe { pool, idx }),
+        1 => Just(SpaceOp::Restart),
+    ]
+}
+
+/// FNV-1a of a Debug rendering — errors carry addresses, which are
+/// deterministic for a fixed layout seed and op sequence.
+fn obs<T: std::fmt::Debug>(v: &T) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{v:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Executes the sequence and returns the observation trace.
+fn run_space_ops(ops: &[SpaceOp], trans_cache: bool) -> Vec<u64> {
+    const POOLS: usize = 3;
+    let mut space = AddressSpace::new(0xFACE);
+    space.set_translation_cache(trans_cache);
+    let ids: Vec<PoolId> =
+        (0..POOLS).map(|i| space.create_pool(&format!("p{i}"), 1 << 20).unwrap()).collect();
+    let mut locs: Vec<RelLoc> = Vec::new();
+    let mut trace = Vec::new();
+    for op in ops {
+        match *op {
+            SpaceOp::Pmalloc { pool, size } => {
+                let r = space.pmalloc(ids[pool as usize % POOLS], u64::from(size));
+                if let Ok(loc) = r {
+                    locs.push(loc);
+                }
+                trace.push(obs(&r));
+            }
+            SpaceOp::Pfree { idx } if !locs.is_empty() => {
+                let loc = locs.swap_remove(idx as usize % locs.len());
+                trace.push(obs(&space.pfree(loc)));
+            }
+            SpaceOp::ReadU64 { idx } if !locs.is_empty() => {
+                let loc = locs[idx as usize % locs.len()];
+                let r = space.ra2va(loc).and_then(|va| space.read_u64(va));
+                trace.push(obs(&r));
+            }
+            SpaceOp::WriteU64 { idx, value } if !locs.is_empty() => {
+                let loc = locs[idx as usize % locs.len()];
+                let r = space.ra2va(loc).and_then(|va| space.write_u64(va, value));
+                trace.push(obs(&r));
+            }
+            SpaceOp::Va2RaProbe { idx, delta } if !locs.is_empty() => {
+                let loc = locs[idx as usize % locs.len()];
+                // Probe around a live object: in-pool, out-of-pool, and
+                // not-in-any-pool addresses all arise.
+                if let Ok(va) = space.ra2va(loc) {
+                    trace.push(obs(&space.va2ra(va.add(u64::from(delta)))));
+                }
+            }
+            SpaceOp::Ra2VaProbe { idx, off_delta } if !locs.is_empty() => {
+                let loc = locs[idx as usize % locs.len()];
+                trace.push(obs(&space.ra2va(loc.add(off_delta))));
+            }
+            SpaceOp::BadPool { raw, off } => {
+                let loc = RelLoc::new(PoolId::new(u32::from(raw) + 7), off);
+                trace.push(obs(&space.ra2va(loc)));
+            }
+            SpaceOp::DetachAttach { pool } => {
+                let id = ids[pool as usize % POOLS];
+                trace.push(obs(&space.detach(id)));
+                trace.push(obs(&space.attach(id)));
+            }
+            SpaceOp::QuarantineProbe { pool, idx } if !locs.is_empty() => {
+                let id = ids[pool as usize % POOLS];
+                let loc = locs[idx as usize % locs.len()];
+                space.pool_store_mut().quarantine(id, 0);
+                // Reads through a quarantined pool fault identically with
+                // the cache on or off (translation is not the gate).
+                let r = space.ra2va(loc).and_then(|va| space.read_u64(va));
+                trace.push(obs(&r));
+                space.pool_store_mut().release(id);
+            }
+            SpaceOp::Restart => {
+                space.restart();
+                for id in &ids {
+                    trace.push(obs(&space.attach(*id)));
+                }
+            }
+            _ => {}
+        }
+    }
+    trace
+}
+
+props! {
+    #![cases(96)]
+
+    /// The lookasides never change what any operation returns — values and
+    /// errors — under arbitrary churn.
+    #[test]
+    fn translation_caches_are_transparent(ops in collection::vec(space_op_strategy(), 1..80)) {
+        let cached = run_space_ops(&ops, true);
+        let plain = run_space_ops(&ops, false);
+        prop_assert_eq!(&cached, &plain);
+    }
+}
+
+/// Sanity: the property above is not vacuous — a cached run of a
+/// read-heavy sequence actually serves translations from the lookasides.
+#[test]
+fn cached_runs_actually_hit_the_lookasides() {
+    let mut space = AddressSpace::new(0xFACE);
+    let pool = space.create_pool("hit", 1 << 20).unwrap();
+    let loc = space.pmalloc(pool, 64).unwrap();
+    space.reset_trans_stats();
+    for _ in 0..100 {
+        let va = space.ra2va(loc).unwrap();
+        let _ = space.read_u64(va).unwrap();
+    }
+    let s = space.trans_stats();
+    assert!(s.spolb_hits >= 99, "sPOLB barely hit: {s:?}");
+    assert!(s.svalb_hits >= 99, "sVALB barely hit: {s:?}");
+}
+
 /// The media-fault errors round-trip through the workspace facade: the
 /// `utpr::Error` wrapper preserves their Display text and exposes the
 /// heap error as `source()`.
