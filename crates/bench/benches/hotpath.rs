@@ -9,7 +9,11 @@
 //! - `equivalence_ok` — cached and uncached translation agreed on every
 //!   probe, including errors and detach/re-attach churn, and the
 //!   translation-cache on/off YCSB runs produced identical checksums,
-//!   cycles, and pointer counters.
+//!   cycles, and pointer counters;
+//! - `mt_speedup_8` — modelled makespan speedup of the 8-thread shared-
+//!   pool YCSB-A arm over the 1-thread arm (expected ≥ 4×);
+//! - `mt_checksum_ok` — that arm's checksum was bit-identical at every
+//!   thread count (folded into `equivalence_ok`'s exit gate).
 //!
 //! Exits nonzero when `equivalence_ok` is false: divergence here means the
 //! lookasides changed simulated semantics, which the design forbids.
@@ -20,6 +24,7 @@ use utpr_bench::par;
 use utpr_bench::report::{BenchReport, Json};
 use utpr_ds::RbTree;
 use utpr_heap::{AddressSpace, PoolId, RelLoc, TransStats, VirtAddr};
+use utpr_kv::mt::{run_mt_ycsb, MtSpec};
 use utpr_kv::ycsb::{generate_preset, Preset};
 use utpr_kv::KvStore;
 use utpr_ptr::{ExecEnv, Mode, PtrStats};
@@ -316,6 +321,22 @@ fn main() {
         equivalence_ok = false;
     }
 
+    // Multi-threaded YCSB-A over one shared pool: each worker is one
+    // simulated core, throughput is ops over the makespan (the slowest
+    // core's cycles), and the checksum must be identical at every thread
+    // count — the sharded heap's determinism contract.
+    let mt_runs: Vec<_> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&t| run_mt_ycsb(&MtSpec::new(records, operations, t, 42)).expect("mt ycsb"))
+        .collect();
+    let mt_checksum_ok = mt_runs.iter().all(|r| r.checksum == mt_runs[0].checksum);
+    if !mt_checksum_ok {
+        eprintln!("hotpath: mt checksum varies with thread count");
+        equivalence_ok = false;
+    }
+    let mt_speedup_8 =
+        mt_runs[0].makespan_cycles / mt_runs.last().expect("runs").makespan_cycles;
+
     println!("\n=== Hot path: software lookasides (host ns; YCSB-A hit rates) ===");
     println!("va2ra speedup (cached vs cold walk): {speedup:.1}x single, {speedup_16:.1}x 16-pool");
     println!("YCSB-A sVALB hit rate: {:.4}  sPOLB hit rate: {:.4}", hit_rate, spolb_rate);
@@ -327,6 +348,16 @@ fn main() {
         cached.cycles,
         on.cycles
     );
+    println!(
+        "MT YCSB-A modelled speedup at 8 cores: {mt_speedup_8:.2}x  (checksums {})",
+        if mt_checksum_ok { "thread-count-invariant" } else { "DIVERGED" }
+    );
+    for r in &mt_runs {
+        println!(
+            "  t{}: makespan {:.0} cycles, {} refills, {} slab overflows",
+            r.threads, r.makespan_cycles, r.refills, r.slab_overflows
+        );
+    }
     println!("equivalence: {}", if equivalence_ok { "ok" } else { "DIVERGED" });
 
     let mut rep = BenchReport::new("hotpath", par::jobs(), t0.elapsed());
@@ -335,6 +366,8 @@ fn main() {
     rep.set_extra("svalb_hit_rate", Json::F64(hit_rate));
     rep.set_extra("spolb_hit_rate", Json::F64(spolb_rate));
     rep.set_extra("equivalence_ok", Json::Bool(equivalence_ok));
+    rep.set_extra("mt_speedup_8", Json::F64(mt_speedup_8));
+    rep.set_extra("mt_checksum_ok", Json::Bool(mt_checksum_ok));
     for s in c.summaries() {
         rep.push_record(Json::obj(vec![
             ("name", Json::Str(s.name.clone())),
@@ -359,6 +392,19 @@ fn main() {
             ("svalb_hits", Json::U64(r.trans.svalb_hits)),
             ("svalb_misses", Json::U64(r.trans.svalb_misses)),
             ("trans_epoch_bumps", Json::U64(r.trans.epoch_bumps)),
+        ]));
+    }
+    for r in &mt_runs {
+        rep.push_record(Json::obj(vec![
+            ("name", Json::Str(format!("ycsb_a_mt_t{}", r.threads))),
+            ("cycles", Json::F64(r.makespan_cycles)),
+            ("checksum", Json::U64(r.checksum)),
+            ("total_cycles", Json::F64(r.total_cycles)),
+            ("refills", Json::U64(r.refills)),
+            ("central_allocs", Json::U64(r.central_allocs)),
+            ("slab_overflows", Json::U64(r.slab_overflows)),
+            ("spolb_hits", Json::U64(r.trans.spolb_hits)),
+            ("svalb_hits", Json::U64(r.trans.svalb_hits)),
         ]));
     }
     rep.write();

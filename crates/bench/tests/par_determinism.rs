@@ -5,6 +5,7 @@
 
 use utpr_bench::{collect_suite_jobs, fig12_runs, fig14_runs};
 use utpr_kv::harness::BenchResult;
+use utpr_kv::mt::{run_mt_ycsb, MtSpec};
 use utpr_kv::WorkloadSpec;
 use utpr_sim::SimConfig;
 
@@ -50,6 +51,44 @@ fn fig12_and_fig14_grids_are_order_stable() {
             assert_identical(s, p);
         }
     }
+}
+
+#[test]
+fn mt_ycsb_checksums_are_bit_identical_across_thread_counts() {
+    // The sharded-heap contract behind the multi-threaded YCSB arm: for a
+    // fixed seed, the combined checksum is a pure function of the work
+    // set, never of how partitions land on OS threads.
+    let runs: Vec<_> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&t| run_mt_ycsb(&MtSpec::new(320, 1280, t, 0x5EED)).unwrap())
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(r.checksum, runs[0].checksum, "t{} diverged from t1", r.threads);
+        assert_eq!(r.gets + r.sets, runs[0].gets + runs[0].sets, "same work set");
+    }
+    // Replay: same (seed, thread count) ⇒ same modelled makespan, bit for bit.
+    let again = run_mt_ycsb(&MtSpec::new(320, 1280, 4, 0x5EED)).unwrap();
+    assert_eq!(again.checksum, runs[2].checksum);
+    assert_eq!(again.makespan_cycles.to_bits(), runs[2].makespan_cycles.to_bits());
+}
+
+#[test]
+fn mt_ycsb_exercises_the_sharded_allocator() {
+    // Non-vacuity: parallel loads must refill arena leases from the
+    // slabs (not silently route everything through the central lock),
+    // slabs must never overflow, and the modelled cores must genuinely
+    // divide the work.
+    let two = run_mt_ycsb(&MtSpec::new(320, 1280, 2, 9)).unwrap();
+    assert!(two.refills > 0, "no arena refills at 2 threads: the arena layer is vacuous");
+    assert_eq!(two.slab_overflows, 0, "slabs sized to never fall back to central");
+    let one = run_mt_ycsb(&MtSpec::new(320, 1280, 1, 9)).unwrap();
+    assert_eq!(one.checksum, two.checksum);
+    assert!(
+        one.makespan_cycles / two.makespan_cycles > 1.5,
+        "2 modelled cores must beat 1 ({} vs {} cycles)",
+        one.makespan_cycles,
+        two.makespan_cycles
+    );
 }
 
 #[test]

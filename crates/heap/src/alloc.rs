@@ -195,6 +195,15 @@ impl Region {
         Ok(region)
     }
 
+    /// Builds a handle for a region of `size` bytes without validating
+    /// anything — for constructors that must hold a handle before
+    /// [`Region::format`] can run (the striped shared pool, whose word
+    /// device borrows the owning struct). The caller must format or open
+    /// the memory before using the handle.
+    pub(crate) fn from_size_unchecked(size: u64) -> Region {
+        Region { size }
+    }
+
     /// Total region size in bytes.
     pub fn size(&self) -> u64 {
         self.size
@@ -308,6 +317,59 @@ impl Region {
             cursor = self.links(mem, cursor).0;
         }
         Err(HeapError::OutOfMemory { requested: size })
+    }
+
+    /// Total block bytes (header + footer + alignment padding) the
+    /// allocator uses for a payload of `size` — the same rounding
+    /// [`Region::alloc`] applies.
+    pub(crate) fn block_need(size: u64) -> u64 {
+        ((size + OVERHEAD + 15) & !15).max(MIN_BLOCK)
+    }
+
+    /// Minimum legal block size: a carve must never leave a remainder
+    /// smaller than this.
+    pub(crate) const fn min_block() -> u64 {
+        MIN_BLOCK
+    }
+
+    /// The `(block start, block size)` of the live allocation whose payload
+    /// starts at `payload` — for layers (the slab carver) that manage whole
+    /// blocks rather than payloads.
+    pub(crate) fn block_of<M: MemWords>(&self, mem: &M, payload: u64) -> (u64, u64) {
+        let block = payload - 8;
+        let (size, _) = self.header(mem, block);
+        (block, size)
+    }
+
+    /// Splits the *allocated* block of `avail` bytes starting at `block`
+    /// into an allocated front block of exactly `need` bytes and an
+    /// allocated remainder, rewriting boundary tags so the block tiling
+    /// invariant checked by [`Region::validate`] holds and either piece
+    /// can later be passed to [`Region::free`] on its own.
+    ///
+    /// This is the arena-carve primitive of the multicore layer
+    /// ([`crate::shard::SharedPool`]): a thread subdivides a privately
+    /// leased block without touching the shared free list. It writes tags
+    /// only; the caller must follow up with [`Region::note_split`] under
+    /// whatever lock serialises the stats words.
+    ///
+    /// Requires `need <= avail` and `avail - need >= MIN_BLOCK`; hand the
+    /// whole block out unsplit otherwise.
+    pub(crate) fn carve_front<M: MemWords>(&self, mem: &mut M, block: u64, avail: u64, need: u64) {
+        debug_assert!(need >= MIN_BLOCK && need % 16 == 0, "carve of {need} bytes");
+        debug_assert!(need <= avail && avail - need >= MIN_BLOCK, "carve leaves a sliver");
+        self.set_header(mem, block, need, true);
+        self.set_header(mem, block + need, avail - need, true);
+    }
+
+    /// Accounts for one [`Region::carve_front`] split: the carve turned one
+    /// allocated block into two, so the live-allocation count rises by one
+    /// and the accounted payload bytes shrink by one block's overhead.
+    /// With this adjustment, freeing every piece individually balances the
+    /// ALLOC_BYTES/ALLOC_COUNT books exactly.
+    pub(crate) fn note_split<M: MemWords>(&self, mem: &mut M) {
+        mem.write_word(OFF_ALLOC_BYTES, mem.read_word(OFF_ALLOC_BYTES) - OVERHEAD);
+        mem.write_word(OFF_ALLOC_COUNT, mem.read_word(OFF_ALLOC_COUNT) + 1);
     }
 
     /// Frees the allocation whose payload starts at `payload`, coalescing
@@ -504,6 +566,38 @@ mod tests {
         assert_eq!(r.allocated_bytes(&mem), 0);
         // Full coalescing: a single free block spanning the region.
         assert_eq!(r.validate(&mem).unwrap(), 1);
+    }
+
+    #[test]
+    fn carve_front_preserves_tiling_and_books() {
+        let (mut mem, r) = setup(1 << 16);
+        // Lease one large block, then carve three payloads off its front
+        // the way the arena layer does.
+        let lease_payload = r.alloc(&mut mem, 1024 - OVERHEAD).unwrap();
+        let lease = lease_payload - 8;
+        let mut cursor = lease;
+        let mut avail = 1024u64;
+        let mut payloads = Vec::new();
+        for size in [40u64, 100, 64] {
+            let need = Region::block_need(size);
+            r.carve_front(&mut mem, cursor, avail, need);
+            r.note_split(&mut mem);
+            payloads.push(cursor + 8);
+            cursor += need;
+            avail -= need;
+        }
+        // The carved pieces plus the allocated remainder tile the lease and
+        // the whole region still validates.
+        r.validate(&mem).unwrap();
+        assert_eq!(r.allocation_count(&mem), 4, "lease split into 3 + remainder");
+        // Every piece frees individually; books return to zero.
+        for p in payloads {
+            r.free(&mut mem, p).unwrap();
+        }
+        r.free(&mut mem, cursor + 8).unwrap(); // the remainder block
+        assert_eq!(r.allocation_count(&mem), 0);
+        assert_eq!(r.allocated_bytes(&mem), 0);
+        assert_eq!(r.validate(&mem).unwrap(), 1, "full coalesce after carve frees");
     }
 
     #[test]

@@ -477,28 +477,34 @@ mod tests {
         space.write_u64(va, 100).unwrap();
         let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
 
-        // Count the transaction's boundaries first.
+        // Count the transaction's boundaries first (read mid-transaction,
+        // before the commit adds its own writes).
         space.set_faults(FaultPlan::counting());
-        log.begin(&mut space).unwrap();
-        log.log_word(&mut space, loc).unwrap();
-        space.write_u64(space.ra2va(loc).unwrap(), 55).unwrap();
-        let total = space.faults().writes();
+        let mut total = 0;
+        log.run(&mut space, |space, txn| {
+            txn.log_word(space, loc)?;
+            let va = space.ra2va(loc)?;
+            space.write_u64(va, 55)?;
+            total = space.faults().writes();
+            Ok(())
+        })
+        .unwrap();
         assert!(total >= 4, "begin(2) + log_word(3) + store(1), got {total}");
-        log.commit(&mut space).unwrap();
         space.write_u64(space.ra2va(loc).unwrap(), 100).unwrap();
 
         // Crash at every boundary of the same transaction; the word must
         // recover to either the old (rolled back) or new (committed) value.
+        // Every k lands inside the body, so the closure always crashes out
+        // before `run` could commit — and `run` skips the abort on an
+        // injected crash, leaving the torn log for recovery.
         for k in 0..total {
             space.set_faults(FaultPlan::crash_at(k));
             let log = UndoLog::open(&space, pool).unwrap();
-            let _ = log
-                .begin(&mut space)
-                .and_then(|()| log.log_word(&mut space, loc))
-                .and_then(|()| {
-                    let va = space.ra2va(loc)?;
-                    space.write_u64(va, 55)
-                });
+            let _ = log.run(&mut space, |space, txn| {
+                txn.log_word(space, loc)?;
+                let va = space.ra2va(loc)?;
+                space.write_u64(va, 55)
+            });
             let rec = crash_and_recover(&mut space, "faults").unwrap();
             assert_eq!(rec.pool, pool);
             let va = space.ra2va(loc).unwrap();
@@ -521,11 +527,15 @@ mod tests {
         space.set_flush_model(FlushModel::Adr);
 
         space.set_faults(FaultPlan::counting());
-        log.begin(&mut space).unwrap();
-        log.log_word(&mut space, loc).unwrap();
-        space.write_u64(space.ra2va(loc).unwrap(), 55).unwrap();
-        let total = space.faults().writes();
-        log.commit(&mut space).unwrap();
+        let mut total = 0;
+        log.run(&mut space, |space, txn| {
+            txn.log_word(space, loc)?;
+            let va = space.ra2va(loc)?;
+            space.write_u64(va, 55)?;
+            total = space.faults().writes();
+            Ok(())
+        })
+        .unwrap();
         space.set_faults(FaultPlan::disabled());
         log.run(&mut space, |space, txn| {
             txn.log_word(space, loc)?;
@@ -570,10 +580,11 @@ mod tests {
         let va = space.ra2va(loc).unwrap();
         space.write_u64(va, 100).unwrap();
         let log = UndoLog::ensure(&mut space, pool, 16).unwrap();
-        log.begin(&mut space).unwrap();
-        log.log_word(&mut space, loc).unwrap();
-        space.write_u64(va, 55).unwrap();
-        log.commit(&mut space).unwrap();
+        log.run(&mut space, |space, txn| {
+            txn.log_word(space, loc)?;
+            space.write_u64(va, 55)
+        })
+        .unwrap();
         // Crash strictly after commit: nothing to roll back.
         space.set_faults(FaultPlan::counting());
         let rec = crash_and_recover(&mut space, "faults").unwrap();

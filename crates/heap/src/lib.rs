@@ -39,6 +39,7 @@ pub mod integrity;
 pub mod lookaside;
 pub mod pagestore;
 pub mod pool;
+pub mod shard;
 pub mod space;
 pub mod txn;
 
@@ -49,6 +50,7 @@ pub use faults::{crash_and_recover, inject_bitflips, select_points, FaultPlan, G
 pub use integrity::{crc32, IntegrityMode, PoolScrub, ScrubReport, FORMAT_VERSION};
 pub use pagestore::PageStore;
 pub use pool::{PoolImage, PoolStore};
+pub use shard::{SharedPool, SlabId};
 pub use lookaside::TransStats;
-pub use txn::UndoLog;
+pub use txn::{UndoLog, MAX_LOG_SLOTS};
 pub use space::{AddressSpace, Attachment, FlushModel};

@@ -13,23 +13,34 @@
 //!   of `(base, size, pool)` ranges, consulted before the BTree
 //!   containing-range walk in `va2ra`.
 //!
-//! Both are **generation-stamped**: every entry carries the epoch at which
-//! it was filled, and a single epoch bump — performed on attach, detach,
-//! restart, pool destruction, integrity-mode switches, and any mutable
-//! escape-hatch access to the pool device (quarantine / reseal / salvage
-//! all go through it) — invalidates every cached entry in O(1). Because
-//! entries are only ever installed from a *successful* slow-path walk of
-//! the same epoch, a cache hit returns exactly what the walk would have,
-//! and misses (detached pools, foreign addresses) always take the slow
-//! path, so error semantics (`PoolDetached`, `NotInAnyPool`,
-//! `OffsetOutOfPool`, quarantine faults) are bit-identical with the cache
-//! on or off. There is deliberately no negative caching.
+//! Both are **generation-stamped** against a monotonic invalidation
+//! *clock*, with two watermarks drawn from it:
+//!
+//! - a **global epoch** — advanced by events that can move *any*
+//!   attachment (restart, integrity-mode switches, cache toggles, mutable
+//!   escape-hatch access to the pool device); and
+//! - a **per-pool epoch** — advanced when one specific pool attaches,
+//!   detaches, or is destroyed.
+//!
+//! An entry is valid iff its fill stamp is at least both the global epoch
+//! and its own pool's epoch. Detaching pool *A* therefore invalidates only
+//! *A*'s cached translations: the other pools' entries — one per core in
+//! the multicore picture — stay hot instead of being flushed by an
+//! unrelated pool's lifecycle (the per-shard epoch rule of the
+//! concurrency model, DESIGN.md §10). Because entries are only ever
+//! installed from a *successful* slow-path walk, a cache hit returns
+//! exactly what the walk would have, and misses (detached pools, foreign
+//! addresses) always take the slow path, so error semantics
+//! (`PoolDetached`, `NotInAnyPool`, `OffsetOutOfPool`, quarantine faults)
+//! are bit-identical with the cache on or off. There is deliberately no
+//! negative caching.
 //!
 //! All cache state lives in [`std::cell::Cell`]s so the read-only
 //! translation methods (`&self`) can refill entries; like the
 //! [`crate::pagestore::PageStore`] memo this keeps the space `Send` but
-//! not `Sync`, which is fine — each simulated machine owns its memory
-//! privately.
+//! not `Sync`, which is fine — each worker thread owns its shard of the
+//! address space privately, and only the lower pool layer
+//! ([`crate::shard::SharedPool`]) is shared between threads.
 
 use std::cell::Cell;
 
@@ -39,8 +50,8 @@ use std::cell::Cell;
 /// benchmark suite without conflict thrash.
 const VALB_WAYS: usize = 64;
 
-/// Epoch value that no live entry can carry: slots start zeroed and the
-/// cache's epoch starts at 1, so an all-zero slot is simply stale.
+/// Stamp value that no live entry can carry: slots start zeroed and the
+/// invalidation clock starts at 1, so an all-zero slot is simply stale.
 const NEVER: u64 = 0;
 
 /// One sPOLB entry: the attachment of pool `raw id == index` as of `stamp`.
@@ -52,7 +63,7 @@ struct PolbSlot {
 }
 
 /// One sVALB entry: an attached range `[base, base + size)` owned by
-/// `pool`, valid while `stamp` matches the cache epoch.
+/// `pool`, valid while `stamp` is current for both watermarks.
 #[derive(Clone, Copy, Debug, Default)]
 struct ValbSlot {
     stamp: u64,
@@ -77,8 +88,10 @@ pub struct TransStats {
     pub svalb_hits: u64,
     /// `va2ra` translations that fell through to the BTree walk.
     pub svalb_misses: u64,
-    /// Epoch bumps (each one invalidates every cached entry).
+    /// Global epoch bumps (each one invalidates every cached entry).
     pub epoch_bumps: u64,
+    /// Per-pool epoch bumps (each invalidates one pool's entries only).
+    pub pool_epoch_bumps: u64,
 }
 
 impl TransStats {
@@ -101,6 +114,17 @@ impl TransStats {
             self.spolb_hits as f64 / total as f64
         }
     }
+
+    /// Accumulates another shard's counters into this one — how per-thread
+    /// lookaside telemetry is merged when workers join.
+    pub fn merge(&mut self, other: &TransStats) {
+        self.spolb_hits += other.spolb_hits;
+        self.spolb_misses += other.spolb_misses;
+        self.svalb_hits += other.svalb_hits;
+        self.svalb_misses += other.svalb_misses;
+        self.epoch_bumps += other.epoch_bumps;
+        self.pool_epoch_bumps += other.pool_epoch_bumps;
+    }
 }
 
 /// The software lookaside layer. Owned by [`crate::AddressSpace`]; see the
@@ -108,8 +132,14 @@ impl TransStats {
 #[derive(Clone, Debug)]
 pub(crate) struct TransCache {
     enabled: bool,
-    /// Current generation. Entries are valid iff `slot.stamp == epoch`.
-    epoch: Cell<u64>,
+    /// Monotonic invalidation clock; every bump (global or per-pool)
+    /// advances it, and entries are stamped with its value at fill time.
+    clock: Cell<u64>,
+    /// Global watermark: entries stamped before it are stale.
+    global: Cell<u64>,
+    /// Per-pool watermarks, dense by raw pool id (missing ids are 0, i.e.
+    /// never individually invalidated).
+    pool_epochs: Vec<Cell<u64>>,
     /// sPOLB: dense by raw pool id (slot 0 unused — ids start at 1).
     /// Grown on attach; ids past the end simply take the slow path.
     polb: Vec<Cell<PolbSlot>>,
@@ -122,13 +152,16 @@ pub(crate) struct TransCache {
     svalb_hits: Cell<u64>,
     svalb_misses: Cell<u64>,
     epoch_bumps: Cell<u64>,
+    pool_epoch_bumps: Cell<u64>,
 }
 
 impl TransCache {
     pub(crate) fn new() -> Self {
         TransCache {
             enabled: true,
-            epoch: Cell::new(NEVER + 1),
+            clock: Cell::new(NEVER + 1),
+            global: Cell::new(NEVER + 1),
+            pool_epochs: Vec::new(),
             polb: Vec::new(),
             last: Cell::new(ValbSlot::default()),
             valb: std::array::from_fn(|_| Cell::new(ValbSlot::default())),
@@ -137,6 +170,7 @@ impl TransCache {
             svalb_hits: Cell::new(0),
             svalb_misses: Cell::new(0),
             epoch_bumps: Cell::new(0),
+            pool_epoch_bumps: Cell::new(0),
         }
     }
 
@@ -145,44 +179,74 @@ impl TransCache {
         self.enabled
     }
 
-    /// The current generation. Exposed so higher layers (the per-site
+    /// The invalidation clock. Exposed so higher layers (the per-site
     /// check caches in `utpr-ptr`) can stamp their own entries against the
-    /// same invalidation clock.
+    /// same clock: *any* bump — global or per-pool — advances it, so a
+    /// stale higher-level entry can never survive a pool lifecycle event.
     #[inline]
     pub(crate) fn epoch(&self) -> u64 {
-        self.epoch.get()
+        self.clock.get()
     }
 
     /// Turns the lookasides on or off. Disabling (and re-enabling) bumps
-    /// the epoch so no entry filled earlier can ever hit again.
+    /// the global epoch so no entry filled earlier can ever hit again.
     pub(crate) fn set_enabled(&mut self, on: bool) {
         self.enabled = on;
         self.bump();
     }
 
-    /// Invalidates every cached entry in O(1) by advancing the epoch.
+    /// Invalidates every cached entry in O(1) by advancing the global
+    /// watermark.
     #[inline]
     pub(crate) fn bump(&mut self) {
-        self.epoch.set(self.epoch.get() + 1);
+        let now = self.clock.get() + 1;
+        self.clock.set(now);
+        self.global.set(now);
         self.epoch_bumps.set(self.epoch_bumps.get() + 1);
     }
 
+    /// Invalidates one pool's cached entries in O(1) by advancing its
+    /// per-pool watermark — the per-shard epoch rule: another pool's
+    /// detach must not flush this pool's (this core's) hot translations.
+    pub(crate) fn bump_pool(&mut self, raw: u32) {
+        let now = self.clock.get() + 1;
+        self.clock.set(now);
+        let idx = raw as usize;
+        if idx >= self.pool_epochs.len() {
+            self.pool_epochs.resize_with(idx + 1, || Cell::new(NEVER));
+        }
+        self.pool_epochs[idx].set(now);
+        self.pool_epoch_bumps.set(self.pool_epoch_bumps.get() + 1);
+    }
+
+    #[inline]
+    fn pool_epoch(&self, raw: u32) -> u64 {
+        self.pool_epochs.get(raw as usize).map_or(NEVER, Cell::get)
+    }
+
+    /// An entry stamped `stamp` for pool `raw` is valid iff the stamp is
+    /// current for both the global and the pool watermark.
+    #[inline]
+    fn fresh(&self, stamp: u64, raw: u32) -> bool {
+        stamp >= self.global.get() && stamp >= self.pool_epoch(raw)
+    }
+
     /// Grows the sPOLB to cover raw id `raw` and installs its attachment
-    /// under the current epoch (called from `attach`, which owns `&mut`).
+    /// under the current clock (called from `attach`, which owns `&mut`).
     pub(crate) fn install_pool(&mut self, raw: u32, base: u64, size: u64) {
         let idx = raw as usize;
         if idx >= self.polb.len() {
             self.polb.resize_with(idx + 1, || Cell::new(PolbSlot::default()));
         }
-        self.polb[idx].set(PolbSlot { stamp: self.epoch.get(), base, size });
+        self.polb[idx].set(PolbSlot { stamp: self.clock.get(), base, size });
     }
 
-    /// sPOLB probe: the `(base, size)` of pool `raw` if cached this epoch.
+    /// sPOLB probe: the `(base, size)` of pool `raw` if cached and fresh.
     #[inline]
     pub(crate) fn lookup_pool(&self, raw: u32) -> Option<(u64, u64)> {
         if let Some(slot) = self.polb.get(raw as usize) {
             let s = slot.get();
-            if s.stamp == self.epoch.get() {
+            if self.fresh(s.stamp, raw) {
                 self.spolb_hits.set(self.spolb_hits.get() + 1);
                 return Some((s.base, s.size));
             }
@@ -197,7 +261,7 @@ impl TransCache {
     #[inline]
     pub(crate) fn fill_pool(&self, raw: u32, base: u64, size: u64) {
         if let Some(slot) = self.polb.get(raw as usize) {
-            slot.set(PolbSlot { stamp: self.epoch.get(), base, size });
+            slot.set(PolbSlot { stamp: self.clock.get(), base, size });
         }
     }
 
@@ -208,17 +272,16 @@ impl TransCache {
     }
 
     /// sVALB probe: the `(pool, base, size)` of the attached range
-    /// containing `va`, if cached this epoch.
+    /// containing `va`, if cached and fresh.
     #[inline]
     pub(crate) fn lookup_va(&self, va: u64) -> Option<(u32, u64, u64)> {
-        let epoch = self.epoch.get();
         let l = self.last.get();
-        if l.stamp == epoch && va.wrapping_sub(l.base) < l.size {
+        if self.fresh(l.stamp, l.pool) && va.wrapping_sub(l.base) < l.size {
             self.svalb_hits.set(self.svalb_hits.get() + 1);
             return Some((l.pool, l.base, l.size));
         }
         let s = self.valb[Self::valb_index(va)].get();
-        if s.stamp == epoch && va.wrapping_sub(s.base) < s.size {
+        if self.fresh(s.stamp, s.pool) && va.wrapping_sub(s.base) < s.size {
             self.last.set(s);
             self.svalb_hits.set(self.svalb_hits.get() + 1);
             return Some((s.pool, s.base, s.size));
@@ -231,7 +294,7 @@ impl TransCache {
     /// slow-path walk found `va` inside `pool`'s range.
     #[inline]
     pub(crate) fn fill_va(&self, va: u64, pool: u32, base: u64, size: u64) {
-        let slot = ValbSlot { stamp: self.epoch.get(), base, size, pool };
+        let slot = ValbSlot { stamp: self.clock.get(), base, size, pool };
         self.last.set(slot);
         self.valb[Self::valb_index(va)].set(slot);
     }
@@ -244,6 +307,7 @@ impl TransCache {
             svalb_hits: self.svalb_hits.get(),
             svalb_misses: self.svalb_misses.get(),
             epoch_bumps: self.epoch_bumps.get(),
+            pool_epoch_bumps: self.pool_epoch_bumps.get(),
         }
     }
 
@@ -254,6 +318,7 @@ impl TransCache {
         self.svalb_hits.set(0);
         self.svalb_misses.set(0);
         self.epoch_bumps.set(0);
+        self.pool_epoch_bumps.set(0);
     }
 }
 
@@ -280,6 +345,49 @@ mod tests {
         assert_eq!(c.lookup_pool(3), None, "epoch bump invalidates in O(1)");
         c.fill_pool(3, 0x9000_0000_0000, 1 << 20);
         assert_eq!(c.lookup_pool(3), Some((0x9000_0000_0000, 1 << 20)));
+    }
+
+    #[test]
+    fn pool_bump_invalidates_only_that_pool() {
+        let mut c = TransCache::new();
+        c.install_pool(3, 0x8000_0000_0000, 1 << 20);
+        c.install_pool(5, 0x9000_0000_0000, 1 << 20);
+        let a = (1u64 << 47) + (3 << 20);
+        let b = (1u64 << 47) + (700 << 20);
+        c.fill_va(a, 3, a, 1 << 20);
+        c.fill_va(b, 5, b, 1 << 20);
+        c.bump_pool(3);
+        assert_eq!(c.lookup_pool(3), None, "pool 3's sPOLB entry is stale");
+        assert_eq!(c.lookup_pool(5), Some((0x9000_0000_0000, 1 << 20)), "pool 5 survives");
+        assert!(c.lookup_va(a).is_none(), "pool 3's sVALB range is stale");
+        assert_eq!(c.lookup_va(b), Some((5, b, 1 << 20)), "pool 5's range survives");
+        let s = c.stats();
+        assert_eq!(s.pool_epoch_bumps, 1);
+        assert_eq!(s.epoch_bumps, 0, "no global flush happened");
+    }
+
+    #[test]
+    fn refill_after_pool_bump_is_fresh_again() {
+        let mut c = TransCache::new();
+        c.install_pool(3, 0x8000_0000_0000, 1 << 20);
+        c.bump_pool(3);
+        assert!(c.lookup_pool(3).is_none());
+        c.fill_pool(3, 0xa000_0000_0000, 1 << 20);
+        assert_eq!(c.lookup_pool(3), Some((0xa000_0000_0000, 1 << 20)));
+        // A later global bump still kills the refilled entry.
+        c.bump();
+        assert!(c.lookup_pool(3).is_none());
+    }
+
+    #[test]
+    fn clock_advances_on_both_bump_kinds() {
+        let mut c = TransCache::new();
+        let e0 = c.epoch();
+        c.bump_pool(9);
+        let e1 = c.epoch();
+        c.bump();
+        let e2 = c.epoch();
+        assert!(e1 > e0 && e2 > e1, "every bump advances the shared clock");
     }
 
     #[test]
@@ -328,5 +436,15 @@ mod tests {
         assert!(!c.enabled());
         c.set_enabled(true);
         assert!(c.lookup_pool(1).is_none(), "pre-disable entries are stale");
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = TransStats { spolb_hits: 1, svalb_misses: 2, ..TransStats::default() };
+        let b = TransStats { spolb_hits: 3, pool_epoch_bumps: 4, ..TransStats::default() };
+        a.merge(&b);
+        assert_eq!(a.spolb_hits, 4);
+        assert_eq!(a.svalb_misses, 2);
+        assert_eq!(a.pool_epoch_bumps, 4);
     }
 }

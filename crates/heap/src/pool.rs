@@ -11,7 +11,7 @@ use crate::alloc::Region;
 use crate::error::{HeapError, Result};
 use crate::integrity::{crc32, IntegrityMode, PageCrcs, PoolScrub, ScrubReport};
 use crate::pagestore::{PageStore, PAGE_SIZE};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Maximum pool size: intra-pool offsets must fit in 32 bits.
 pub const MAX_POOL_SIZE: u64 = u32::MAX as u64 + 1;
@@ -132,6 +132,10 @@ pub struct PoolStore {
     /// access errors until [`PoolStore::release`]; ordered so diagnostics
     /// enumerate deterministically.
     quarantined: BTreeMap<PoolId, u64>,
+    /// Ids reserved for adopted shared pools ([`PoolStore::reserve`]):
+    /// their slots are permanently empty here, but translation must report
+    /// them as *detached*, not unknown, once the adoption lapses.
+    reserved: HashSet<u32>,
 }
 
 impl PoolStore {
@@ -143,6 +147,7 @@ impl PoolStore {
             next_id: 1,
             integrity: IntegrityMode::default(),
             quarantined: BTreeMap::new(),
+            reserved: HashSet::new(),
         }
     }
 
@@ -203,6 +208,49 @@ impl PoolStore {
             Some(PoolImage { name: name.to_string(), size, data, region, crcs: PageCrcs::new() });
         self.by_name.insert(name.to_string(), id);
         Ok(id)
+    }
+
+    /// Reserves a pool id for `name` *without* creating an image: the slot
+    /// stays empty, so [`PoolStore::get`] and friends keep reporting
+    /// [`HeapError::NoSuchPool`] for it. This is how an address space
+    /// adopts a [`crate::shard::SharedPool`] — the shared pool owns its own
+    /// pages, but its id must come from the same sequential namespace so
+    /// the dense sPOLB array and the registry stay compact.
+    ///
+    /// Re-reserving an already-reserved name returns the same id (a shard
+    /// re-adopting after a restart keeps its id stable).
+    ///
+    /// # Errors
+    ///
+    /// - [`HeapError::PoolExists`] if the name belongs to a *materialised*
+    ///   pool.
+    /// - [`HeapError::NoAddressSpace`] when the id space is exhausted.
+    pub fn reserve(&mut self, name: &str) -> Result<PoolId> {
+        if let Some(&id) = self.by_name.get(name) {
+            let occupied =
+                self.slots.get(id.raw() as usize).map_or(false, Option::is_some);
+            if occupied {
+                return Err(HeapError::PoolExists(name.to_string()));
+            }
+            return Ok(id);
+        }
+        if self.next_id > MAX_POOL_ID {
+            return Err(HeapError::NoAddressSpace);
+        }
+        let id = PoolId::new(self.next_id);
+        self.next_id += 1;
+        let idx = id.raw() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        self.by_name.insert(name.to_string(), id);
+        self.reserved.insert(id.raw());
+        Ok(id)
+    }
+
+    /// Whether `id` is a reserved (shared-pool) id with no image behind it.
+    pub fn is_reserved(&self, id: PoolId) -> bool {
+        !self.reserved.is_empty() && self.reserved.contains(&id.raw())
     }
 
     /// Looks a pool up by name.
@@ -455,6 +503,23 @@ mod tests {
         let mut s = PoolStore::new();
         s.create("a", 1 << 16).unwrap();
         assert!(matches!(s.create("a", 1 << 16), Err(HeapError::PoolExists(_))));
+    }
+
+    #[test]
+    fn reserve_hands_out_stable_empty_ids() {
+        let mut s = PoolStore::new();
+        let a = s.create("a", 1 << 16).unwrap();
+        let r = s.reserve("shared").unwrap();
+        assert_ne!(a, r, "reserved ids come from the same sequential namespace");
+        assert!(matches!(s.get(r), Err(HeapError::NoSuchPool(_))), "no image behind it");
+        assert_eq!(s.reserve("shared").unwrap(), r, "re-reserving is idempotent");
+        assert_eq!(s.id_of("shared").unwrap(), r);
+        assert!(matches!(s.reserve("a"), Err(HeapError::PoolExists(_))));
+        assert!(matches!(s.create("shared", 1 << 16), Err(HeapError::PoolExists(_))));
+        // The next real pool skips past the reserved id.
+        let b = s.create("b", 1 << 16).unwrap();
+        assert!(b.raw() > r.raw());
+        assert_eq!(s.len(), 2, "reserved slots are not materialised pools");
     }
 
     #[test]

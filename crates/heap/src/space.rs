@@ -15,7 +15,9 @@ use crate::lookaside::TransCache;
 pub use crate::lookaside::TransStats;
 use crate::pagestore::PageStore;
 use crate::pool::PoolStore;
+use crate::shard::{Arena, SharedPool, SlabId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Default size of the volatile (DRAM) heap region.
 pub const DEFAULT_DRAM_HEAP: u64 = 256 << 20;
@@ -119,8 +121,19 @@ pub struct AddressSpace {
     lines_flushed: u64,
     /// Software POLB/VALB in front of the translation walks
     /// ([`crate::lookaside`]). Generation-stamped: any mutation that can
-    /// move, remove, or quarantine an attachment bumps its epoch.
+    /// move, remove, or quarantine an attachment bumps its epoch — a
+    /// *per-pool* epoch for single-pool lifecycle events (attach, detach,
+    /// destroy), the global one for space-wide events.
     trans: TransCache,
+    /// Shared (multicore) pools adopted into this space, by id. Their data
+    /// lives in the [`SharedPool`]'s striped device, not in `store`; the
+    /// id is merely *reserved* there ([`PoolStore::reserve`]) so the
+    /// registry and lookasides stay dense.
+    shared: HashMap<PoolId, Arc<SharedPool>>,
+    /// Per-pool allocation arenas over adopted shared pools: the
+    /// thread-private leaf of the llfree-style split (this space being one
+    /// worker's shard).
+    arenas: HashMap<PoolId, Arena>,
 }
 
 impl AddressSpace {
@@ -158,6 +171,8 @@ impl AddressSpace {
             fences: 0,
             lines_flushed: 0,
             trans: TransCache::new(),
+            shared: HashMap::new(),
+            arenas: HashMap::new(),
         }
     }
 
@@ -327,7 +342,21 @@ impl AddressSpace {
     ///
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     pub fn pool_read_u64(&self, id: PoolId, off: u64) -> Result<u64> {
+        if let Some(sp) = self.shared_route(id) {
+            return Ok(sp.read_u64(off));
+        }
         Ok(self.store.get(id)?.data().read_u64(off))
+    }
+
+    /// One branch on the empty map in the (single-threaded) common case;
+    /// the lookup only happens while some shared pool is adopted.
+    #[inline]
+    fn shared_route(&self, id: PoolId) -> Option<&Arc<SharedPool>> {
+        if self.shared.is_empty() {
+            None
+        } else {
+            self.shared.get(&id)
+        }
     }
 
     /// Writes the `u64` at intra-pool offset `off` in pool `id` — one
@@ -339,6 +368,13 @@ impl AddressSpace {
     /// Returns [`HeapError::NoSuchPool`] for unknown ids and
     /// [`HeapError::CrashInjected`] when an armed fault point fires.
     pub fn pool_write_u64(&mut self, id: PoolId, off: u64, value: u64) -> Result<()> {
+        if let Some(sp) = self.shared_route(id) {
+            // Shared pools are eADR-only (no pending-line staging) and gate
+            // on the pool-wide plan; armed boundaries crash cleanly.
+            sp.gate()?;
+            sp.write_u64(off, value);
+            return Ok(());
+        }
         let img = self.store.get_mut(id)?;
         let verdict = self.faults.gate_tearable()?;
         if self.flush_model == FlushModel::Adr {
@@ -458,12 +494,80 @@ impl AddressSpace {
         let att = Attachment { pool: id, base: VirtAddr::new(base), size };
         self.attach_by_base.insert(base, att);
         self.attach_by_pool.insert(id, att);
-        // New epoch (a re-attach lands at a new base, so every older
-        // cached translation is wrong), then eagerly install the fresh
-        // attachment in the sPOLB under it.
-        self.trans.bump();
+        // New *per-pool* epoch (a re-attach lands at a new base, so every
+        // older cached translation for this pool is wrong — but only for
+        // this pool: other pools' entries stay hot), then eagerly install
+        // the fresh attachment in the sPOLB under it.
+        self.trans.bump_pool(id.raw());
         self.trans.install_pool(id.raw(), base, size);
         Ok(att)
+    }
+
+    /// Adopts a [`SharedPool`] into this space: reserves a pool id for its
+    /// name ([`PoolStore::reserve`]), picks a private base address, and
+    /// routes all data/allocation/root traffic for that id to the shared
+    /// striped device. Each worker thread adopts the same `Arc` into its
+    /// own space shard; bases (and hence VAs) differ per shard, which is
+    /// why persistent pointers are stored pool-relative.
+    ///
+    /// Adopting the same shared pool twice is a no-op returning its id.
+    ///
+    /// # Errors
+    ///
+    /// - [`HeapError::PoolExists`] when the name belongs to a materialised
+    ///   local pool;
+    /// - [`HeapError::NoAddressSpace`] when no base can be found.
+    pub fn adopt_shared(&mut self, sp: &Arc<SharedPool>) -> Result<PoolId> {
+        if let Some((&id, _)) = self.shared.iter().find(|(_, p)| Arc::ptr_eq(p, sp)) {
+            return Ok(id);
+        }
+        let id = self.store.reserve(sp.name())?;
+        let size = sp.size();
+        let base = self.pick_base(size)?;
+        let att = Attachment { pool: id, base: VirtAddr::new(base), size };
+        self.attach_by_base.insert(base, att);
+        self.attach_by_pool.insert(id, att);
+        self.shared.insert(id, Arc::clone(sp));
+        self.arenas.insert(id, Arena::default());
+        self.trans.bump_pool(id.raw());
+        self.trans.install_pool(id.raw(), base, size);
+        Ok(id)
+    }
+
+    /// The shared pool behind `id`, when `id` was adopted via
+    /// [`AddressSpace::adopt_shared`].
+    pub fn shared_pool(&self, id: PoolId) -> Option<&Arc<SharedPool>> {
+        self.shared.get(&id)
+    }
+
+    /// Whether `id` routes to a shared pool in this space.
+    pub fn is_shared(&self, id: PoolId) -> bool {
+        self.shared.contains_key(&id)
+    }
+
+    /// Binds this space's allocation arena for shared pool `id` to `slab`,
+    /// so lease refills come from that slab's cursor instead of the
+    /// central free list. Any current lease remainder is returned to the
+    /// central allocator. One slab must be bound to at most one live
+    /// arena — single ownership is what makes allocation offsets
+    /// independent of thread timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NoSuchPool`] when `id` is not an adopted
+    /// shared pool.
+    pub fn bind_arena_slab(&mut self, id: PoolId, slab: SlabId) -> Result<()> {
+        let sp =
+            Arc::clone(self.shared.get(&id).ok_or(HeapError::NoSuchPool(id))?);
+        let arena = self.arenas.entry(id).or_default();
+        let lease = arena.bind(Some(slab));
+        sp.release_lease(lease)
+    }
+
+    /// Lease refills this space's arena for `id` has performed (the
+    /// non-vacuity probe for the per-thread allocation path).
+    pub fn arena_refills(&self, id: PoolId) -> u64 {
+        self.arenas.get(&id).map_or(0, Arena::refills)
     }
 
     /// Detaches a pool: its data stays on the device but it loses its base
@@ -477,7 +581,20 @@ impl AddressSpace {
     pub fn detach(&mut self, id: PoolId) -> Result<()> {
         let att = self.attach_by_pool.remove(&id).ok_or(HeapError::PoolDetached(id))?;
         self.attach_by_base.remove(&att.base.raw());
-        self.trans.bump();
+        // Per-pool epoch: detaching this pool must not flush the other
+        // pools' (the other shards') hot translations.
+        self.trans.bump_pool(id.raw());
+        if let Some(sp) = self.shared.remove(&id) {
+            // Graceful release of an adopted shared pool: hand the arena's
+            // lease remainder back to the shared free list. The pool itself
+            // stays alive for the other shards; the reserved id remains
+            // valid for re-adoption.
+            if let Some(mut arena) = self.arenas.remove(&id) {
+                let lease = arena.bind(None);
+                sp.release_lease(lease)?;
+            }
+            return Ok(());
+        }
         let before = self.pending.len();
         self.pending.retain(|(pool, _), _| *pool != id);
         self.lines_flushed += (before - self.pending.len()) as u64;
@@ -528,6 +645,13 @@ impl AddressSpace {
         self.dram_region = Region::format(&mut view, heap_size).expect("heap size unchanged");
         self.attach_by_base.clear();
         self.attach_by_pool.clear();
+        // Adoptions die with the process. Arena lease remainders are *not*
+        // returned — power loss leaks them exactly as a real persistent
+        // allocator leaks thread-cached blocks until a recovery pass; the
+        // block tiling stays valid, so validation and recovery see a
+        // consistent (merely smaller) heap.
+        self.shared.clear();
+        self.arenas.clear();
         self.trans.bump();
     }
 
@@ -634,7 +758,11 @@ impl AddressSpace {
         let att = match self.attach_by_pool.get(&loc.pool) {
             Some(a) => a,
             None => {
-                self.store.get(loc.pool)?;
+                // A lapsed shared-pool adoption is *detached* (the pool
+                // still exists in the shared layer), not unknown.
+                if !self.store.is_reserved(loc.pool) {
+                    self.store.get(loc.pool)?;
+                }
                 return Err(HeapError::PoolDetached(loc.pool));
             }
         };
@@ -652,7 +780,9 @@ impl AddressSpace {
         let att = match self.attach_by_pool.get(&loc.pool) {
             Some(a) => a,
             None => {
-                self.store.get(loc.pool)?;
+                if !self.store.is_reserved(loc.pool) {
+                    self.store.get(loc.pool)?;
+                }
                 return Err(HeapError::PoolDetached(loc.pool));
             }
         };
@@ -686,6 +816,10 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
+            if let Some(sp) = self.shared_route(loc.pool) {
+                sp.read_bytes(loc.offset.into(), buf);
+                return Ok(());
+            }
             let img = self.store.get(loc.pool)?;
             img.data().read(loc.offset.into(), buf);
         } else {
@@ -705,6 +839,14 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
+            if let Some(sp) = self.shared_route(loc.pool) {
+                // Shared pools live in the eADR domain and gate on the
+                // *pool-wide* plan: the boundary counter spans every
+                // thread, like a machine-wide power failure would.
+                sp.gate()?;
+                sp.write_bytes(loc.offset.into(), buf);
+                return Ok(());
+            }
             let img = self.store.get_mut(loc.pool)?;
             let verdict = self.faults.gate_tearable()?;
             if self.flush_model == FlushModel::Adr {
@@ -731,6 +873,10 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.va2ra_uncached(va)?;
+            if let Some(sp) = self.shared_route(loc.pool) {
+                sp.read_bytes(loc.offset.into(), buf);
+                return Ok(());
+            }
             let img = self.store.get(loc.pool)?;
             img.data().read(loc.offset.into(), buf);
         } else {
@@ -809,6 +955,13 @@ impl AddressSpace {
         // unfenced data line can share a pending snapshot with (and later
         // drain over) allocator words — its update is modelled as atomic.
         self.fence();
+        if let Some(sp) = self.shared.get(&id) {
+            let sp = Arc::clone(sp);
+            sp.gate()?;
+            let arena = self.arenas.entry(id).or_default();
+            let off = sp.arena_alloc(arena, size)?;
+            return Ok(RelLoc::new(id, off as u32));
+        }
         let img = self.store.get_mut(id)?;
         // One durable boundary per allocation (see `crate::faults`).
         self.faults.gate()?;
@@ -825,6 +978,10 @@ impl AddressSpace {
     pub fn pfree(&mut self, loc: RelLoc) -> Result<()> {
         // Fence-first for the same reason as `pmalloc`.
         self.fence();
+        if let Some(sp) = self.shared_route(loc.pool) {
+            sp.gate()?;
+            return sp.free_central(loc.offset.into());
+        }
         let img = self.store.get_mut(loc.pool)?;
         // One durable boundary per free, mirroring `pmalloc`.
         self.faults.gate()?;
@@ -838,6 +995,9 @@ impl AddressSpace {
     ///
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     pub fn pool_root(&self, id: PoolId) -> Result<u64> {
+        if let Some(sp) = self.shared_route(id) {
+            return Ok(sp.root());
+        }
         let img = self.store.get(id)?;
         Ok(img.region().root(img.data()))
     }
@@ -850,6 +1010,11 @@ impl AddressSpace {
     pub fn set_pool_root(&mut self, id: PoolId, value: u64) -> Result<()> {
         // Root publication orders after everything it points at.
         self.fence();
+        if let Some(sp) = self.shared_route(id) {
+            sp.gate()?;
+            sp.set_root(value);
+            return Ok(());
+        }
         let img = self.store.get_mut(id)?;
         self.faults.gate()?;
         let region = img.region();
@@ -864,7 +1029,7 @@ impl AddressSpace {
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     pub fn destroy_pool(&mut self, id: PoolId) -> Result<()> {
         let _ = self.detach(id);
-        self.trans.bump();
+        self.trans.bump_pool(id.raw());
         self.store.destroy(id)
     }
 }
@@ -903,6 +1068,109 @@ mod tests {
         assert_eq!(s.va2ra(va).unwrap(), loc);
         let inner = va.add(200);
         assert_eq!(s.va2ra(inner).unwrap(), loc.add(200));
+    }
+
+    #[test]
+    fn adopted_shared_pool_is_visible_from_every_shard() {
+        let sp = SharedPool::create("twin", 2 << 20, 8).unwrap();
+        let mut a = AddressSpace::new(1);
+        let mut b = AddressSpace::new(2);
+        let pa = a.adopt_shared(&sp).unwrap();
+        let pb = b.adopt_shared(&sp).unwrap();
+        assert!(a.is_shared(pa) && b.is_shared(pb));
+        assert_eq!(a.adopt_shared(&sp).unwrap(), pa, "re-adoption is a no-op");
+
+        // Allocate through shard A, write through its VA…
+        let loc = a.pmalloc(pa, 64).unwrap();
+        let va_a = a.ra2va(loc).unwrap();
+        a.write_u64(va_a, 0xC0FFEE).unwrap();
+        // …and read the same pool-relative location through shard B, whose
+        // base differs (private layout seeds).
+        let loc_b = RelLoc::new(pb, loc.offset);
+        let va_b = b.ra2va(loc_b).unwrap();
+        assert_ne!(va_a.raw(), va_b.raw(), "shards map the pool at different bases");
+        assert_eq!(b.read_u64(va_b).unwrap(), 0xC0FFEE);
+
+        // Roots are shared state too.
+        a.set_pool_root(pa, 0x42).unwrap();
+        assert_eq!(b.pool_root(pb).unwrap(), 0x42);
+
+        // And pfree through the *other* shard works: the block lives in
+        // the shared lower layer, not in either shard. Shard A's arena
+        // still holds its lease remainder until A detaches gracefully.
+        b.pfree(loc_b).unwrap();
+        assert_eq!(sp.allocation_count(), 1, "only A's lease remainder is live");
+        a.detach(pa).unwrap();
+        assert_eq!(sp.allocation_count(), 0);
+        sp.validate().unwrap();
+    }
+
+    #[test]
+    fn detaching_one_pool_keeps_the_others_lookasides_hot() {
+        let mut s = AddressSpace::new(9);
+        let pa = s.create_pool("a", 1 << 20).unwrap();
+        let pb = s.create_pool("b", 1 << 20).unwrap();
+        let la = s.pmalloc(pa, 64).unwrap();
+        let lb = s.pmalloc(pb, 64).unwrap();
+        // Warm both pools' entries, then detach A.
+        let _ = s.ra2va(la).unwrap();
+        let vb = s.ra2va(lb).unwrap();
+        let _ = s.va2ra(vb).unwrap();
+        s.detach(pa).unwrap();
+        s.reset_trans_stats();
+        assert!(matches!(s.ra2va(la), Err(HeapError::PoolDetached(_))));
+        assert_eq!(s.ra2va(lb).unwrap(), vb);
+        assert_eq!(s.va2ra(vb).unwrap(), lb);
+        let st = s.trans_stats();
+        assert_eq!(st.spolb_hits, 1, "pool B's sPOLB entry survived A's detach");
+        assert_eq!(st.svalb_hits, 1, "pool B's sVALB range survived A's detach");
+    }
+
+    #[test]
+    fn shared_pool_detach_and_restart_drop_only_the_adoption() {
+        let sp = SharedPool::create("drop", 1 << 20, 4).unwrap();
+        let mut s = AddressSpace::new(4);
+        let p = s.adopt_shared(&sp).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        s.write_u64(va, 31).unwrap();
+        s.detach(p).unwrap();
+        assert!(!s.is_shared(p));
+        assert!(matches!(s.ra2va(loc), Err(HeapError::PoolDetached(_))));
+        // The data survives in the shared layer; re-adoption sees it and
+        // keeps the reserved id stable.
+        assert_eq!(sp.read_u64(u64::from(loc.offset)), 31);
+        let p2 = s.adopt_shared(&sp).unwrap();
+        assert_eq!(p2, p, "reserved id is stable across re-adoption");
+        assert_eq!(s.read_u64(s.ra2va(loc).unwrap()).unwrap(), 31);
+        // A restart loses the adoption but never the shared data.
+        s.restart();
+        assert!(!s.is_shared(p));
+        assert_eq!(sp.read_u64(u64::from(loc.offset)), 31);
+        let p3 = s.adopt_shared(&sp).unwrap();
+        assert_eq!(p3, p);
+    }
+
+    #[test]
+    fn shared_pool_gates_on_the_pool_wide_plan() {
+        let sp = SharedPool::create("gate", 1 << 20, 4).unwrap();
+        let mut a = AddressSpace::new(6);
+        let mut b = AddressSpace::new(7);
+        let pa = a.adopt_shared(&sp).unwrap();
+        let pb = b.adopt_shared(&sp).unwrap();
+        let loc = a.pmalloc(pa, 64).unwrap();
+        let va_a = a.ra2va(loc).unwrap();
+        let vb = b.ra2va(RelLoc::new(pb, loc.offset)).unwrap();
+        // Arm AFTER the allocation: 2 more durable writes, then death —
+        // counted across both shards because the plan lives in the pool.
+        sp.set_faults(FaultPlan::crash_at(2));
+        a.write_u64(va_a, 1).unwrap();
+        b.write_u64(vb, 2).unwrap();
+        let err = a.write_u64(va_a, 3).unwrap_err();
+        assert!(matches!(err, HeapError::CrashInjected { writes: 2 }));
+        // Every shard is dead once the machine-wide plan has tripped.
+        assert!(b.write_u64(vb, 4).is_err());
+        assert_eq!(sp.read_u64(u64::from(loc.offset)), 2, "suppressed writes never landed");
     }
 
     #[test]

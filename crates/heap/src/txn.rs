@@ -35,6 +35,27 @@ const LOG_ENTRIES: u64 = 24;
 /// Bytes per entry: target offset + old value.
 const ENTRY_SIZE: u64 = 16;
 
+/// First word of a log *directory* area. A plain log's first word is its
+/// active flag (0 or 1), so the magic doubles as the format discriminator:
+/// whatever `HDR_LOG_SLOT` points at, reading one word tells us which shape
+/// we are looking at.
+const DIR_MAGIC: u64 = u64::from_le_bytes(*b"UTPRLOGD");
+const DIR_NSLOTS: u64 = 8;
+const DIR_SLOTS: u64 = 16;
+
+/// Maximum per-pool undo logs (one per worker thread, typically).
+pub const MAX_LOG_SLOTS: u64 = 16;
+
+/// What the pool's `HDR_LOG_SLOT` currently points at.
+enum LogHeader {
+    /// No log allocated yet.
+    None,
+    /// A single plain log area (the original single-threaded format).
+    Plain(u64),
+    /// A slot directory of independent logs.
+    Dir(u64),
+}
+
 /// Handle to a pool's undo log.
 ///
 /// # Examples
@@ -69,26 +90,107 @@ impl UndoLog {
     /// Returns the pool's log, allocating one with room for `capacity`
     /// entries if the pool has none yet.
     ///
+    /// Equivalent to [`UndoLog::ensure_slot`] with slot 0 — and as long as
+    /// only slot 0 is ever used, the on-pool format stays the original
+    /// single plain log area, with no directory indirection.
+    ///
     /// # Errors
     ///
     /// Propagates allocation failures; [`HeapError::BadPoolSize`] when
     /// `capacity` is zero.
     pub fn ensure(space: &mut AddressSpace, pool: PoolId, capacity: u64) -> Result<UndoLog> {
+        Self::ensure_slot(space, pool, capacity, 0)
+    }
+
+    /// Returns the pool's log in directory slot `slot`, allocating it (and
+    /// the slot directory, on first use of a nonzero slot) as needed.
+    ///
+    /// Each slot is an independent undo log, so N worker threads can each
+    /// run transactions against one shared pool without sharing a log —
+    /// provided each thread sticks to its own slot. Slot materialization
+    /// itself is *not* thread-safe: harnesses pre-create every slot they
+    /// need while still single-threaded.
+    ///
+    /// Installing the directory migrates an existing plain log into slot 0,
+    /// so handles obtained before the upgrade stay valid.
+    ///
+    /// # Errors
+    ///
+    /// - [`HeapError::BadPoolSize`] when `capacity` is zero;
+    /// - [`HeapError::CorruptRegion`] when `slot >= MAX_LOG_SLOTS`;
+    /// - allocation failures.
+    pub fn ensure_slot(
+        space: &mut AddressSpace,
+        pool: PoolId,
+        capacity: u64,
+        slot: u64,
+    ) -> Result<UndoLog> {
         if capacity == 0 {
             return Err(HeapError::BadPoolSize(0));
         }
-        let img = space.pool_store().get(pool)?;
-        let existing = img.data().read_u64(HDR_LOG_SLOT);
-        if existing != 0 {
-            let img = space.pool_store().get(pool)?;
-            let cap = img.data().read_u64(existing + LOG_CAPACITY);
-            return Ok(UndoLog { pool, base: existing, capacity: cap });
+        if slot >= MAX_LOG_SLOTS {
+            return Err(HeapError::CorruptRegion("log slot out of range"));
         }
-        // Layout: [active][count][capacity][entries...]. Each init store is
-        // its own durable boundary; the init fields are fenced durable
-        // before the header-slot store publishes them, so a crash (or torn
-        // drain) mid-init leaves the pool logless rather than pointing at a
-        // half-initialized area.
+        let header = Self::header(space, pool)?;
+        if slot == 0 {
+            match header {
+                LogHeader::Plain(base) => return Self::at(space, pool, base),
+                LogHeader::None => {
+                    // Keep the original format: a lone slot-0 log is a plain
+                    // log area published straight from the header slot.
+                    let base = Self::alloc_log(space, pool, capacity)?;
+                    space.pool_write_u64(pool, HDR_LOG_SLOT, base)?;
+                    space.fence();
+                    return Ok(UndoLog { pool, base, capacity });
+                }
+                LogHeader::Dir(_) => {}
+            }
+        }
+        let dir = match header {
+            LogHeader::Dir(dir) => dir,
+            other => Self::install_dir(space, pool, &other)?,
+        };
+        let ptr_off = dir + DIR_SLOTS + slot * 8;
+        let existing = space.pool_read_u64(pool, ptr_off)?;
+        if existing != 0 {
+            return Self::at(space, pool, existing);
+        }
+        let base = Self::alloc_log(space, pool, capacity)?;
+        space.pool_write_u64(pool, ptr_off, base)?;
+        space.fence();
+        Ok(UndoLog { pool, base, capacity })
+    }
+
+    /// Reads the header slot and classifies what it points at.
+    fn header(space: &AddressSpace, pool: PoolId) -> Result<LogHeader> {
+        let hdr = space.pool_read_u64(pool, HDR_LOG_SLOT)?;
+        if hdr == 0 {
+            return Ok(LogHeader::None);
+        }
+        // A plain log's first word is its active flag (0/1); the magic
+        // cannot collide with it.
+        if space.pool_read_u64(pool, hdr)? == DIR_MAGIC {
+            Ok(LogHeader::Dir(hdr))
+        } else {
+            Ok(LogHeader::Plain(hdr))
+        }
+    }
+
+    /// Builds a handle onto an existing log area at `base`.
+    fn at(space: &AddressSpace, pool: PoolId, base: u64) -> Result<UndoLog> {
+        let capacity = space.pool_read_u64(pool, base + LOG_CAPACITY)?;
+        Ok(UndoLog { pool, base, capacity })
+    }
+
+    /// Allocates and initializes a log area, returning its intra-pool
+    /// offset — *without* publishing it anywhere.
+    ///
+    /// Layout: `[active][count][capacity][entries...]`. Each init store is
+    /// its own durable boundary; the init fields are fenced durable before
+    /// the caller's publishing store, so a crash (or torn drain) mid-init
+    /// leaves the pool without the new log rather than pointing at a
+    /// half-initialized area.
+    fn alloc_log(space: &mut AddressSpace, pool: PoolId, capacity: u64) -> Result<u64> {
         let bytes = LOG_ENTRIES + capacity * ENTRY_SIZE;
         let loc = space.pmalloc(pool, bytes)?;
         let base = u64::from(loc.offset);
@@ -96,24 +198,65 @@ impl UndoLog {
         space.pool_write_u64(pool, base + LOG_COUNT, 0)?;
         space.pool_write_u64(pool, base + LOG_CAPACITY, capacity)?;
         space.fence();
-        space.pool_write_u64(pool, HDR_LOG_SLOT, base)?;
-        space.fence();
-        Ok(UndoLog { pool, base, capacity })
+        Ok(base)
     }
 
-    /// Opens the pool's existing log (after a restart).
+    /// Allocates a slot directory, migrating an existing plain log into
+    /// slot 0, and publishes it from the header slot. Returns the
+    /// directory's intra-pool offset.
+    fn install_dir(space: &mut AddressSpace, pool: PoolId, prior: &LogHeader) -> Result<u64> {
+        let bytes = DIR_SLOTS + MAX_LOG_SLOTS * 8;
+        let loc = space.pmalloc(pool, bytes)?;
+        let dir = u64::from(loc.offset);
+        space.pool_write_u64(pool, dir, DIR_MAGIC)?;
+        space.pool_write_u64(pool, dir + DIR_NSLOTS, MAX_LOG_SLOTS)?;
+        // pmalloc'd memory may hold stale bytes — zero every slot word
+        // explicitly before the directory becomes reachable.
+        for slot in 0..MAX_LOG_SLOTS {
+            space.pool_write_u64(pool, dir + DIR_SLOTS + slot * 8, 0)?;
+        }
+        if let LogHeader::Plain(base) = prior {
+            space.pool_write_u64(pool, dir + DIR_SLOTS, *base)?;
+        }
+        // The directory contents are fenced durable before the header-slot
+        // store swings the pool over to the new format.
+        space.fence();
+        space.pool_write_u64(pool, HDR_LOG_SLOT, dir)?;
+        space.fence();
+        Ok(dir)
+    }
+
+    /// Opens the pool's existing slot-0 log (after a restart).
     ///
     /// # Errors
     ///
     /// Returns [`HeapError::CorruptRegion`] when the pool has no log.
     pub fn open(space: &AddressSpace, pool: PoolId) -> Result<UndoLog> {
-        let img = space.pool_store().get(pool)?;
-        let base = img.data().read_u64(HDR_LOG_SLOT);
-        if base == 0 {
-            return Err(HeapError::CorruptRegion("pool has no transaction log"));
+        Self::open_slot(space, pool, 0)
+    }
+
+    /// Opens the existing log in directory slot `slot` (after a restart).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CorruptRegion`] when the pool has no log, the
+    /// slot is out of range, or the slot was never materialized.
+    pub fn open_slot(space: &AddressSpace, pool: PoolId, slot: u64) -> Result<UndoLog> {
+        if slot >= MAX_LOG_SLOTS {
+            return Err(HeapError::CorruptRegion("log slot out of range"));
         }
-        let capacity = img.data().read_u64(base + LOG_CAPACITY);
-        Ok(UndoLog { pool, base, capacity })
+        match Self::header(space, pool)? {
+            LogHeader::None => Err(HeapError::CorruptRegion("pool has no transaction log")),
+            LogHeader::Plain(base) if slot == 0 => Self::at(space, pool, base),
+            LogHeader::Plain(_) => Err(HeapError::CorruptRegion("pool log has no slot directory")),
+            LogHeader::Dir(dir) => {
+                let base = space.pool_read_u64(pool, dir + DIR_SLOTS + slot * 8)?;
+                if base == 0 {
+                    return Err(HeapError::CorruptRegion("log slot is empty"));
+                }
+                Self::at(space, pool, base)
+            }
+        }
     }
 
     fn read(&self, space: &AddressSpace, off: u64) -> Result<u64> {
@@ -299,23 +442,42 @@ impl UndoLog {
         self.rollback(space)
     }
 
-    /// Crash recovery: if the pool carries a torn transaction, rolls it
-    /// back; otherwise does nothing. Returns whether a rollback happened.
+    /// Crash recovery: rolls back every torn transaction the pool carries —
+    /// the single plain log, or each materialized directory slot in turn.
+    /// Returns whether any rollback happened.
+    ///
+    /// Slots belong to different (dead) worker threads, so their torn
+    /// transactions touched disjoint words and the slot-order replay is
+    /// safe.
     ///
     /// # Errors
     ///
     /// Propagates pool lookup failures.
     pub fn recover(space: &mut AddressSpace, pool: PoolId) -> Result<bool> {
-        let log = match UndoLog::open(space, pool) {
-            Ok(l) => l,
-            Err(HeapError::CorruptRegion(_)) => return Ok(false),
-            Err(e) => return Err(e),
+        let bases: Vec<u64> = match Self::header(space, pool)? {
+            LogHeader::None => return Ok(false),
+            LogHeader::Plain(base) => vec![base],
+            LogHeader::Dir(dir) => {
+                let nslots = space.pool_read_u64(pool, dir + DIR_NSLOTS)?.min(MAX_LOG_SLOTS);
+                let mut v = Vec::new();
+                for slot in 0..nslots {
+                    let base = space.pool_read_u64(pool, dir + DIR_SLOTS + slot * 8)?;
+                    if base != 0 {
+                        v.push(base);
+                    }
+                }
+                v
+            }
         };
-        if !log.is_active(space)? {
-            return Ok(false);
+        let mut any = false;
+        for base in bases {
+            let log = Self::at(space, pool, base)?;
+            if log.is_active(space)? {
+                log.rollback(space)?;
+                any = true;
+            }
         }
-        log.rollback(space)?;
-        Ok(true)
+        Ok(any)
     }
 
     fn rollback(&self, space: &mut AddressSpace) -> Result<()> {
@@ -548,6 +710,70 @@ mod tests {
             Err(HeapError::OutOfMemory { .. })
         ));
         reopened.commit(&mut space).unwrap();
+    }
+
+    #[test]
+    fn lone_slot_zero_keeps_the_plain_format() {
+        let (mut space, pool, _, _) = setup();
+        let l1 = UndoLog::ensure_slot(&mut space, pool, 8, 0).unwrap();
+        let l2 = UndoLog::ensure(&mut space, pool, 8).unwrap();
+        assert_eq!(l1.base, l2.base, "slot 0 and plain ensure are the same log");
+        // The header points straight at the log area — no directory.
+        let hdr = space.pool_read_u64(pool, HDR_LOG_SLOT).unwrap();
+        assert_eq!(hdr, l1.base);
+        assert_ne!(space.pool_read_u64(pool, hdr).unwrap(), DIR_MAGIC);
+    }
+
+    #[test]
+    fn second_slot_installs_directory_and_migrates_slot_zero() {
+        let (mut space, pool, a, _) = setup();
+        let plain = UndoLog::ensure(&mut space, pool, 8).unwrap();
+        let slot1 = UndoLog::ensure_slot(&mut space, pool, 4, 1).unwrap();
+        assert_ne!(plain.base, slot1.base);
+        // The plain log migrated into slot 0; old handles and `open` both
+        // still resolve to it.
+        let hdr = space.pool_read_u64(pool, HDR_LOG_SLOT).unwrap();
+        assert_eq!(space.pool_read_u64(pool, hdr).unwrap(), DIR_MAGIC);
+        assert_eq!(UndoLog::open(&space, pool).unwrap().base, plain.base);
+        assert_eq!(UndoLog::open_slot(&space, pool, 0).unwrap().base, plain.base);
+        assert_eq!(UndoLog::open_slot(&space, pool, 1).unwrap().base, slot1.base);
+        assert_eq!(UndoLog::open_slot(&space, pool, 1).unwrap().capacity, 4);
+        // The migrated handle still runs transactions.
+        plain
+            .run(&mut space, |space, txn| {
+                txn.log_word(space, a)?;
+                let va = space.ra2va(a)?;
+                space.write_u64(va, 7)
+            })
+            .unwrap();
+        assert_eq!(read(&space, a), 7);
+        // ensure_slot is idempotent per slot.
+        assert_eq!(UndoLog::ensure_slot(&mut space, pool, 9, 1).unwrap().base, slot1.base);
+        // Unmaterialized slots stay closed.
+        assert!(UndoLog::open_slot(&space, pool, 2).is_err());
+        assert!(UndoLog::ensure_slot(&mut space, pool, 4, MAX_LOG_SLOTS).is_err());
+    }
+
+    #[test]
+    fn recovery_rolls_back_every_active_slot() {
+        let (mut space, pool, a, b) = setup();
+        let l0 = UndoLog::ensure_slot(&mut space, pool, 8, 0).unwrap();
+        let l1 = UndoLog::ensure_slot(&mut space, pool, 8, 1).unwrap();
+        // Two worker threads each tear a transaction on disjoint words.
+        l0.begin(&mut space).unwrap();
+        l0.log_word(&mut space, a).unwrap();
+        write(&mut space, a, 1);
+        l1.begin(&mut space).unwrap();
+        l1.log_word(&mut space, b).unwrap();
+        write(&mut space, b, 2);
+        space.restart();
+        space.open_pool("txn").unwrap();
+        assert!(UndoLog::recover(&mut space, pool).unwrap(), "rollbacks expected");
+        assert_eq!(read(&space, a), 100, "slot 0 rolled back");
+        assert_eq!(read(&space, b), 50, "slot 1 rolled back");
+        assert!(!UndoLog::open_slot(&space, pool, 0).unwrap().is_active(&space).unwrap());
+        assert!(!UndoLog::open_slot(&space, pool, 1).unwrap().is_active(&space).unwrap());
+        assert!(!UndoLog::recover(&mut space, pool).unwrap(), "second pass is a no-op");
     }
 
     #[test]

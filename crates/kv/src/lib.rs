@@ -24,6 +24,7 @@
 
 pub mod faultsweep;
 pub mod harness;
+pub mod mt;
 pub mod rng;
 pub mod store;
 pub mod workload;
@@ -34,6 +35,7 @@ pub use faultsweep::{
     FaultFlavor, SweepFailure, SweepReport, SweepSpec,
 };
 pub use harness::{run_all_modes, run_benchmark, verify_mode_agreement, BenchResult, Benchmark};
+pub use mt::{mt_crash_sweep, run_mt_ycsb, MtResult, MtSpec, MtSweepReport, MtSweepSpec, PARTITIONS};
 pub use store::{KvStore, RunSummary};
 pub use workload::{generate, Op, Workload, WorkloadSpec, Zipfian};
 pub use ycsb::{generate_preset, Preset};

@@ -45,6 +45,7 @@ pub mod bench;
 pub mod gen;
 pub mod rng;
 pub mod runner;
+pub mod sched;
 
 /// One-stop import mirroring `proptest::prelude::*`.
 pub mod prelude {

@@ -1,0 +1,157 @@
+//! Seeded interleaving schedules for concurrency harnesses.
+//!
+//! Real thread timing is non-deterministic, which would make concurrent
+//! crash sweeps unreplayable. The explorer sidesteps that: each logical
+//! thread contributes a *script* of operations, and a [`schedule`] decides
+//! the global interleaving up front — round-robin for the canonical fair
+//! ordering, or seeded-random to explore skewed ones. A driver then
+//! executes the scripts *serially* in schedule order, so any failure
+//! replays exactly from the `(seed, policy, counts)` triple — the same
+//! `UTPR_QC_SEED` contract as the property runner ([`crate::runner`]).
+
+use crate::rng::Rng;
+
+/// How the per-thread scripts are interleaved into one global order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Cyclic fair order: thread 0, 1, …, N-1, 0, 1, … (skipping threads
+    /// whose script is exhausted).
+    RoundRobin,
+    /// Seeded-random pick among non-exhausted threads; distinct seeds
+    /// explore distinct interleavings, the same seed replays bit-for-bit.
+    Seeded(u64),
+}
+
+/// Builds an interleaving: a vector of thread ids in which thread `t`
+/// appears exactly `counts[t]` times, in script order (a schedule permutes
+/// *across* threads, never within one thread's script).
+///
+/// # Panics
+///
+/// Panics when `counts` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_qc::sched::{schedule, Policy};
+///
+/// let order = schedule(Policy::RoundRobin, &[2, 2]);
+/// assert_eq!(order, vec![0, 1, 0, 1]);
+///
+/// let a = schedule(Policy::Seeded(7), &[3, 3, 3]);
+/// let b = schedule(Policy::Seeded(7), &[3, 3, 3]);
+/// assert_eq!(a, b, "same seed, same interleaving");
+/// ```
+#[must_use]
+pub fn schedule(policy: Policy, counts: &[u64]) -> Vec<u32> {
+    assert!(!counts.is_empty(), "schedule over zero threads");
+    let total: u64 = counts.iter().sum();
+    let mut remaining = counts.to_vec();
+    let mut order = Vec::with_capacity(total as usize);
+    match policy {
+        Policy::RoundRobin => {
+            let mut t = 0usize;
+            while order.len() < total as usize {
+                if remaining[t] > 0 {
+                    remaining[t] -= 1;
+                    order.push(t as u32);
+                }
+                t = (t + 1) % counts.len();
+            }
+        }
+        Policy::Seeded(seed) => {
+            let mut rng = Rng::new(seed);
+            let mut left = total;
+            while left > 0 {
+                // Weighted pick by remaining script length, so long scripts
+                // are not starved to the tail of the schedule.
+                let mut pick = rng.below(left);
+                for (t, r) in remaining.iter_mut().enumerate() {
+                    if pick < *r {
+                        *r -= 1;
+                        left -= 1;
+                        order.push(t as u32);
+                        break;
+                    }
+                    pick -= *r;
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Steps through a schedule, tracking each thread's position in its own
+/// script: yields `(thread, index_within_script)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use utpr_qc::sched::{schedule, steps, Policy};
+///
+/// let order = schedule(Policy::RoundRobin, &[2, 1]);
+/// let s: Vec<(u32, u64)> = steps(&order).collect();
+/// assert_eq!(s, vec![(0, 0), (1, 0), (0, 1)]);
+/// ```
+pub fn steps(order: &[u32]) -> impl Iterator<Item = (u32, u64)> + '_ {
+    let threads = order.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut cursor = vec![0u64; threads];
+    order.iter().map(move |&t| {
+        let i = cursor[t as usize];
+        cursor[t as usize] += 1;
+        (t, i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(order: &[u32], threads: usize) -> Vec<u64> {
+        let mut h = vec![0u64; threads];
+        for &t in order {
+            h[t as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn every_policy_conserves_the_scripts() {
+        let counts = [5u64, 0, 3, 9];
+        for policy in [Policy::RoundRobin, Policy::Seeded(1), Policy::Seeded(0xDEAD)] {
+            let order = schedule(policy, &counts);
+            assert_eq!(histogram(&order, counts.len()), counts.to_vec(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_is_cyclic_and_skips_exhausted() {
+        assert_eq!(schedule(Policy::RoundRobin, &[3, 1]), vec![0, 1, 0, 0]);
+        assert_eq!(schedule(Policy::RoundRobin, &[1, 2, 2]), vec![0, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn seeded_schedules_replay_and_differ_across_seeds() {
+        let counts = [20u64, 20, 20, 20];
+        let base = schedule(Policy::Seeded(0), &counts);
+        assert_eq!(base, schedule(Policy::Seeded(0), &counts), "replayable");
+        let mut any_different = false;
+        for seed in 1..8 {
+            if schedule(Policy::Seeded(seed), &counts) != base {
+                any_different = true;
+            }
+        }
+        assert!(any_different, "seeds must explore distinct interleavings");
+    }
+
+    #[test]
+    fn steps_tracks_per_thread_positions() {
+        let order = schedule(Policy::Seeded(3), &[4, 4]);
+        let mut seen = vec![Vec::new(), Vec::new()];
+        for (t, i) in steps(&order) {
+            seen[t as usize].push(i);
+        }
+        assert_eq!(seen[0], vec![0, 1, 2, 3], "script order preserved");
+        assert_eq!(seen[1], vec![0, 1, 2, 3]);
+    }
+}

@@ -149,6 +149,9 @@ pub struct ExecEnv<S: TimingSink = NullSink> {
     /// `(site id, kind)` → last observed outcome, epoch-stamped.
     site_cache: std::collections::HashMap<(usize, u32), SiteCheckEntry>,
     frame_cursor: u64,
+    /// Which per-pool undo-log directory slot this environment's
+    /// transactions use — each worker thread of a shared pool gets its own.
+    txn_slot: u64,
     txn: Option<utpr_heap::UndoLog>,
     /// Frees issued inside the open transaction, applied at commit: the
     /// allocator would otherwise clobber the freed bytes and break undo
@@ -186,6 +189,7 @@ pub struct ExecEnvBuilder<S: TimingSink = NullSink> {
     conversion_reuse: bool,
     site_check_cache: bool,
     translation_cache: bool,
+    txn_slot: u64,
     faults: Option<FaultPlan>,
 }
 
@@ -213,6 +217,7 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
             conversion_reuse: self.conversion_reuse,
             site_check_cache: self.site_check_cache,
             translation_cache: self.translation_cache,
+            txn_slot: self.txn_slot,
             faults: self.faults,
         }
     }
@@ -249,6 +254,16 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
         self
     }
 
+    /// Selects which per-pool undo-log directory slot transactions use
+    /// (default: 0, the plain single-log format). Worker threads sharing
+    /// one pool each build their environment with a distinct slot so their
+    /// transactions log independently; see
+    /// [`utpr_heap::UndoLog::ensure_slot`].
+    pub fn txn_slot(mut self, slot: u64) -> Self {
+        self.txn_slot = slot;
+        self
+    }
+
     /// Installs a fault-injection gate on the address space at build time
     /// (counting or armed — see [`FaultPlan`]).
     pub fn faults(mut self, faults: FaultPlan) -> Self {
@@ -276,6 +291,7 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
             site_check_cache: self.site_check_cache,
             site_cache: std::collections::HashMap::new(),
             frame_cursor: 0,
+            txn_slot: self.txn_slot,
             txn: None,
             txn_frees: Vec::new(),
         }
@@ -294,6 +310,7 @@ impl ExecEnv<NullSink> {
             conversion_reuse: true,
             site_check_cache: false,
             translation_cache: true,
+            txn_slot: 0,
             faults: None,
         }
     }
@@ -828,7 +845,7 @@ impl<S: TimingSink> ExecEnv<S> {
             Placement::Pool(p) => p,
             Placement::Dram => return Err(HeapError::CorruptRegion("no pool for transaction")),
         };
-        let log = utpr_heap::UndoLog::ensure(&mut self.space, pool, 1 << 16)?;
+        let log = utpr_heap::UndoLog::ensure_slot(&mut self.space, pool, 1 << 16, self.txn_slot)?;
         log.begin(&mut self.space)?;
         self.emit(MemEvent::Exec(8));
         self.txn = Some(log);

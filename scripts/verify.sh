@@ -22,6 +22,12 @@
 #                  cached-vs-uncached equivalence probes passed, the YCSB-A
 #                  sVALB hit rate is >= 0.95, and the cached va2ra fast
 #                  path is >= 3x the cold BTree walk
+#   --mt           additionally run the multicore smoke: the concurrent
+#                  crash-matrix sweep (every crash point of a 3-thread
+#                  seeded schedule recovers), then hotpath at small scale;
+#                  check the multi-threaded YCSB-A arm's checksums are
+#                  bit-identical at every thread count and the modelled
+#                  8-core makespan speedup is >= 4x
 #
 # Environment:
 #   UTPR_QC_SEED  override the property-test base seed (decimal or 0x-hex)
@@ -39,6 +45,7 @@ run_smoke=0
 run_faults=0
 run_corruption=0
 run_hotpath=0
+run_mt=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
@@ -46,6 +53,7 @@ for arg in "$@"; do
         --faults) run_faults=1 ;;
         --corruption) run_corruption=1 ;;
         --hotpath) run_hotpath=1 ;;
+        --mt) run_mt=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -170,6 +178,37 @@ if [[ "$run_hotpath" == 1 ]]; then
         exit 1
     }
     echo "smoke: lookasides clean (speedup ${speedup}x, sVALB hit rate ${hit_rate})"
+fi
+
+if [[ "$run_mt" == 1 ]]; then
+    echo "== extra: multicore smoke (schedule explorer + crash sweeps + MT YCSB-A) =="
+    cargo test -q --offline -p utpr-qc sched
+    cargo test -q --offline -p utpr-kv mt::
+    cargo test -q --offline --test crash_matrix concurrent_fault_sweep
+    cargo test -q --offline -p utpr-bench --test par_determinism mt_ycsb
+
+    mt_dir=$(mktemp -d)
+    trap 'rm -rf "$mt_dir"' EXIT
+
+    # The bench exits nonzero itself when the MT checksums diverge across
+    # thread counts — set -e propagates that.
+    UTPR_BENCH_SCALE=small UTPR_BENCH_OUT="$mt_dir" \
+        cargo bench -q -p utpr-bench --bench hotpath --offline
+    [[ -f "$mt_dir/BENCH_hotpath.json" ]] || {
+        echo "verify: multicore smoke did not emit BENCH_hotpath.json" >&2
+        exit 1
+    }
+    grep -q '"mt_checksum_ok":true' "$mt_dir/BENCH_hotpath.json" || {
+        echo "verify: MT YCSB-A checksums diverged across thread counts:" >&2
+        cat "$mt_dir/BENCH_hotpath.json" >&2
+        exit 1
+    }
+    mt_speedup=$(sed -n 's/.*"mt_speedup_8":\([0-9.]*\).*/\1/p' "$mt_dir/BENCH_hotpath.json")
+    awk -v s="$mt_speedup" 'BEGIN { exit !(s >= 4.0) }' || {
+        echo "verify: 8-core modelled speedup ${mt_speedup}x below the 4x floor" >&2
+        exit 1
+    }
+    echo "smoke: multicore clean (8-core speedup ${mt_speedup}x, checksums thread-count-invariant)"
 fi
 
 echo "verify: OK"

@@ -127,7 +127,9 @@ pub mod prelude {
     pub use crate::ds::{
         AvlTree, BPlusTree, HashMapIndex, Index, LinkedList, RbTree, ScapegoatTree, SplayTree,
     };
-    pub use crate::heap::{AddressSpace, FaultPlan, PoolId, RelLoc, UndoLog, VirtAddr};
+    pub use crate::heap::{
+        AddressSpace, FaultPlan, PoolId, RelLoc, SharedPool, SlabId, UndoLog, VirtAddr,
+    };
     pub use crate::kv::{Benchmark, KvStore, SweepSpec, WorkloadSpec};
     pub use crate::uptr::{
         site, CheckPolicy, CountingSink, ExecEnv, ExecEnvBuilder, Mode, NullSink, Placement, UPtr,

@@ -253,6 +253,49 @@ fn peek_raw_bypasses_translation_caches() {
     assert!(env.peek_raw(p, 0).is_err(), "oracle must fault on a detached pool");
 }
 
+/// Concurrent crash sweep: N logical threads, each with its own store,
+/// slab, and undo-log slot over ONE shared pool, interleaved by a seeded
+/// schedule. A crash is injected at every durable-write boundary of that
+/// interleaved history; recovery rolls back every thread's torn
+/// transaction and the three faultsweep oracles run per thread. Failures
+/// print the replay seed.
+#[test]
+fn concurrent_fault_sweep_every_crash_point_recovers() {
+    let seed = utpr_qc::runner::base_seed();
+    let spec = utpr::kv::mt::MtSweepSpec {
+        threads: 3,
+        ops_per_thread: 4,
+        ..utpr::kv::mt::MtSweepSpec::small(seed)
+    };
+    let report = utpr::kv::mt::mt_crash_sweep(&spec).unwrap();
+    assert_eq!(report.tested, report.boundaries, "small scale must sweep every boundary");
+    assert!(report.boundaries > 0, "interleaved workload produced no durable writes");
+    assert!(report.rollbacks > 0, "no crash point ever tore a transaction");
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("FAIL mt: {f}");
+        }
+        panic!(
+            "mt: {} of {} crash points failed — replay with UTPR_QC_SEED={seed}",
+            report.failures.len(),
+            report.boundaries
+        );
+    }
+}
+
+/// The concurrent sweep replays bit-for-bit under a fixed seed, and its
+/// seeded schedules genuinely interleave the threads (the round-robin
+/// order is just one point in the explored space).
+#[test]
+fn concurrent_fault_sweep_is_deterministic() {
+    let spec = utpr::kv::mt::MtSweepSpec::small(20260808);
+    let a = utpr::kv::mt::mt_crash_sweep(&spec).unwrap();
+    let b = utpr::kv::mt::mt_crash_sweep(&spec).unwrap();
+    assert_eq!(a.boundaries, b.boundaries);
+    assert_eq!(a.rollbacks, b.rollbacks);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
+
 /// The whole sweep is bit-deterministic under a fixed seed.
 #[test]
 fn fault_sweep_is_deterministic() {

@@ -4,7 +4,7 @@
 
 use utpr_qc::prelude::*;
 use std::collections::HashMap;
-use utpr_heap::{AddressSpace, PageStore, PoolId, Region, RelLoc};
+use utpr_heap::{AddressSpace, HeapError, PageStore, PoolId, Region, RelLoc, SharedPool};
 use utpr_ptr::UPtr;
 
 props! {
@@ -360,6 +360,177 @@ props! {
         let plain = run_space_ops(&ops, false);
         prop_assert_eq!(&cached, &plain);
     }
+}
+
+// ---- twin-space equivalence of the sharded heap ---------------------------
+//
+// The multicore tentpole's correctness oracle: the same seeded interleaving
+// of per-thread op scripts, executed once over N spaces sharing one
+// `SharedPool` (per-thread arenas, slab-bound leases) and once over a plain
+// single-threaded `AddressSpace`, must observe identical values and
+// identical error identities. Offsets and virtual addresses legitimately
+// differ between the two substrates (different allocators, different
+// bases), so observations are handle-indexed: reads compare the *values*
+// stored through each handle, and errors compare by variant
+// (`std::mem::discriminant`), which is exactly the part of an error that is
+// independent of layout.
+
+/// One per-thread heap operation; indices are reduced modulo live handles.
+#[derive(Clone, Copy, Debug)]
+enum TwinOp {
+    Alloc { size: u16 },
+    Write { idx: u8, value: u64 },
+    Read { idx: u8 },
+    Free { idx: u8 },
+    /// Free of an odd (hence never-allocated) offset: `BadFree` on both
+    /// substrates regardless of layout.
+    BadFree { off: u32 },
+    /// Translation far past the end of the pool.
+    OobTranslate,
+}
+
+fn twin_op_strategy() -> OneOf<TwinOp> {
+    one_of![
+        4 => (8u16..384).prop_map(|size| TwinOp::Alloc { size }),
+        4 => (any::<u8>(), any::<u64>()).prop_map(|(idx, value)| TwinOp::Write { idx, value }),
+        4 => any::<u8>().prop_map(|idx| TwinOp::Read { idx }),
+        2 => any::<u8>().prop_map(|idx| TwinOp::Free { idx }),
+        1 => any::<u32>().prop_map(|off| TwinOp::BadFree { off }),
+        1 => Just(TwinOp::OobTranslate),
+    ]
+}
+
+type TwinTrace = Vec<Result<u64, std::mem::Discriminant<HeapError>>>;
+
+/// Executes one step of a logical thread's script against `space`,
+/// appending a layout-independent observation to `trace`.
+fn twin_step(
+    op: TwinOp,
+    pool: PoolId,
+    space: &mut AddressSpace,
+    locs: &mut Vec<RelLoc>,
+    trace: &mut TwinTrace,
+) {
+    use std::mem::discriminant;
+    let entry = match op {
+        TwinOp::Alloc { size } => match space.pmalloc(pool, u64::from(size)) {
+            Ok(loc) => {
+                // Stamp the payload immediately: a fresh block may hold
+                // stale free-list words, which *are* layout-dependent.
+                let stamp = ((locs.len() as u64) << 32) | u64::from(size);
+                let va = space.ra2va(loc).unwrap();
+                space.write_u64(va, stamp).unwrap();
+                locs.push(loc);
+                Ok(stamp)
+            }
+            Err(e) => Err(discriminant(&e)),
+        },
+        TwinOp::Write { idx, value } if !locs.is_empty() => {
+            let loc = locs[idx as usize % locs.len()];
+            space
+                .ra2va(loc)
+                .and_then(|va| space.write_u64(va, value))
+                .map(|()| value)
+                .map_err(|e| discriminant(&e))
+        }
+        TwinOp::Read { idx } if !locs.is_empty() => {
+            let loc = locs[idx as usize % locs.len()];
+            space.ra2va(loc).and_then(|va| space.read_u64(va)).map_err(|e| discriminant(&e))
+        }
+        TwinOp::Free { idx } if !locs.is_empty() => {
+            let loc = locs.swap_remove(idx as usize % locs.len());
+            space.pfree(loc).map(|()| 1).map_err(|e| discriminant(&e))
+        }
+        TwinOp::BadFree { off } => {
+            space.pfree(RelLoc::new(pool, off | 1)).map(|()| 2).map_err(|e| discriminant(&e))
+        }
+        TwinOp::OobTranslate => {
+            space.ra2va(RelLoc::new(pool, u32::MAX)).map(|_| 3).map_err(|e| discriminant(&e))
+        }
+        // Handle-indexed op with no live handles: observe a fixed token so
+        // both substrates stay in lockstep.
+        _ => Ok(0),
+    };
+    trace.push(entry);
+}
+
+/// The seeded interleaving through N spaces over one `SharedPool`, each
+/// logical thread with its own slab-bound arena.
+fn run_twin_sharded(scripts: &[Vec<TwinOp>], order: &[u32]) -> TwinTrace {
+    let threads = scripts.len();
+    let sp = SharedPool::create("twin", 8 << 20, 4).unwrap();
+    let mut spaces = Vec::new();
+    let mut pools = Vec::new();
+    for t in 0..threads {
+        let mut s = AddressSpace::new(0x7717 + t as u64);
+        let pool = s.adopt_shared(&sp).unwrap();
+        let slab = sp.carve_slab(256 << 10).unwrap();
+        s.bind_arena_slab(pool, slab).unwrap();
+        spaces.push(s);
+        pools.push(pool);
+    }
+    let mut locs: Vec<Vec<RelLoc>> = vec![Vec::new(); threads];
+    let mut trace = TwinTrace::new();
+    for (t, j) in utpr_qc::sched::steps(order) {
+        let t = t as usize;
+        twin_step(scripts[t][j as usize], pools[t], &mut spaces[t], &mut locs[t], &mut trace);
+    }
+    trace
+}
+
+/// The identical interleaving through one plain single-threaded space:
+/// logical threads keep separate handle lists but share the space.
+fn run_twin_reference(scripts: &[Vec<TwinOp>], order: &[u32]) -> TwinTrace {
+    let threads = scripts.len();
+    let mut space = AddressSpace::new(0x7717);
+    let pool = space.create_pool("twin-ref", 8 << 20).unwrap();
+    let mut locs: Vec<Vec<RelLoc>> = vec![Vec::new(); threads];
+    let mut trace = TwinTrace::new();
+    for (t, j) in utpr_qc::sched::steps(order) {
+        let t = t as usize;
+        twin_step(scripts[t][j as usize], pool, &mut space, &mut locs[t], &mut trace);
+    }
+    trace
+}
+
+props! {
+    #![cases(48)]
+
+    /// Three per-thread scripts under a seeded interleaving: the sharded
+    /// heap and the single-threaded reference return the same values and
+    /// the same error identities at every step.
+    #[test]
+    fn sharded_heap_matches_single_threaded_reference(
+        s0 in collection::vec(twin_op_strategy(), 1..40),
+        s1 in collection::vec(twin_op_strategy(), 1..40),
+        s2 in collection::vec(twin_op_strategy(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let scripts = vec![s0, s1, s2];
+        let counts: Vec<u64> = scripts.iter().map(|s| s.len() as u64).collect();
+        let order =
+            utpr_qc::sched::schedule(utpr_qc::sched::Policy::Seeded(seed), &counts);
+        let sharded = run_twin_sharded(&scripts, &order);
+        let reference = run_twin_reference(&scripts, &order);
+        prop_assert_eq!(&sharded, &reference);
+    }
+}
+
+/// Sanity: the twin property exercises the per-thread arena path for real —
+/// a sustained allocation run drains leases and refills them from the slab.
+#[test]
+fn sharded_twin_runs_refill_their_arenas() {
+    let sp = SharedPool::create("twin-vac", 8 << 20, 4).unwrap();
+    let mut space = AddressSpace::new(1);
+    let pool = space.adopt_shared(&sp).unwrap();
+    let slab = sp.carve_slab(512 << 10).unwrap();
+    space.bind_arena_slab(pool, slab).unwrap();
+    for _ in 0..200 {
+        space.pmalloc(pool, 384).unwrap();
+    }
+    assert!(space.arena_refills(pool) > 1, "lease never refilled: arena layer is vacuous");
+    assert!(sp.refills() > 1, "shared pool saw no refills: {}", sp.refills());
+    assert_eq!(sp.slab_overflows(), 0, "slab sized to hold the whole run");
 }
 
 /// Sanity: the property above is not vacuous — a cached run of a

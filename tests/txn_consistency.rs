@@ -27,9 +27,7 @@ fn setup() -> (ExecEnv<NullSink>, RbTree, Vec<u64>) {
 #[test]
 fn committed_library_call_is_durable() {
     let (mut env, mut tree, keys) = setup();
-    env.txn_begin().unwrap();
-    tree.insert(&mut env, 9999, 1).unwrap(); // unmodified library call
-    env.txn_commit().unwrap();
+    env.with_txn(|env| tree.insert(env, 9999, 1)).unwrap(); // unmodified library call
 
     env.space_mut().restart();
     let pool = env.space_mut().open_pool("txn-kv").unwrap();
