@@ -230,10 +230,13 @@ struct YcsbRun {
 }
 
 /// One YCSB-A run over the RB tree, measured past warm-up.
+/// `site_check_cache: None` leaves the builder default in force — the
+/// default-on arm below proves the shipped configuration is the measured
+/// one, not an opt-in variant.
 fn run_ycsb(
     mode: Mode,
     translation_cache: bool,
-    site_check_cache: bool,
+    site_check_cache: Option<bool>,
     records: u64,
     operations: u64,
 ) -> YcsbRun {
@@ -246,13 +249,15 @@ fn run_ycsb(
         .collect();
     let mut machine = Machine::new(SimConfig::table_iv());
     machine.set_pool_ranges(ranges);
-    let mut env = ExecEnv::builder(space)
+    let mut builder = ExecEnv::builder(space)
         .mode(mode)
         .pool(pool)
         .translation_cache(translation_cache)
-        .site_check_cache(site_check_cache)
-        .sink(machine)
-        .build();
+        .sink(machine);
+    if let Some(on) = site_check_cache {
+        builder = builder.site_check_cache(on);
+    }
+    let mut env = builder.build();
     let w = generate_preset(Preset::A, records, operations, 42);
     let mut store: KvStore<RbTree> = KvStore::create(&mut env).expect("create");
     store.load(&mut env, &w).expect("load");
@@ -294,8 +299,8 @@ fn main() {
 
     // YCSB-A with the translation caches on vs off: identical simulated
     // results, and the on-run's hit rate is the acceptance criterion.
-    let on = run_ycsb(Mode::Sw, true, false, records, operations);
-    let off = run_ycsb(Mode::Sw, false, false, records, operations);
+    let on = run_ycsb(Mode::Sw, true, Some(false), records, operations);
+    let off = run_ycsb(Mode::Sw, false, Some(false), records, operations);
     if on.checksum != off.checksum || on.cycles != off.cycles || on.ptr != off.ptr {
         eprintln!(
             "hotpath: translation-cache divergence: checksum {:#x} vs {:#x}, cycles {} vs {}",
@@ -306,9 +311,9 @@ fn main() {
     let hit_rate = on.trans.svalb_hit_rate();
     let spolb_rate = on.trans.spolb_hit_rate();
 
-    // SW-mode site-check ablation (opt-in, *modelled*): checksums must
+    // SW-mode site-check ablation (default-on, *modelled*): checksums must
     // still agree and every elided check must be accounted for.
-    let cached = run_ycsb(Mode::Sw, true, true, records, operations);
+    let cached = run_ycsb(Mode::Sw, true, Some(true), records, operations);
     if cached.checksum != on.checksum {
         eprintln!("hotpath: site-check-cache changed the checksum");
         equivalence_ok = false;
@@ -317,6 +322,22 @@ fn main() {
         eprintln!(
             "hotpath: check conservation violated: {} + {} != {}",
             cached.ptr.dynamic_checks, cached.ptr.checks_elided, on.ptr.dynamic_checks
+        );
+        equivalence_ok = false;
+    }
+
+    // Builder defaults must be the measured site-cache-on configuration:
+    // the default arm has to be bit-identical to the explicit one, or the
+    // numbers this tier reports describe a configuration nobody gets.
+    let default_arm = run_ycsb(Mode::Sw, true, None, records, operations);
+    let default_is_cached = default_arm.checksum == cached.checksum
+        && default_arm.cycles == cached.cycles
+        && default_arm.ptr == cached.ptr;
+    if !default_is_cached {
+        eprintln!(
+            "hotpath: builder-default arm diverged from explicit site-cache-on: \
+             checksum {:#x} vs {:#x}, cycles {} vs {}",
+            default_arm.checksum, cached.checksum, default_arm.cycles, cached.cycles
         );
         equivalence_ok = false;
     }
@@ -349,6 +370,10 @@ fn main() {
         on.cycles
     );
     println!(
+        "builder defaults: {}",
+        if default_is_cached { "site-cache-on arm (bit-identical)" } else { "DIVERGED" }
+    );
+    println!(
         "MT YCSB-A modelled speedup at 8 cores: {mt_speedup_8:.2}x  (checksums {})",
         if mt_checksum_ok { "thread-count-invariant" } else { "DIVERGED" }
     );
@@ -368,6 +393,7 @@ fn main() {
     rep.set_extra("equivalence_ok", Json::Bool(equivalence_ok));
     rep.set_extra("mt_speedup_8", Json::F64(mt_speedup_8));
     rep.set_extra("mt_checksum_ok", Json::Bool(mt_checksum_ok));
+    rep.set_extra("default_is_sitecache_on", Json::Bool(default_is_cached));
     for s in c.summaries() {
         rep.push_record(Json::obj(vec![
             ("name", Json::Str(s.name.clone())),

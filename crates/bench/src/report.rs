@@ -195,9 +195,13 @@ impl BenchReport {
     }
 
     /// The report as a JSON value.
+    ///
+    /// Schema history: 1 = original counters; 2 = adds the interp tier's
+    /// guest-MIPS records (`guest_insts`, `guest_mips`, `median_ns`) and
+    /// per-function residual-check fractions (`residual` objects).
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
-            ("schema".to_string(), Json::U64(1)),
+            ("schema".to_string(), Json::U64(2)),
             ("name".to_string(), Json::Str(self.name.clone())),
             (
                 "scale".to_string(),
@@ -253,7 +257,7 @@ mod tests {
         rep.set_extra("note", Json::Str("x".into()));
         rep.push_record(Json::obj(vec![("label", Json::Str("row".into()))]));
         let s = rep.to_json().render();
-        assert!(s.starts_with("{\"schema\":1,\"name\":\"unit\""), "{s}");
+        assert!(s.starts_with("{\"schema\":2,\"name\":\"unit\""), "{s}");
         assert!(s.contains("\"jobs\":3"));
         assert!(s.contains("\"wall_ms\":1500"));
         assert!(s.contains("\"note\":\"x\""));

@@ -26,9 +26,16 @@ pub fn module() -> Module {
     m.add(swap());
     m.add(memfill());
     m.add(list_build_and_sum());
+    m.add(bst_build_and_probe());
+    m.add(hash_build_and_probe());
     debug_assert!(m.verify().is_ok());
     m
 }
+
+/// Names of the whole-program drivers — the paper-kernel entry points the
+/// bench tier runs (and the natural interprocedural inference roots).
+pub const DRIVERS: [&str; 3] =
+    ["list_build_and_sum", "bst_build_and_probe", "hash_build_and_probe"];
 
 /// `void list_push(void** slot, long value)` — prepend a node.
 fn list_push() -> crate::ir::Function {
@@ -359,6 +366,127 @@ fn list_build_and_sum() -> crate::ir::Function {
     let s = b.fresh();
     b.call(Some(s), "list_sum", vec![Operand::Reg(slot)]);
     b.ret(Some(Reg(s)));
+    b.finish()
+}
+
+/// `long bst_build_and_probe(long n)` — allocates a root slot, inserts
+/// `n` scrambled keys, then counts how many probe back positive. Exercises
+/// whole-program flow into the BST kernels.
+fn bst_build_and_probe() -> crate::ir::Function {
+    let mut b = FnBuilder::new("bst_build_and_probe", 1);
+    let n = b.param(0);
+    let slot = b.fresh();
+    let i = b.fresh();
+    let acc = b.fresh();
+
+    let loop_bb = b.new_block();
+    let body = b.new_block();
+    let probe_bb = b.new_block();
+    let pcheck = b.new_block();
+    let pbody = b.new_block();
+    let done = b.new_block();
+
+    b.pmalloc(slot, Imm(8));
+    b.store_ptr(Reg(slot), 0, Null);
+    b.const_int(i, 0);
+    b.const_int(acc, 0);
+    b.br(loop_bb);
+
+    b.switch_to(loop_bb);
+    let c = b.fresh();
+    b.cmp_int(c, CmpOp::Lt, Reg(i), Reg(n));
+    b.cond_br(Reg(c), body, probe_bb);
+
+    b.switch_to(body);
+    // Scrambled key stream with duplicates: (i * 37) & 63.
+    let k = b.fresh();
+    b.int_op(k, IntOp::Mul, Reg(i), Imm(37));
+    b.int_op(k, IntOp::And, Reg(k), Imm(63));
+    b.call(None, "bst_insert", vec![Operand::Reg(slot), Operand::Reg(k)]);
+    b.int_add(i, Reg(i), Imm(1));
+    b.br(loop_bb);
+
+    b.switch_to(probe_bb);
+    b.const_int(i, 0);
+    b.br(pcheck);
+
+    b.switch_to(pcheck);
+    let c2 = b.fresh();
+    b.cmp_int(c2, CmpOp::Lt, Reg(i), Reg(n));
+    b.cond_br(Reg(c2), pbody, done);
+
+    b.switch_to(pbody);
+    let k2 = b.fresh();
+    b.int_op(k2, IntOp::Mul, Reg(i), Imm(37));
+    b.int_op(k2, IntOp::And, Reg(k2), Imm(63));
+    let hit = b.fresh();
+    b.call(Some(hit), "bst_contains", vec![Operand::Reg(slot), Operand::Reg(k2)]);
+    b.int_add(acc, Reg(acc), Reg(hit));
+    b.int_add(i, Reg(i), Imm(1));
+    b.br(pcheck);
+
+    b.switch_to(done);
+    b.ret(Some(Reg(acc)));
+    b.finish()
+}
+
+/// `long hash_build_and_probe(long n)` — allocates and zeroes an 8-slot
+/// table, puts `n` keys, then sums the gets back. Exercises whole-program
+/// flow into the hash kernels (and `memfill`).
+fn hash_build_and_probe() -> crate::ir::Function {
+    let mut b = FnBuilder::new("hash_build_and_probe", 1);
+    let n = b.param(0);
+    let table = b.fresh();
+    let i = b.fresh();
+    let acc = b.fresh();
+
+    let put_bb = b.new_block();
+    let put_body = b.new_block();
+    let get_bb = b.new_block();
+    let get_check = b.new_block();
+    let get_body = b.new_block();
+    let done = b.new_block();
+
+    b.pmalloc(table, Imm(64));
+    b.call(None, "memfill", vec![Operand::Reg(table), Operand::Imm(8), Operand::Imm(0)]);
+    b.const_int(i, 0);
+    b.const_int(acc, 0);
+    b.br(put_bb);
+
+    b.switch_to(put_bb);
+    let c = b.fresh();
+    b.cmp_int(c, CmpOp::Lt, Reg(i), Reg(n));
+    b.cond_br(Reg(c), put_body, get_bb);
+
+    b.switch_to(put_body);
+    let v = b.fresh();
+    b.int_op(v, IntOp::Mul, Reg(i), Imm(3));
+    b.call(
+        None,
+        "hash_put",
+        vec![Operand::Reg(table), Operand::Imm(7), Operand::Reg(i), Operand::Reg(v)],
+    );
+    b.int_add(i, Reg(i), Imm(1));
+    b.br(put_bb);
+
+    b.switch_to(get_bb);
+    b.const_int(i, 0);
+    b.br(get_check);
+
+    b.switch_to(get_check);
+    let c2 = b.fresh();
+    b.cmp_int(c2, CmpOp::Lt, Reg(i), Reg(n));
+    b.cond_br(Reg(c2), get_body, done);
+
+    b.switch_to(get_body);
+    let got = b.fresh();
+    b.call(Some(got), "hash_get", vec![Operand::Reg(table), Operand::Imm(7), Operand::Reg(i)]);
+    b.int_add(acc, Reg(acc), Reg(got));
+    b.int_add(i, Reg(i), Imm(1));
+    b.br(get_check);
+
+    b.switch_to(done);
+    b.ret(Some(Reg(acc)));
     b.finish()
 }
 

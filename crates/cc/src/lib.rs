@@ -25,6 +25,7 @@
 //! ```
 
 pub mod analysis;
+pub mod decode;
 pub mod interp;
 pub mod ir;
 pub mod kernels;

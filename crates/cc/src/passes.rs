@@ -17,7 +17,76 @@
 //!   semantic difference.
 
 use crate::ir::{Function, Inst, Module, Operand, Reg};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+// ---- call-graph utilities (interprocedural inference support) ------------
+
+/// Direct callees per function.
+pub fn call_graph(m: &Module) -> BTreeMap<&str, BTreeSet<&str>> {
+    let mut g: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (name, f) in &m.functions {
+        let callees = g.entry(name.as_str()).or_default();
+        for block in &f.blocks {
+            for inst in &block.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    callees.insert(callee.as_str());
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Functions no module function calls — the open-world entry points that
+/// must assume unknown (`Top`) parameter facts under interprocedural
+/// inference.
+pub fn call_graph_roots(m: &Module) -> Vec<&str> {
+    let g = call_graph(m);
+    let called: BTreeSet<&str> = g.values().flatten().copied().collect();
+    m.functions.keys().map(String::as_str).filter(|n| !called.contains(n)).collect()
+}
+
+/// Functions in bottom-up (callees-first) order: a DFS postorder of the
+/// call graph from every root. Members of a recursive cycle appear in
+/// discovery order; the interprocedural fixpoint re-iterates until their
+/// summaries stabilize, so the order only affects convergence speed.
+pub fn bottom_up_order(m: &Module) -> Vec<&str> {
+    let g = call_graph(m);
+    let mut order: Vec<&str> = Vec::with_capacity(m.functions.len());
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    // Iterative DFS; `(name, child_cursor)` frames avoid recursion depth
+    // limits on deep call chains.
+    for start in m.functions.keys() {
+        let start = start.as_str();
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, Vec<&str>, usize)> = Vec::new();
+        let mut on_stack: BTreeSet<&str> = BTreeSet::new();
+        let children: Vec<&str> = g.get(start).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        stack.push((start, children, 0));
+        on_stack.insert(start);
+        while let Some((name, children, cursor)) = stack.last_mut() {
+            if let Some(&child) = children.get(*cursor) {
+                *cursor += 1;
+                if !done.contains(child) && !on_stack.contains(child) {
+                    let gkids: Vec<&str> =
+                        g.get(child).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                    on_stack.insert(child);
+                    stack.push((child, gkids, 0));
+                }
+            } else {
+                let name = *name;
+                stack.pop();
+                on_stack.remove(name);
+                if done.insert(name) {
+                    order.push(name);
+                }
+            }
+        }
+    }
+    order
+}
 
 /// A block-local value-numbering key for conversion-like instructions.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -204,6 +273,22 @@ mod tests {
         };
         assert_eq!(before, 2);
         assert_eq!(after, 1, "VN merged one conversion");
+    }
+
+    #[test]
+    fn call_graph_order_and_roots_on_kernels() {
+        let m = crate::kernels::module();
+        let roots = call_graph_roots(&m);
+        // Drivers call into the kernels, so the kernels are not roots.
+        assert!(roots.contains(&"list_build_and_sum"));
+        assert!(!roots.contains(&"list_push"));
+        assert!(!roots.contains(&"list_sum"));
+        // Bottom-up: callees precede their callers.
+        let order = bottom_up_order(&m);
+        assert_eq!(order.len(), m.functions.len());
+        let pos = |n: &str| order.iter().position(|x| *x == n).unwrap();
+        assert!(pos("list_push") < pos("list_build_and_sum"));
+        assert!(pos("list_sum") < pos("list_build_and_sum"));
     }
 
     #[test]

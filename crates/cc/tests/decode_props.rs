@@ -1,0 +1,316 @@
+//! Differential property battery for the pre-decoded execution path.
+//!
+//! Random well-formed IR modules — loops, fusible instruction windows,
+//! calls to earlier-defined functions, and deliberately out-of-bounds
+//! accesses — must execute identically on the tree-walking reference
+//! interpreter and the pre-decoded fast path: same result or error, same
+//! fuel consumption, same `InterpStats`, same per-function check
+//! counters, under both intraprocedural and interprocedural inference and
+//! under fuel budgets small enough to die mid-superinstruction.
+//!
+//! A coverage guard fails the test if the generator stops producing the
+//! situations the battery exists for (successful runs, heap faults, fuel
+//! exhaustion mid-program, executed check sites, fused superinstructions)
+//! so a regressed generator can't pass vacuously.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use utpr_cc::analysis::InferOptions;
+use utpr_cc::interp::FnChecks;
+use utpr_cc::ir::{CmpOp, IntOp, Operand, Reg};
+use utpr_cc::{FnBuilder, Interp, InterpError, InterpStats, Module, Val};
+use utpr_heap::AddressSpace;
+use utpr_qc::prelude::*;
+
+/// One body instruction recipe: opcode selector plus two operand
+/// selectors, reduced modulo the live register pools at build time.
+type Code = (u32, u32, u32);
+
+/// (leaf body, main loop body, trip count, fuel budget).
+type Recipe = (Vec<Code>, Vec<Code>, u32, u64);
+
+const BUF_BYTES: i64 = 64;
+
+/// Emits one recipe instruction. `ints`/`ptrs` are the live register
+/// pools; selectors index them modulo length so every pick is in range
+/// and `Module::verify` holds by construction. Offsets intentionally
+/// reach one slot past the buffer so both paths must agree on heap
+/// faults, not only on happy-path values.
+fn emit_code(
+    b: &mut FnBuilder,
+    code: Code,
+    ints: &mut Vec<Reg>,
+    ptrs: &mut Vec<Reg>,
+    callee: Option<&str>,
+) {
+    let (op, sa, sb) = code;
+    let ia = ints[sa as usize % ints.len()];
+    let ib = ints[sb as usize % ints.len()];
+    let pa = ptrs[sa as usize % ptrs.len()];
+    // Bounds are enforced at pool granularity, so a fault needs to jump
+    // past the pool itself, not just past the 64-byte buffer: one draw
+    // in ten lands far outside the 1 MiB pool.
+    let off = if sb % 10 == 9 { 2 << 20 } else { i64::from(sb % 10) * 8 };
+    match op % 14 {
+        0 => {
+            let d = b.fresh();
+            b.int_add(d, Operand::Reg(ia), Operand::Reg(ib));
+            ints.push(d);
+        }
+        1 => {
+            let d = b.fresh();
+            b.int_op(d, IntOp::Mul, Operand::Reg(ia), Operand::Imm(i64::from(sb % 9)));
+            ints.push(d);
+        }
+        2 => {
+            let d = b.fresh();
+            b.int_op(d, IntOp::Xor, Operand::Reg(ia), Operand::Reg(ib));
+            ints.push(d);
+        }
+        3 => {
+            let d = b.fresh();
+            b.cmp_int(d, CmpOp::Lt, Operand::Reg(ia), Operand::Reg(ib));
+            ints.push(d);
+        }
+        4 => {
+            let d = b.fresh();
+            b.gep(d, Operand::Reg(pa), Operand::Imm(off));
+            ptrs.push(d);
+        }
+        5 => {
+            let d = b.fresh();
+            b.load(d, Operand::Reg(pa), off);
+            ints.push(d);
+        }
+        6 => b.store(Operand::Reg(pa), off % BUF_BYTES, Operand::Reg(ia)),
+        7 => {
+            // Adjacent gep+load window: the GepLoad fusion shape.
+            let g = b.fresh();
+            let d = b.fresh();
+            b.gep(g, Operand::Reg(pa), Operand::Imm(off));
+            b.load(d, Operand::Reg(g), 0);
+            ptrs.push(g);
+            ints.push(d);
+        }
+        8 => {
+            // Scaled-index window: the IntOpGepLoad fusion shape. The
+            // scale register is data-dependent, so some draws fault.
+            let o = b.fresh();
+            let g = b.fresh();
+            let d = b.fresh();
+            b.int_op(o, IntOp::Mul, Operand::Reg(ia), Operand::Imm(8));
+            b.gep(g, Operand::Reg(pa), Operand::Reg(o));
+            b.load(d, Operand::Reg(g), 0);
+            ptrs.push(g);
+            ints.push(d);
+        }
+        9 => {
+            let d = b.fresh();
+            b.ptr_to_int(d, Operand::Reg(pa));
+            ints.push(d);
+        }
+        10 => {
+            let pb = ptrs[sb as usize % ptrs.len()];
+            let d = b.fresh();
+            b.cmp_ptr(d, CmpOp::Eq, Operand::Reg(pa), Operand::Reg(pb));
+            ints.push(d);
+        }
+        11 => {
+            let pb = ptrs[sb as usize % ptrs.len()];
+            let d = b.fresh();
+            b.ptr_diff(d, Operand::Reg(pa), Operand::Reg(pb));
+            ints.push(d);
+        }
+        12 => match callee {
+            Some(name) => {
+                let d = b.fresh();
+                b.call(Some(d), name, vec![Operand::Reg(ia), Operand::Reg(ib)]);
+                ints.push(d);
+            }
+            None => {
+                let d = b.fresh();
+                b.int_op(d, IntOp::Sub, Operand::Reg(ia), Operand::Reg(ib));
+                ints.push(d);
+            }
+        },
+        _ => {
+            let d = b.fresh();
+            b.copy(d, Operand::Reg(ia));
+            ints.push(d);
+        }
+    }
+}
+
+/// Straight-line leaf: its own persistent buffer, a body from the recipe,
+/// returns an int. Defined first so `main` may call it — calls only ever
+/// target earlier-defined functions.
+fn build_leaf(codes: &[Code]) -> utpr_cc::Function {
+    let mut b = FnBuilder::new("leaf", 2);
+    let buf = b.fresh();
+    b.pmalloc(buf, Operand::Imm(BUF_BYTES));
+    b.store(Operand::Reg(buf), 0, Operand::Reg(b.param(0)));
+    let mut ints = vec![b.param(0), b.param(1)];
+    let mut ptrs = vec![buf];
+    for &c in codes {
+        emit_code(&mut b, c, &mut ints, &mut ptrs, None);
+    }
+    let r = *ints.last().expect("ints never empties");
+    b.ret(Some(Operand::Reg(r)));
+    b.finish()
+}
+
+/// A counted loop around the recipe body: the latch (`acc += last; i +=
+/// 1; br`) and header (`cmp; condbr`) are exactly the windows the
+/// block-tail fusions target.
+fn build_main(codes: &[Code], trips: u32) -> utpr_cc::Function {
+    let mut b = FnBuilder::new("main", 0);
+    let check = b.new_block();
+    let body = b.new_block();
+    let done = b.new_block();
+
+    let buf = b.fresh();
+    let (i, n, one, acc) = (b.fresh(), b.fresh(), b.fresh(), b.fresh());
+    b.pmalloc(buf, Operand::Imm(BUF_BYTES));
+    b.const_int(i, 0);
+    b.const_int(n, i64::from(trips));
+    b.const_int(one, 1);
+    b.const_int(acc, 0);
+    b.store(Operand::Reg(buf), 8, Operand::Reg(one));
+    b.br(check);
+
+    b.switch_to(check);
+    let c = b.fresh();
+    b.cmp_int(c, CmpOp::Lt, Operand::Reg(i), Operand::Reg(n));
+    b.cond_br(Operand::Reg(c), body, done);
+
+    b.switch_to(body);
+    let mut ints = vec![i, n, one, acc];
+    let mut ptrs = vec![buf];
+    for &code in codes {
+        emit_code(&mut b, code, &mut ints, &mut ptrs, Some("leaf"));
+    }
+    let last = *ints.last().expect("ints never empties");
+    b.int_add(acc, Operand::Reg(acc), Operand::Reg(last));
+    b.int_add(i, Operand::Reg(i), Operand::Reg(one));
+    b.br(check);
+
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(acc)));
+    b.finish()
+}
+
+/// Everything both execution paths must agree on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Observed {
+    result: Result<Option<Val>, InterpError>,
+    stats: InterpStats,
+    fuel_spent: u64,
+    per_fn: Vec<(String, FnChecks)>,
+}
+
+fn observe(m: &Module, opts: &InferOptions, decoded: bool, fuel: u64) -> Observed {
+    let mut space = AddressSpace::new(0xDECD);
+    let pool = space.create_pool("props", 1 << 20).expect("pool");
+    let mut it = Interp::new(&mut space, pool, m).with_fuel(fuel).with_inference(opts);
+    let result = if decoded {
+        let dm = it.decode();
+        it.run_decoded(&dm, "main", Vec::new())
+    } else {
+        it.run("main", Vec::new())
+    };
+    Observed {
+        result,
+        stats: it.stats(),
+        fuel_spent: fuel - it.fuel_left(),
+        per_fn: it
+            .per_function_checks()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    }
+}
+
+// Coverage accounting across all drawn cases (see the guard below).
+static OK_RUNS: AtomicU64 = AtomicU64::new(0);
+static FAULT_RUNS: AtomicU64 = AtomicU64::new(0);
+static FUEL_RUNS: AtomicU64 = AtomicU64::new(0);
+static SITE_RUNS: AtomicU64 = AtomicU64::new(0);
+static FUSED_MODULES: AtomicU64 = AtomicU64::new(0);
+
+fn check_recipe(recipe: &Recipe) -> Result<(), String> {
+    let (leaf_codes, main_codes, trips, fuel) = recipe;
+    let mut m = Module::new();
+    m.add(build_leaf(leaf_codes));
+    m.add(build_main(main_codes, *trips));
+    m.verify().map_err(|e| format!("generated module failed verify: {e}"))?;
+
+    // Fusion coverage: an unfused decode is one op per instruction plus
+    // one per terminator; any shortfall is a fused window.
+    let raw: usize = m
+        .functions
+        .values()
+        .map(|f| f.blocks.iter().map(|b| b.insts.len() + 1).sum::<usize>())
+        .sum();
+    {
+        let mut space = AddressSpace::new(0xDECD);
+        let pool = space.create_pool("props", 1 << 20).expect("pool");
+        let it = Interp::new(&mut space, pool, &m).with_inference(&InferOptions::inter());
+        let dm = it.decode();
+        if dm.total_ops() > raw {
+            return Err(format!("decode grew the op stream: {} > {raw}", dm.total_ops()));
+        }
+        if dm.total_ops() < raw {
+            FUSED_MODULES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    for opts in [InferOptions::intra(), InferOptions::inter()] {
+        let reference = observe(&m, &opts, false, *fuel);
+        let decoded = observe(&m, &opts, true, *fuel);
+        if reference != decoded {
+            return Err(format!(
+                "decoded diverged from reference (fuel {fuel}):\n  ref: {reference:?}\n  dec: {decoded:?}"
+            ));
+        }
+        match &reference.result {
+            Ok(_) => OK_RUNS.fetch_add(1, Ordering::Relaxed),
+            Err(InterpError::OutOfFuel) => FUEL_RUNS.fetch_add(1, Ordering::Relaxed),
+            Err(_) => FAULT_RUNS.fetch_add(1, Ordering::Relaxed),
+        };
+        if reference.stats.executed_ptr_ops > 0 {
+            SITE_RUNS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn decoded_path_matches_reference_on_random_modules() {
+    let code = (0u32..28, 0u32..64, 0u32..64);
+    let gen = (
+        collection::vec(code.clone(), 0..10),
+        collection::vec(code, 0..14),
+        0u32..6,
+        one_of![
+            3 => Just(u64::MAX),
+            2 => 0u64..160,
+        ],
+    );
+    for_all("decode::differential", Config::cases(128), gen, |r| check_recipe(&r));
+
+    // Non-vacuity: the battery must actually have exercised the regimes
+    // it claims to cover. 128 cases × 2 inference modes give 256 runs;
+    // these floors are far below expectation but catch a collapsed
+    // generator (e.g. all runs faulting, or fusion never firing).
+    let (ok, fault, oof, site, fused) = (
+        OK_RUNS.load(Ordering::Relaxed),
+        FAULT_RUNS.load(Ordering::Relaxed),
+        FUEL_RUNS.load(Ordering::Relaxed),
+        SITE_RUNS.load(Ordering::Relaxed),
+        FUSED_MODULES.load(Ordering::Relaxed),
+    );
+    assert!(
+        ok >= 20 && fault >= 5 && oof >= 5 && site >= 20 && fused >= 20,
+        "vacuous battery: ok={ok} fault={fault} out_of_fuel={oof} site_runs={site} fused_modules={fused}"
+    );
+}

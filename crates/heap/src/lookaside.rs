@@ -241,6 +241,20 @@ impl TransCache {
         self.polb[idx].set(PolbSlot { stamp: self.clock.get(), base, size });
     }
 
+    /// [`Self::lookup_pool`] without the hit/miss accounting: the probe
+    /// for callers that only validate a translation (results are
+    /// bit-identical; only the counters differ).
+    #[inline]
+    pub(crate) fn lookup_pool_quiet(&self, raw: u32) -> Option<(u64, u64)> {
+        if let Some(slot) = self.polb.get(raw as usize) {
+            let s = slot.get();
+            if self.fresh(s.stamp, raw) {
+                return Some((s.base, s.size));
+            }
+        }
+        None
+    }
+
     /// sPOLB probe: the `(base, size)` of pool `raw` if cached and fresh.
     #[inline]
     pub(crate) fn lookup_pool(&self, raw: u32) -> Option<(u64, u64)> {

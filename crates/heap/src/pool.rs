@@ -45,11 +45,13 @@ impl PoolImage {
     }
 
     /// Immutable view of the pool's bytes.
+    #[inline]
     pub fn data(&self) -> &PageStore {
         &self.data
     }
 
     /// Mutable view of the pool's bytes.
+    #[inline]
     pub fn data_mut(&mut self) -> &mut PageStore {
         &mut self.data
     }

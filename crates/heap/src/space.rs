@@ -341,6 +341,7 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
+    #[inline]
     pub fn pool_read_u64(&self, id: PoolId, off: u64) -> Result<u64> {
         if let Some(sp) = self.shared_route(id) {
             return Ok(sp.read_u64(off));
@@ -367,6 +368,7 @@ impl AddressSpace {
     ///
     /// Returns [`HeapError::NoSuchPool`] for unknown ids and
     /// [`HeapError::CrashInjected`] when an armed fault point fires.
+    #[inline]
     pub fn pool_write_u64(&mut self, id: PoolId, off: u64, value: u64) -> Result<()> {
         if let Some(sp) = self.shared_route(id) {
             // Shared pools are eADR-only (no pending-line staging) and gate
@@ -738,6 +740,28 @@ impl AddressSpace {
     /// - [`HeapError::NoSuchPool`] for ids that never existed.
     /// - [`HeapError::PoolDetached`] when the pool has no base address.
     /// - [`HeapError::OffsetOutOfPool`] when the offset exceeds the pool.
+    /// Validates that `loc` translates — the same error set, and the same
+    /// error values, as [`Self::ra2va`] — without materializing the
+    /// virtual address or touching the lookaside hit counters. The
+    /// decoded interpreter's parity probe before pool-direct access: the
+    /// address it would compute is discarded anyway.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Self::ra2va`].
+    #[inline]
+    pub fn ra_check(&self, loc: RelLoc) -> Result<()> {
+        if self.trans.enabled() {
+            if let Some((_, size)) = self.trans.lookup_pool_quiet(loc.pool.raw()) {
+                if u64::from(loc.offset) >= size {
+                    return Err(Self::offset_out_of_pool(loc, size));
+                }
+                return Ok(());
+            }
+        }
+        self.ra2va_probe(loc).map(|_| ())
+    }
+
     #[inline]
     pub fn ra2va(&self, loc: RelLoc) -> Result<VirtAddr> {
         if self.trans.enabled() {
@@ -887,14 +911,28 @@ impl AddressSpace {
 
     /// Reads a `u64` at `va`.
     ///
+    /// Specialized copy of [`AddressSpace::read`] for the word size every
+    /// interpreter load uses: same checks, same errors, same translation
+    /// (and thus the same lookaside counters), but the page store is hit
+    /// with its aligned word accessor instead of a byte-buffer loop.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`AddressSpace::read`].
     #[inline]
     pub fn read_u64(&self, va: VirtAddr) -> Result<u64> {
-        let mut b = [0u8; 8];
-        self.read(va, &mut b)?;
-        Ok(u64::from_le_bytes(b))
+        if va.raw() < DRAM_BASE {
+            return Err(HeapError::Unmapped(va));
+        }
+        if va.is_nvm_region() {
+            let loc = self.locate(va)?;
+            if let Some(sp) = self.shared_route(loc.pool) {
+                return Ok(sp.read_u64(loc.offset.into()));
+            }
+            Ok(self.store.get(loc.pool)?.data().read_u64(loc.offset.into()))
+        } else {
+            Ok(self.dram.read_u64(va.raw()))
+        }
     }
 
     /// Reads a `u64` at `va` via [`AddressSpace::read_uncached`].
@@ -910,11 +948,25 @@ impl AddressSpace {
 
     /// Writes a `u64` at `va`.
     ///
+    /// Specialized copy of [`AddressSpace::write`] for the word size —
+    /// identical gate/staging/crash semantics, but the page store is hit
+    /// with its aligned word accessor instead of a byte-buffer loop.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`AddressSpace::read`].
+    #[inline]
     pub fn write_u64(&mut self, va: VirtAddr, value: u64) -> Result<()> {
-        self.write(va, &value.to_le_bytes())
+        if va.raw() < DRAM_BASE {
+            return Err(HeapError::Unmapped(va));
+        }
+        if va.is_nvm_region() {
+            let loc = self.locate(va)?;
+            self.pool_write_u64(loc.pool, loc.offset.into(), value)
+        } else {
+            self.dram.write_u64(va.raw(), value);
+            Ok(())
+        }
     }
 
     // ---- allocation --------------------------------------------------------

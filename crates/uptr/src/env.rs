@@ -143,8 +143,9 @@ pub struct ExecEnv<S: TimingSink = NullSink> {
     check_policy: CheckPolicy,
     conversion_reuse: bool,
     /// Whether the per-site monomorphic check cache is active (SW mode;
-    /// default off — an explicitly opted-in *modelled* optimization that
-    /// changes the emitted event stream, unlike the translation caches).
+    /// default on — a *modelled* optimization that changes the emitted
+    /// event stream, unlike the translation caches; disable for the
+    /// cache-off ablation arm).
     site_check_cache: bool,
     /// `(site id, kind)` → last observed outcome, epoch-stamped.
     site_cache: std::collections::HashMap<(usize, u32), SiteCheckEntry>,
@@ -236,7 +237,7 @@ impl<S: TimingSink> ExecEnvBuilder<S> {
     }
 
     /// Enables the per-site monomorphic check cache (SW mode; default:
-    /// off). A *modelled* optimization: an elided check skips the
+    /// on). A *modelled* optimization: an elided check skips the
     /// `determineX/Y` events and charges one guard micro-op instead, with
     /// [`PtrStats::checks_elided`] counting the elisions — so enabling it
     /// changes the event stream by design, unlike the translation caches.
@@ -308,7 +309,7 @@ impl ExecEnv<NullSink> {
             sink: NullSink,
             check_policy: CheckPolicy::Inferred,
             conversion_reuse: true,
-            site_check_cache: false,
+            site_check_cache: true,
             translation_cache: true,
             txn_slot: 0,
             faults: None,
@@ -1412,14 +1413,20 @@ mod tests {
     }
 
     #[test]
-    fn site_check_cache_is_off_by_default() {
+    fn site_check_cache_is_on_by_default() {
         let mut e = env(Mode::Sw);
-        assert!(!e.site_check_cache_enabled());
+        assert!(e.site_check_cache_enabled());
         let a = e.alloc(site!("t.a", AllocResult), 32).unwrap();
         for _ in 0..4 {
             e.read_u64(site!("t.r.param", Param), a, 0).unwrap();
         }
-        assert_eq!(e.stats().checks_elided, 0);
+        // A monomorphic site settles into the cache: later repetitions of
+        // the same outcome are elided rather than re-checked.
+        assert!(e.stats().checks_elided > 0);
+        e.set_site_check_cache(false);
+        let before = e.stats().checks_elided;
+        e.read_u64(site!("t.r.param", Param), a, 0).unwrap();
+        assert_eq!(e.stats().checks_elided, before, "opt-out stops eliding");
     }
 
     #[test]

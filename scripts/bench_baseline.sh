@@ -16,8 +16,8 @@
 #                                      (default when no argument is given)
 #   scripts/bench_baseline.sh record   re-run and overwrite baselines/
 #
-# Both modes run fig11 and hotpath at small scale with UTPR_JOBS=1 so the
-# parallel scheduler cannot reorder anything.
+# Both modes run fig11, hotpath, and interp at small scale with UTPR_JOBS=1
+# so the parallel scheduler cannot reorder anything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,19 +33,23 @@ run_benches() {
         cargo bench -q -p utpr-bench --bench fig11 --offline > /dev/null
     UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
         cargo bench -q -p utpr-bench --bench hotpath --offline > /dev/null
+    UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
+        cargo bench -q -p utpr-bench --bench interp --offline > /dev/null
 }
 
 # Emits "key cycles checksum" lines from a BENCH_*.json report: one line per
 # run record that carries modelled cycles. fig11 records are keyed
-# benchmark/mode; hotpath YCSB records are keyed by their run name. Records
-# without a "cycles" field (host-timing summaries, the report header) are
-# skipped. Checksums are kept as strings — they are full u64s and would lose
+# benchmark/mode; hotpath YCSB records are keyed by their run name. interp
+# records carry no cycles; their deterministic guest-instruction count
+# stands in (same seed + scale => bit-identical count). Records with
+# neither field (host-timing summaries, the report header) are skipped.
+# Checksums are kept as strings — they are full u64s and would lose
 # precision as awk doubles.
 extract() {
     awk '
         BEGIN { RS = "{"; FS = "," }
         {
-            key = ""; name = ""; cyc = ""; sum = ""
+            key = ""; name = ""; cyc = ""; gi = ""; sum = ""
             for (i = 1; i <= NF; i++) {
                 if ($i ~ /^"benchmark":/) {
                     v = $i; gsub(/.*:"|"/, "", v); key = v
@@ -55,11 +59,14 @@ extract() {
                     v = $i; gsub(/.*:"|"/, "", v); name = v
                 } else if ($i ~ /^"cycles":/) {
                     v = $i; sub(/.*:/, "", v); cyc = v
+                } else if ($i ~ /^"guest_insts":/) {
+                    v = $i; sub(/.*:/, "", v); gi = v
                 } else if ($i ~ /^"checksum":/) {
                     v = $i; sub(/.*:/, "", v); sum = v
                 }
             }
             if (key == "") key = name
+            if (cyc == "") cyc = gi
             if (key != "" && cyc != "") print key, cyc, sum
         }' "$1"
 }
@@ -100,13 +107,13 @@ record)
     mkdir -p "$base_dir"
     echo "== recording baselines (small scale, 1 worker) =="
     run_benches "$base_dir"
-    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json; do
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json; do
         n=$(extract "$f" | wc -l)
         echo "recorded $f ($n keyed runs)"
     done
     ;;
 check)
-    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json; do
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json; do
         [[ -f "$f" ]] || {
             echo "bench_baseline: $f missing — run \`scripts/bench_baseline.sh record\` first" >&2
             exit 2
@@ -117,7 +124,7 @@ check)
     echo "== baseline check (small scale, 1 worker, ${tolerance} cycle tolerance) =="
     run_benches "$work"
     ok=1
-    for name in fig11 hotpath; do
+    for name in fig11 hotpath interp; do
         extract "$base_dir/BENCH_$name.json" > "$work/$name.base"
         extract "$work/BENCH_$name.json" > "$work/$name.cur"
         if compare "$work/$name.base" "$work/$name.cur" "$name"; then

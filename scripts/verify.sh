@@ -22,6 +22,12 @@
 #                  cached-vs-uncached equivalence probes passed, the YCSB-A
 #                  sVALB hit rate is >= 0.95, and the cached va2ra fast
 #                  path is >= 3x the cold BTree walk
+#   --interp       additionally run the guest-MIPS interpreter smoke (small
+#                  scale): check BENCH_interp.json is emitted, the
+#                  reference-vs-decoded differential grid passed
+#                  (bit-identical checksums and counters), the paired
+#                  mem-mix speedup is >= 2x, and the interprocedural
+#                  residual check fraction is < 0.42
 #   --mt           additionally run the multicore smoke: the concurrent
 #                  crash-matrix sweep (every crash point of a 3-thread
 #                  seeded schedule recovers), then hotpath at small scale;
@@ -45,6 +51,7 @@ run_smoke=0
 run_faults=0
 run_corruption=0
 run_hotpath=0
+run_interp=0
 run_mt=0
 for arg in "$@"; do
     case "$arg" in
@@ -53,6 +60,7 @@ for arg in "$@"; do
         --faults) run_faults=1 ;;
         --corruption) run_corruption=1 ;;
         --hotpath) run_hotpath=1 ;;
+        --interp) run_interp=1 ;;
         --mt) run_mt=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
@@ -178,6 +186,37 @@ if [[ "$run_hotpath" == 1 ]]; then
         exit 1
     }
     echo "smoke: lookasides clean (speedup ${speedup}x, sVALB hit rate ${hit_rate})"
+fi
+
+if [[ "$run_interp" == 1 ]]; then
+    echo "== extra: interpreter fast-path smoke (small scale) =="
+    in_dir=$(mktemp -d)
+    trap 'rm -rf "$in_dir"' EXIT
+
+    # The bench exits nonzero itself when the differential grid diverges
+    # (results, checksums, fuel, or counters) — set -e propagates that.
+    UTPR_BENCH_SCALE=small UTPR_BENCH_OUT="$in_dir" \
+        cargo bench -q -p utpr-bench --bench interp --offline
+    [[ -f "$in_dir/BENCH_interp.json" ]] || {
+        echo "verify: interp smoke did not emit BENCH_interp.json" >&2
+        exit 1
+    }
+    grep -q '"checksums_ok":true' "$in_dir/BENCH_interp.json" || {
+        echo "verify: interp smoke reported reference-vs-decoded divergence:" >&2
+        cat "$in_dir/BENCH_interp.json" >&2
+        exit 1
+    }
+    speedup=$(sed -n 's/.*"speedup_mem":\([0-9.]*\).*/\1/p' "$in_dir/BENCH_interp.json")
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+        echo "verify: decoded mem mixes only ${speedup}x the reference walk (need >= 2x)" >&2
+        exit 1
+    }
+    residual=$(sed -n 's/.*"residual_check_fraction":\([0-9.]*\).*/\1/p' "$in_dir/BENCH_interp.json")
+    awk -v r="$residual" 'BEGIN { exit !(r < 0.42) }' || {
+        echo "verify: interprocedural residual check fraction ${residual} not < 0.42" >&2
+        exit 1
+    }
+    echo "smoke: interp clean (mem speedup ${speedup}x, residual ${residual})"
 fi
 
 if [[ "$run_mt" == 1 ]]; then
