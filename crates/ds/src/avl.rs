@@ -4,7 +4,7 @@
 //! Recursive insertion with single/double rotations. Node layout:
 //! `[key, value, left, right, height]`. Descriptor: `[root, len]`.
 
-use crate::index::{Index, Result};
+use crate::index::{IndexCore, IndexOps, Result};
 use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
 
 const OFF_KEY: i64 = 0;
@@ -25,7 +25,7 @@ const DESC_SIZE: u64 = 16;
 /// ```
 /// use utpr_heap::AddressSpace;
 /// use utpr_ptr::{ExecEnv, Mode};
-/// use utpr_ds::{AvlTree, Index};
+/// use utpr_ds::{AvlTree, IndexCore, IndexOps};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("avl", 4 << 20)?;
@@ -247,7 +247,7 @@ impl AvlTree {
     /// # Errors
     ///
     /// Propagates translation failures; panics (in tests) on violations.
-    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    pub fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         fn walk<S: TimingSink>(
             env: &mut ExecEnv<S>,
             n: UPtr,
@@ -282,7 +282,7 @@ impl AvlTree {
     }
 }
 
-impl Index for AvlTree {
+impl IndexCore for AvlTree {
     const NAME: &'static str = "AVL";
 
     fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
@@ -300,6 +300,12 @@ impl Index for AvlTree {
         self.desc
     }
 
+    fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        AvlTree::validate(self, env)
+    }
+}
+
+impl IndexOps for AvlTree {
     fn insert<S: TimingSink>(
         &mut self,
         env: &mut ExecEnv<S>,
@@ -317,7 +323,7 @@ impl Index for AvlTree {
         Ok(old)
     }
 
-    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+    fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
         let mut x = self.root(env)?;
         while !env.ptr_is_null(site!("avl.get.descend", StackLocal), x) {
             let k = env.read_u64(site!("avl.get.key", MemLoad), x, OFF_KEY)?;
@@ -335,13 +341,10 @@ impl Index for AvlTree {
         AvlTree::remove(self, env, key)
     }
 
-    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("avl.len", Param), self.desc, D_LEN)
     }
 
-    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
-        AvlTree::validate(self, env)
-    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! nodes are never merged), standard practice for write-light workloads.
 //! Descriptor: `[root, len]`.
 
-use crate::index::{Index, Result};
+use crate::index::{IndexCore, IndexOps, Result};
 use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
 
 /// Maximum keys per node.
@@ -35,7 +35,7 @@ const INTERNAL_SIZE: u64 = OFF_CHILDREN as u64 + (ORDER + 1) * 8;
 /// ```
 /// use utpr_heap::AddressSpace;
 /// use utpr_ptr::{ExecEnv, Mode};
-/// use utpr_ds::{BPlusTree, Index};
+/// use utpr_ds::{BPlusTree, IndexCore, IndexOps};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("bp", 4 << 20)?;
@@ -308,7 +308,7 @@ impl BPlusTree {
     /// # Errors
     ///
     /// Propagates translation failures; panics (in tests) on violations.
-    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    pub fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         fn walk<S: TimingSink>(
             env: &mut ExecEnv<S>,
             n: UPtr,
@@ -377,7 +377,7 @@ impl BPlusTree {
     }
 }
 
-impl Index for BPlusTree {
+impl IndexCore for BPlusTree {
     const NAME: &'static str = "B+";
 
     fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
@@ -396,6 +396,12 @@ impl Index for BPlusTree {
         self.desc
     }
 
+    fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        BPlusTree::validate(self, env)
+    }
+}
+
+impl IndexOps for BPlusTree {
     fn insert<S: TimingSink>(
         &mut self,
         env: &mut ExecEnv<S>,
@@ -420,7 +426,7 @@ impl Index for BPlusTree {
         Ok(old)
     }
 
-    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+    fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
         let leaf = self.find_leaf(env, key)?;
         let c = count(env, leaf)?;
         for i in 0..c {
@@ -456,13 +462,10 @@ impl Index for BPlusTree {
         Ok(None)
     }
 
-    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("bp.len", Param), self.desc, D_LEN)
     }
 
-    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
-        BPlusTree::validate(self, env)
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,296 @@
+//! Harris-style lock-free sorted-list core shared by [`super::ConcList`]
+//! and [`super::ConcHash`].
+//!
+//! One chain is a singly-linked sorted run of 24-byte nodes
+//! `[key, value, next]` hanging off a *head link word* (a bare `u64` slot
+//! in the owner's descriptor — not a sentinel node). All stored links are
+//! pool-relative raw pointer bits, so every worker shard sees the same
+//! chain no matter where its attachment mapped the pool.
+//!
+//! Deviations from the textbook Harris list, chosen so the map supports
+//! linearizable in-place updates:
+//!
+//! * **The value word is the node's liveness register.** A remove
+//!   logically deletes in one CAS — `value: v → TOMBSTONE` — whose old
+//!   value is the op's return; an update CASes `v → v'` and fails (and
+//!   retries or falls back to a fresh insert) if the node died first.
+//!   One atomic word arbitrates every update/remove race, which is what
+//!   makes the histories pass the Wing&Gong checker.
+//! * **The Harris mark bit** (bit 0 of a node's `next` word; payloads
+//!   are 8-aligned so it is free) is set *after* tombstoning, by the
+//!   sole tombstoner, to let traversals physically unlink the node.
+//!   Marked ⇒ tombstoned, never the reverse order.
+//! * **Duplicate keys may transiently coexist**: a fresh insert links
+//!   its node before the first `key ≥ k` position, so within an
+//!   equal-key run the (at most one) live node is always first and dead
+//!   ones trail until helped out of the chain.
+//! * **Removed nodes are leaked**, exactly like the allocator's
+//!   crash-leaked arena remainders: with no safe memory reclamation,
+//!   leaking is the price of lock-freedom here, and it also kills ABA
+//!   (a raw pointer value is never reissued). An epoch reclaimer is
+//!   future work (see `ROADMAP.md`).
+
+use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
+
+use super::{Handle, TOMBSTONE};
+use crate::index::Result;
+
+/// Node layout: `[key, value, next]`.
+pub(crate) const OFF_KEY: i64 = 0;
+pub(crate) const OFF_VALUE: i64 = 8;
+pub(crate) const OFF_NEXT: i64 = 16;
+pub(crate) const NODE_BYTES: u64 = 24;
+
+/// Harris mark bit: set in a node's `next` word once the node is dead.
+pub(crate) const MARK: u64 = 1;
+
+#[inline]
+fn node_ptr(raw: u64) -> UPtr {
+    UPtr::from_raw(raw & !MARK)
+}
+
+/// Where a search landed: the link word `pred_base + pred_off` holds
+/// `curr_raw` (0 at end of chain); `curr_key` is valid when `curr_raw`
+/// is non-zero and satisfies `curr_key >= key` searched for.
+pub(crate) struct Cursor {
+    pub pred_base: UPtr,
+    pub pred_off: i64,
+    pub curr_raw: u64,
+    pub curr_key: u64,
+}
+
+/// Traverses the chain for `key`, helping unlink marked nodes on the
+/// way, and ends with the NVTraverse `ensureReachable` boundary: the
+/// pred link word and the current node are made durable before the
+/// caller's critical phase.
+pub(crate) fn search<S: TimingSink>(
+    h: &mut Handle<'_, S>,
+    head_base: UPtr,
+    head_off: i64,
+    key: u64,
+) -> Result<Cursor> {
+    'retry: loop {
+        let mut pred_base = head_base;
+        let mut pred_off = head_off;
+        let mut curr_raw = h.read_word(site!("harris.load-head", Param), pred_base, pred_off)?;
+        loop {
+            if curr_raw == 0 {
+                h.ensure_reachable(pred_base, pred_off, 8)?;
+                return Ok(Cursor { pred_base, pred_off, curr_raw: 0, curr_key: 0 });
+            }
+            let curr = node_ptr(curr_raw);
+            let succ_raw = h.read_word(site!("harris.load-next", MemLoad), curr, OFF_NEXT)?;
+            if succ_raw & MARK != 0 {
+                // curr is dead: help unlink it, restarting on contention.
+                let (ok, _) = h.cas_word(
+                    site!("harris.unlink", MemLoad),
+                    pred_base,
+                    pred_off,
+                    curr_raw,
+                    succ_raw & !MARK,
+                )?;
+                if !ok {
+                    continue 'retry;
+                }
+                curr_raw = succ_raw & !MARK;
+                continue;
+            }
+            let curr_key = h.read_word(site!("harris.load-key", MemLoad), curr, OFF_KEY)?;
+            if curr_key >= key {
+                h.ensure_reachable(pred_base, pred_off, 8)?;
+                h.ensure_reachable(curr, 0, NODE_BYTES)?;
+                return Ok(Cursor { pred_base, pred_off, curr_raw, curr_key });
+            }
+            pred_base = curr;
+            pred_off = OFF_NEXT;
+            curr_raw = succ_raw;
+        }
+    }
+}
+
+/// Insert-or-update; returns the previous value. See the module docs for
+/// the linearization points.
+pub(crate) fn insert<S: TimingSink>(
+    h: &mut Handle<'_, S>,
+    head_base: UPtr,
+    head_off: i64,
+    key: u64,
+    value: u64,
+) -> Result<Option<u64>> {
+    assert!(value < TOMBSTONE, "value {value:#x} is reserved (VALUE_LIMIT)");
+    // One spare node survives CAS retries so a contended insert does not
+    // allocate per attempt.
+    let mut spare: Option<UPtr> = None;
+    loop {
+        let c = search(h, head_base, head_off, key)?;
+        if c.curr_raw != 0 && c.curr_key == key {
+            let node = node_ptr(c.curr_raw);
+            loop {
+                let v = h.read_word(site!("harris.upd-load", MemLoad), node, OFF_VALUE)?;
+                if v == TOMBSTONE {
+                    break; // died under us: fall through to a fresh insert
+                }
+                let (ok, _) =
+                    h.cas_word(site!("harris.upd-cas", MemLoad), node, OFF_VALUE, v, value)?;
+                if ok {
+                    h.op_persist();
+                    return Ok(Some(v));
+                }
+            }
+        }
+        let n = match spare {
+            Some(n) => n,
+            None => {
+                let n = h.alloc(site!("harris.alloc", AllocResult), NODE_BYTES)?;
+                h.write_word(site!("harris.init-key", AllocResult), n, OFF_KEY, key)?;
+                h.write_word(site!("harris.init-val", AllocResult), n, OFF_VALUE, value)?;
+                spare = Some(n);
+                n
+            }
+        };
+        h.write_word(site!("harris.init-next", AllocResult), n, OFF_NEXT, c.curr_raw)?;
+        let n_raw = h.rel_raw(n)?;
+        let (ok, _) = h.cas_word(
+            site!("harris.publish", Param),
+            c.pred_base,
+            c.pred_off,
+            c.curr_raw,
+            n_raw,
+        )?;
+        if ok {
+            h.op_persist();
+            return Ok(None);
+        }
+    }
+}
+
+/// Lookup. Read-only, but still ends at the persist point (empty write
+/// set): the return fence is what lets a completed read be ordered
+/// against the crash in the durable history.
+pub(crate) fn get<S: TimingSink>(
+    h: &mut Handle<'_, S>,
+    head_base: UPtr,
+    head_off: i64,
+    key: u64,
+) -> Result<Option<u64>> {
+    let c = search(h, head_base, head_off, key)?;
+    let out = if c.curr_raw != 0 && c.curr_key == key {
+        let v = h.read_word(site!("harris.get-load", MemLoad), node_ptr(c.curr_raw), OFF_VALUE)?;
+        (v != TOMBSTONE).then_some(v)
+    } else {
+        None
+    };
+    h.op_persist();
+    Ok(out)
+}
+
+/// Remove; the tombstone CAS is the linearization point and its old
+/// value the return.
+pub(crate) fn remove<S: TimingSink>(
+    h: &mut Handle<'_, S>,
+    head_base: UPtr,
+    head_off: i64,
+    key: u64,
+) -> Result<Option<u64>> {
+    loop {
+        let c = search(h, head_base, head_off, key)?;
+        if c.curr_raw == 0 || c.curr_key != key {
+            h.op_persist();
+            return Ok(None);
+        }
+        let node = node_ptr(c.curr_raw);
+        loop {
+            let v = h.read_word(site!("harris.rm-load", MemLoad), node, OFF_VALUE)?;
+            if v == TOMBSTONE {
+                // Someone else's remove linearized first.
+                h.op_persist();
+                return Ok(None);
+            }
+            let (ok, _) =
+                h.cas_word(site!("harris.rm-cas", MemLoad), node, OFF_VALUE, v, TOMBSTONE)?;
+            if !ok {
+                continue;
+            }
+            // We are the sole tombstoner: set the Harris mark so
+            // traversals can unlink, then try once ourselves.
+            loop {
+                let nx = h.read_word(site!("harris.rm-next", MemLoad), node, OFF_NEXT)?;
+                if nx & MARK != 0 {
+                    break;
+                }
+                let (mok, _) =
+                    h.cas_word(site!("harris.rm-mark", MemLoad), node, OFF_NEXT, nx, nx | MARK)?;
+                if mok {
+                    let _ = h.cas_word(
+                        site!("harris.rm-unlink", Param),
+                        c.pred_base,
+                        c.pred_off,
+                        c.curr_raw,
+                        nx,
+                    )?;
+                    break;
+                }
+            }
+            h.op_persist();
+            return Ok(Some(v));
+        }
+    }
+}
+
+/// Live-key count by full traversal (exact at quiescence; a snapshot
+/// under concurrency, like any lock-free size).
+pub(crate) fn count_live<S: TimingSink>(
+    h: &mut Handle<'_, S>,
+    head_base: UPtr,
+    head_off: i64,
+) -> Result<u64> {
+    let mut raw = h.read_word(site!("harris.count-head", Param), head_base, head_off)?;
+    let mut live = 0u64;
+    while raw != 0 {
+        let node = node_ptr(raw);
+        let v = h.read_word(site!("harris.count-val", MemLoad), node, OFF_VALUE)?;
+        if v != TOMBSTONE {
+            live += 1;
+        }
+        raw = h.read_word(site!("harris.count-next", MemLoad), node, OFF_NEXT)? & !MARK;
+    }
+    h.op_persist();
+    Ok(live)
+}
+
+/// Quiescent invariant walk used by `IndexCore::validate`: keys
+/// non-decreasing, at most one live node per equal-key run and it comes
+/// first, marked ⇒ tombstoned. Panics on violation (the sweeps catch the
+/// panic); returns the live count.
+pub(crate) fn validate_chain<S: TimingSink>(
+    env: &mut ExecEnv<S>,
+    head_base: UPtr,
+    head_off: i64,
+) -> Result<u64> {
+    let mut raw = env.read_u64(site!("harris.val-head", Param), head_base, head_off)?;
+    assert_eq!(raw & MARK, 0, "head link carries a mark bit");
+    let mut live = 0u64;
+    let mut last_key: Option<u64> = None;
+    while raw != 0 {
+        let node = node_ptr(raw);
+        let key = env.read_u64(site!("harris.val-key", MemLoad), node, OFF_KEY)?;
+        let value = env.read_u64(site!("harris.val-val", MemLoad), node, OFF_VALUE)?;
+        let next = env.read_u64(site!("harris.val-next", MemLoad), node, OFF_NEXT)?;
+        let dead = value == TOMBSTONE;
+        if next & MARK != 0 {
+            assert!(dead, "marked node {raw:#x} (key {key}) is not tombstoned");
+        }
+        if let Some(lk) = last_key {
+            assert!(key >= lk, "chain order violated: {key} after {lk}");
+            if key == lk {
+                assert!(dead, "duplicate live node for key {key}");
+            }
+        }
+        if !dead {
+            live += 1;
+        }
+        last_key = Some(key);
+        raw = next & !MARK;
+    }
+    Ok(live)
+}

@@ -8,7 +8,7 @@
 //! Node layout: `[key, value, next]`. Descriptor: `[buckets, log2(nbuckets),
 //! len]`.
 
-use crate::index::{Index, Result};
+use crate::index::{IndexCore, IndexOps, Result};
 use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
 
 const OFF_KEY: i64 = 0;
@@ -30,7 +30,7 @@ const INITIAL_LOG2: u64 = 4;
 /// ```
 /// use utpr_heap::AddressSpace;
 /// use utpr_ptr::{ExecEnv, Mode};
-/// use utpr_ds::{HashMapIndex, Index};
+/// use utpr_ds::{HashMapIndex, IndexCore, IndexOps};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("h", 4 << 20)?;
@@ -106,7 +106,7 @@ impl HashMapIndex {
     /// # Errors
     ///
     /// Propagates translation failures.
-    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    pub fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         let buckets = env.read_ptr(site!("hash.val.buckets", Param), self.desc, D_BUCKETS)?;
         let log2 = env.read_u64(site!("hash.val.log2", Param), self.desc, D_LOG2)?;
         let mut count = 0u64;
@@ -157,7 +157,7 @@ impl HashMapIndex {
     }
 }
 
-impl Index for HashMapIndex {
+impl IndexCore for HashMapIndex {
     const NAME: &'static str = "Hash";
 
     fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
@@ -186,6 +186,12 @@ impl Index for HashMapIndex {
         self.desc
     }
 
+    fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        HashMapIndex::validate(self, env)
+    }
+}
+
+impl IndexOps for HashMapIndex {
     fn insert<S: TimingSink>(
         &mut self,
         env: &mut ExecEnv<S>,
@@ -214,7 +220,7 @@ impl Index for HashMapIndex {
         Ok(None)
     }
 
-    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+    fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
         let buckets = env.read_ptr(site!("hash.get.buckets", Param), self.desc, D_BUCKETS)?;
         let log2 = env.read_u64(site!("hash.get.log2", Param), self.desc, D_LOG2)?;
         let head = env.read_ptr(site!("hash.get.head", MemLoad), buckets, bucket_of(key, log2))?;
@@ -228,12 +234,8 @@ impl Index for HashMapIndex {
         HashMapIndex::remove(self, env, key)
     }
 
-    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("hash.len", Param), self.desc, D_LEN)
-    }
-
-    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
-        HashMapIndex::validate(self, env)
     }
 }
 

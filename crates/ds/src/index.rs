@@ -1,10 +1,32 @@
-//! The map interface shared by the five key→value index structures.
+//! The map interface shared by the six key→value index structures.
 //!
 //! Mirrors the role of the paper's KV harness: it swaps one indexing data
 //! structure for another (Table III) behind a single GET/SET interface.
 //! Every structure stores its descriptor (root pointer, length, auxiliary
 //! fields) in the same memory the nodes live in, so a persistent index is
 //! recoverable from its pool root after a crash.
+//!
+//! The interface is two-tier:
+//!
+//! - [`IndexCore`] — lifecycle: create, reopen from a descriptor, expose
+//!   the descriptor, validate. Shared by the sequential and concurrent
+//!   variants.
+//! - [`IndexOps`] — the sequential single-writer operations
+//!   (insert/get/remove/len), each taking the environment explicitly.
+//! - [`crate::concurrent::ConcurrentIndex`] — the concurrent operations,
+//!   taking `&self` plus a per-thread [`crate::concurrent::Handle`]
+//!   instead of `&mut self`/`&mut ExecEnv`.
+//!
+//! [`Index`] remains as the combined alias (blanket-implemented for every
+//! `IndexOps` type), so existing `I: Index` bounds keep compiling.
+//!
+//! `get` and `len` take `&self`: the structure value owns no memory, only
+//! the descriptor pointer, so even self-adjusting reads mutate *pool*
+//! memory through the environment, never the handle. The splay tree is the
+//! documented exception in spirit — its `get` still performs durable
+//! writes (the splay rotation is a read-fixup behind the `&self` receiver)
+//! — so splay reads remain writers for concurrency purposes and the splay
+//! tree gets no lock-free concurrent variant.
 
 use utpr_heap::HeapError;
 use utpr_ptr::{ExecEnv, TimingSink, UPtr};
@@ -12,12 +34,9 @@ use utpr_ptr::{ExecEnv, TimingSink, UPtr};
 /// Result alias for index operations.
 pub type Result<T> = std::result::Result<T, HeapError>;
 
-/// A key→value index over the execution environment.
-///
-/// All methods take the environment explicitly: the structure owns no
-/// memory of its own, only the descriptor pointer. `get` takes `&mut self`
-/// because self-adjusting structures (splay) mutate on lookup.
-pub trait Index: Sized {
+/// Lifecycle half of the index interface: everything needed to build,
+/// persist, reopen, and audit a structure — but not to operate on it.
+pub trait IndexCore: Sized {
     /// Short benchmark name ("RB", "Hash", …; paper Table III).
     const NAME: &'static str;
 
@@ -37,6 +56,19 @@ pub trait Index: Sized {
     /// index).
     fn descriptor(&self) -> UPtr;
 
+    /// Walks the whole structure checking its invariants (shape, ordering,
+    /// stored length), panicking on violation; returns the key count. Used
+    /// as the post-recovery oracle by the crash-point sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64>;
+}
+
+/// Sequential operations half: one writer at a time per structure (per
+/// shard). Reads take `&self`; see the module docs for the splay caveat.
+pub trait IndexOps: IndexCore {
     /// Inserts or updates; returns the previous value if the key existed.
     ///
     /// # Errors
@@ -54,7 +86,7 @@ pub trait Index: Sized {
     /// # Errors
     ///
     /// Propagates translation failures.
-    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>>;
+    fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>>;
 
     /// Removes a key, returning its value if it was present.
     ///
@@ -69,17 +101,15 @@ pub trait Index: Sized {
     ///
     /// Propagates translation failures (the length lives in the
     /// descriptor).
-    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64>;
-
-    /// Walks the whole structure checking its invariants (shape, ordering,
-    /// stored length), panicking on violation; returns the key count. Used
-    /// as the post-recovery oracle by the crash-point sweep.
-    ///
-    /// # Errors
-    ///
-    /// Propagates translation failures.
-    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64>;
+    fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64>;
 }
+
+/// The combined sequential interface — the pre-split trait, kept as an
+/// alias so `I: Index` bounds (store, faultsweep, ycsb, benches) keep
+/// working unchanged.
+pub trait Index: IndexOps {}
+
+impl<T: IndexOps> Index for T {}
 
 /// Exhaustive cross-check of an index against a model map — shared by the
 /// per-structure test suites.
@@ -157,7 +187,7 @@ pub(crate) mod testing {
         env.space_mut().restart();
         env.space_mut().open_pool("ds-test").unwrap();
         let desc = env.root(site!("test.load-root", KnownReturn)).unwrap();
-        let mut idx2 = I::open(desc);
+        let idx2 = I::open(desc);
         assert_eq!(idx2.len(&mut env).unwrap(), model.len() as u64);
         for (k, v) in &model {
             assert_eq!(idx2.get(&mut env, *k).unwrap(), Some(*v), "{} key {k}", I::NAME);

@@ -15,12 +15,18 @@
 //! | AVL   | AVL tree             | [`avl`] |
 //! | SG    | scapegoat tree       | [`sg`] |
 //!
-//! The five maps implement [`Index`]; the list has its own iteration
+//! The five maps implement [`IndexOps`] (lifecycle in [`IndexCore`], with
+//! [`Index`] as the combined alias); the list has its own iteration
 //! harness, as in the paper. A bonus [`bplus`] B+ tree (wide nodes, leaf
 //! chain) extends the suite beyond Table III.
+//!
+//! The [`concurrent`] module adds durable-linearizable multi-thread
+//! variants (lock-free hash + list, lock-striped wrapper for the trees)
+//! parameterized by a flush strategy (Eager / FliT / Traverse).
 
 pub mod avl;
 pub mod bplus;
+pub mod concurrent;
 pub mod hash;
 pub mod index;
 pub mod ll;
@@ -30,8 +36,9 @@ pub mod splay;
 
 pub use avl::AvlTree;
 pub use bplus::BPlusTree;
+pub use concurrent::{ConcHash, ConcList, ConcurrentIndex, FlushStrategy, Handle, Striped};
 pub use hash::HashMapIndex;
-pub use index::Index;
+pub use index::{Index, IndexCore, IndexOps};
 pub use ll::LinkedList;
 pub use rb::RbTree;
 pub use sg::ScapegoatTree;

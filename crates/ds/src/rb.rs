@@ -5,7 +5,7 @@
 //! fixup. Node layout: `[key, value, left, right, parent, color]`
 //! (color 0 = red, 1 = black). Descriptor: `[root, len]`.
 
-use crate::index::{Index, Result};
+use crate::index::{IndexCore, IndexOps, Result};
 use utpr_ptr::{site, ExecEnv, Site, TimingSink, UPtr};
 
 const OFF_KEY: i64 = 0;
@@ -30,7 +30,7 @@ const DESC_SIZE: u64 = 16;
 /// ```
 /// use utpr_heap::AddressSpace;
 /// use utpr_ptr::{ExecEnv, Mode};
-/// use utpr_ds::{Index, RbTree};
+/// use utpr_ds::{IndexCore, IndexOps, RbTree};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("rb", 4 << 20)?;
@@ -381,7 +381,7 @@ impl RbTree {
     /// # Errors
     ///
     /// Propagates translation failures; panics (in tests) on violations.
-    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    pub fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         fn walk<S: TimingSink>(
             env: &mut ExecEnv<S>,
             n: UPtr,
@@ -427,7 +427,7 @@ impl RbTree {
     }
 }
 
-impl Index for RbTree {
+impl IndexCore for RbTree {
     const NAME: &'static str = "RB";
 
     fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
@@ -445,6 +445,12 @@ impl Index for RbTree {
         self.desc
     }
 
+    fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        RbTree::validate(self, env)
+    }
+}
+
+impl IndexOps for RbTree {
     fn insert<S: TimingSink>(
         &mut self,
         env: &mut ExecEnv<S>,
@@ -486,7 +492,7 @@ impl Index for RbTree {
         Ok(None)
     }
 
-    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+    fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
         let mut x = self.root(env)?;
         while !env.ptr_is_null(site!("rb.get.descend", StackLocal), x) {
             let k = key_of(env, x)?;
@@ -504,12 +510,8 @@ impl Index for RbTree {
         RbTree::remove(self, env, key)
     }
 
-    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("rb.len", Param), self.desc, D_LEN)
-    }
-
-    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
-        RbTree::validate(self, env)
     }
 }
 

@@ -8,7 +8,7 @@
 //! where `max_len` is the high-water mark driving deletion rebuilds.
 //! α = 0.7, the Boost default region.
 
-use crate::index::{Index, Result};
+use crate::index::{IndexCore, IndexOps, Result};
 use utpr_ptr::{site, ExecEnv, TimingSink, UPtr};
 
 const OFF_KEY: i64 = 0;
@@ -35,7 +35,7 @@ const ALPHA_DEN: u64 = 10;
 /// ```
 /// use utpr_heap::AddressSpace;
 /// use utpr_ptr::{ExecEnv, Mode};
-/// use utpr_ds::{Index, ScapegoatTree};
+/// use utpr_ds::{IndexCore, IndexOps, ScapegoatTree};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("sg", 4 << 20)?;
@@ -216,7 +216,7 @@ impl ScapegoatTree {
     /// # Errors
     ///
     /// Propagates translation failures; panics (in tests) on violations.
-    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    pub fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         fn walk<S: TimingSink>(
             env: &mut ExecEnv<S>,
             n: UPtr,
@@ -253,7 +253,7 @@ impl ScapegoatTree {
     }
 }
 
-impl Index for ScapegoatTree {
+impl IndexCore for ScapegoatTree {
     const NAME: &'static str = "SG";
 
     fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
@@ -272,6 +272,12 @@ impl Index for ScapegoatTree {
         self.desc
     }
 
+    fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        ScapegoatTree::validate(self, env)
+    }
+}
+
+impl IndexOps for ScapegoatTree {
     fn insert<S: TimingSink>(
         &mut self,
         env: &mut ExecEnv<S>,
@@ -348,7 +354,7 @@ impl Index for ScapegoatTree {
         Ok(None)
     }
 
-    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+    fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
         let mut x = self.root(env)?;
         while !env.ptr_is_null(site!("sg.get.descend", StackLocal), x) {
             let k = key_of(env, x)?;
@@ -366,13 +372,10 @@ impl Index for ScapegoatTree {
         ScapegoatTree::remove(self, env, key)
     }
 
-    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("sg.len", Param), self.desc, D_LEN)
     }
 
-    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
-        ScapegoatTree::validate(self, env)
-    }
 }
 
 #[cfg(test)]

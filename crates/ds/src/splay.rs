@@ -6,7 +6,7 @@
 //! benchmark has the most pointer stores of the six structures. Node
 //! layout: `[key, value, left, right, parent]`. Descriptor: `[root, len]`.
 
-use crate::index::{Index, Result};
+use crate::index::{IndexCore, IndexOps, Result};
 use utpr_ptr::{site, ExecEnv, Site, TimingSink, UPtr};
 
 const OFF_KEY: i64 = 0;
@@ -27,7 +27,7 @@ const DESC_SIZE: u64 = 16;
 /// ```
 /// use utpr_heap::AddressSpace;
 /// use utpr_ptr::{ExecEnv, Mode};
-/// use utpr_ds::{Index, SplayTree};
+/// use utpr_ds::{IndexCore, IndexOps, SplayTree};
 ///
 /// let mut space = AddressSpace::new(1);
 /// let pool = space.create_pool("sp", 4 << 20)?;
@@ -234,7 +234,7 @@ impl SplayTree {
     /// # Errors
     ///
     /// Propagates translation failures; panics (in tests) on violations.
-    pub fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    pub fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         fn walk<S: TimingSink>(
             env: &mut ExecEnv<S>,
             n: UPtr,
@@ -272,7 +272,7 @@ impl SplayTree {
     }
 }
 
-impl Index for SplayTree {
+impl IndexCore for SplayTree {
     const NAME: &'static str = "Splay";
 
     fn create<S: TimingSink>(env: &mut ExecEnv<S>) -> Result<Self> {
@@ -290,6 +290,12 @@ impl Index for SplayTree {
         self.desc
     }
 
+    fn validate<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
+        SplayTree::validate(self, env)
+    }
+}
+
+impl IndexOps for SplayTree {
     fn insert<S: TimingSink>(
         &mut self,
         env: &mut ExecEnv<S>,
@@ -331,7 +337,7 @@ impl Index for SplayTree {
         Ok(None)
     }
 
-    fn get<S: TimingSink>(&mut self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
+    fn get<S: TimingSink>(&self, env: &mut ExecEnv<S>, key: u64) -> Result<Option<u64>> {
         let mut last = UPtr::NULL;
         let mut x = self.root(env)?;
         while !env.ptr_is_null(site!("splay.get.descend", StackLocal), x) {
@@ -357,13 +363,10 @@ impl Index for SplayTree {
         SplayTree::remove(self, env, key)
     }
 
-    fn len<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
+    fn len<S: TimingSink>(&self, env: &mut ExecEnv<S>) -> Result<u64> {
         env.read_u64(site!("splay.len", Param), self.desc, D_LEN)
     }
 
-    fn validate<S: TimingSink>(&mut self, env: &mut ExecEnv<S>) -> Result<u64> {
-        SplayTree::validate(self, env)
-    }
 }
 
 #[cfg(test)]

@@ -27,13 +27,18 @@
 //! sweeps replay under `UTPR_QC_SEED`. See DESIGN.md §10.
 //!
 //! Lock order (a level may only acquire locks from levels to its right):
-//! `slabs` → `central` → stripe locks. Stripe locks are leaves and are
-//! held one word/page at a time.
+//! `flush` → `faults` → `slabs` → `central` → stripe locks. Stripe locks
+//! are leaves and are held one word/page at a time. The `flush` mutex
+//! guards the ADR persistence plane ([`SharedPool::write_u64_stage`],
+//! [`SharedPool::cas_u64`], flush/fence/tag bookkeeping) and is never held
+//! across an allocator call.
 
 use crate::alloc::{MemWords, Region};
 use crate::error::Result;
 use crate::faults::FaultPlan;
 use crate::pagestore::{PageStore, PAGE_SIZE};
+use crate::space::{FlushModel, LINE_SIZE};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -84,9 +89,46 @@ impl Arena {
         self.lease.take()
     }
 
+    /// Abandons the current lease *without* returning it anywhere: the
+    /// block stays tagged allocated and is simply leaked, exactly like
+    /// lease remainders at [`crate::AddressSpace::restart`]. Used when a
+    /// crashed worker's lease may hold unflushed carve state that must not
+    /// be re-carved by a later [`crate::AddressSpace::bind_arena_slab`].
+    pub(crate) fn abandon(&mut self) -> Option<(u64, u64)> {
+        self.lease.take()
+    }
+
     pub(crate) fn refills(&self) -> u64 {
         self.refills
     }
+}
+
+/// Persistence-domain state of one shared pool under [`FlushModel::Adr`]:
+/// the machine-wide "cache" of lines written but not yet flushed. Unlike
+/// the per-space pending map, this one is shared by every thread — caches
+/// are coherent, so thread B staging a line thread A already dirtied must
+/// see A's bytes as the *newest* and the pre-A bytes as the *durable*
+/// image. One mutex guards the whole plane; it sits at the head of the
+/// lock order (`flush` → `faults` → stripe locks) and is only ever taken
+/// on data-plane writes, flushes, and fences.
+#[derive(Clone, Debug, Default)]
+struct FlushState {
+    model: FlushModel,
+    /// Unflushed lines: line offset → the line's durable bytes (the
+    /// striped image holds the newest bytes). Ordered so power-loss
+    /// drains are deterministic.
+    pending: BTreeMap<u64, [u8; LINE_SIZE as usize]>,
+    /// FliT-style per-word dirty tags: word offset → count of stores
+    /// tagged but not yet persisted by their writer. A reader finding a
+    /// tag must flush before depending on the word; an untagged word is
+    /// provably persisted and the flush can be elided.
+    tags: BTreeMap<u64, u32>,
+    /// Lines made durable by explicit flush or fence drain.
+    lines_drained: u64,
+    /// Lines whose in-flight bytes were lost to a power cycle.
+    lines_lost: u64,
+    /// Pool-wide fence (full-drain) events.
+    fences: u64,
 }
 
 /// One persistent pool shared by many address-space shards. See the
@@ -107,6 +149,7 @@ pub struct SharedPool {
     central: Mutex<()>,
     slabs: Mutex<Vec<SlabState>>,
     faults: Mutex<FaultPlan>,
+    flush: Mutex<FlushState>,
     refills: AtomicU64,
     central_allocs: AtomicU64,
     slab_overflows: AtomicU64,
@@ -157,6 +200,7 @@ impl SharedPool {
             central: Mutex::new(()),
             slabs: Mutex::new(Vec::new()),
             faults: Mutex::new(FaultPlan::disabled()),
+            flush: Mutex::new(FlushState::default()),
             refills: AtomicU64::new(0),
             central_allocs: AtomicU64::new(0),
             slab_overflows: AtomicU64::new(0),
@@ -242,6 +286,162 @@ impl SharedPool {
     /// Returns [`HeapError::CrashInjected`] at and after the armed point.
     pub(crate) fn gate(&self) -> Result<()> {
         self.faults.lock().unwrap().gate()
+    }
+
+    // ---- persistence domain (ADR flush plane) -----------------------------
+
+    /// The pool's persistence-domain model.
+    pub fn flush_model(&self) -> FlushModel {
+        self.flush.lock().unwrap().model
+    }
+
+    /// Switches the persistence-domain model. Moving to eADR implicitly
+    /// fences: lines in flight become durable and every tag clears.
+    pub fn set_flush_model(&self, model: FlushModel) {
+        let mut fs = self.flush.lock().unwrap();
+        if model == FlushModel::Eadr {
+            fs.lines_drained += fs.pending.len() as u64;
+            fs.pending.clear();
+            fs.tags.clear();
+        }
+        fs.model = model;
+    }
+
+    /// Stage the durable bytes of `off`'s line before a write mutates the
+    /// image. Must run under the flush lock, *before* the stripe write.
+    fn stage_line(&self, fs: &mut FlushState, off: u64) {
+        if fs.model != FlushModel::Adr {
+            return;
+        }
+        let line = off / LINE_SIZE * LINE_SIZE;
+        if !fs.pending.contains_key(&line) {
+            let mut old = [0u8; LINE_SIZE as usize];
+            self.read_bytes(line, &mut old);
+            fs.pending.insert(line, old);
+        }
+    }
+
+    /// One gated, durable-boundary word write on the data plane: under ADR
+    /// the touched line is staged (its durable bytes snapshotted) before
+    /// the image mutates, so a later [`SharedPool::power_cycle`] can revert
+    /// it. Identical to [`SharedPool::write_u64`] plus a gate under eADR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CrashInjected`] when an armed fault point
+    /// fires; the write does not land.
+    pub fn write_u64_stage(&self, off: u64, value: u64) -> Result<()> {
+        let mut fs = self.flush.lock().unwrap();
+        self.gate()?;
+        self.stage_line(&mut fs, off);
+        self.write_u64(off, value);
+        Ok(())
+    }
+
+    /// Compare-and-swap on the word at `off`. Returns `(swapped, old)`.
+    /// The whole read-compare-write runs under the flush-plane lock, so it
+    /// is atomic against every other staged write and CAS. Only a
+    /// *successful* swap is a durable write boundary (and stages its line);
+    /// a failed CAS is just a load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::CrashInjected`] when the gate fires on a
+    /// would-succeed swap; the write does not land.
+    pub fn cas_u64(&self, off: u64, expected: u64, new: u64) -> Result<(bool, u64)> {
+        let mut fs = self.flush.lock().unwrap();
+        let cur = self.read_u64(off);
+        if cur != expected {
+            return Ok((false, cur));
+        }
+        self.gate()?;
+        self.stage_line(&mut fs, off);
+        self.write_u64(off, new);
+        Ok((true, cur))
+    }
+
+    /// Targeted `clwb`: makes the line containing `off` durable. Returns
+    /// whether the line was actually pending.
+    pub fn flush_line(&self, off: u64) -> bool {
+        let mut fs = self.flush.lock().unwrap();
+        let line = off / LINE_SIZE * LINE_SIZE;
+        if fs.pending.remove(&line).is_some() {
+            fs.lines_drained += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// FliT tag protocol: marks the word at `off` dirty (store side). The
+    /// count nests so two in-flight stores need two completions.
+    pub fn tag_word(&self, off: u64) {
+        let mut fs = self.flush.lock().unwrap();
+        *fs.tags.entry(off / 8 * 8).or_insert(0) += 1;
+    }
+
+    /// FliT tag protocol: the writer persisted the word; drop one tag.
+    pub fn untag_word(&self, off: u64) {
+        let mut fs = self.flush.lock().unwrap();
+        let w = off / 8 * 8;
+        if let Some(c) = fs.tags.get_mut(&w) {
+            *c -= 1;
+            if *c == 0 {
+                fs.tags.remove(&w);
+            }
+        }
+    }
+
+    /// FliT tag protocol, load side: is the word possibly unpersisted?
+    pub fn word_tagged(&self, off: u64) -> bool {
+        self.flush.lock().unwrap().tags.contains_key(&(off / 8 * 8))
+    }
+
+    /// Pool-wide persist barrier: drains every pending line to durability
+    /// (the flush half of an `sfence` issued by any thread — caches are
+    /// machine-wide, so one thread's fence drains everyone's lines).
+    /// Returns the number of lines drained.
+    pub fn drain_all(&self) -> u64 {
+        let mut fs = self.flush.lock().unwrap();
+        let n = fs.pending.len() as u64;
+        fs.lines_drained += n;
+        fs.fences += 1;
+        fs.pending.clear();
+        n
+    }
+
+    /// Power loss: every unflushed line reverts to its durable bytes and
+    /// all tags clear (the tag table is volatile). The crash sweeps call
+    /// this on a tripped trial before recovery, exactly where
+    /// [`crate::AddressSpace::restart`] drains per-space pending lines.
+    pub fn power_cycle(&self) {
+        let mut fs = self.flush.lock().unwrap();
+        let pending = std::mem::take(&mut fs.pending);
+        fs.lines_lost += pending.len() as u64;
+        for (line, old) in pending {
+            self.write_bytes(line, &old);
+        }
+        fs.tags.clear();
+    }
+
+    /// Lines currently written but not yet durable.
+    pub fn pending_lines(&self) -> usize {
+        self.flush.lock().unwrap().pending.len()
+    }
+
+    /// Lines made durable by flush or fence drain so far.
+    pub fn lines_drained(&self) -> u64 {
+        self.flush.lock().unwrap().lines_drained
+    }
+
+    /// Lines lost to power cycles so far.
+    pub fn lines_lost(&self) -> u64 {
+        self.flush.lock().unwrap().lines_lost
+    }
+
+    /// Pool-wide fence (full-drain) events so far.
+    pub fn fence_count(&self) -> u64 {
+        self.flush.lock().unwrap().fences
     }
 
     // ---- allocation plane -------------------------------------------------
@@ -441,6 +641,7 @@ impl SharedPool {
             central: Mutex::new(()),
             slabs: Mutex::new(self.slabs.lock().unwrap().clone()),
             faults: Mutex::new(*self.faults.lock().unwrap()),
+            flush: Mutex::new(self.flush.lock().unwrap().clone()),
             refills: AtomicU64::new(self.refills()),
             central_allocs: AtomicU64::new(self.central_allocs()),
             slab_overflows: AtomicU64::new(self.slab_overflows()),

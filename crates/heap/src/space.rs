@@ -240,16 +240,31 @@ impl AddressSpace {
     }
 
     /// Flush + store fence: every written line becomes durable. A no-op
-    /// under eADR apart from the event count.
+    /// under eADR apart from the event count. The barrier is machine-wide:
+    /// adopted shared pools drain their (cross-thread) pending lines too,
+    /// which is what keeps the allocator's fence-first discipline sound
+    /// when the metadata lives in a [`SharedPool`].
     pub fn fence(&mut self) {
         self.fences += 1;
         self.lines_flushed += self.pending.len() as u64;
         self.pending.clear();
+        if !self.shared.is_empty() {
+            for sp in self.shared.values() {
+                self.lines_flushed += sp.drain_all();
+            }
+        }
     }
 
     /// Flushes the single line containing intra-pool offset `off` of
-    /// `pool` (a targeted `clwb`), without a fence-wide drain.
+    /// `pool` (a targeted `clwb`), without a fence-wide drain. Routes to
+    /// the pool's own pending buffer for adopted shared pools.
     pub fn flush_line(&mut self, pool: PoolId, off: u64) {
+        if let Some(sp) = self.shared_route(pool) {
+            if sp.flush_line(off) {
+                self.lines_flushed += 1;
+            }
+            return;
+        }
         if self.pending.remove(&(pool, off / LINE_SIZE * LINE_SIZE)).is_some() {
             self.lines_flushed += 1;
         }
@@ -371,11 +386,11 @@ impl AddressSpace {
     #[inline]
     pub fn pool_write_u64(&mut self, id: PoolId, off: u64, value: u64) -> Result<()> {
         if let Some(sp) = self.shared_route(id) {
-            // Shared pools are eADR-only (no pending-line staging) and gate
-            // on the pool-wide plan; armed boundaries crash cleanly.
-            sp.gate()?;
-            sp.write_u64(off, value);
-            return Ok(());
+            // Shared pools gate on the pool-wide plan (armed boundaries
+            // crash cleanly) and stage the line in the *pool's* machine-
+            // wide pending buffer — caches are coherent, so the ADR state
+            // must be shared by every thread, not split per space.
+            return sp.write_u64_stage(off, value);
         }
         let img = self.store.get_mut(id)?;
         let verdict = self.faults.gate_tearable()?;
@@ -388,6 +403,59 @@ impl AddressSpace {
             // The in-flight write landed in the cache; the process is dead.
             GateVerdict::TornCrash => Err(self.faults.crash_error()),
         }
+    }
+
+    /// Atomic compare-and-swap on the word at `va`. Returns
+    /// `(swapped, old value)`. For adopted shared pools the whole
+    /// read-compare-write is atomic under the pool's flush-plane lock and
+    /// a *successful* swap is one durable write boundary (staged under
+    /// ADR); a failed CAS is just a load. DRAM and local (single-threaded)
+    /// pools get the plain read/compare/write equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressSpace::write_u64`].
+    pub fn cas_u64(&mut self, va: VirtAddr, expected: u64, new: u64) -> Result<(bool, u64)> {
+        if va.raw() < DRAM_BASE {
+            return Err(HeapError::Unmapped(va));
+        }
+        if va.is_nvm_region() {
+            let loc = self.locate(va)?;
+            if let Some(sp) = self.shared_route(loc.pool) {
+                return sp.cas_u64(loc.offset.into(), expected, new);
+            }
+            let cur = self.store.get(loc.pool)?.data().read_u64(loc.offset.into());
+            if cur != expected {
+                return Ok((false, cur));
+            }
+            self.pool_write_u64(loc.pool, loc.offset.into(), new)?;
+            Ok((true, cur))
+        } else {
+            let cur = self.dram.read_u64(va.raw());
+            if cur == expected {
+                self.dram.write_u64(va.raw(), new);
+            }
+            Ok((cur == expected, cur))
+        }
+    }
+
+    /// Abandons every shared-pool arena's current lease *without*
+    /// returning it to the central free list — the block stays tagged
+    /// allocated and leaks, exactly like lease remainders at
+    /// [`AddressSpace::restart`]. Called when this shard's worker dies to
+    /// an injected crash mid-transaction: the lease's carve state may
+    /// contain unflushed line bytes, and handing the remainder back would
+    /// let a later [`AddressSpace::bind_arena_slab`] re-carve bytes whose
+    /// durable image disagrees with the allocator books. Returns how many
+    /// leases were dropped.
+    pub fn abandon_arena_leases(&mut self) -> usize {
+        let mut dropped = 0;
+        for arena in self.arenas.values_mut() {
+            if arena.abandon().is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
     }
 
     /// Number of restarts this space has gone through.

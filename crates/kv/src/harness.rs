@@ -4,7 +4,7 @@
 
 use crate::store::KvStore;
 use crate::workload::{generate, WorkloadSpec};
-use utpr_ds::{AvlTree, BPlusTree, HashMapIndex, Index, LinkedList, RbTree, ScapegoatTree, SplayTree};
+use utpr_ds::{AvlTree, BPlusTree, HashMapIndex, Index, IndexCore, LinkedList, RbTree, ScapegoatTree, SplayTree};
 use utpr_heap::{AddressSpace, HeapError, TransStats};
 use utpr_ptr::{site, ExecEnv, Mode, PtrStats};
 use utpr_sim::{Machine, RangeEntry, SimConfig, SimStats};

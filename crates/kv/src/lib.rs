@@ -22,6 +22,7 @@
 //! # Ok::<(), utpr_heap::HeapError>(())
 //! ```
 
+pub mod conc;
 pub mod faultsweep;
 pub mod harness;
 pub mod mt;
@@ -30,6 +31,9 @@ pub mod store;
 pub mod workload;
 pub mod ycsb;
 
+pub use conc::{
+    conc_crash_sweep, conc_sweep_all_strategies, conc_sweep_list, ConcSweepReport, ConcSweepSpec,
+};
 pub use faultsweep::{
     bitflip_all, bitflip_campaign, sweep_all, sweep_structure, BitflipReport, BitflipSpec,
     FaultFlavor, SweepFailure, SweepReport, SweepSpec,

@@ -34,7 +34,7 @@ use crate::store::{KvStore, RunSummary};
 use crate::ycsb::{generate_preset, Preset};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use utpr_ds::{Index, RbTree};
+use utpr_ds::{IndexCore, RbTree};
 use utpr_heap::{
     select_points, AddressSpace, FaultPlan, HeapError, SharedPool, SlabId, TransStats, UndoLog,
 };

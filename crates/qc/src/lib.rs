@@ -43,6 +43,7 @@
 
 pub mod bench;
 pub mod gen;
+pub mod linear;
 pub mod rng;
 pub mod runner;
 pub mod sched;

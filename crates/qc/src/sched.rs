@@ -9,7 +9,15 @@
 //! replays exactly from the `(seed, policy, counts)` triple — the same
 //! `UTPR_QC_SEED` contract as the property runner ([`crate::runner`]).
 
+//!
+//! For *real*-thread harnesses whose interleavings happen mid-operation
+//! (the lock-free indexes), [`Turnstile`] serializes N OS threads at
+//! explicit yield points and hands the baton around with the same seeded
+//! determinism: the grant sequence depends only on `(seed, program)`,
+//! never on host timing.
+
 use crate::rng::Rng;
+use std::sync::{Condvar, Mutex};
 
 /// How the per-thread scripts are interleaved into one global order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,9 +111,160 @@ pub fn steps(order: &[u32]) -> impl Iterator<Item = (u32, u64)> + '_ {
     })
 }
 
+/// The machine crashed (another thread tripped a fault gate): unwind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crashed;
+
+struct TsState {
+    rng: Rng,
+    current: usize,
+    active: Vec<bool>,
+    crashed: bool,
+    grants: u64,
+}
+
+impl TsState {
+    /// Hands the baton to a seeded-random active thread (possibly the
+    /// current one again).
+    fn pass(&mut self) {
+        let n = self.active.iter().filter(|a| **a).count() as u64;
+        if n == 0 {
+            return;
+        }
+        let mut pick = self.rng.below(n);
+        for (t, a) in self.active.iter().enumerate() {
+            if *a {
+                if pick == 0 {
+                    self.current = t;
+                    self.grants += 1;
+                    return;
+                }
+                pick -= 1;
+            }
+        }
+    }
+}
+
+/// Deterministic turnstile for N real threads: exactly one thread runs
+/// between two yield points, and the grant order is drawn from a seeded
+/// RNG over the still-active threads.
+///
+/// Protocol: every shared-memory access in the workload is preceded by
+/// [`Turnstile::yield_point`]; a thread leaving the workload (normally
+/// or by unwinding) calls [`Turnstile::finish`]; a thread observing a
+/// machine-wide fault calls [`Turnstile::crash`], which makes every
+/// other thread's next yield return `Err(Crashed)`.
+///
+/// Because the baton is passed *inside* the yield — before the caller
+/// blocks — the schedule is a pure function of the seed and the
+/// workload's own control flow: replaying the same seed replays the
+/// same interleaving, CAS winners included, on any host.
+pub struct Turnstile {
+    state: Mutex<TsState>,
+    cv: Condvar,
+}
+
+impl Turnstile {
+    /// A turnstile over `threads` participants, all initially active.
+    #[must_use]
+    pub fn new(threads: usize, seed: u64) -> Turnstile {
+        assert!(threads > 0, "turnstile over zero threads");
+        let mut st = TsState {
+            rng: Rng::new(seed ^ 0x7572_6e73_7469_6c65), // "urnstile"
+            current: 0,
+            active: vec![true; threads],
+            crashed: false,
+            grants: 0,
+        };
+        st.pass();
+        Turnstile { state: Mutex::new(st), cv: Condvar::new() }
+    }
+
+    /// Blocks until thread `t` is granted the next step. If `t` already
+    /// holds the baton, it is re-drawn first (this is the interleaving
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// `Err(Crashed)` once [`crash`](Turnstile::crash) was called: the
+    /// caller must unwind its operation and [`finish`](Turnstile::finish).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned lock (a worker panicked mid-step).
+    pub fn yield_point(&self, t: usize) -> Result<(), Crashed> {
+        let mut st = self.state.lock().expect("turnstile poisoned");
+        if st.crashed {
+            return Err(Crashed);
+        }
+        if st.current == t {
+            st.pass();
+            self.cv.notify_all();
+        }
+        while st.current != t {
+            if st.crashed {
+                return Err(Crashed);
+            }
+            st = self.cv.wait(st).expect("turnstile poisoned");
+        }
+        if st.crashed {
+            return Err(Crashed);
+        }
+        Ok(())
+    }
+
+    /// Retires thread `t` (normal completion or post-crash unwind) and
+    /// hands the baton on if `t` held it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned lock.
+    pub fn finish(&self, t: usize) {
+        let mut st = self.state.lock().expect("turnstile poisoned");
+        st.active[t] = false;
+        if st.current == t {
+            st.pass();
+        }
+        self.cv.notify_all();
+    }
+
+    /// Declares a machine-wide crash: every waiter (and every later
+    /// yield) returns `Err(Crashed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned lock.
+    pub fn crash(&self) {
+        let mut st = self.state.lock().expect("turnstile poisoned");
+        st.crashed = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether a crash was declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned lock.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.state.lock().expect("turnstile poisoned").crashed
+    }
+
+    /// Baton grants so far (a deterministic logical clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned lock.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.state.lock().expect("turnstile poisoned").grants
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn histogram(order: &[u32], threads: usize) -> Vec<u64> {
         let mut h = vec![0u64; threads];
@@ -142,6 +301,68 @@ mod tests {
             }
         }
         assert!(any_different, "seeds must explore distinct interleavings");
+    }
+
+    /// Runs `threads` workers over a shared log under a turnstile;
+    /// returns the observed step order.
+    fn turnstile_trace(threads: usize, steps_per_thread: usize, seed: u64) -> Vec<usize> {
+        let ts = Arc::new(Turnstile::new(threads, seed));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (ts, log) = (Arc::clone(&ts), Arc::clone(&log));
+                s.spawn(move || {
+                    for _ in 0..steps_per_thread {
+                        if ts.yield_point(t).is_err() {
+                            break;
+                        }
+                        log.lock().unwrap().push(t);
+                    }
+                    ts.finish(t);
+                });
+            }
+        });
+        Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn turnstile_serializes_and_replays() {
+        let a = turnstile_trace(4, 25, 9);
+        assert_eq!(a.len(), 100, "every step ran");
+        for t in 0..4 {
+            assert_eq!(a.iter().filter(|&&x| x == t).count(), 25, "thread {t} ran fully");
+        }
+        let b = turnstile_trace(4, 25, 9);
+        assert_eq!(a, b, "same seed, same interleaving, any host timing");
+        let c = turnstile_trace(4, 25, 10);
+        assert_ne!(a, c, "different seeds explore different interleavings");
+    }
+
+    #[test]
+    fn turnstile_crash_stops_every_thread() {
+        let ts = Arc::new(Turnstile::new(3, 1));
+        let stopped = Arc::new(Mutex::new(0u32));
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let (ts, stopped) = (Arc::clone(&ts), Arc::clone(&stopped));
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        if ts.yield_point(t).is_err() {
+                            *stopped.lock().unwrap() += 1;
+                            break;
+                        }
+                        if t == 1 && i == 5 {
+                            ts.crash(); // thread 1 trips the gate mid-run
+                            *stopped.lock().unwrap() += 1;
+                            break;
+                        }
+                    }
+                    ts.finish(t);
+                });
+            }
+        });
+        assert!(ts.crashed());
+        assert_eq!(*stopped.lock().unwrap(), 3, "all threads observed the crash");
     }
 
     #[test]

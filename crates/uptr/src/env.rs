@@ -370,6 +370,16 @@ impl<S: TimingSink> ExecEnv<S> {
         self.mode
     }
 
+    /// The configured default pool, if any.
+    pub fn pool(&self) -> Option<PoolId> {
+        self.pool
+    }
+
+    /// The undo-log slot this environment's transactions use.
+    pub fn txn_slot(&self) -> u64 {
+        self.txn_slot
+    }
+
     /// Immutable access to the address space.
     pub fn space(&self) -> &AddressSpace {
         &self.space
@@ -553,6 +563,34 @@ impl<S: TimingSink> ExecEnv<S> {
         self.stats.stores += 1;
         self.emit(MemEvent::Store { va: va.raw(), rel_base });
         self.space.write_u64(va, v)
+    }
+
+    /// Atomic compare-and-swap on the `u64` at `base + off`. Returns
+    /// `(swapped, old value)`: the CAS published `new` iff the word still
+    /// held `expected`. Charged as one load plus one store (LL/SC-style
+    /// accounting); the swap itself is atomic against every concurrent
+    /// staged write on a shared pool ([`AddressSpace::cas_u64`]). The
+    /// lock-free index variants build their mark/link protocol on this.
+    ///
+    /// # Errors
+    ///
+    /// Faults on null, unmapped addresses, and detached pools.
+    #[inline]
+    pub fn cas_u64(
+        &mut self,
+        site: &'static Site,
+        base: UPtr,
+        off: i64,
+        expected: u64,
+        new: u64,
+    ) -> Result<(bool, u64)> {
+        let (va, rel_base) = self.resolve(site, base, off)?;
+        self.txn_log(va)?;
+        self.stats.loads += 1;
+        self.stats.stores += 1;
+        self.emit(MemEvent::Load { va: va.raw(), rel_base });
+        self.emit(MemEvent::Store { va: va.raw(), rel_base });
+        Ok(self.space.cas_u64(va, expected, new)?)
     }
 
     /// Loads the `f64` at `base + off` (bit-pattern stored as a word).
@@ -917,6 +955,13 @@ impl<S: TimingSink> ExecEnv<S> {
                 if matches!(e, HeapError::CrashInjected { .. }) {
                     self.txn = None;
                     self.txn_frees.clear();
+                    // The worker is dead: abandon (leak) its arena leases
+                    // rather than letting a later `bind_arena_slab` hand
+                    // the remainder — whose carve state may hold unflushed
+                    // line bytes — back to the central free list for
+                    // re-carving. Recovery reclaims nothing here, exactly
+                    // like thread-cached blocks at a real power loss.
+                    self.space.abandon_arena_leases();
                 } else {
                     self.txn_abort()?;
                 }

@@ -35,14 +35,18 @@ run_benches() {
         cargo bench -q -p utpr-bench --bench hotpath --offline > /dev/null
     UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
         cargo bench -q -p utpr-bench --bench interp --offline > /dev/null
+    UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
+        cargo bench -q -p utpr-bench --bench concurrent --offline > /dev/null
 }
 
 # Emits "key cycles checksum" lines from a BENCH_*.json report: one line per
 # run record that carries modelled cycles. fig11 records are keyed
 # benchmark/mode; hotpath YCSB records are keyed by their run name. interp
 # records carry no cycles; their deterministic guest-instruction count
-# stands in (same seed + scale => bit-identical count). Records with
-# neither field (host-timing summaries, the report header) are skipped.
+# stands in (same seed + scale => bit-identical count), and concurrent
+# grid cells use their deterministic executed-op count the same way (the
+# audit checksum is the real payload there). Records with none of these
+# fields (host-timing summaries, the report header) are skipped.
 # Checksums are kept as strings — they are full u64s and would lose
 # precision as awk doubles.
 extract() {
@@ -61,6 +65,8 @@ extract() {
                     v = $i; sub(/.*:/, "", v); cyc = v
                 } else if ($i ~ /^"guest_insts":/) {
                     v = $i; sub(/.*:/, "", v); gi = v
+                } else if ($i ~ /^"ops":/) {
+                    v = $i; sub(/.*:/, "", v); if (gi == "") gi = v
                 } else if ($i ~ /^"checksum":/) {
                     v = $i; sub(/.*:/, "", v); sum = v
                 }
@@ -107,13 +113,13 @@ record)
     mkdir -p "$base_dir"
     echo "== recording baselines (small scale, 1 worker) =="
     run_benches "$base_dir"
-    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json; do
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json "$base_dir"/BENCH_concurrent.json; do
         n=$(extract "$f" | wc -l)
         echo "recorded $f ($n keyed runs)"
     done
     ;;
 check)
-    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json; do
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json "$base_dir"/BENCH_concurrent.json; do
         [[ -f "$f" ]] || {
             echo "bench_baseline: $f missing — run \`scripts/bench_baseline.sh record\` first" >&2
             exit 2
@@ -124,7 +130,7 @@ check)
     echo "== baseline check (small scale, 1 worker, ${tolerance} cycle tolerance) =="
     run_benches "$work"
     ok=1
-    for name in fig11 hotpath interp; do
+    for name in fig11 hotpath interp concurrent; do
         extract "$base_dir/BENCH_$name.json" > "$work/$name.base"
         extract "$work/BENCH_$name.json" > "$work/$name.cur"
         if compare "$work/$name.base" "$work/$name.cur" "$name"; then

@@ -28,6 +28,14 @@
 #                  (bit-identical checksums and counters), the paired
 #                  mem-mix speedup is >= 2x, and the interprocedural
 #                  residual check fraction is < 0.42
+#   --concurrent   additionally run the durable-linearizability smoke: the
+#                  Wing&Gong checker self-tests, the 2-thread exhaustive +
+#                  3-thread sampled concurrent-history crash sweeps, the
+#                  twin-structure properties, then the concurrent bench at
+#                  small scale; check BENCH_concurrent.json is emitted with
+#                  strategy- and thread-invariant checksums and that FliT
+#                  and Traverse each cut flushes/op by >= 20% vs Eager on
+#                  the 4-thread YCSB-A-style runs (hash and list)
 #   --mt           additionally run the multicore smoke: the concurrent
 #                  crash-matrix sweep (every crash point of a 3-thread
 #                  seeded schedule recovers), then hotpath at small scale;
@@ -53,6 +61,7 @@ run_corruption=0
 run_hotpath=0
 run_interp=0
 run_mt=0
+run_concurrent=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
@@ -62,6 +71,7 @@ for arg in "$@"; do
         --hotpath) run_hotpath=1 ;;
         --interp) run_interp=1 ;;
         --mt) run_mt=1 ;;
+        --concurrent) run_concurrent=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -248,6 +258,45 @@ if [[ "$run_mt" == 1 ]]; then
         exit 1
     }
     echo "smoke: multicore clean (8-core speedup ${mt_speedup}x, checksums thread-count-invariant)"
+fi
+
+if [[ "$run_concurrent" == 1 ]]; then
+    echo "== extra: durable-linearizability smoke (checker + crash sweeps + flush-savings gate) =="
+    # Checker self-tests (unit + macro-API selftests with the planted
+    # corruptions), the turnstile, the concurrent-history crash sweeps
+    # (2-thread exhaustive and 3-thread sampled, all strategies), and the
+    # 1-thread twin-structure properties.
+    cargo test -q --offline -p utpr-qc linear
+    cargo test -q --offline -p utpr-qc --test selftest checker
+    cargo test -q --offline -p utpr-kv conc
+    cargo test -q --offline -p utpr-ds --test twin
+
+    cc_dir=$(mktemp -d)
+    trap 'rm -rf "$cc_dir"' EXIT
+
+    # The bench exits nonzero itself when the audit checksum varies with
+    # flush strategy or thread count — set -e propagates that.
+    UTPR_BENCH_SCALE=small UTPR_BENCH_OUT="$cc_dir" \
+        cargo bench -q -p utpr-bench --bench concurrent --offline
+    [[ -f "$cc_dir/BENCH_concurrent.json" ]] || {
+        echo "verify: concurrent smoke did not emit BENCH_concurrent.json" >&2
+        exit 1
+    }
+    grep -q '"checksum_ok":true' "$cc_dir/BENCH_concurrent.json" || {
+        echo "verify: concurrent checksums diverged across strategies/threads:" >&2
+        cat "$cc_dir/BENCH_concurrent.json" >&2
+        exit 1
+    }
+    for key in flit_savings_chash_t4 traverse_savings_chash_t4 \
+               flit_savings_clist_t4 traverse_savings_clist_t4; do
+        saving=$(sed -n "s/.*\"$key\":\(-\{0,1\}[0-9.]*\).*/\1/p" "$cc_dir/BENCH_concurrent.json")
+        awk -v s="$saving" 'BEGIN { exit !(s >= 0.20) }' || {
+            echo "verify: $key = ${saving}, below the 20% flush-reduction floor" >&2
+            exit 1
+        }
+        echo "smoke: $key = ${saving}"
+    done
+    echo "smoke: concurrent clean (checksums invariant, flush savings >= 20%)"
 fi
 
 echo "verify: OK"

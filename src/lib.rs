@@ -125,7 +125,8 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// structures, the KV harness types, and the unified [`Error`]/[`Result`].
 pub mod prelude {
     pub use crate::ds::{
-        AvlTree, BPlusTree, HashMapIndex, Index, LinkedList, RbTree, ScapegoatTree, SplayTree,
+        AvlTree, BPlusTree, ConcHash, ConcList, ConcurrentIndex, FlushStrategy, HashMapIndex,
+        Index, IndexCore, IndexOps, LinkedList, RbTree, ScapegoatTree, SplayTree, Striped,
     };
     pub use crate::heap::{
         AddressSpace, FaultPlan, PoolId, RelLoc, SharedPool, SlabId, UndoLog, VirtAddr,

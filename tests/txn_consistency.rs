@@ -7,7 +7,7 @@
 //! exactly the paper's "no code change is needed in the Boost library"
 //! claim extended to crash consistency.
 
-use utpr_ds::{Index, RbTree};
+use utpr_ds::{IndexCore, IndexOps, RbTree};
 use utpr_heap::{AddressSpace, UndoLog};
 use utpr_ptr::{site, ExecEnv, Mode, NullSink};
 

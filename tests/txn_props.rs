@@ -109,7 +109,7 @@ props! {
 mod bplus_scan {
     use utpr_qc::prelude::*;
     use std::collections::BTreeMap;
-    use utpr_ds::{BPlusTree, Index};
+    use utpr_ds::{BPlusTree, IndexCore, IndexOps};
     use utpr_heap::AddressSpace;
     use utpr_ptr::{ExecEnv, Mode};
 
