@@ -77,8 +77,9 @@ fn flip_json(r: &BitflipReport, crc: bool) -> Json {
         ("detection_rate", Json::F64(detection_rate)),
         ("recovered_keys", Json::U64(r.recovered_keys)),
         ("lost_keys", Json::U64(r.lost_keys)),
-        ("salvaged_blocks", Json::U64(r.salvaged_blocks)),
-        ("salvage_lost_bytes", Json::U64(r.salvage_lost_bytes)),
+        ("salvaged_blocks", Json::U64(r.salvage.blocks_recovered)),
+        ("salvage_intact_bytes", Json::U64(r.salvage.intact_bytes)),
+        ("salvage_lost_bytes", Json::U64(r.salvage.lost_bytes)),
         ("failures", Json::U64(r.failures.len() as u64)),
     ])
 }

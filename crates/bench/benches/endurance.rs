@@ -1,0 +1,382 @@
+//! Week-of-modelled-time endurance soak: YCSB mixes under eADR/ADR with
+//! retention decay striking sealed cold pages while traffic runs, the
+//! online scrubber on or off, and a wear-leveling ablation pair.
+//!
+//! Every cell of the grid is one [`endurance_soak`]: N mutator threads
+//! drive a YCSB preset against a concurrent hash index on a shared
+//! persistent pool whose media clock advances from *modelled* work units
+//! (never wall time); at each tick a seeded decay lottery may flip a bit
+//! on a sealed cold page. The patrol scrubber — when on — is one more
+//! participant on the same seeded turnstile, so every interleaving
+//! replays bit-for-bit under `UTPR_QC_SEED` at any host core count.
+//!
+//! Hard gates, enforced in-bench (nonzero exit on violation):
+//!
+//! 1. **Zero silent corruption, every cell** — after the end-of-soak
+//!    final verify, every injected flip is detected or annihilated
+//!    (`injected == detected + cancelled`) and no audited key is wrong
+//!    without a detection to blame. This holds for scrub-OFF arms too:
+//!    they may *lose* data, never silently.
+//! 2. **Scrub rescues** — with scrub ON, every decay rate (including the
+//!    hot arm) passes gate 1 with the quarantine → salvage → reseal
+//!    accounting balanced.
+//! 3. **Scrub matters** — with scrub OFF at the hot decay rate, at least
+//!    one arm demonstrably loses keys (the loss is detected and
+//!    accounted, per gate 1).
+//!
+//! The "week of modelled time" is a labelling of media-clock ticks
+//! (`op_units`/`work_per_tick` set the horizon); nothing here reads wall
+//! clocks except the report's own `wall_ms` field, which is never
+//! compared. Modelled columns (`cycles` = total work units, `checksum`)
+//! are bit-deterministic and feed `scripts/bench_baseline.sh`.
+//!
+//! Scale via `UTPR_BENCH_SCALE=small|medium|paper`; replay any failure
+//! with the printed `UTPR_QC_SEED=<seed>` line.
+
+use std::time::Instant;
+use utpr_bench::par;
+use utpr_bench::report::{BenchReport, Json};
+use utpr_ds::concurrent::FlushStrategy;
+use utpr_heap::pagestore::PAGE_SIZE;
+use utpr_heap::{FlushModel, RetentionConfig, ScrubConfig, SharedPool, WearStats};
+use utpr_kv::{endurance_soak, EnduranceReport, EnduranceSpec, Preset};
+
+/// Per-scale soak shape. The low decay rate is the realistic operating
+/// point (scrub is preventive, repairs are rare — the ≤10% overhead
+/// budget applies here); the high rate is the stress arm where the
+/// lottery wins often enough that scrub-OFF loses data.
+struct Shape {
+    threads: u32,
+    keys_per_thread: u64,
+    ops_per_thread: u64,
+    low_ppb: u64,
+    high_ppb: u64,
+    churn_rounds: u64,
+    churn_slots: usize,
+}
+
+fn shape() -> Shape {
+    match std::env::var("UTPR_BENCH_SCALE").as_deref() {
+        Ok("small") => Shape {
+            threads: 3,
+            keys_per_thread: 24,
+            ops_per_thread: 80,
+            low_ppb: 80_000,
+            high_ppb: 60_000_000,
+            churn_rounds: 40,
+            churn_slots: 24,
+        },
+        Ok("medium") => Shape {
+            threads: 4,
+            keys_per_thread: 40,
+            ops_per_thread: 320,
+            low_ppb: 80_000,
+            high_ppb: 60_000_000,
+            churn_rounds: 80,
+            churn_slots: 32,
+        },
+        _ => Shape {
+            threads: 6,
+            keys_per_thread: 64,
+            ops_per_thread: 1_200,
+            low_ppb: 80_000,
+            high_ppb: 60_000_000,
+            churn_rounds: 160,
+            churn_slots: 48,
+        },
+    }
+}
+
+/// The wear-leveling ablation: identical alloc/free/rewrite churn (same
+/// LCG stream) under first-fit vs scored placement. Only the placement
+/// policy differs, so the wear tables are directly comparable. The soak
+/// grid cannot show this — its index never frees, so the central free
+/// list stays one block and both policies coincide; churn is where the
+/// scored allocator earns its O(free-list) walk.
+fn wear_churn(leveling: bool, rounds: u64, slots: usize) -> WearStats {
+    let name = if leveling { "endurance-wear-on" } else { "endurance-wear-off" };
+    let p = SharedPool::create(name, 1 << 20, 2).expect("churn pool");
+    p.configure_retention(RetentionConfig::default());
+    p.set_wear_leveling(leveling);
+    let mut live: Vec<u64> =
+        (0..slots).map(|_| p.alloc_raw(PAGE_SIZE / 2).expect("churn alloc")).collect();
+    let mut rng = 0x2545_f491_4f6c_dd1du64;
+    for _ in 0..rounds {
+        for slot in &mut live {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if rng >> 63 == 1 {
+                p.free_raw(*slot).expect("churn free");
+                *slot = p.alloc_raw(PAGE_SIZE / 2).expect("churn realloc");
+                for w in 0..PAGE_SIZE / 16 {
+                    p.write_u64(*slot + w * 8, rng ^ w);
+                }
+            }
+        }
+    }
+    p.wear_stats()
+}
+
+fn churn_json(name: &str, leveling: bool, w: &WearStats) -> Json {
+    // The checksum folds the deterministic wear columns so
+    // bench_baseline diffs placement behaviour, not just volume.
+    let checksum = [w.pages, w.min, w.max, w.total]
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, v| (h ^ v).wrapping_mul(0x100_0000_01b3));
+    Json::obj(vec![
+        ("kind", Json::Str("wear_churn".into())),
+        ("name", Json::Str(name.into())),
+        ("wear_leveling", Json::Bool(leveling)),
+        ("wear_pages", Json::U64(w.pages)),
+        ("wear_min", Json::U64(w.min)),
+        ("wear_max", Json::U64(w.max)),
+        ("cycles", Json::U64(w.total)),
+        ("wear_flatness", Json::F64(w.flatness())),
+        ("checksum", Json::U64(checksum)),
+    ])
+}
+
+/// One grid cell. `wear_leveling` only varies on the ablation pair.
+#[derive(Clone, Copy)]
+struct Cell {
+    mix: Preset,
+    flush: FlushModel,
+    scrub: bool,
+    decay_ppb: u64,
+    wear_leveling: bool,
+}
+
+fn spec_of(cell: &Cell, sh: &Shape, seed: u64) -> EnduranceSpec {
+    EnduranceSpec {
+        threads: sh.threads,
+        keys_per_thread: sh.keys_per_thread,
+        ops_per_thread: sh.ops_per_thread,
+        mix: cell.mix,
+        flush: cell.flush,
+        strategy: FlushStrategy::FliT,
+        scrub: cell.scrub,
+        scrub_cfg: ScrubConfig { batch_pages: 12, refresh_age: 14, interval_ticks: 12 },
+        decay_ppb: cell.decay_ppb,
+        op_units: 1_200,
+        work_per_tick: 3_600,
+        seal_lag: 2,
+        wear_leveling: cell.wear_leveling,
+        seed,
+    }
+}
+
+fn mix_name(p: Preset) -> &'static str {
+    match p {
+        Preset::B => "B",
+        Preset::C => "C",
+        Preset::D => "D",
+        _ => "other",
+    }
+}
+
+fn flush_name(f: FlushModel) -> &'static str {
+    match f {
+        FlushModel::Eadr => "eadr",
+        FlushModel::Adr => "adr",
+    }
+}
+
+fn cell_name(c: &Cell) -> String {
+    format!(
+        "endurance/{}/{}/{}/{}ppb{}",
+        mix_name(c.mix),
+        flush_name(c.flush),
+        if c.scrub { "scrub" } else { "noscrub" },
+        c.decay_ppb,
+        if c.wear_leveling { "/wear" } else { "" },
+    )
+}
+
+fn cell_json(name: &str, c: &Cell, r: &EnduranceReport) -> Json {
+    Json::obj(vec![
+        ("kind", Json::Str("endurance".into())),
+        ("name", Json::Str(name.into())),
+        ("mix", Json::Str(mix_name(c.mix).into())),
+        ("flush", Json::Str(flush_name(c.flush).into())),
+        ("scrub", Json::Bool(c.scrub)),
+        ("decay_ppb", Json::U64(c.decay_ppb)),
+        ("wear_leveling", Json::Bool(c.wear_leveling)),
+        ("soak_ops", Json::U64(r.ops)),
+        ("ops_failed", Json::U64(r.ops_failed)),
+        ("ticks", Json::U64(r.ticks)),
+        // `cycles` is the modelled total-work column bench_baseline diffs.
+        ("cycles", Json::U64(r.total_work)),
+        ("scrub_work", Json::U64(r.scrub_work)),
+        ("scrub_overhead", Json::F64(r.scrub_overhead())),
+        ("fences", Json::U64(r.fences)),
+        ("fences_per_op", Json::F64(r.fences_per_op())),
+        ("flips_injected", Json::U64(r.flips_injected)),
+        ("flips_detected", Json::U64(r.flips_detected)),
+        ("flips_cancelled", Json::U64(r.flips_cancelled)),
+        ("pages_flipped", Json::U64(r.pages_flipped)),
+        ("pages_scanned", Json::U64(r.scrub.pages_scanned)),
+        ("pages_refreshed", Json::U64(r.scrub.pages_refreshed)),
+        ("pages_quarantined", Json::U64(r.scrub.pages_quarantined)),
+        ("repairs", Json::U64(r.scrub.repairs)),
+        ("salvaged_blocks", Json::U64(r.scrub.salvage.blocks_recovered)),
+        ("salvage_intact_bytes", Json::U64(r.scrub.salvage.intact_bytes)),
+        ("salvage_lost_bytes", Json::U64(r.scrub.salvage.lost_bytes)),
+        ("keys_audited", Json::U64(r.keys_audited)),
+        ("keys_intact", Json::U64(r.keys_intact)),
+        ("keys_lost", Json::U64(r.keys_lost)),
+        ("stale_reads", Json::U64(r.stale_reads)),
+        ("silent", Json::U64(r.silent)),
+        ("wear_pages", Json::U64(r.wear.pages)),
+        ("wear_min", Json::U64(r.wear.min)),
+        ("wear_max", Json::U64(r.wear.max)),
+        ("wear_flatness", Json::F64(r.wear.flatness())),
+        ("checksum", Json::U64(r.checksum)),
+        ("grants", Json::U64(r.grants)),
+    ])
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let seed = utpr_qc::runner::base_seed();
+    let sh = shape();
+
+    // The full grid: mix × persistence domain × scrub × decay rate, plus
+    // one wear-leveling ablation cell (its control is the matching
+    // B/adr/scrub/low cell of the main grid).
+    let mut grid: Vec<Cell> = Vec::new();
+    for mix in [Preset::B, Preset::C, Preset::D] {
+        for flush in [FlushModel::Eadr, FlushModel::Adr] {
+            for scrub in [true, false] {
+                for ppb in [sh.low_ppb, sh.high_ppb] {
+                    grid.push(Cell { mix, flush, scrub, decay_ppb: ppb, wear_leveling: false });
+                }
+            }
+        }
+    }
+    let reports: Vec<(Cell, EnduranceReport)> = par::par_map_auto(&grid, |_, cell| {
+        let spec = spec_of(cell, &sh, seed);
+        let r = endurance_soak(&spec).expect("endurance soak setup");
+        (*cell, r)
+    });
+
+    let mut failures = 0usize;
+    let mut table = utpr_bench::Table::new(&[
+        "cell", "ops", "ticks", "inj", "det", "canc", "refreshed", "repairs", "lost", "stale",
+        "silent", "ovh%", "flat",
+    ]);
+    let mut records = Vec::new();
+    let mut overhead_low_scrub: f64 = 0.0;
+    let mut lost_noscrub_hot = 0u64;
+    let mut lost_scrub_hot = 0u64;
+    for (cell, r) in &reports {
+        let name = cell_name(cell);
+        table.row(vec![
+            name.clone(),
+            r.ops.to_string(),
+            r.ticks.to_string(),
+            r.flips_injected.to_string(),
+            r.flips_detected.to_string(),
+            r.flips_cancelled.to_string(),
+            r.scrub.pages_refreshed.to_string(),
+            r.scrub.repairs.to_string(),
+            r.keys_lost.to_string(),
+            r.stale_reads.to_string(),
+            r.silent.to_string(),
+            format!("{:.1}", r.scrub_overhead() * 100.0),
+            format!("{:.2}", r.wear.flatness()),
+        ]);
+
+        // Gate 1 (every cell) and gate 2 (scrub-on arms) are the same
+        // invariant; a scrub-off arm failing it is just as fatal.
+        if let Err(msg) = r.gate() {
+            failures += 1;
+            eprintln!(
+                "FAIL endurance {name}: {msg} — replay: UTPR_QC_SEED={seed} \
+                 (threads={}, decay_ppb={}, horizon={} ticks)",
+                sh.threads, cell.decay_ppb, r.ticks
+            );
+        }
+        if cell.scrub && cell.decay_ppb == sh.low_ppb && !cell.wear_leveling {
+            overhead_low_scrub = overhead_low_scrub.max(r.scrub_overhead());
+        }
+        if cell.decay_ppb == sh.high_ppb {
+            if cell.scrub {
+                lost_scrub_hot += r.keys_lost;
+            } else {
+                lost_noscrub_hot += r.keys_lost;
+            }
+        }
+        records.push(cell_json(&name, cell, r));
+    }
+
+    // Gate 3: scrub-OFF at the hot decay rate must demonstrably lose
+    // data somewhere — otherwise the soak is too gentle to distinguish
+    // the arms and the scrub-rescue claim is vacuous.
+    if lost_noscrub_hot == 0 {
+        failures += 1;
+        eprintln!(
+            "FAIL endurance: no scrub-off arm lost a key at {} ppb — soak too gentle — \
+             replay: UTPR_QC_SEED={seed} (threads={}, decay_ppb={})",
+            sh.high_ppb, sh.threads, sh.high_ppb
+        );
+    }
+
+    println!("\n=== Endurance soak grid (seed {seed}) ===");
+    println!("{}", table.render());
+    println!(
+        "scrub overhead at {} ppb (worst scrub-on arm): {:.2}%",
+        sh.low_ppb,
+        overhead_low_scrub * 100.0
+    );
+    println!(
+        "keys lost at {} ppb: scrub-on {lost_scrub_hot}, scrub-off {lost_noscrub_hot}",
+        sh.high_ppb
+    );
+
+    // Wear-leveling ablation: same churn, two placement policies. The
+    // endurance claim is about *peak* wear — the most-worn cell dies
+    // first — so the gate compares `wear.max` (max/mean flatness would
+    // reward concentration: spreading writes over more pages dilutes the
+    // mean while the allocator's metadata page pins the max).
+    let churn_on = wear_churn(true, sh.churn_rounds, sh.churn_slots);
+    let churn_off = wear_churn(false, sh.churn_rounds, sh.churn_slots);
+    println!(
+        "wear churn ({} rounds, {} slots): peak {} vs {} writes/page (leveling vs first-fit), \
+         flatness {:.2} vs {:.2}",
+        sh.churn_rounds,
+        sh.churn_slots,
+        churn_on.max,
+        churn_off.max,
+        churn_on.flatness(),
+        churn_off.flatness()
+    );
+    if churn_on.max >= churn_off.max {
+        failures += 1;
+        eprintln!(
+            "FAIL endurance wear churn: scored placement did not cut peak wear \
+             ({} vs {}) — replay: UTPR_QC_SEED={seed} (rounds={}, slots={})",
+            churn_on.max, churn_off.max, sh.churn_rounds, sh.churn_slots
+        );
+    }
+    records.push(churn_json("endurance/wearchurn/leveling", true, &churn_on));
+    records.push(churn_json("endurance/wearchurn/firstfit", false, &churn_off));
+
+    let mut report = BenchReport::new("endurance", par::jobs(), t0.elapsed());
+    report.set_extra("seed", Json::U64(seed));
+    report.set_extra("total_failures", Json::U64(failures as u64));
+    report.set_extra("scrub_overhead_frac", Json::F64(overhead_low_scrub));
+    report.set_extra("lost_keys_scrub_hot", Json::U64(lost_scrub_hot));
+    report.set_extra("lost_keys_noscrub_hot", Json::U64(lost_noscrub_hot));
+    report.set_extra("wear_peak_leveling", Json::U64(churn_on.max));
+    report.set_extra("wear_peak_first_fit", Json::U64(churn_off.max));
+    report.set_extra("wear_flatness_leveling", Json::F64(churn_on.flatness()));
+    report.set_extra("wear_flatness_first_fit", Json::F64(churn_off.flatness()));
+    for r in records {
+        report.push_record(r);
+    }
+    report.write();
+
+    if failures > 0 {
+        eprintln!("{failures} endurance gate failure(s) — replay with UTPR_QC_SEED={seed}");
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,14 @@
 //!   ([`inject_bitflips`]). These corrupt bytes that were durably written
 //!   long ago, which no write-ordering discipline can defend against —
 //!   detecting them is the integrity layer's job ([`crate::integrity`]).
+//! - **Retention decay** ([`FaultPlan::with_decay`]): time-dependent media
+//!   errors injected *while the system runs*. The flip probability of a
+//!   sealed cold page is a seeded function of the page's age since its
+//!   last rewrite and a configurable decay rate (see
+//!   [`crate::retain::decay_draw`]); flips fire at modelled media-clock
+//!   ticks ([`AddressSpace::advance_media_clock`],
+//!   [`crate::shard::SharedPool::note_work`]) — not just at
+//!   [`crash_and_recover`].
 //!
 //! A *durable write boundary* is one hooked mutation of a pool: a data
 //! word/byte-range store, an undo-log append word, a root-pointer store,
@@ -99,6 +107,11 @@ pub struct FaultPlan {
     torn_seed: u64,
     bitflip_seed: u64,
     bitflip_count: u64,
+    decay_seed: u64,
+    /// Per-tick flip probability gradient in parts-per-billion per tick of
+    /// page age: a page of age `a` ticks flips this clock tick with
+    /// probability `min(a * decay_ppb, 1e9) / 1e9`. Zero disables decay.
+    decay_ppb: u64,
     tripped: bool,
 }
 
@@ -135,6 +148,25 @@ impl FaultPlan {
         self.bitflip_seed = seed;
         self.bitflip_count = count;
         self
+    }
+
+    /// Adds execution-time retention decay to the plan: while a media
+    /// clock advances ([`AddressSpace::advance_media_clock`] for local
+    /// pools, [`crate::shard::SharedPool::note_work`] for shared ones),
+    /// every sealed cold page rolls a seeded die per tick whose flip
+    /// probability grows linearly with the page's age since last rewrite —
+    /// `ppb` parts-per-billion per tick of age. Unlike
+    /// [`FaultPlan::with_bitflips`], these flips land *during execution*,
+    /// racing live traffic and the online scrubber.
+    pub fn with_decay(mut self, seed: u64, ppb: u64) -> Self {
+        self.decay_seed = seed;
+        self.decay_ppb = ppb;
+        self
+    }
+
+    /// The scheduled retention decay, if any: `(seed, ppb_per_tick_of_age)`.
+    pub fn decay(&self) -> Option<(u64, u64)> {
+        (self.decay_ppb > 0).then_some((self.decay_seed, self.decay_ppb))
     }
 
     /// Durable write boundaries observed so far.

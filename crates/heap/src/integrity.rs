@@ -129,8 +129,55 @@ impl PageCrcs {
     }
 }
 
+/// Per-page outcome of one scrub visit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageVerdict {
+    /// Checksum matched; no action needed.
+    Clean,
+    /// Checksum matched but the page was past its refresh age, so it was
+    /// preventively rewritten (reprogrammed in place), resetting its decay
+    /// clock before the decay window could expire.
+    Repaired,
+    /// Checksum mismatched: the page's pool is quarantined and must go
+    /// through the salvage path.
+    Quarantined,
+}
+
+/// Classifies sealed pages against their sidecar checksums — the single
+/// verdict kernel shared by [`crate::pool::PoolStore::scrub`] and the
+/// online scrubber ([`crate::scrub::Scrubber`]), so both paths agree on
+/// what "clean / repaired / quarantined" means.
+///
+/// `pages` yields `(page_number, sealed_crc, page_bytes)` — `None` bytes
+/// mean the page was never materialized and verifies as all-zero.
+/// `refresh_due(page)` asks whether a *clean* page should be refreshed;
+/// callers without age information pass `|_| false` and never see
+/// [`PageVerdict::Repaired`]. The caller applies the verdicts (rewrite,
+/// quarantine); this kernel only decides them.
+pub fn classify_pages<'a, I, F>(pages: I, mut refresh_due: F) -> Vec<(u64, PageVerdict)>
+where
+    I: Iterator<Item = (u64, u32, Option<&'a [u8]>)>,
+    F: FnMut(u64) -> bool,
+{
+    const ZERO_PAGE: [u8; crate::pagestore::PAGE_SIZE as usize] =
+        [0u8; crate::pagestore::PAGE_SIZE as usize];
+    pages
+        .map(|(page, sealed, bytes)| {
+            let actual = crc32(bytes.unwrap_or(&ZERO_PAGE));
+            let verdict = if actual != sealed {
+                PageVerdict::Quarantined
+            } else if refresh_due(page) {
+                PageVerdict::Repaired
+            } else {
+                PageVerdict::Clean
+            };
+            (page, verdict)
+        })
+        .collect()
+}
+
 /// Result of scrubbing one pool.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PoolScrub {
     /// Sealed pages whose checksums were re-verified.
     pub pages_scanned: u64,
@@ -139,6 +186,8 @@ pub struct PoolScrub {
     /// First page that failed verification, if any (the pool is then
     /// quarantined).
     pub corrupt_page: Option<u64>,
+    /// Per-page verdict of every sealed page visited, in page order.
+    pub verdicts: Vec<(u64, PageVerdict)>,
 }
 
 /// Result of scrubbing a whole pool store.
@@ -153,6 +202,8 @@ pub struct ScrubReport {
     /// Every `(pool, page)` that failed verification; those pools are now
     /// quarantined.
     pub corrupt: Vec<(PoolId, u64)>,
+    /// Per-page verdicts across all pools, in (pool, page) order.
+    pub verdicts: Vec<(PoolId, u64, PageVerdict)>,
 }
 
 impl ScrubReport {
@@ -190,6 +241,28 @@ mod tests {
             }
         }
         assert_eq!(crc32(&page), sealed);
+    }
+
+    #[test]
+    fn classify_pages_issues_all_three_verdicts() {
+        let good = vec![7u8; 4096];
+        let bad = vec![8u8; 4096];
+        let pages = vec![
+            (0u64, crc32(&good), Some(good.as_slice())), // clean
+            (1u64, crc32(&good), Some(good.as_slice())), // clean but stale -> repaired
+            (2u64, crc32(&good), Some(bad.as_slice())),  // mismatch -> quarantined
+            (3u64, crc32(&[0u8; 4096]), None),           // unmaterialized verifies as zero
+        ];
+        let verdicts = classify_pages(pages.into_iter(), |p| p == 1);
+        assert_eq!(
+            verdicts,
+            vec![
+                (0, PageVerdict::Clean),
+                (1, PageVerdict::Repaired),
+                (2, PageVerdict::Quarantined),
+                (3, PageVerdict::Clean),
+            ]
+        );
     }
 
     #[test]

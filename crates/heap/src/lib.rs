@@ -39,15 +39,19 @@ pub mod integrity;
 pub mod lookaside;
 pub mod pagestore;
 pub mod pool;
+pub mod retain;
+pub mod scrub;
 pub mod shard;
 pub mod space;
 pub mod txn;
 
 pub use addr::{PoolId, RelLoc, VirtAddr};
-pub use alloc::{Region, SalvageBlock, SalvageReport};
+pub use alloc::{Region, SalvageBlock, SalvageReport, SalvageStats};
 pub use error::{HeapError, Result};
 pub use faults::{crash_and_recover, inject_bitflips, select_points, FaultPlan, GateVerdict, Recovery};
-pub use integrity::{crc32, IntegrityMode, PoolScrub, ScrubReport, FORMAT_VERSION};
+pub use integrity::{classify_pages, crc32, IntegrityMode, PageVerdict, PoolScrub, ScrubReport, FORMAT_VERSION};
+pub use retain::{decay_draw, PageWear, RetentionConfig, WearStats, WearTable, DECAY_SCALE};
+pub use scrub::{ScrubConfig, ScrubStats, Scrubber};
 pub use pagestore::PageStore;
 pub use pool::{PoolImage, PoolStore};
 pub use shard::{SharedPool, SlabId};

@@ -165,6 +165,33 @@ impl PageStore {
         }
     }
 
+    /// Whether `page_no` is currently marked dirty. Always `false` when
+    /// tracking is off or the page was never materialized.
+    pub fn is_dirty(&self, page_no: u64) -> bool {
+        let (last_no, last_slot) = self.last.get();
+        let slot = if last_no == page_no {
+            last_slot
+        } else {
+            match self.index.get(&page_no) {
+                Some(&s) => s,
+                None => return false,
+            }
+        };
+        self.dirty
+            .get(slot as usize / 64)
+            .map_or(false, |w| w & (1u64 << (slot % 64)) != 0)
+    }
+
+    /// Forgets the dirty mark of just `page_no` (after that one page was
+    /// resealed — the incremental counterpart of [`PageStore::clear_dirty`]).
+    pub fn clear_dirty_page(&mut self, page_no: u64) {
+        if let Some(&slot) = self.index.get(&page_no) {
+            if let Some(w) = self.dirty.get_mut(slot as usize / 64) {
+                *w &= !(1u64 << (slot % 64));
+            }
+        }
+    }
+
     /// Every materialized page number, sorted.
     pub fn resident_page_numbers(&self) -> Vec<u64> {
         let mut pages = self.slot_pages.clone();
@@ -454,6 +481,24 @@ mod tests {
         s.set_dirty_tracking(false);
         s.write_u64(PAGE_SIZE, 9);
         assert!(s.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn per_page_dirty_query_and_clear() {
+        let mut s = PageStore::new();
+        s.set_dirty_tracking(true);
+        s.write_u64(0, 1);
+        s.write_u64(PAGE_SIZE * 2, 2);
+        assert!(s.is_dirty(0));
+        assert!(s.is_dirty(2));
+        assert!(!s.is_dirty(1), "unmaterialized page is never dirty");
+        s.clear_dirty_page(0);
+        assert!(!s.is_dirty(0));
+        assert!(s.is_dirty(2), "clearing one page leaves the other");
+        assert_eq!(s.dirty_pages(), vec![2]);
+        s.clear_dirty_page(99); // absent page: no-op, no panic
+        s.set_dirty_tracking(false);
+        assert!(!s.is_dirty(2), "tracking off reports clean");
     }
 
     #[test]

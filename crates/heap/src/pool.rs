@@ -9,7 +9,9 @@
 use crate::addr::{PoolId, MAX_POOL_ID};
 use crate::alloc::Region;
 use crate::error::{HeapError, Result};
-use crate::integrity::{crc32, IntegrityMode, PageCrcs, PoolScrub, ScrubReport};
+use crate::integrity::{
+    classify_pages, crc32, IntegrityMode, PageCrcs, PageVerdict, PoolScrub, ScrubReport,
+};
 use crate::pagestore::{PageStore, PAGE_SIZE};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -385,8 +387,16 @@ impl PoolStore {
         Ok(())
     }
 
-    /// Scrubs pool `id`: re-verifies every sealed page (the patrol read).
-    /// On a mismatch the pool is quarantined and the report names the page.
+    /// Scrubs pool `id`: re-verifies every sealed cold page (the patrol
+    /// read), reporting a per-page [`PageVerdict`] through the same
+    /// classification kernel the online scrubber uses
+    /// ([`classify_pages`]). Dirty pages have legitimate unsealed writes —
+    /// their sealed checksums are stale by design — and are skipped. On a
+    /// mismatch the pool is quarantined and the report names the page.
+    ///
+    /// The device has no wear table, so no page is ever refresh-due here:
+    /// verdicts are `Clean` or `Quarantined`; `Repaired` is issued only by
+    /// the age-aware online scrubber ([`crate::scrub::Scrubber`]).
     ///
     /// # Errors
     ///
@@ -394,11 +404,26 @@ impl PoolStore {
     /// corruption is reported, not raised — scrubbing a damaged pool is
     /// exactly the point.
     pub fn scrub(&mut self, id: PoolId) -> Result<PoolScrub> {
-        let img = self.peek(id)?;
+        let verdicts = {
+            let img = self.peek(id)?;
+            let dirty = img.data.dirty_pages();
+            let cells = img.crcs.sealed_pages().into_iter().filter_map(|page| {
+                if dirty.binary_search(&page).is_ok() {
+                    return None;
+                }
+                let sealed = img.crcs.get(page).expect("sealed page has a crc");
+                Some((page, sealed, img.data.page_bytes(page)))
+            });
+            classify_pages(cells, |_| false)
+        };
         let scrub = PoolScrub {
-            pages_scanned: img.crcs.len() as u64,
-            bytes_scanned: img.crcs.len() as u64 * PAGE_SIZE,
-            corrupt_page: img.verify_sealed(),
+            pages_scanned: verdicts.len() as u64,
+            bytes_scanned: verdicts.len() as u64 * PAGE_SIZE,
+            corrupt_page: verdicts
+                .iter()
+                .find(|(_, v)| *v == PageVerdict::Quarantined)
+                .map(|(p, _)| *p),
+            verdicts,
         };
         if let Some(page) = scrub.corrupt_page {
             self.quarantine(id, page);
@@ -406,7 +431,8 @@ impl PoolStore {
         Ok(scrub)
     }
 
-    /// Scrubs every pool on the device, quarantining any that fail.
+    /// Scrubs every pool on the device, quarantining any that fail; the
+    /// report carries every page's verdict in `(pool, page)` order.
     pub fn scrub_all(&mut self) -> ScrubReport {
         let mut report = ScrubReport::default();
         let ids: Vec<PoolId> = self.entries().map(|(id, _)| id).collect();
@@ -418,6 +444,7 @@ impl PoolStore {
             if let Some(page) = scrub.corrupt_page {
                 report.corrupt.push((id, page));
             }
+            report.verdicts.extend(scrub.verdicts.into_iter().map(|(p, v)| (id, p, v)));
         }
         report
     }
@@ -579,6 +606,15 @@ mod tests {
         let report = s.scrub_all();
         assert_eq!(report.pools, 2);
         assert_eq!(report.corrupt, vec![(id, 0)]);
+        assert_eq!(report.verdicts.len() as u64, report.pages_scanned, "every page gets a verdict");
+        assert!(report.verdicts.contains(&(id, 0, PageVerdict::Quarantined)));
+        assert!(
+            report.verdicts.iter().all(|&(p, pg, v)| {
+                v == if (p, pg) == (id, 0) { PageVerdict::Quarantined } else { PageVerdict::Clean }
+            }),
+            "exactly the flipped page is condemned: {:?}",
+            report.verdicts
+        );
         assert!(report.pages_scanned >= 2);
         assert_eq!(report.bytes_scanned, report.pages_scanned * PAGE_SIZE);
         assert!(s.is_quarantined(id));

@@ -1,0 +1,265 @@
+//! The online scrubber: a patrol worker that walks a [`SharedPool`]'s CRC
+//! sidecar oldest-first, verifies sealed cold pages, refreshes (rewrites
+//! in place) pages nearing the end of their decay window, and routes
+//! detected corruption through the quarantine → salvage → reseal path.
+//!
+//! The scrubber is deliberately *passive*: it owns no thread. The caller
+//! — the endurance harness's dedicated scrubber participant on the
+//! `utpr-qc::sched` turnstile, or a mutator donating idle turns — asks
+//! [`Scrubber::step`] at its own yield points, so every interleaving with
+//! mutator traffic is seeded and replayable under `UTPR_QC_SEED`. Each
+//! step charges its modelled cost to the pool's scrub-work column
+//! ([`SharedPool::note_scrub_work`]), which is what the endurance report's
+//! scrub-overhead figure is computed from.
+//!
+//! Protocol per step (see DESIGN.md §13):
+//!
+//! 1. If the media clock has not reached the next patrol due-tick, do
+//!    nothing (cheap idle poll).
+//! 2. Otherwise run one [`SharedPool::scrub_batch`]: up to
+//!    [`ScrubConfig::batch_pages`] sealed cold pages, oldest first.
+//!    Clean young pages cost a verify; pages at or past
+//!    [`ScrubConfig::refresh_age`] are reprogrammed in place (age resets,
+//!    wear accrues); checksum mismatches quarantine the pool.
+//! 3. A quarantined pool is repaired with [`Scrubber::repair`]:
+//!    [`SharedPool::salvage`] walks the damage, the repair cost is charged
+//!    to the media clock (*before* the verify — a clock advance can inject
+//!    fresh decay, which only a later verify can catch), then `verify_all`
+//!    detects and accounts every stale flip, then
+//!    [`SharedPool::reseal_all`] blesses the surviving image, then the
+//!    quarantine lifts. The salvage accounting accumulates into
+//!    [`ScrubStats::salvage`] via the same [`SalvageStats`] the corruption
+//!    bench reports, so the two paths can never diverge on what
+//!    "recovered" means.
+
+use crate::alloc::SalvageStats;
+use crate::integrity::PageVerdict;
+use crate::shard::SharedPool;
+
+/// Modelled work units one page verification costs the scrubber.
+pub const VERIFY_UNITS: u64 = 256;
+/// Modelled work units one in-place page refresh (reprogram) costs.
+pub const REFRESH_UNITS: u64 = 512;
+
+/// Patrol parameters of one [`Scrubber`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScrubConfig {
+    /// Sealed pages visited per patrol batch.
+    pub batch_pages: usize,
+    /// A clean page at or past this age (ticks since last reprogram) is
+    /// preventively rewritten. Choose it well inside the decay window:
+    /// pages older than this are the ones the decay lottery is winning
+    /// against.
+    pub refresh_age: u64,
+    /// Media-clock ticks between patrol batches.
+    pub interval_ticks: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig { batch_pages: 64, refresh_age: 16, interval_ticks: 4 }
+    }
+}
+
+/// Lifetime counters of one scrubber.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Patrol batches that actually ran (due-tick reached).
+    pub batches: u64,
+    /// Pages visited across all batches.
+    pub pages_scanned: u64,
+    /// Pages verified clean and young.
+    pub pages_clean: u64,
+    /// Pages preventively rewritten before their decay window expired —
+    /// the "rescued" column of the endurance report.
+    pub pages_refreshed: u64,
+    /// Pages whose checksum mismatched (each quarantined its pool).
+    pub pages_quarantined: u64,
+    /// Quarantine → salvage → reseal episodes completed.
+    pub repairs: u64,
+    /// Accumulated recovered-vs-lost accounting across all repairs.
+    pub salvage: SalvageStats,
+}
+
+/// The passive patrol worker. One per pool; drive it from whichever
+/// schedule-controlled thread the harness dedicates to scrubbing.
+#[derive(Clone, Copy, Debug)]
+pub struct Scrubber {
+    cfg: ScrubConfig,
+    next_due: u64,
+    stats: ScrubStats,
+}
+
+impl Scrubber {
+    /// A scrubber that first patrols at tick `cfg.interval_ticks`.
+    #[must_use]
+    pub fn new(cfg: ScrubConfig) -> Scrubber {
+        Scrubber { cfg, next_due: cfg.interval_ticks, stats: ScrubStats::default() }
+    }
+
+    /// The patrol parameters.
+    #[must_use]
+    pub fn config(&self) -> ScrubConfig {
+        self.cfg
+    }
+
+    /// Lifetime counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ScrubStats {
+        self.stats
+    }
+
+    /// Whether the next patrol batch is due at media-clock `tick`.
+    #[must_use]
+    pub fn due(&self, tick: u64) -> bool {
+        tick >= self.next_due
+    }
+
+    /// One scrubber turn: runs a patrol batch if due, charging modelled
+    /// verify/refresh cost to the pool's scrub-work column. Returns the
+    /// batch's verdicts (empty when not due or the plane is off).
+    pub fn step(&mut self, pool: &SharedPool) -> Vec<(u64, PageVerdict)> {
+        if !pool.retention_enabled() || !self.due(pool.media_tick()) {
+            return Vec::new();
+        }
+        let verdicts = pool.scrub_batch(self.cfg.batch_pages, self.cfg.refresh_age);
+        self.stats.batches += 1;
+        let mut cost = 0u64;
+        for (_, v) in &verdicts {
+            self.stats.pages_scanned += 1;
+            cost += VERIFY_UNITS;
+            match v {
+                PageVerdict::Clean => self.stats.pages_clean += 1,
+                PageVerdict::Repaired => {
+                    self.stats.pages_refreshed += 1;
+                    cost += REFRESH_UNITS;
+                }
+                PageVerdict::Quarantined => self.stats.pages_quarantined += 1,
+            }
+        }
+        let tick = pool.note_scrub_work(cost.max(VERIFY_UNITS));
+        self.next_due = tick + self.cfg.interval_ticks;
+        verdicts
+    }
+
+    /// Repairs a quarantined pool: salvage walk, repair cost charged to
+    /// the media clock, full verify (detect and account every stale flip —
+    /// including any the clock advance just injected — *before* anything
+    /// is blessed), reseal of the surviving image, quarantine release.
+    /// Returns the pass's
+    /// recovered-vs-lost accounting, also accumulated into
+    /// [`ScrubStats::salvage`]. No-op returning zeroes when the pool is
+    /// not quarantined.
+    pub fn repair(&mut self, pool: &SharedPool) -> SalvageStats {
+        if pool.quarantined_page().is_none() {
+            return SalvageStats::default();
+        }
+        // Salvage walks first (read-only), then the modelled repair cost
+        // is charged *before* the verify: advancing the media clock can
+        // itself inject fresh decay, so the charge must precede a verify
+        // pass — charging after reseal would strike pages no verify ever
+        // re-reads, and the last repair of a run would leak silent flips.
+        // The cost scales with the resident pages the reseal reprograms
+        // (one verify + one rewrite each), the same units the patrol pays.
+        let report = pool.salvage();
+        let stats = report.stats();
+        pool.note_scrub_work(pool.resident_pages() * (VERIFY_UNITS + REFRESH_UNITS));
+        pool.verify_all();
+        pool.reseal_all();
+        pool.release_quarantine();
+        self.stats.repairs += 1;
+        self.stats.salvage.merge(&stats);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::pagestore::PAGE_SIZE;
+    use crate::retain::RetentionConfig;
+
+    fn pool_with_data() -> std::sync::Arc<SharedPool> {
+        let p = SharedPool::create("scrubber", 1 << 20, 4).unwrap();
+        p.configure_retention(RetentionConfig { seal_lag: 1, work_per_tick: 100 });
+        let a = p.alloc_central(PAGE_SIZE * 4).unwrap();
+        for i in 0..256u64 {
+            p.write_u64(a + i * 8, i ^ 0xabcd);
+        }
+        p
+    }
+
+    #[test]
+    fn scrubber_waits_for_its_due_tick_then_patrols() {
+        let p = pool_with_data();
+        let mut s = Scrubber::new(ScrubConfig { batch_pages: 8, refresh_age: 1000, interval_ticks: 4 });
+        assert!(s.step(&p).is_empty(), "tick 0: not due");
+        p.note_work(100 * 6); // past the first due tick; pages seal
+        let verdicts = s.step(&p);
+        assert!(!verdicts.is_empty());
+        assert!(verdicts.iter().all(|(_, v)| *v == PageVerdict::Clean));
+        let st = s.stats();
+        assert_eq!(st.batches, 1);
+        assert_eq!(st.pages_clean, st.pages_scanned);
+        let (_, scrub_work) = p.media_work();
+        assert_eq!(scrub_work, st.pages_scanned * VERIFY_UNITS, "verify cost booked");
+        assert!(s.step(&p).is_empty(), "not due again until the next interval");
+    }
+
+    #[test]
+    fn scrubber_refreshes_aging_pages_preventing_decay_loss() {
+        let p = pool_with_data();
+        let mut s = Scrubber::new(ScrubConfig { batch_pages: 64, refresh_age: 10, interval_ticks: 2 });
+        p.note_work(100 * 20); // age well past refresh_age
+        let verdicts = s.step(&p);
+        assert!(verdicts.iter().all(|(_, v)| *v == PageVerdict::Repaired), "{verdicts:?}");
+        assert_eq!(s.stats().pages_refreshed, verdicts.len() as u64);
+        // Refreshed pages are young: with a hot decay law, several more
+        // intervals pass without a flip only because ages stay low.
+        p.set_faults(FaultPlan::disabled().with_decay(3, 2_000_000));
+        for _ in 0..30 {
+            p.note_work(100 * 2);
+            s.step(&p);
+            if p.quarantined_page().is_some() {
+                s.repair(&p);
+            }
+        }
+        // End-of-soak protocol: a final full verify turns every latent
+        // flip (e.g. one injected by the clock advancing *after* the last
+        // patrol batch) into a detected one. Only then is the
+        // zero-silent-corruption invariant checkable.
+        p.verify_all();
+        let (injected, detected, cancelled) = p.media_flips();
+        assert_eq!(injected, detected + cancelled, "any live flip the lottery won was caught, none silent");
+    }
+
+    #[test]
+    fn quarantine_routes_through_repair_with_shared_salvage_accounting() {
+        let p = pool_with_data();
+        let mut s = Scrubber::new(ScrubConfig { batch_pages: 64, refresh_age: u64::MAX, interval_ticks: 1 });
+        p.note_work(100 * 4);
+        // Plant a flip on a sealed page, then let the patrol find it.
+        let page = {
+            let sealed = p.scrub_batch(1, u64::MAX); // oldest page, clean
+            sealed[0].0
+        };
+        assert!(p.corrupt_bit(page * PAGE_SIZE + 100, 5));
+        p.note_work(100);
+        let verdicts = s.step(&p);
+        assert!(verdicts.iter().any(|(pg, v)| *pg == page && *v == PageVerdict::Quarantined));
+        assert_eq!(p.quarantined_page(), Some(page));
+        let pass = s.repair(&p);
+        assert!(pass.blocks_recovered > 0);
+        assert_eq!(pass.lost_bytes, 0, "a single bit flip breaks no block framing");
+        assert!(p.quarantined_page().is_none());
+        let st = s.stats();
+        assert_eq!(st.repairs, 1);
+        assert_eq!(st.salvage, pass, "scrubber accumulates the same accounting it returned");
+        let (i, d, c) = p.media_flips();
+        assert_eq!(i, d + c, "zero silent corruption after repair");
+        // Repair on a healthy pool is a no-op.
+        assert_eq!(s.repair(&p), SalvageStats::default());
+        assert_eq!(s.stats().repairs, 1);
+    }
+}

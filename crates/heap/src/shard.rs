@@ -27,20 +27,29 @@
 //! sweeps replay under `UTPR_QC_SEED`. See DESIGN.md §10.
 //!
 //! Lock order (a level may only acquire locks from levels to its right):
-//! `flush` → `faults` → `slabs` → `central` → stripe locks. Stripe locks
-//! are leaves and are held one word/page at a time. The `flush` mutex
-//! guards the ADR persistence plane ([`SharedPool::write_u64_stage`],
-//! [`SharedPool::cas_u64`], flush/fence/tag bookkeeping) and is never held
-//! across an allocator call.
+//! `flush` → `faults` → `slabs` → `central` → `media` → stripe locks.
+//! Stripe locks are leaves and are held one word/page at a time. The
+//! `flush` mutex guards the ADR persistence plane
+//! ([`SharedPool::write_u64_stage`], [`SharedPool::cas_u64`],
+//! flush/fence/tag bookkeeping) and is never held across an allocator
+//! call. The `media` mutex guards the retention plane (media clock, wear
+//! table, CRC sidecar, decay books — see [`crate::retain`] and
+//! DESIGN.md §13); routines holding it may briefly take stripe locks to
+//! read or seal pages, never the reverse.
 
-use crate::alloc::{MemWords, Region};
+use crate::alloc::{MemWords, Region, SalvageReport};
 use crate::error::Result;
 use crate::faults::FaultPlan;
+use crate::integrity::{classify_pages, crc32, PageCrcs, PageVerdict};
 use crate::pagestore::{PageStore, PAGE_SIZE};
+use crate::retain::{decay_draw, RetentionConfig, WearStats, WearTable};
 use crate::space::{FlushModel, LINE_SIZE};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Sentinel for [`SharedPool`]'s quarantine word: no page quarantined.
+const NO_QUARANTINE: u64 = u64::MAX;
 
 /// Target bytes per arena lease. Small enough that a thread abandons
 /// little on rebind, large enough that refills are rare on node-sized
@@ -131,6 +140,37 @@ struct FlushState {
     fences: u64,
 }
 
+/// Retention-plane state of one shared pool, present once
+/// [`SharedPool::configure_retention`] has run: the media clock, the
+/// llfree-style compact page-state table, the pool-wide CRC sidecar, and
+/// the decay-flip books. It lives *alongside* the stripes, never inside
+/// them — like the sidecar, it models controller metadata, not pool bytes.
+#[derive(Clone, Debug)]
+struct MediaState {
+    cfg: RetentionConfig,
+    wear: WearTable,
+    crcs: PageCrcs,
+    /// Modelled work units accumulated on the media clock.
+    work: u64,
+    /// The share of `work` attributed to scrub/maintenance traffic.
+    scrub_work: u64,
+    /// Decay flips injected into sealed cold pages so far.
+    flips_injected: u64,
+    /// Injected flips that a verify path has since caught. Two strikes on
+    /// the same `(page, offset, bit)` annihilate — the CRC matches again
+    /// and the pair is undetectable *by construction* — so zero silent
+    /// corruption means `injected == detected + cancelled` once the final
+    /// full verify has run.
+    flips_detected: u64,
+    /// Flips retired by pairwise annihilation (always even).
+    flips_cancelled: u64,
+    /// Outstanding flipped bits per page: `(offset-in-pool, bit)` of every
+    /// injected-but-undetected strike.
+    pending_flips: BTreeMap<u64, BTreeSet<(u64, u8)>>,
+    /// Distinct pages the lottery has ever struck (monotone).
+    pages_struck: BTreeSet<u64>,
+}
+
 /// One persistent pool shared by many address-space shards. See the
 /// module docs for the layering and lock order.
 #[derive(Debug)]
@@ -150,6 +190,18 @@ pub struct SharedPool {
     slabs: Mutex<Vec<SlabState>>,
     faults: Mutex<FaultPlan>,
     flush: Mutex<FlushState>,
+    /// Retention plane; `None` until [`SharedPool::configure_retention`].
+    media: Mutex<Option<MediaState>>,
+    /// Fast-path mirror of `media.is_some()`: one relaxed load keeps the
+    /// hot write path free of the media mutex when retention is off.
+    media_on: AtomicBool,
+    /// First page whose sealed checksum failed verification
+    /// ([`NO_QUARANTINE`] when none): shards refuse guarded access until
+    /// [`SharedPool::release_quarantine`] after salvage.
+    quarantine: AtomicU64,
+    /// Whether central allocation prefers low-write-count pages (the
+    /// wear-leveling ablation).
+    wear_level: AtomicBool,
     refills: AtomicU64,
     central_allocs: AtomicU64,
     slab_overflows: AtomicU64,
@@ -201,6 +253,10 @@ impl SharedPool {
             slabs: Mutex::new(Vec::new()),
             faults: Mutex::new(FaultPlan::disabled()),
             flush: Mutex::new(FlushState::default()),
+            media: Mutex::new(None),
+            media_on: AtomicBool::new(false),
+            quarantine: AtomicU64::new(NO_QUARANTINE),
+            wear_level: AtomicBool::new(false),
             refills: AtomicU64::new(0),
             central_allocs: AtomicU64::new(0),
             slab_overflows: AtomicU64::new(0),
@@ -242,6 +298,9 @@ impl SharedPool {
 
     /// Writes `buf` at `offset`, splitting at page boundaries.
     pub fn write_bytes(&self, mut offset: u64, mut buf: &[u8]) {
+        if self.media_on.load(Ordering::Acquire) && !buf.is_empty() {
+            self.media_note_write(offset, buf.len() as u64);
+        }
         while !buf.is_empty() {
             let in_page = (PAGE_SIZE - offset % PAGE_SIZE) as usize;
             let n = in_page.min(buf.len());
@@ -262,6 +321,9 @@ impl SharedPool {
     #[inline]
     pub fn write_u64(&self, offset: u64, value: u64) {
         debug_assert_eq!(offset % 8, 0, "unaligned word write at {offset:#x}");
+        if self.media_on.load(Ordering::Acquire) {
+            self.media_note_write(offset, 8);
+        }
         self.stripe_for(offset).lock().unwrap().write_u64(offset, value)
     }
 
@@ -455,7 +517,20 @@ impl SharedPool {
     /// Returns [`HeapError::OutOfMemory`] when the pool is exhausted.
     pub(crate) fn alloc_central(&self, size: u64) -> Result<u64> {
         let _g = self.central.lock().unwrap();
-        let off = self.region.alloc(&mut StripedWords(self), size)?;
+        // Wear-leveling ablation: copy the write counts out under the media
+        // lock, then walk the free list scoring against the copy — scoring
+        // inside the walk would re-take `media` per page.
+        let counts = if self.wear_level.load(Ordering::Relaxed) {
+            self.media.lock().unwrap().as_ref().map(|m| m.wear.write_counts())
+        } else {
+            None
+        };
+        let off = match counts {
+            Some(c) => self.region.alloc_scored(&mut StripedWords(self), size, |p| {
+                c.get(p as usize).copied().unwrap_or(0)
+            })?,
+            None => self.region.alloc(&mut StripedWords(self), size)?,
+        };
         self.central_allocs.fetch_add(1, Ordering::Relaxed);
         Ok(off)
     }
@@ -471,6 +546,29 @@ impl SharedPool {
     pub(crate) fn free_central(&self, offset: u64) -> Result<()> {
         let _g = self.central.lock().unwrap();
         self.region.free(&mut StripedWords(self), offset)
+    }
+
+    /// Central allocation for harnesses that drive the pool directly —
+    /// the wear-churn ablation allocates and frees through this pair to
+    /// exercise the scored (wear-leveling) allocator against first-fit.
+    /// Same path slab refills take: scored toward low-write-count pages
+    /// when [`SharedPool::set_wear_leveling`] is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when the pool is exhausted.
+    pub fn alloc_raw(&self, size: u64) -> Result<u64> {
+        self.alloc_central(size)
+    }
+
+    /// Frees an [`SharedPool::alloc_raw`] allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadFree`] for offsets that are not live
+    /// allocations.
+    pub fn free_raw(&self, offset: u64) -> Result<()> {
+        self.free_central(offset)
     }
 
     /// Carves a slab of `bytes` out of the central allocator. Call
@@ -575,6 +673,393 @@ impl SharedPool {
         }
     }
 
+    // ---- media/retention plane --------------------------------------------
+
+    /// Turns the retention plane on: builds the wear table from the pool
+    /// geometry, enables per-stripe dirty tracking (already-resident pages
+    /// start dirty — their checksums are unknown), and starts the media
+    /// clock at tick 0. The decay *law* (seed, rate) comes separately from
+    /// [`SharedPool::set_faults`] with [`FaultPlan::with_decay`].
+    pub fn configure_retention(&self, cfg: RetentionConfig) {
+        let pages = (self.size / PAGE_SIZE) as usize + 1;
+        for stripe in self.stripes.iter() {
+            stripe.lock().unwrap().set_dirty_tracking(true);
+        }
+        *self.media.lock().unwrap() = Some(MediaState {
+            cfg,
+            wear: WearTable::new(pages),
+            crcs: PageCrcs::new(),
+            work: 0,
+            scrub_work: 0,
+            flips_injected: 0,
+            flips_detected: 0,
+            flips_cancelled: 0,
+            pending_flips: BTreeMap::new(),
+            pages_struck: BTreeSet::new(),
+        });
+        self.media_on.store(true, Ordering::Release);
+    }
+
+    /// Whether the retention plane is active.
+    pub fn retention_enabled(&self) -> bool {
+        self.media_on.load(Ordering::Acquire)
+    }
+
+    /// Whether central allocation prefers low-write-count pages.
+    pub fn wear_leveling(&self) -> bool {
+        self.wear_level.load(Ordering::Relaxed)
+    }
+
+    /// Switches the wear-leveling allocation policy (the ablation knob;
+    /// requires the retention plane for scores, no-op steering otherwise).
+    pub fn set_wear_leveling(&self, on: bool) {
+        self.wear_level.store(on, Ordering::Relaxed);
+    }
+
+    /// Write-path hook: wear accounting plus the *cold-write verify*.
+    /// Mutating a sealed, clean page first patrol-reads it, so a decayed
+    /// cell cannot be silently re-blessed when the overwritten page is
+    /// eventually resealed. Detection is infallible bookkeeping
+    /// (quarantine + flip accounting); the write itself proceeds and the
+    /// *next* guarded shard operation surfaces the error.
+    fn media_note_write(&self, offset: u64, len: u64) {
+        let mut guard = self.media.lock().unwrap();
+        let Some(m) = guard.as_mut() else { return };
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            if let Some(sealed) = m.crcs.get(page) {
+                let stripe = self.stripe_for(page * PAGE_SIZE).lock().unwrap();
+                let cold = !stripe.is_dirty(page);
+                let clean = stripe.page_bytes(page).map_or(true, |b| crc32(b) == sealed);
+                drop(stripe);
+                if cold && !clean {
+                    Self::note_detection(&self.quarantine, m, page);
+                }
+            }
+            m.wear.note_write(page);
+        }
+    }
+
+    /// Books one decay strike at `(page, off, bit)`. A strike on a bit
+    /// that is already flipped annihilates the pair: the page's CRC
+    /// matches again, so neither flip can ever be detected — they are
+    /// retired to the `cancelled` column instead.
+    fn note_strike(m: &mut MediaState, page: u64, off: u64, bit: u8) {
+        m.flips_injected += 1;
+        m.pages_struck.insert(page);
+        let bits = m.pending_flips.entry(page).or_default();
+        if bits.remove(&(off, bit)) {
+            m.flips_cancelled += 2;
+            if bits.is_empty() {
+                m.pending_flips.remove(&page);
+            }
+        } else {
+            bits.insert((off, bit));
+        }
+    }
+
+    /// Books one detected corruption: flips on `page` move from the
+    /// undetected to the detected column and the pool quarantines on the
+    /// first bad page (later detections keep the original).
+    fn note_detection(quarantine: &AtomicU64, m: &mut MediaState, page: u64) {
+        m.flips_detected += m.pending_flips.remove(&page).map_or(0, |bits| bits.len() as u64);
+        let _ = quarantine.compare_exchange(NO_QUARANTINE, page, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Advances the media clock by `units` of modelled mutator work.
+    /// Returns the clock tick afterwards. Each elapsed tick runs the
+    /// controller maintenance pass: quiesced dirty pages seal
+    /// (checksummed into the sidecar), then the decay lottery of
+    /// [`FaultPlan::with_decay`] strikes sealed cold pages.
+    pub fn note_work(&self, units: u64) -> u64 {
+        self.advance_work(units, false)
+    }
+
+    /// [`SharedPool::note_work`] for scrubber traffic: same clock, but the
+    /// units are booked to the scrub-overhead column.
+    pub fn note_scrub_work(&self, units: u64) -> u64 {
+        self.advance_work(units, true)
+    }
+
+    fn advance_work(&self, units: u64, scrub: bool) -> u64 {
+        if !self.media_on.load(Ordering::Acquire) {
+            return 0;
+        }
+        // Copy the decay law out first: `faults` precedes `media` in the
+        // lock order and must never be taken underneath it.
+        let decay = self.faults.lock().unwrap().decay();
+        let mut guard = self.media.lock().unwrap();
+        let Some(m) = guard.as_mut() else { return 0 };
+        m.work += units;
+        if scrub {
+            m.scrub_work += units;
+        }
+        let target = m.work / m.cfg.work_per_tick;
+        while m.wear.tick() < target {
+            let t = m.wear.tick() + 1;
+            m.wear.advance_to(t);
+            self.seal_cold_pages(m);
+            if let Some((seed, ppb)) = decay {
+                self.inject_decay(m, seed, ppb);
+            }
+        }
+        m.wear.tick()
+    }
+
+    /// Seals every dirty page that has quiesced for `seal_lag` ticks:
+    /// checksum into the sidecar, dirty bit cleared. Sealing is *not* a
+    /// reprogram — the cells keep the age of their last write.
+    fn seal_cold_pages(&self, m: &mut MediaState) {
+        let now = m.wear.tick();
+        for stripe in self.stripes.iter() {
+            let mut ps = stripe.lock().unwrap();
+            for page in ps.dirty_pages() {
+                if now.saturating_sub(m.wear.wear(page).last_rewrite) < m.cfg.seal_lag {
+                    continue;
+                }
+                if let Some(bytes) = ps.page_bytes(page) {
+                    let crc = crc32(bytes);
+                    m.crcs.seal(page, crc);
+                    ps.clear_dirty_page(page);
+                }
+            }
+        }
+    }
+
+    /// The per-tick decay lottery over sealed cold pages: a page of age
+    /// `a` flips a pseudorandom bit with probability `a × ppb / 1e9`.
+    /// Flips bypass dirty tracking — silent until a verify path catches
+    /// them.
+    fn inject_decay(&self, m: &mut MediaState, seed: u64, ppb: u64) {
+        let t = m.wear.tick();
+        for page in m.crcs.sealed_pages() {
+            let age = m.wear.age(page);
+            let Some((off, bit)) = decay_draw(seed, page, t, age, ppb) else {
+                continue;
+            };
+            let mut ps = self.stripe_for(page * PAGE_SIZE).lock().unwrap();
+            if ps.is_dirty(page) {
+                continue; // re-dirtied since sealing: modelled as freshly hot
+            }
+            if ps.corrupt_bit(page * PAGE_SIZE + off, bit) {
+                Self::note_strike(m, page, off, bit);
+            }
+        }
+    }
+
+    /// One patrol-scrub batch: visits up to `limit` sealed cold pages
+    /// oldest-first, verifies each against its sealed checksum, rewrites
+    /// (reprograms in place, resetting its decay age) any clean page whose
+    /// age has reached `refresh_age`, and quarantines on mismatch. Returns
+    /// the per-page verdicts, sharing the verdict kernel
+    /// ([`classify_pages`]) with [`crate::pool::PoolStore::scrub`].
+    pub fn scrub_batch(&self, limit: usize, refresh_age: u64) -> Vec<(u64, PageVerdict)> {
+        let mut guard = self.media.lock().unwrap();
+        let Some(m) = guard.as_mut() else { return Vec::new() };
+        let mut pages = m.crcs.sealed_pages();
+        m.wear.oldest_first(&mut pages);
+        let mut cells: Vec<(u64, u32, Option<Vec<u8>>)> = Vec::new();
+        for page in pages {
+            if cells.len() >= limit {
+                break;
+            }
+            let sealed = m.crcs.get(page).expect("sealed page has a crc");
+            let ps = self.stripe_for(page * PAGE_SIZE).lock().unwrap();
+            if ps.is_dirty(page) {
+                continue; // went hot again; the next seal re-covers it
+            }
+            cells.push((page, sealed, ps.page_bytes(page).map(<[u8]>::to_vec)));
+        }
+        let verdicts = {
+            let wear = &m.wear;
+            classify_pages(cells.iter().map(|(p, c, b)| (*p, *c, b.as_deref())), |p| {
+                wear.age(p) >= refresh_age
+            })
+        };
+        for (page, v) in &verdicts {
+            match v {
+                // Reprogram in place: same bytes, fresh cells — the decay
+                // age resets and the endurance wear accrues.
+                PageVerdict::Repaired => m.wear.note_write(*page),
+                PageVerdict::Quarantined => Self::note_detection(&self.quarantine, m, *page),
+                PageVerdict::Clean => {}
+            }
+        }
+        verdicts
+    }
+
+    /// Verifies every sealed cold page against its sidecar checksum,
+    /// quarantining and accounting each mismatch. Returns the failed
+    /// pages. This is the full patrol pass the repair flow runs *before*
+    /// resealing, so no stale flip can be blessed.
+    pub fn verify_all(&self) -> Vec<u64> {
+        let mut guard = self.media.lock().unwrap();
+        let Some(m) = guard.as_mut() else { return Vec::new() };
+        let mut bad = Vec::new();
+        for page in m.crcs.sealed_pages() {
+            let sealed = m.crcs.get(page).expect("sealed page has a crc");
+            let ps = self.stripe_for(page * PAGE_SIZE).lock().unwrap();
+            if ps.is_dirty(page) {
+                continue;
+            }
+            let clean = ps.page_bytes(page).map_or(true, |b| crc32(b) == sealed);
+            drop(ps);
+            if !clean {
+                Self::note_detection(&self.quarantine, m, page);
+                bad.push(page);
+            }
+        }
+        bad
+    }
+
+    /// Seals every dirty resident page *now*, regardless of quiesce age —
+    /// the flush before a final verify or audit. Safe against blessing:
+    /// decay never strikes dirty pages, and a flip predating the page's
+    /// re-dirtying was already caught by the cold-write verify.
+    pub fn seal_all_now(&self) {
+        let mut guard = self.media.lock().unwrap();
+        let Some(m) = guard.as_mut() else { return };
+        for stripe in self.stripes.iter() {
+            let mut ps = stripe.lock().unwrap();
+            for page in ps.dirty_pages() {
+                if let Some(bytes) = ps.page_bytes(page) {
+                    let crc = crc32(bytes);
+                    m.crcs.seal(page, crc);
+                    ps.clear_dirty_page(page);
+                }
+            }
+        }
+    }
+
+    /// Re-checksums every resident page at its *current* contents and
+    /// clears all dirty state — the post-salvage blessing that makes the
+    /// repaired image the new ground truth. Each page counts as one
+    /// reprogram (full-pool rewrite) in the wear table. Call only after
+    /// [`SharedPool::verify_all`] has routed every stale flip through
+    /// detection; resealing first would hide them.
+    pub fn reseal_all(&self) {
+        let mut guard = self.media.lock().unwrap();
+        let Some(m) = guard.as_mut() else { return };
+        for stripe in self.stripes.iter() {
+            let mut ps = stripe.lock().unwrap();
+            for page in ps.resident_page_numbers() {
+                if let Some(bytes) = ps.page_bytes(page) {
+                    let crc = crc32(bytes);
+                    m.crcs.seal(page, crc);
+                    ps.clear_dirty_page(page);
+                    m.wear.note_write(page);
+                }
+            }
+        }
+    }
+
+    /// Best-effort block enumeration over the (possibly damaged) pool —
+    /// [`Region::salvage`] over the striped words, quiesced against the
+    /// allocator via the central lock.
+    pub fn salvage(&self) -> SalvageReport {
+        let _g = self.central.lock().unwrap();
+        Region::salvage(&StripedWords(self), self.size)
+    }
+
+    /// The first page whose verification failed, while the pool is
+    /// quarantined.
+    pub fn quarantined_page(&self) -> Option<u64> {
+        let q = self.quarantine.load(Ordering::Acquire);
+        (q != NO_QUARANTINE).then_some(q)
+    }
+
+    /// Lifts the quarantine after salvage + reseal.
+    pub fn release_quarantine(&self) {
+        self.quarantine.store(NO_QUARANTINE, Ordering::Release);
+    }
+
+    /// Flips bit `bit` of the byte at `offset` without dirtying its page —
+    /// the targeted fault-injection hook of the crash/race tests. Booked
+    /// as an injected flip when the retention plane is on, so the
+    /// zero-silent-corruption invariant (`injected == detected`) covers
+    /// hand-planted corruption too.
+    pub fn corrupt_bit(&self, offset: u64, bit: u8) -> bool {
+        let mut guard = self.media.lock().unwrap();
+        let flipped = self.stripe_for(offset).lock().unwrap().corrupt_bit(offset, bit);
+        if flipped {
+            if let Some(m) = guard.as_mut() {
+                Self::note_strike(m, offset / PAGE_SIZE, offset % PAGE_SIZE, bit);
+            }
+        }
+        flipped
+    }
+
+    /// Current media-clock tick (0 when the retention plane is off).
+    pub fn media_tick(&self) -> u64 {
+        self.media.lock().unwrap().as_ref().map_or(0, |m| m.wear.tick())
+    }
+
+    /// `(total, scrub)` modelled work units on the media clock.
+    pub fn media_work(&self) -> (u64, u64) {
+        self.media.lock().unwrap().as_ref().map_or((0, 0), |m| (m.work, m.scrub_work))
+    }
+
+    /// `(injected, detected, cancelled)` decay-flip counters. Cancelled
+    /// pairs (same bit struck twice) are undetectable by construction, so
+    /// the zero-silent invariant is `injected == detected + cancelled`
+    /// after a final full verify.
+    pub fn media_flips(&self) -> (u64, u64, u64) {
+        self.media
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or((0, 0, 0), |m| (m.flips_injected, m.flips_detected, m.flips_cancelled))
+    }
+
+    /// Sealed pages currently covered by the sidecar.
+    pub fn sealed_pages(&self) -> u64 {
+        self.media.lock().unwrap().as_ref().map_or(0, |m| m.crcs.len() as u64)
+    }
+
+    /// Resident (materialized) pages across all stripes — the set a
+    /// [`SharedPool::reseal_all`] reprograms, and hence the page count a
+    /// repair's modelled cost scales with.
+    pub fn resident_pages(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap().resident_page_numbers().len() as u64)
+            .sum()
+    }
+
+    /// Distinct pages the decay lottery has struck so far.
+    pub fn flipped_pages(&self) -> u64 {
+        self.media.lock().unwrap().as_ref().map_or(0, |m| m.pages_struck.len() as u64)
+    }
+
+    /// Debug view of still-undetected flips: for each page with pending
+    /// (injected, never detected, never annihilated) flips, `(page, bits
+    /// pending, sealed crc present, dirty, resident)`. Empty after a clean
+    /// final verify — anything left here names the page a silent flip is
+    /// hiding on.
+    pub fn pending_flip_debug(&self) -> Vec<(u64, usize, bool, bool, bool)> {
+        let guard = self.media.lock().unwrap();
+        let Some(m) = guard.as_ref() else { return Vec::new() };
+        m.pending_flips
+            .iter()
+            .map(|(page, bits)| {
+                let ps = self.stripe_for(page * PAGE_SIZE).lock().unwrap();
+                (
+                    *page,
+                    bits.len(),
+                    m.crcs.get(*page).is_some(),
+                    ps.is_dirty(*page),
+                    ps.page_bytes(*page).is_some(),
+                )
+            })
+            .collect()
+    }
+
+    /// Wear-histogram summary over written pages.
+    pub fn wear_stats(&self) -> WearStats {
+        self.media.lock().unwrap().as_ref().map_or_else(WearStats::default, |m| m.wear.stats())
+    }
+
     // ---- roots, stats, maintenance ---------------------------------------
 
     /// The pool's persistent root word.
@@ -642,6 +1127,10 @@ impl SharedPool {
             slabs: Mutex::new(self.slabs.lock().unwrap().clone()),
             faults: Mutex::new(*self.faults.lock().unwrap()),
             flush: Mutex::new(self.flush.lock().unwrap().clone()),
+            media: Mutex::new(self.media.lock().unwrap().clone()),
+            media_on: AtomicBool::new(self.media_on.load(Ordering::Acquire)),
+            quarantine: AtomicU64::new(self.quarantine.load(Ordering::Acquire)),
+            wear_level: AtomicBool::new(self.wear_level.load(Ordering::Relaxed)),
             refills: AtomicU64::new(self.refills()),
             central_allocs: AtomicU64::new(self.central_allocs()),
             slab_overflows: AtomicU64::new(self.slab_overflows()),
@@ -827,6 +1316,148 @@ mod tests {
         assert_eq!(b, c, "snapshot's allocator state matches the cut point");
         snap.validate().unwrap();
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn retention_clock_seals_then_decay_flips_are_detected_not_silent() {
+        let p = SharedPool::create("ret", 1 << 20, 4).unwrap();
+        p.configure_retention(RetentionConfig { seal_lag: 1, work_per_tick: 100 });
+        // Aggressive decay so a short soak reliably flips something.
+        p.set_faults(FaultPlan::disabled().with_decay(7, 50_000_000));
+        let a = p.alloc_central(PAGE_SIZE * 4).unwrap();
+        for i in 0..64u64 {
+            p.write_u64(a + i * 8, i);
+        }
+        assert_eq!(p.media_tick(), 0);
+        let tick = p.note_work(100 * 40);
+        assert_eq!(tick, 40, "clock advances from work units alone");
+        assert!(p.sealed_pages() > 0, "quiesced dirty pages must seal");
+        let (injected, detected, cancelled) = p.media_flips();
+        assert!(injected > 0, "aged sealed pages must decay at 5%/tick/age");
+        assert_eq!(detected, 0, "nothing has verified yet");
+        assert!(p.quarantined_page().is_none());
+        let bad = p.verify_all();
+        assert!(!bad.is_empty());
+        let (injected2, detected2, cancelled2) = p.media_flips();
+        assert_eq!(injected2, injected, "verification injects nothing");
+        assert_eq!(cancelled2, cancelled, "verification cancels nothing");
+        assert_eq!(detected2 + cancelled2, injected2, "full verify catches every live flip");
+        assert_eq!(p.quarantined_page(), Some(bad[0]));
+        p.release_quarantine();
+        assert!(p.quarantined_page().is_none());
+    }
+
+    #[test]
+    fn cold_write_verify_catches_a_stale_flip_before_reseal_blesses_it() {
+        let p = SharedPool::create("cw", 1 << 20, 2).unwrap();
+        p.configure_retention(RetentionConfig { seal_lag: 1, work_per_tick: 10 });
+        let a = p.alloc_central(256).unwrap();
+        p.write_u64(a, 0xfeed);
+        p.note_work(100); // seal everything quiesced
+        assert!(p.sealed_pages() > 0);
+        assert!(p.corrupt_bit(a, 3), "plant a silent flip on the sealed page");
+        let (injected, detected, _) = p.media_flips();
+        assert_eq!((injected, detected), (1, 0));
+        // A mutator overwrites the decayed page: the cold-write verify must
+        // fire before the write can lead to a blessed reseal.
+        p.write_u64(a + 8, 1);
+        let (_, detected, _) = p.media_flips();
+        assert_eq!(detected, 1, "cold-write verify caught the flip");
+        assert!(p.quarantined_page().is_some());
+        // Repair flow: verify_all (nothing new), salvage, reseal, release.
+        assert!(p.verify_all().is_empty(), "page went dirty; nothing else stale");
+        let report = p.salvage();
+        assert!(report.stats().blocks_recovered > 0);
+        p.reseal_all();
+        p.release_quarantine();
+        // The blessed image is ground truth again: full verify is clean.
+        assert!(p.verify_all().is_empty());
+        let (i2, d2, c2) = p.media_flips();
+        assert_eq!(i2, d2 + c2, "zero silent corruption invariant");
+    }
+
+    #[test]
+    fn scrub_batch_refreshes_old_pages_and_resets_their_age() {
+        let p = SharedPool::create("scrub", 1 << 20, 4).unwrap();
+        p.configure_retention(RetentionConfig { seal_lag: 1, work_per_tick: 10 });
+        let a = p.alloc_central(PAGE_SIZE * 2).unwrap();
+        p.write_u64(a, 1);
+        p.note_work(10 * 30); // 30 ticks: seal, then age
+        let worn_before = p.wear_stats().total;
+        let verdicts = p.scrub_batch(64, 5);
+        assert!(!verdicts.is_empty());
+        assert!(
+            verdicts.iter().all(|(_, v)| *v == PageVerdict::Repaired),
+            "every clean page is past the refresh age: {verdicts:?}"
+        );
+        assert!(p.wear_stats().total > worn_before, "refresh reprograms cells");
+        // Immediately after refresh every page is young again.
+        let verdicts2 = p.scrub_batch(64, 5);
+        assert!(verdicts2.iter().all(|(_, v)| *v == PageVerdict::Clean), "{verdicts2:?}");
+        // A planted flip turns the verdict into Quarantined.
+        p.corrupt_bit(a, 0);
+        let verdicts3 = p.scrub_batch(64, u64::MAX);
+        assert!(verdicts3.iter().any(|(_, v)| *v == PageVerdict::Quarantined));
+        let (i, d, c) = p.media_flips();
+        assert_eq!((i, d, c), (1, 1, 0));
+    }
+
+    #[test]
+    fn scrub_work_is_booked_separately_and_snapshot_carries_the_plane() {
+        let p = SharedPool::create("book", 1 << 20, 2).unwrap();
+        p.configure_retention(RetentionConfig::default());
+        p.set_wear_leveling(true);
+        p.note_work(1000);
+        p.note_scrub_work(250);
+        assert_eq!(p.media_work(), (1250, 250));
+        let a = p.alloc_central(64).unwrap(); // scored path with media on
+        p.write_u64(a, 9);
+        let snap = p.snapshot();
+        assert!(snap.retention_enabled());
+        assert!(snap.wear_leveling());
+        assert_eq!(snap.media_work(), (1250, 250));
+        snap.note_work(100);
+        assert_eq!(p.media_work(), (1250, 250), "snapshot is independent");
+    }
+
+    #[test]
+    fn wear_leveling_flattens_churn_wear() {
+        // Alloc/free churn with rewrites: first-fit reuses the freshly
+        // freed low-address holes over and over, concentrating wear;
+        // the scored allocator steers each refill toward the pages with
+        // the lowest write counts. Identical churn pattern (same LCG
+        // stream), only the placement policy differs. The endurance
+        // claim is about *peak* wear (the most-worn cell dies first) —
+        // max/mean flatness would reward concentration, since spreading
+        // writes over more pages dilutes the mean while the allocator's
+        // metadata page pins the max.
+        let peak = |leveling: bool| {
+            let p = SharedPool::create(if leveling { "wl-on" } else { "wl-off" }, 1 << 20, 2)
+                .unwrap();
+            p.configure_retention(RetentionConfig::default());
+            p.set_wear_leveling(leveling);
+            let mut slots: Vec<u64> =
+                (0..24).map(|_| p.alloc_raw(PAGE_SIZE / 2).unwrap()).collect();
+            let mut rng = 0x2545_f491_4f6c_dd1du64;
+            for _ in 0..40 {
+                for slot in &mut slots {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if rng >> 63 == 1 {
+                        p.free_raw(*slot).unwrap();
+                        *slot = p.alloc_raw(PAGE_SIZE / 2).unwrap();
+                        for w in 0..PAGE_SIZE / 16 {
+                            p.write_u64(*slot + w * 8, rng ^ w);
+                        }
+                    }
+                }
+            }
+            p.wear_stats().max
+        };
+        let (level, first_fit) = (peak(true), peak(false));
+        assert!(
+            level < first_fit,
+            "scored allocation must cut peak wear: {level} vs {first_fit}"
+        );
     }
 
     #[test]

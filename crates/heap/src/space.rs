@@ -13,8 +13,9 @@ use crate::faults::{splitmix64, FaultPlan, GateVerdict};
 use crate::integrity::IntegrityMode;
 use crate::lookaside::TransCache;
 pub use crate::lookaside::TransStats;
-use crate::pagestore::PageStore;
+use crate::pagestore::{PageStore, PAGE_SIZE};
 use crate::pool::PoolStore;
+use crate::retain::decay_draw;
 use crate::shard::{Arena, SharedPool, SlabId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -134,6 +135,14 @@ pub struct AddressSpace {
     /// thread-private leaf of the llfree-style split (this space being one
     /// worker's shard).
     arenas: HashMap<PoolId, Arena>,
+    /// Media-clock tick for *local* pools (shared pools keep their own
+    /// clock in [`SharedPool::note_work`]). Advanced only by
+    /// [`AddressSpace::advance_media_clock`], never by wall time.
+    media_tick: u64,
+    /// When this clock first observed `(pool, page)` sealed — the local
+    /// pools' age approximation (they carry no wear table; see
+    /// [`AddressSpace::advance_media_clock`]).
+    seal_ticks: HashMap<(PoolId, u64), u64>,
 }
 
 impl AddressSpace {
@@ -173,6 +182,8 @@ impl AddressSpace {
             trans: TransCache::new(),
             shared: HashMap::new(),
             arenas: HashMap::new(),
+            media_tick: 0,
+            seal_ticks: HashMap::new(),
         }
     }
 
@@ -220,6 +231,56 @@ impl AddressSpace {
     /// Replaces the fault-injection gate (arm, start counting, disarm).
     pub fn set_faults(&mut self, plan: FaultPlan) {
         self.faults = plan;
+    }
+
+    /// The local-pool media-clock tick (see
+    /// [`AddressSpace::advance_media_clock`]).
+    pub fn media_tick(&self) -> u64 {
+        self.media_tick
+    }
+
+    /// Advances the local-pool media clock by `ticks` and runs the decay
+    /// lottery of [`FaultPlan::with_decay`] over every sealed cold page of
+    /// every *local* pool — retention decay striking while the system
+    /// runs, not just at [`crate::faults::crash_and_recover`]. Adopted
+    /// shared pools are untouched; their clock is
+    /// [`SharedPool::note_work`]. Returns the number of flips injected
+    /// (each leaves the page's sealed checksum stale — silent until a
+    /// verify/scrub pass catches it).
+    ///
+    /// Age approximation (deliberate simplification, DESIGN.md §13):
+    /// local pools carry no wear table, so a page starts aging when this
+    /// clock first *observes* it sealed, and going dirty resets its
+    /// tracking. Ages are therefore lower bounds; the shared-pool plane is
+    /// the precise model.
+    pub fn advance_media_clock(&mut self, ticks: u64) -> u64 {
+        let Some((seed, ppb)) = self.faults.decay() else {
+            self.media_tick += ticks;
+            return 0;
+        };
+        let mut injected = 0u64;
+        for _ in 0..ticks {
+            self.media_tick += 1;
+            let t = self.media_tick;
+            let ids: Vec<PoolId> = self.store.iter().map(|(id, _, _)| id).collect();
+            for id in ids {
+                let Ok(img) = self.store.peek_mut(id) else { continue };
+                for page in img.crcs().sealed_pages() {
+                    if img.data().is_dirty(page) {
+                        self.seal_ticks.remove(&(id, page));
+                        continue;
+                    }
+                    let born = *self.seal_ticks.entry((id, page)).or_insert(t);
+                    let pool_seed = seed ^ splitmix64(u64::from(id.raw()) << 1 | 1);
+                    if let Some((off, bit)) = decay_draw(pool_seed, page, t, t - born, ppb) {
+                        if img.data_mut().corrupt_bit(page * PAGE_SIZE + off, bit) {
+                            injected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        injected
     }
 
     // ---- flush model -------------------------------------------------------
@@ -358,7 +419,7 @@ impl AddressSpace {
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     #[inline]
     pub fn pool_read_u64(&self, id: PoolId, off: u64) -> Result<u64> {
-        if let Some(sp) = self.shared_route(id) {
+        if let Some(sp) = self.shared_checked(id)? {
             return Ok(sp.read_u64(off));
         }
         Ok(self.store.get(id)?.data().read_u64(off))
@@ -375,6 +436,23 @@ impl AddressSpace {
         }
     }
 
+    /// [`AddressSpace::shared_route`] for guarded data/allocation paths:
+    /// a quarantined shared pool (a sealed checksum failed — see
+    /// [`SharedPool::quarantined_page`]) refuses normal access until
+    /// salvage releases it, mirroring the local-pool quarantine in
+    /// [`crate::pool::PoolStore`]. Maintenance paths (fence/drain, scrub,
+    /// salvage, detach) keep using the unguarded route.
+    #[inline]
+    fn shared_checked(&self, id: PoolId) -> Result<Option<&Arc<SharedPool>>> {
+        match self.shared_route(id) {
+            Some(sp) => match sp.quarantined_page() {
+                Some(page) => Err(HeapError::MediaCorruption { pool: id, page }),
+                None => Ok(Some(sp)),
+            },
+            None => Ok(None),
+        }
+    }
+
     /// Writes the `u64` at intra-pool offset `off` in pool `id` — one
     /// durable write boundary: the fault gate is consulted first, so undo
     /// log appends and flag flips are individually crashable.
@@ -385,7 +463,7 @@ impl AddressSpace {
     /// [`HeapError::CrashInjected`] when an armed fault point fires.
     #[inline]
     pub fn pool_write_u64(&mut self, id: PoolId, off: u64, value: u64) -> Result<()> {
-        if let Some(sp) = self.shared_route(id) {
+        if let Some(sp) = self.shared_checked(id)? {
             // Shared pools gate on the pool-wide plan (armed boundaries
             // crash cleanly) and stage the line in the *pool's* machine-
             // wide pending buffer — caches are coherent, so the ADR state
@@ -421,7 +499,7 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
-            if let Some(sp) = self.shared_route(loc.pool) {
+            if let Some(sp) = self.shared_checked(loc.pool)? {
                 return sp.cas_u64(loc.offset.into(), expected, new);
             }
             let cur = self.store.get(loc.pool)?.data().read_u64(loc.offset.into());
@@ -908,7 +986,7 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
-            if let Some(sp) = self.shared_route(loc.pool) {
+            if let Some(sp) = self.shared_checked(loc.pool)? {
                 sp.read_bytes(loc.offset.into(), buf);
                 return Ok(());
             }
@@ -931,7 +1009,7 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
-            if let Some(sp) = self.shared_route(loc.pool) {
+            if let Some(sp) = self.shared_checked(loc.pool)? {
                 // Shared pools live in the eADR domain and gate on the
                 // *pool-wide* plan: the boundary counter spans every
                 // thread, like a machine-wide power failure would.
@@ -965,7 +1043,7 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.va2ra_uncached(va)?;
-            if let Some(sp) = self.shared_route(loc.pool) {
+            if let Some(sp) = self.shared_checked(loc.pool)? {
                 sp.read_bytes(loc.offset.into(), buf);
                 return Ok(());
             }
@@ -994,7 +1072,7 @@ impl AddressSpace {
         }
         if va.is_nvm_region() {
             let loc = self.locate(va)?;
-            if let Some(sp) = self.shared_route(loc.pool) {
+            if let Some(sp) = self.shared_checked(loc.pool)? {
                 return Ok(sp.read_u64(loc.offset.into()));
             }
             Ok(self.store.get(loc.pool)?.data().read_u64(loc.offset.into()))
@@ -1075,7 +1153,7 @@ impl AddressSpace {
         // unfenced data line can share a pending snapshot with (and later
         // drain over) allocator words — its update is modelled as atomic.
         self.fence();
-        if let Some(sp) = self.shared.get(&id) {
+        if let Some(sp) = self.shared_checked(id)? {
             let sp = Arc::clone(sp);
             sp.gate()?;
             let arena = self.arenas.entry(id).or_default();
@@ -1098,7 +1176,7 @@ impl AddressSpace {
     pub fn pfree(&mut self, loc: RelLoc) -> Result<()> {
         // Fence-first for the same reason as `pmalloc`.
         self.fence();
-        if let Some(sp) = self.shared_route(loc.pool) {
+        if let Some(sp) = self.shared_checked(loc.pool)? {
             sp.gate()?;
             return sp.free_central(loc.offset.into());
         }
@@ -1115,7 +1193,7 @@ impl AddressSpace {
     ///
     /// Returns [`HeapError::NoSuchPool`] for unknown ids.
     pub fn pool_root(&self, id: PoolId) -> Result<u64> {
-        if let Some(sp) = self.shared_route(id) {
+        if let Some(sp) = self.shared_checked(id)? {
             return Ok(sp.root());
         }
         let img = self.store.get(id)?;
@@ -1130,7 +1208,7 @@ impl AddressSpace {
     pub fn set_pool_root(&mut self, id: PoolId, value: u64) -> Result<()> {
         // Root publication orders after everything it points at.
         self.fence();
-        if let Some(sp) = self.shared_route(id) {
+        if let Some(sp) = self.shared_checked(id)? {
             sp.gate()?;
             sp.set_root(value);
             return Ok(());
@@ -1529,5 +1607,82 @@ mod tests {
         s.destroy_pool(p).unwrap();
         assert!(s.attachment(p).is_none());
         assert!(s.pool_store().get(p).is_err());
+    }
+
+    #[test]
+    fn media_clock_decays_sealed_local_pages_and_scrub_catches_it() {
+        use crate::integrity::PageVerdict;
+
+        let mut s = AddressSpace::new(11);
+        s.pool_store_mut().set_integrity(IntegrityMode::Crc);
+        let p = s.create_pool("decay", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 8192).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        for i in 0..1024u64 {
+            s.write_u64(va.add(i * 8), i ^ 0x5a5a).unwrap();
+        }
+        s.pool_store_mut().seal_all();
+
+        // Without a decay law the clock advances but nothing flips.
+        assert_eq!(s.advance_media_clock(5), 0);
+        assert_eq!(s.media_tick(), 5);
+        assert!(s.pool_store_mut().scrub_all().corrupt.is_empty());
+
+        // With a hot law, sealed cold pages lose the lottery while the
+        // system runs — not just at crash_and_recover — and the patrol
+        // scrub detects every flip, quarantining the pool.
+        s.set_faults(FaultPlan::disabled().with_decay(0xD00D, 50_000_000));
+        let injected = s.advance_media_clock(40);
+        assert!(injected > 0, "hot decay law flips sealed pages");
+        assert_eq!(s.media_tick(), 45);
+        let report = s.pool_store_mut().scrub_all();
+        assert!(report.corrupt.iter().any(|(id, _)| *id == p));
+        assert!(report
+            .verdicts
+            .iter()
+            .any(|(id, _, v)| *id == p && *v == PageVerdict::Quarantined));
+    }
+
+    #[test]
+    fn quarantined_shared_pool_gates_guarded_ops_with_media_corruption() {
+        use crate::retain::RetentionConfig;
+        use crate::scrub::{ScrubConfig, Scrubber};
+
+        let sp = SharedPool::create("qguard", 1 << 20, 4).unwrap();
+        sp.configure_retention(RetentionConfig { seal_lag: 1, work_per_tick: 100 });
+        let mut s = AddressSpace::new(13);
+        let p = s.adopt_shared(&sp).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        let va = s.ra2va(loc).unwrap();
+        s.write_u64(va, 7).unwrap();
+        sp.note_work(100 * 3); // pages age past seal_lag and seal
+
+        let page = u64::from(loc.offset) / PAGE_SIZE;
+        assert!(sp.sealed_pages() > 0, "pages sealed cold after the lag");
+        // Flip a bit on the sealed page away from our u64, then let a
+        // full verify set the quarantine.
+        assert!(sp.corrupt_bit(page * PAGE_SIZE + PAGE_SIZE - 8, 3));
+        assert!(!sp.verify_all().is_empty());
+        let bad = sp.quarantined_page().expect("verify quarantined the pool");
+
+        // Every guarded route through the address space now refuses.
+        match s.read_u64(va) {
+            Err(HeapError::MediaCorruption { pool, page }) => {
+                assert_eq!(pool, p);
+                assert_eq!(page, bad);
+            }
+            other => panic!("expected MediaCorruption, got {other:?}"),
+        }
+        assert!(matches!(s.write_u64(va, 8), Err(HeapError::MediaCorruption { .. })));
+        assert!(matches!(s.pmalloc(p, 32), Err(HeapError::MediaCorruption { .. })));
+        assert!(matches!(s.pool_root(p), Err(HeapError::MediaCorruption { .. })));
+
+        // Repair through the scrubber lifts the gate; the surviving data
+        // (our u64 was elsewhere on the page) reads back intact.
+        let mut sc = Scrubber::new(ScrubConfig::default());
+        let pass = sc.repair(&sp);
+        assert!(pass.blocks_recovered > 0);
+        assert!(sp.quarantined_page().is_none());
+        assert_eq!(s.read_u64(va).unwrap(), 7);
     }
 }

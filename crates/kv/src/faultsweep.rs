@@ -48,7 +48,7 @@ use utpr_ds::{
 };
 use utpr_heap::{
     crash_and_recover, select_points, AddressSpace, FaultPlan, FlushModel, HeapError,
-    IntegrityMode, PoolId, Region,
+    IntegrityMode, PoolId, Region, SalvageStats,
 };
 use utpr_ptr::{site, ExecEnv, Mode, NullSink};
 
@@ -705,10 +705,11 @@ pub struct BitflipReport {
     pub recovered_keys: u64,
     /// Keys the damage took with it (detected trials).
     pub lost_keys: u64,
-    /// Intact allocator blocks the salvage walks enumerated.
-    pub salvaged_blocks: u64,
-    /// Bytes the salvage walks wrote off as unexplained.
-    pub salvage_lost_bytes: u64,
+    /// Accumulated recovered-vs-lost block accounting across the salvage
+    /// walks — the same [`SalvageStats`] the online scrubber reports, so
+    /// the two recovery paths can never diverge on what "recovered"
+    /// means.
+    pub salvage: SalvageStats,
     /// Oracle violations (always empty when the integrity layer works).
     pub failures: Vec<SweepFailure>,
 }
@@ -775,8 +776,7 @@ fn salvage_and_probe<I: Index>(
     {
         let img = space.pool_store().peek(id)?;
         let salv = Region::salvage(img.data(), img.size());
-        report.salvaged_blocks += salv.blocks.len() as u64;
-        report.salvage_lost_bytes += salv.lost_bytes;
+        report.salvage.merge(&salv.stats());
     }
     space.pool_store_mut().release(id);
     space.pool_store_mut().reseal(id)?;
@@ -814,8 +814,7 @@ fn bitflip_map<I: Index>(spec: &BitflipSpec) -> Result<BitflipReport> {
         clean: 0,
         recovered_keys: 0,
         lost_keys: 0,
-        salvaged_blocks: 0,
-        salvage_lost_bytes: 0,
+        salvage: SalvageStats::default(),
         failures: Vec::new(),
     };
 
@@ -894,8 +893,7 @@ fn bitflip_ll(spec: &BitflipSpec) -> Result<BitflipReport> {
         clean: 0,
         recovered_keys: 0,
         lost_keys: 0,
-        salvaged_blocks: 0,
-        salvage_lost_bytes: 0,
+        salvage: SalvageStats::default(),
         failures: Vec::new(),
     };
 
@@ -966,8 +964,7 @@ fn bitflip_ll(spec: &BitflipSpec) -> Result<BitflipReport> {
                 {
                     let img = space.pool_store().peek(id)?;
                     let salv = Region::salvage(img.data(), img.size());
-                    report.salvaged_blocks += salv.blocks.len() as u64;
-                    report.salvage_lost_bytes += salv.lost_bytes;
+                    report.salvage.merge(&salv.stats());
                 }
                 space.pool_store_mut().release(id);
                 space.pool_store_mut().reseal(id)?;
@@ -1119,7 +1116,7 @@ mod tests {
             r.detected == 0 || r.recovered_keys + r.lost_keys > 0,
             "detected trials must classify keys as recovered or lost"
         );
-        assert!(r.detected == 0 || r.salvaged_blocks > 0, "salvage finds intact blocks");
+        assert!(r.detected == 0 || r.salvage.blocks_recovered > 0, "salvage finds intact blocks");
     }
 
     #[test]

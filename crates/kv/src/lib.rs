@@ -23,6 +23,7 @@
 //! ```
 
 pub mod conc;
+pub mod endurance;
 pub mod faultsweep;
 pub mod harness;
 pub mod mt;
@@ -34,6 +35,7 @@ pub mod ycsb;
 pub use conc::{
     conc_crash_sweep, conc_sweep_all_strategies, conc_sweep_list, ConcSweepReport, ConcSweepSpec,
 };
+pub use endurance::{endurance_soak, EnduranceReport, EnduranceSpec};
 pub use faultsweep::{
     bitflip_all, bitflip_campaign, sweep_all, sweep_structure, BitflipReport, BitflipSpec,
     FaultFlavor, SweepFailure, SweepReport, SweepSpec,

@@ -259,6 +259,20 @@ impl Turnstile {
     pub fn grants(&self) -> u64 {
         self.state.lock().expect("turnstile poisoned").grants
     }
+
+    /// Threads that have not yet [`finish`](Turnstile::finish)ed. A
+    /// background participant (e.g. a patrol scrubber) polls this to
+    /// retire once every mutator is done — without it, the scrubber
+    /// would spin on its yield point forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned lock.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        let st = self.state.lock().expect("turnstile poisoned");
+        st.active.iter().filter(|a| **a).count()
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 # dependency fail loudly instead of hanging on the network).
 #
 # Usage: scripts/verify.sh [--bench] [--bench-smoke] [--faults] [--corruption]
+#                          [--hotpath] [--interp] [--mt] [--concurrent]
+#                          [--endurance]
 #   --bench        additionally run the utpr-qc micro-benchmarks
 #   --bench-smoke  additionally run fig11 at reduced scale with 1 worker and
 #                  then all workers, check both emit BENCH_fig11.json, and —
@@ -36,6 +38,14 @@
 #                  strategy- and thread-invariant checksums and that FliT
 #                  and Traverse each cut flushes/op by >= 20% vs Eager on
 #                  the 4-thread YCSB-A-style runs (hash and list)
+#   --endurance    additionally run the endurance smoke: the kv soak
+#                  tests (replay, hard gates, scrub-off loss, read-only
+#                  eADR), then the endurance bench at small scale; check
+#                  BENCH_endurance.json is emitted with zero gate
+#                  failures, scrub overhead at the realistic decay rate
+#                  <= 10%, the scrub-off hot arm demonstrably losing
+#                  keys (detected, never silent), and wear leveling
+#                  cutting peak wear vs first-fit
 #   --mt           additionally run the multicore smoke: the concurrent
 #                  crash-matrix sweep (every crash point of a 3-thread
 #                  seeded schedule recovers), then hotpath at small scale;
@@ -62,6 +72,7 @@ run_hotpath=0
 run_interp=0
 run_mt=0
 run_concurrent=0
+run_endurance=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
@@ -72,6 +83,7 @@ for arg in "$@"; do
         --interp) run_interp=1 ;;
         --mt) run_mt=1 ;;
         --concurrent) run_concurrent=1 ;;
+        --endurance) run_endurance=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -297,6 +309,44 @@ if [[ "$run_concurrent" == 1 ]]; then
         echo "smoke: $key = ${saving}"
     done
     echo "smoke: concurrent clean (checksums invariant, flush savings >= 20%)"
+fi
+
+if [[ "$run_endurance" == 1 ]]; then
+    echo "== extra: endurance smoke (soak tests + bench gates, small scale) =="
+    # The seeded-soak unit tests: bit-for-bit replay, the hard
+    # zero-silent-corruption gates, scrub-off loss at hot decay, and the
+    # read-only eADR arm.
+    cargo test -q --offline -p utpr-kv endurance
+    cargo test -q --offline -p utpr-heap scrub
+
+    end_dir=$(mktemp -d)
+    trap 'rm -rf "$end_dir"' EXIT
+
+    # The bench exits nonzero itself on any gate failure (undetected
+    # flip, silent audit mismatch, a too-gentle scrub-off arm, or wear
+    # leveling failing to cut peak wear) — set -e propagates that.
+    UTPR_BENCH_SCALE=small UTPR_BENCH_OUT="$end_dir" \
+        cargo bench -q -p utpr-bench --bench endurance --offline
+    [[ -f "$end_dir/BENCH_endurance.json" ]] || {
+        echo "verify: endurance smoke did not emit BENCH_endurance.json" >&2
+        exit 1
+    }
+    grep -q '"total_failures":0' "$end_dir/BENCH_endurance.json" || {
+        echo "verify: endurance smoke reported gate failures:" >&2
+        cat "$end_dir/BENCH_endurance.json" >&2
+        exit 1
+    }
+    overhead=$(sed -n 's/.*"scrub_overhead_frac":\([0-9.]*\).*/\1/p' "$end_dir/BENCH_endurance.json")
+    awk -v o="$overhead" 'BEGIN { exit !(o <= 0.10) }' || {
+        echo "verify: scrub overhead ${overhead} exceeds the 10% budget at the realistic decay rate" >&2
+        exit 1
+    }
+    lost=$(sed -n 's/.*"lost_keys_noscrub_hot":\([0-9]*\).*/\1/p' "$end_dir/BENCH_endurance.json")
+    awk -v l="$lost" 'BEGIN { exit !(l > 0) }' || {
+        echo "verify: scrub-off hot arm lost no keys — the soak is too gentle to test the scrubber" >&2
+        exit 1
+    }
+    echo "smoke: endurance clean (scrub overhead ${overhead}, scrub-off hot arm lost ${lost} keys, all detected)"
 fi
 
 echo "verify: OK"

@@ -306,3 +306,224 @@ fn fault_sweep_is_deterministic() {
     assert_eq!(a.rollbacks, b.rollbacks);
     assert_eq!(a.failures.len(), b.failures.len());
 }
+
+// ---------------------------------------------------------------------------
+// Quarantine escape hatches racing concurrent readers.
+//
+// `quarantined_page` (peek), `release_quarantine`, and `reseal_all` are the
+// maintenance hatches the repair path uses while guarded traffic is live.
+// These tests drive them against concurrent `Handle` readers on the seeded
+// turnstile: every interleaving is a pure function of the seed, and every
+// reader-visible failure must be `MediaCorruption` naming the quarantined
+// page — never a wrong value, never a panic.
+
+use utpr::ds::concurrent::Handle;
+use utpr::heap::pagestore::PAGE_SIZE;
+use utpr::heap::{HeapError, RetentionConfig, ScrubConfig, Scrubber};
+use utpr_qc::sched::Turnstile;
+
+const QKEYS: u64 = 32;
+
+fn qvalue(k: u64) -> u64 {
+    k.wrapping_mul(31) + 7
+}
+
+/// Builds a sealed shared pool: a populated `ConcHash` behind the root,
+/// plus a padding block the fault will strike — so repair never changes
+/// any key's bytes and post-repair reads have one deterministic answer.
+fn quarantine_base(name: &str) -> (std::sync::Arc<SharedPool>, u64) {
+    let sp = SharedPool::create(name, 8 << 20, 8).unwrap();
+    sp.configure_retention(RetentionConfig { seal_lag: 1, work_per_tick: 100 });
+    let pad = sp.alloc_raw(512).unwrap();
+    for w in 0..64u64 {
+        sp.write_u64(pad + w * 8, 0xABAD_1DEA ^ w);
+    }
+    let mut space = AddressSpace::new(929);
+    let pool = space.adopt_shared(&sp).unwrap();
+    let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
+    let idx = ConcHash::create(&mut env).unwrap();
+    let mut h = Handle::new(&mut env, FlushStrategy::FliT).unwrap();
+    for k in 0..QKEYS {
+        idx.insert(&mut h, k, qvalue(k)).unwrap();
+    }
+    env.set_root(site!("cm.q-root", StackLocal), idx.descriptor()).unwrap();
+    env.space_mut().fence();
+    sp.seal_all_now();
+    (sp, pad)
+}
+
+/// One seeded race: two readers stream gets through guarded handles while
+/// a maintenance thread plants a retention flip in the pad block, verifies
+/// (quarantining the pool), and then repairs through the escape hatches.
+/// Returns (grants, per-reader (ok, media_errors)) for replay comparison.
+fn quarantine_race(seed: u64, run: u32) -> (u64, Vec<(u32, u32)>) {
+    let (sp, pad) = quarantine_base(&format!("q-escape-{seed:x}-{run}"));
+    let bad_page = (pad + 100) / PAGE_SIZE;
+    let readers = 2usize;
+    let ts = Turnstile::new(readers + 1, seed);
+    let tallies: std::sync::Mutex<Vec<(u32, u32)>> =
+        std::sync::Mutex::new(vec![(0, 0); readers]);
+    // The fault is planted only once every reader holds an open handle:
+    // setup (adopt, root open, handle creation) unwraps guarded reads, so
+    // quarantining mid-setup would panic a reader instead of exercising
+    // the per-op error path this test is about. `ready` transitions at
+    // schedule-determined points, so the race stays replayable per seed.
+    let ready = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..readers {
+            let (sp, ts, tallies, ready) = (&sp, &ts, &tallies, &ready);
+            s.spawn(move || {
+                // First yield *before* touching the pool: setup takes real
+                // pool locks and must be serialized under the baton too.
+                if ts.yield_point(t).is_err() {
+                    ts.finish(t);
+                    return;
+                }
+                let mut space = AddressSpace::new(seed ^ (t as u64 + 1));
+                let pool = space.adopt_shared(sp).unwrap();
+                let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
+                let desc = env.root(site!("cm.q-open", KnownReturn)).unwrap();
+                let idx = ConcHash::open(desc);
+                let yielder = || {
+                    ts.yield_point(t).map_err(|_| HeapError::CrashInjected { writes: u64::MAX })
+                };
+                let mut h =
+                    Handle::new(&mut env, FlushStrategy::FliT).unwrap().with_yielder(&yielder);
+                ready.fetch_add(1, std::sync::atomic::Ordering::Release);
+                let (mut ok, mut media) = (0u32, 0u32);
+                for j in 0..16u64 {
+                    // Read-only ops may touch no flush point, so yield
+                    // explicitly between ops — otherwise a reader runs
+                    // its whole script in one baton hold and the
+                    // quarantine window can never interleave with it.
+                    if ts.yield_point(t).is_err() {
+                        break;
+                    }
+                    let k = (j * 7 + t as u64) % QKEYS;
+                    match idx.get(&mut h, k) {
+                        Ok(got) => {
+                            assert_eq!(
+                                got,
+                                Some(qvalue(k)),
+                                "reader {t} op {j}: wrong value for key {k} (seed {seed})"
+                            );
+                            ok += 1;
+                        }
+                        Err(HeapError::MediaCorruption { page, .. }) => {
+                            assert_eq!(
+                                page, bad_page,
+                                "reader {t} op {j}: quarantine named the wrong page (seed {seed})"
+                            );
+                            media += 1;
+                        }
+                        Err(other) => panic!("reader {t} op {j}: unexpected error {other} (seed {seed})"),
+                    }
+                }
+                tallies.lock().unwrap()[t] = (ok, media);
+                ts.finish(t);
+            });
+        }
+        let (sp, ts, ready) = (&sp, &ts, &ready);
+        s.spawn(move || {
+            let slot = readers;
+            let mut scrub = Scrubber::new(ScrubConfig::default());
+            let mut planted = false;
+            let mut age = 0u32;
+            loop {
+                if ts.yield_point(slot).is_err() {
+                    break;
+                }
+                if !planted && ready.load(std::sync::atomic::Ordering::Acquire) == readers {
+                    // Plant the retention flip and detect it: the pool
+                    // quarantines and guarded reads start refusing.
+                    assert!(sp.corrupt_bit(pad + 100, 5), "pad must be resident");
+                    assert_eq!(sp.verify_all(), vec![bad_page]);
+                    assert_eq!(sp.quarantined_page(), Some(bad_page), "peek sees the page");
+                    planted = true;
+                    age = 0;
+                } else if sp.quarantined_page().is_some() && age >= 2 {
+                    // Let readers bounce off the quarantine for a couple of
+                    // grants, then run the escape-hatch protocol: salvage,
+                    // verify, reseal, release (Scrubber::repair's order).
+                    scrub.repair(sp);
+                    assert!(sp.quarantined_page().is_none(), "release lifts the peek");
+                } else if sp.quarantined_page().is_none() && ts.active_count() <= 1 {
+                    break;
+                }
+                age += 1;
+            }
+            // Never retire while the pool is still quarantined: readers
+            // would be wedged against a quarantine nobody will lift.
+            if sp.quarantined_page().is_some() {
+                scrub.repair(sp);
+            }
+            assert_eq!(scrub.stats().repairs, 1, "exactly one repair episode (seed {seed})");
+            ts.finish(slot);
+        });
+    });
+
+    let (i, d, c) = sp.media_flips();
+    assert_eq!((i, d, c), (1, 1, 0), "the planted flip is detected, never silent");
+    assert!(sp.quarantined_page().is_none());
+    (ts.grants(), tallies.into_inner().unwrap())
+}
+
+/// Readers racing the quarantine see only typed `MediaCorruption` errors
+/// naming the quarantined page (never a wrong value), resume reading the
+/// exact pre-fault values once `release_quarantine` lifts the gate, and
+/// the whole interleaving replays bit-for-bit per seed.
+#[test]
+fn quarantine_escape_hatches_race_guarded_readers() {
+    for seed in [11u64, 95, 0x5eed] {
+        let (grants_a, tallies_a) = quarantine_race(seed, 0);
+        let (grants_b, tallies_b) = quarantine_race(seed, 1);
+        assert_eq!(grants_a, grants_b, "seed {seed}: schedule diverged across replays");
+        assert_eq!(tallies_a, tallies_b, "seed {seed}: reader outcomes diverged across replays");
+        for (t, (ok, _)) in tallies_a.iter().enumerate() {
+            assert!(*ok > 0, "seed {seed}: reader {t} never completed a read");
+        }
+        let media_total: u32 = tallies_a.iter().map(|(_, m)| m).sum();
+        assert!(media_total > 0, "seed {seed}: no reader ever hit the quarantine window");
+    }
+}
+
+/// Misusing the release hatch — lifting the quarantine without salvage +
+/// reseal — cannot bless the damage: the stale checksum re-detects the
+/// same page at the next verify, and only the full repair protocol
+/// (salvage, verify, reseal, release) restores guarded access for good.
+#[test]
+fn premature_quarantine_release_is_recaught_by_the_next_verify() {
+    let (sp, pad) = quarantine_base("q-premature");
+    let bad_page = (pad + 100) / PAGE_SIZE;
+    assert!(sp.corrupt_bit(pad + 100, 5));
+    assert_eq!(sp.verify_all(), vec![bad_page]);
+    assert_eq!(sp.quarantined_page(), Some(bad_page));
+
+    // Escape hatch misuse: release without repairing anything.
+    sp.release_quarantine();
+    assert!(sp.quarantined_page().is_none(), "guarded access reopens…");
+    assert_eq!(sp.verify_all(), vec![bad_page], "…but the damage is still there");
+    assert_eq!(sp.quarantined_page(), Some(bad_page), "and the next verify re-quarantines it");
+
+    // The full protocol clears it for good.
+    let mut scrub = Scrubber::new(ScrubConfig::default());
+    let pass = scrub.repair(&sp);
+    assert!(pass.blocks_recovered > 0);
+    assert!(sp.quarantined_page().is_none());
+    assert!(sp.verify_all().is_empty(), "reseal blessed the repaired image");
+    let (i, d, c) = sp.media_flips();
+    assert_eq!(i, d + c, "accounting stays balanced through the misuse");
+
+    // Guarded reads return the exact pre-fault values: the flip struck
+    // the pad block, so repair changed no key's bytes.
+    let mut space = AddressSpace::new(31);
+    let pool = space.adopt_shared(&sp).unwrap();
+    let mut env = ExecEnv::builder(space).mode(Mode::Hw).pool(pool).build();
+    let desc = env.root(site!("cm.q-after", KnownReturn)).unwrap();
+    let idx = ConcHash::open(desc);
+    let mut h = Handle::new(&mut env, FlushStrategy::FliT).unwrap();
+    for k in 0..QKEYS {
+        assert_eq!(idx.get(&mut h, k).unwrap(), Some(qvalue(k)));
+    }
+}
