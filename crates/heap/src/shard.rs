@@ -205,6 +205,9 @@ pub struct SharedPool {
     refills: AtomicU64,
     central_allocs: AtomicU64,
     slab_overflows: AtomicU64,
+    /// Batch persist barriers issued through [`SharedPool::persist_point`]
+    /// (the serving layer's group commits), a subset of `flush.fences`.
+    group_commits: AtomicU64,
 }
 
 // The whole point of the type: one pool, many threads.
@@ -260,6 +263,7 @@ impl SharedPool {
             refills: AtomicU64::new(0),
             central_allocs: AtomicU64::new(0),
             slab_overflows: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
         };
         Region::format(&mut StripedWords(&pool), size)?;
         Ok(Arc::new(pool))
@@ -504,6 +508,21 @@ impl SharedPool {
     /// Pool-wide fence (full-drain) events so far.
     pub fn fence_count(&self) -> u64 {
         self.flush.lock().unwrap().fences
+    }
+
+    /// Batch persist entry point for group commit: one pool-wide barrier
+    /// that makes everything a shard wrote for the current batch durable
+    /// in a single drain. Counts as a fence *and* as a group commit, so
+    /// `fences/op` and `group_commits/op` can be read off the same pool
+    /// after a server run. Returns the number of lines drained.
+    pub fn persist_point(&self) -> u64 {
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.drain_all()
+    }
+
+    /// Batch persist barriers issued via [`SharedPool::persist_point`].
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits.load(Ordering::Relaxed)
     }
 
     // ---- allocation plane -------------------------------------------------
@@ -1134,6 +1153,7 @@ impl SharedPool {
             refills: AtomicU64::new(self.refills()),
             central_allocs: AtomicU64::new(self.central_allocs()),
             slab_overflows: AtomicU64::new(self.slab_overflows()),
+            group_commits: AtomicU64::new(self.group_commits()),
         })
     }
 }
@@ -1210,6 +1230,23 @@ mod tests {
         }
         let rest = arena.bind(None);
         p.release_lease(rest).unwrap();
+    }
+
+    #[test]
+    fn persist_point_drains_and_counts_group_commits() {
+        let p = SharedPool::create("gc", 1 << 20, 4).unwrap();
+        p.set_flush_model(FlushModel::Adr);
+        let off = p.alloc_raw(256).unwrap();
+        p.write_u64_stage(off, 1).unwrap();
+        p.write_u64_stage(off + 128, 2).unwrap();
+        assert_eq!(p.pending_lines(), 2);
+        let f0 = p.fence_count();
+        assert_eq!(p.persist_point(), 2, "batch barrier drains every line");
+        assert_eq!(p.pending_lines(), 0);
+        assert_eq!(p.group_commits(), 1);
+        assert_eq!(p.fence_count(), f0 + 1, "a group commit is also a fence");
+        p.drain_all();
+        assert_eq!(p.group_commits(), 1, "plain fences are not group commits");
     }
 
     #[test]

@@ -120,6 +120,15 @@ pub struct AddressSpace {
     fences: u64,
     /// Lines flushed to durability (ADR accounting).
     lines_flushed: u64,
+    /// Group-commit window: while set, [`AddressSpace::fence`] records the
+    /// event in `fences_elided` instead of issuing it, deferring durability
+    /// to the next [`AddressSpace::persist_point`]. Sound only while nothing
+    /// written inside the window has been acknowledged externally (the
+    /// crash-resilient-objects criterion: un-acked work may be dropped
+    /// whole). Volatile — a restart clears it.
+    defer_fences: bool,
+    /// Fence events elided by an open group-commit window.
+    fences_elided: u64,
     /// Software POLB/VALB in front of the translation walks
     /// ([`crate::lookaside`]). Generation-stamped: any mutation that can
     /// move, remove, or quarantine an attachment bumps its epoch — a
@@ -179,6 +188,8 @@ impl AddressSpace {
             pending: BTreeMap::new(),
             fences: 0,
             lines_flushed: 0,
+            defer_fences: false,
+            fences_elided: 0,
             trans: TransCache::new(),
             shared: HashMap::new(),
             arenas: HashMap::new(),
@@ -306,6 +317,10 @@ impl AddressSpace {
     /// which is what keeps the allocator's fence-first discipline sound
     /// when the metadata lives in a [`SharedPool`].
     pub fn fence(&mut self) {
+        if self.defer_fences {
+            self.fences_elided += 1;
+            return;
+        }
         self.fences += 1;
         self.lines_flushed += self.pending.len() as u64;
         self.pending.clear();
@@ -314,6 +329,52 @@ impl AddressSpace {
                 self.lines_flushed += sp.drain_all();
             }
         }
+    }
+
+    // ---- group-commit window ----------------------------------------------
+
+    /// Opens (`true`) or closes (`false`) a group-commit window. While
+    /// open, [`AddressSpace::fence`] counts the event as elided instead of
+    /// issuing it: written lines stay pending (ADR) and adopted shared
+    /// pools are not drained. Closing the window does **not** fence —
+    /// callers issue the batch's single real barrier through
+    /// [`AddressSpace::persist_point`].
+    ///
+    /// The elision is sound exactly when nothing written inside the window
+    /// is externally acknowledged before the persist point: a crash inside
+    /// the window then loses the batch *whole* (all its lines are still
+    /// pending and revert together), which is indistinguishable from
+    /// crashing before the batch started.
+    pub fn set_fence_deferral(&mut self, on: bool) {
+        self.defer_fences = on;
+    }
+
+    /// Whether a group-commit window is currently open.
+    pub fn fence_deferral(&self) -> bool {
+        self.defer_fences
+    }
+
+    /// Fence events elided by group-commit windows so far.
+    pub fn fences_elided(&self) -> u64 {
+        self.fences_elided
+    }
+
+    /// Group-commit persist point: issues the batch's one real barrier,
+    /// bypassing (but not closing) an open deferral window. Local pending
+    /// lines drain here and every adopted [`SharedPool`] runs its own
+    /// [`SharedPool::persist_point`], so the pool-side group-commit
+    /// counters advance too. Returns the number of lines made durable.
+    pub fn persist_point(&mut self) -> u64 {
+        self.fences += 1;
+        let mut drained = self.pending.len() as u64;
+        self.lines_flushed += drained;
+        self.pending.clear();
+        for sp in self.shared.values() {
+            let n = sp.persist_point();
+            self.lines_flushed += n;
+            drained += n;
+        }
+        drained
     }
 
     /// Flushes the single line containing intra-pool offset `off` of
@@ -800,6 +861,9 @@ impl AddressSpace {
         // consistent (merely smaller) heap.
         self.shared.clear();
         self.arenas.clear();
+        // An open group-commit window is volatile state; the batch it was
+        // deferring died un-acked with the process.
+        self.defer_fences = false;
         self.trans.bump();
     }
 
@@ -1495,6 +1559,54 @@ mod tests {
         s.set_flush_model(FlushModel::Eadr);
         s.write_u64(va, 9).unwrap();
         assert_eq!(s.pending_lines(), 0);
+    }
+
+    #[test]
+    fn fence_deferral_elides_until_persist_point() {
+        let mut s = AddressSpace::new(22);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 256).unwrap();
+        s.set_flush_model(FlushModel::Adr);
+        let va = s.ra2va(loc).unwrap();
+        let fences0 = s.fence_count();
+
+        s.set_fence_deferral(true);
+        assert!(s.fence_deferral());
+        s.write_u64(va, 1).unwrap();
+        s.fence(); // elided: line must stay pending
+        s.write_u64(va.add(128), 2).unwrap();
+        s.fence();
+        assert_eq!(s.fences_elided(), 2);
+        assert_eq!(s.fence_count(), fences0, "no real fence inside the window");
+        assert_eq!(s.pending_lines(), 2, "deferred fences leave lines in flight");
+
+        // The persist point bypasses the (still open) window.
+        let drained = s.persist_point();
+        assert_eq!(drained, 2);
+        assert_eq!(s.pending_lines(), 0);
+        assert_eq!(s.fence_count(), fences0 + 1, "one real barrier for the batch");
+        assert!(s.fence_deferral(), "persist point does not close the window");
+        s.set_fence_deferral(false);
+        s.fence();
+        assert_eq!(s.fence_count(), fences0 + 2);
+        assert_eq!(s.fences_elided(), 2, "closed window stops eliding");
+    }
+
+    #[test]
+    fn restart_drops_open_deferral_window() {
+        let mut s = AddressSpace::new(27);
+        let p = s.create_pool("p", 1 << 20).unwrap();
+        let loc = s.pmalloc(p, 64).unwrap();
+        s.set_flush_model(FlushModel::Adr);
+        let va = s.ra2va(loc).unwrap();
+        s.write_u64(va, 0x5a).unwrap();
+        s.set_fence_deferral(true);
+        s.fence(); // elided — the write is still volatile at the crash
+        s.restart();
+        assert!(!s.fence_deferral(), "window is volatile state");
+        s.open_pool("p").unwrap();
+        let va = s.ra2va(loc).unwrap();
+        assert_eq!(s.read_u64(va).unwrap(), 0, "un-persisted batch lost whole");
     }
 
     #[test]

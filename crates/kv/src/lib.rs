@@ -43,5 +43,5 @@ pub use faultsweep::{
 pub use harness::{run_all_modes, run_benchmark, verify_mode_agreement, BenchResult, Benchmark};
 pub use mt::{mt_crash_sweep, run_mt_ycsb, MtResult, MtSpec, MtSweepReport, MtSweepSpec, PARTITIONS};
 pub use store::{KvStore, RunSummary};
-pub use workload::{generate, Op, Workload, WorkloadSpec, Zipfian};
+pub use workload::{generate, KeyStream, KeyUniverse, Op, Workload, WorkloadSpec, Zipfian};
 pub use ycsb::{generate_preset, Preset};

@@ -73,6 +73,86 @@ impl Zipfian {
     }
 }
 
+/// A shared zipfian key universe for many-connection load generation.
+///
+/// Building a [`Zipfian`] costs O(n): the ζ-table sum walks every rank.
+/// The load harness multiplexes thousands of virtual users, and having
+/// each one call [`Zipfian::new`] would re-run that sum per connection —
+/// 10 k records × 10 k connections is 10⁸ `powf` calls before the first
+/// request leaves the machine. A `KeyUniverse` pays the ζ sum **once**;
+/// [`KeyUniverse::stream`] then seeds a per-connection sampler in O(1)
+/// (the sampler state is six scalars, copied, plus a fresh [`Rng`]).
+///
+/// Ranks map to keys in *latest* order, matching [`generate`]: rank 0 is
+/// the newest (hottest) record, `key_of_index(records - 1)`.
+#[derive(Clone, Debug)]
+pub struct KeyUniverse {
+    zipf: Zipfian,
+}
+
+impl KeyUniverse {
+    /// A universe over `records` keys at the YCSB constant θ = 0.99.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero.
+    pub fn new(records: u64) -> Self {
+        Self::with_theta(records, 0.99)
+    }
+
+    /// A universe with an explicit skew θ ∈ (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero.
+    pub fn with_theta(records: u64, theta: f64) -> Self {
+        KeyUniverse { zipf: Zipfian::with_theta(records, theta) }
+    }
+
+    /// Number of keys in the universe.
+    pub fn records(&self) -> u64 {
+        self.zipf.n()
+    }
+
+    /// The key at popularity rank `rank` (0 = hottest = newest record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn key_at(&self, rank: u64) -> u64 {
+        assert!(rank < self.zipf.n());
+        key_of_index(self.zipf.n() - 1 - rank)
+    }
+
+    /// Seeds a per-connection key stream. O(1): no ζ rebuild — the sampler
+    /// parameters are copied from this universe.
+    pub fn stream(&self, seed: u64) -> KeyStream {
+        KeyStream { zipf: self.zipf.clone(), rng: Rng::new(seed) }
+    }
+}
+
+/// One connection's deterministic zipfian key stream, seeded in O(1) from
+/// a [`KeyUniverse`]. Two streams with the same seed over the same
+/// universe produce identical key sequences.
+#[derive(Clone, Debug)]
+pub struct KeyStream {
+    zipf: Zipfian,
+    rng: Rng,
+}
+
+impl KeyStream {
+    /// Draws the next popularity rank in `[0, records)`.
+    pub fn next_rank(&mut self) -> u64 {
+        self.zipf.sample(&mut self.rng)
+    }
+
+    /// Draws the next key (rank mapped through latest order).
+    pub fn next_key(&mut self) -> u64 {
+        let rank = self.next_rank();
+        key_of_index(self.zipf.n() - 1 - rank)
+    }
+}
+
 /// One key-value operation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Op {
@@ -180,6 +260,53 @@ mod tests {
             for _ in 0..2000 {
                 assert!(z.sample(&mut rng) < n);
             }
+        }
+    }
+
+    #[test]
+    fn same_seed_streams_are_identical() {
+        let u = KeyUniverse::new(5_000);
+        let a: Vec<u64> = {
+            let mut s = u.stream(0xfeed);
+            (0..1_000).map(|_| s.next_key()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = u.stream(0xfeed);
+            (0..1_000).map(|_| s.next_key()).collect()
+        };
+        assert_eq!(a, b, "same seed must replay the identical stream");
+        let mut c = u.stream(0xbeef);
+        let cs: Vec<u64> = (0..1_000).map(|_| c.next_key()).collect();
+        assert_ne!(a, cs, "different seeds must diverge");
+    }
+
+    #[test]
+    fn stream_matches_direct_zipfian_sampling() {
+        // A cheaply seeded stream must be *exactly* the sampler a
+        // connection would have built from scratch — same ranks, same
+        // latest-order key mapping.
+        let n = 2_000;
+        let u = KeyUniverse::new(n);
+        let mut s = u.stream(77);
+        let z = Zipfian::new(n);
+        let mut rng = Rng::new(77);
+        for _ in 0..2_000 {
+            let rank = z.sample(&mut rng);
+            assert_eq!(s.next_key(), key_of_index(n - 1 - rank));
+        }
+    }
+
+    #[test]
+    fn universe_ranks_follow_latest_order() {
+        let u = KeyUniverse::new(100);
+        assert_eq!(u.key_at(0), key_of_index(99), "rank 0 = newest record");
+        assert_eq!(u.key_at(99), key_of_index(0));
+        assert_eq!(u.records(), 100);
+        // Streams stay in the universe.
+        let keys: std::collections::HashSet<u64> = (0..100).map(key_of_index).collect();
+        let mut s = u.stream(3);
+        for _ in 0..500 {
+            assert!(keys.contains(&s.next_key()));
         }
     }
 

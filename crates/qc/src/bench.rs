@@ -1,7 +1,10 @@
 //! Micro-benchmark harness replacing criterion: per-function calibration,
 //! a warmup window, then fixed-count sampling with median / p95 / min
-//! reporting. The API mirrors the slice of criterion the workspace used
-//! (`bench_function` + `Bencher::iter`), so benches port mechanically.
+//! reporting plus exact nearest-rank p50/p99/p999 (the tail percentiles
+//! the serving-layer latency reports need). The API mirrors the slice of
+//! criterion the workspace used (`bench_function` + `Bencher::iter`), so
+//! benches port mechanically. [`nearest_rank`] is public: the load
+//! harness feeds it latency sample vectors directly.
 //!
 //! Tuning knobs (environment):
 //! - `UTPR_QC_BENCH_SAMPLES` — samples per function (default 30).
@@ -22,10 +25,35 @@ pub struct Summary {
     pub p95_ns: f64,
     /// Fastest sample.
     pub min_ns: f64,
+    /// Exact nearest-rank 50th percentile (differs from `median_ns`, which
+    /// keeps the historical rounded-index definition for stability).
+    pub p50_ns: f64,
+    /// Exact nearest-rank 99th percentile.
+    pub p99_ns: f64,
+    /// Exact nearest-rank 99.9th percentile.
+    pub p999_ns: f64,
     /// Iterations per sample batch (calibrated).
     pub iters_per_sample: u64,
     /// Number of timed samples.
     pub samples: usize,
+}
+
+/// Exact nearest-rank percentile over an **ascending-sorted** sample
+/// slice: the smallest sample such that at least `q·N` samples are ≤ it
+/// (rank `⌈q·N⌉`, 1-based). No interpolation — the returned value is
+/// always an observed sample, which is the honest choice for latency
+/// tails where interpolating between a 2 µs and a 2 ms outlier invents a
+/// number nobody measured.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is not in `(0, 1]`.
+#[must_use]
+pub fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "nearest_rank over an empty sample set");
+    assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Measures one batch; handed to the closure given to
@@ -128,6 +156,9 @@ impl Bench {
             median_ns: pct(0.5),
             p95_ns: pct(0.95),
             min_ns: per_iter_ns[0],
+            p50_ns: nearest_rank(&per_iter_ns, 0.50),
+            p99_ns: nearest_rank(&per_iter_ns, 0.99),
+            p999_ns: nearest_rank(&per_iter_ns, 0.999),
             iters_per_sample: iters,
             samples: per_iter_ns.len(),
         });
@@ -219,6 +250,47 @@ mod tests {
         assert!(s.median_ns >= s.min_ns);
         assert!(s.iters_per_sample >= 1);
         assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_distribution() {
+        // 1..=100: with N=100, p-quantile rank is ⌈100q⌉, so the value IS
+        // ⌈100q⌉ — checkable by eye.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&v, 0.50), 50.0);
+        assert_eq!(nearest_rank(&v, 0.95), 95.0);
+        assert_eq!(nearest_rank(&v, 0.99), 99.0);
+        assert_eq!(nearest_rank(&v, 0.999), 100.0, "rank ⌈99.9⌉ = 100");
+        assert_eq!(nearest_rank(&v, 1.0), 100.0);
+        assert_eq!(nearest_rank(&v, 0.001), 1.0, "rank ⌈0.1⌉ clamps to 1");
+
+        // Small uneven set, hand-computed: N=5 → p50 rank ⌈2.5⌉=3,
+        // p99 rank ⌈4.95⌉=5.
+        let w = [2.0, 3.0, 7.0, 11.0, 400.0];
+        assert_eq!(nearest_rank(&w, 0.50), 7.0);
+        assert_eq!(nearest_rank(&w, 0.99), 400.0);
+        assert_eq!(nearest_rank(&w, 0.60), 7.0, "rank ⌈3.0⌉ = 3, no interpolation");
+
+        let one = [42.0];
+        assert_eq!(nearest_rank(&one, 0.999), 42.0);
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let mut bench =
+            Bench::with(Duration::from_millis(1), 40, Duration::from_micros(20));
+        bench.bench_function("ordered", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            });
+        });
+        let s = &bench.summaries()[0];
+        assert!(s.min_ns <= s.p50_ns);
+        assert!(s.p50_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns);
+        assert_eq!(s.samples, 40);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Networked KV front: a zero-dependency, std-only TCP server over
+//! `utpr-kv` with fence-amortizing group commit, plus the load harness
+//! that drives it (closed-loop and open-loop zipfian traffic through
+//! virtual-user multiplexing) and the crash arm that kills it mid-load
+//! and audits recovery with the faultsweep oracles.
+//!
+//! - [`proto`] — length-prefixed binary frames (GET/PUT/DELETE/SCAN/
+//!   BATCH/PING), streaming decoder, typed [`proto::ProtoError`]s.
+//! - [`server`] — thread-per-shard event loops, key-routed execution,
+//!   group commit through the undo log with one persist barrier per
+//!   batch, acks released only after that barrier.
+//! - [`load`] — virtual-user load generation, nearest-rank latency
+//!   percentiles, and the kill-the-server-mid-load arm.
+//!
+//! See DESIGN.md §14 for the serving-layer design and crash semantics.
+
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use load::{
+    expected_put_keys, kill_arm, preload, preload_val, put_val, run_load, Client, KillReport,
+    KillSpec, LatencySummary, LoadMode, LoadReport, LoadSpec,
+};
+pub use proto::{Decoder, ErrCode, ProtoError, Request, Response, MAX_BATCH, MAX_FRAME};
+pub use server::{
+    shard_of, DirectView, ServeConfig, ServeCounters, ServeError, Server, ServerHandle,
+};

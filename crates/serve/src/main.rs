@@ -1,0 +1,57 @@
+//! `utpr-serve`: stand up a group-commit KV server on a loopback port
+//! and serve until killed.
+//!
+//! ```text
+//! utpr-serve [--shards N] [--window N] [--pool BYTES] [--adr] [--seed S]
+//! ```
+//!
+//! Prints `LISTEN <addr>` once the acceptor is live; drive it with the
+//! `utpr-serve` crate's [`utpr_serve::Client`] or the load harness.
+
+use utpr_heap::FlushModel;
+use utpr_serve::{ServeConfig, Server};
+
+fn parse_u64(args: &mut std::env::Args, flag: &str) -> u64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} wants a number"))
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args();
+    args.next();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => cfg.shards = parse_u64(&mut args, "--shards") as u32,
+            "--window" => cfg.batch_window = parse_u64(&mut args, "--window") as usize,
+            "--pool" => cfg.pool_bytes = parse_u64(&mut args, "--pool"),
+            "--seed" => cfg.seed = parse_u64(&mut args, "--seed"),
+            "--adr" => cfg.flush_model = FlushModel::Adr,
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: utpr-serve [--shards N] [--window N] \
+                     [--pool BYTES] [--adr] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let handle = Server::launch(&cfg).unwrap_or_else(|e| {
+        eprintln!("launch failed: {e}");
+        std::process::exit(1);
+    });
+    println!("LISTEN {}", handle.addr());
+    println!(
+        "shards={} batch_window={} pool={}B model={:?}",
+        cfg.shards, cfg.batch_window, cfg.pool_bytes, cfg.flush_model
+    );
+    let (counters, crashed) = handle.join();
+    println!(
+        "EXIT crashed={crashed} ops={} fences={} group_commits={}",
+        counters.ops(),
+        counters.pool_fences,
+        counters.pool_group_commits
+    );
+    std::process::exit(i32::from(crashed));
+}

@@ -1,0 +1,617 @@
+//! Wire protocol: compact length-prefixed binary frames.
+//!
+//! Every frame is `[u32 len (LE)][u8 opcode][payload]`, where `len`
+//! counts the opcode byte plus the payload. Integers are little-endian;
+//! keys and values are 8 bytes, matching the YCSB shape the rest of the
+//! workspace runs. Responses use the same framing with a status byte in
+//! place of the opcode.
+//!
+//! Decoding never panics and never desyncs: a partial frame waits for
+//! more bytes, and anything unparseable (oversized length claim, unknown
+//! opcode, short payload) surfaces as a typed [`ProtoError`] — the server
+//! answers with an error frame and closes the connection, since a
+//! malformed length prefix leaves no trustworthy resynchronization point.
+
+use std::fmt;
+
+/// Hard ceiling on the claimed frame length (opcode + payload). A claim
+/// above this is rejected *before* buffering, so a hostile 4 GiB length
+/// prefix cannot balloon the connection buffer.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Cap on sub-operations inside one BATCH frame (and keys in one SCAN) —
+/// implied by [`MAX_FRAME`], checked explicitly so the count field can be
+/// validated without multiplying attacker-controlled numbers.
+pub const MAX_BATCH: u32 = 4096;
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_SCAN: u8 = 0x04;
+const OP_BATCH: u8 = 0x05;
+const OP_PING: u8 = 0x06;
+
+const ST_VALUE: u8 = 0x81;
+const ST_DONE: u8 = 0x82;
+const ST_REMOVED: u8 = 0x83;
+const ST_PAIRS: u8 = 0x84;
+const ST_BATCH: u8 = 0x85;
+const ST_PONG: u8 = 0x86;
+const ST_ERR: u8 = 0xEE;
+
+/// Typed protocol decode failure. Fatal to the connection: after any of
+/// these the byte stream has no reliable frame boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The stream ended inside a length prefix or inside a frame body.
+    Truncated,
+    /// A length prefix claimed more than [`MAX_FRAME`] bytes.
+    Oversized(u32),
+    /// A frame length of zero (no room for the opcode).
+    EmptyFrame,
+    /// The opcode byte names no known operation.
+    UnknownOpcode(u8),
+    /// The payload did not match the opcode's shape.
+    BadPayload(&'static str),
+    /// A BATCH nested another BATCH (one level only).
+    NestedBatch,
+    /// A BATCH or SCAN count above [`MAX_BATCH`].
+    BadCount(u32),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "stream truncated mid-frame"),
+            ProtoError::Oversized(n) => {
+                write!(f, "frame claims {n} bytes (max {MAX_FRAME})")
+            }
+            ProtoError::EmptyFrame => write!(f, "zero-length frame"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::NestedBatch => write!(f, "BATCH frames cannot nest"),
+            ProtoError::BadCount(n) => write!(f, "count {n} exceeds max {MAX_BATCH}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Application-level error codes carried in [`Response::Err`] frames.
+/// Distinct from [`ProtoError`]: these describe a well-formed request the
+/// server refuses, and the connection survives them (except `Proto`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// The peer's bytes failed to decode; connection closes after this.
+    Proto = 1,
+    /// A BATCH touched keys owned by more than one shard. Atomicity is
+    /// per-shard (one undo-log transaction), so such a batch is refused
+    /// rather than half-applied.
+    CrossShardBatch = 2,
+    /// The server is draining for shutdown.
+    Shutdown = 3,
+    /// Internal store failure (heap error while applying).
+    Internal = 4,
+}
+
+impl ErrCode {
+    fn from_u8(v: u8) -> Option<ErrCode> {
+        match v {
+            1 => Some(ErrCode::Proto),
+            2 => Some(ErrCode::CrossShardBatch),
+            3 => Some(ErrCode::Shutdown),
+            4 => Some(ErrCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Read `key`.
+    Get { key: u64 },
+    /// Write `key = val`, returning the previous value.
+    Put { key: u64, val: u64 },
+    /// Remove `key`, returning the previous value.
+    Del { key: u64 },
+    /// Probe `count` numerically consecutive keys starting at `start`,
+    /// returning the present pairs. Partition-local: only keys owned by
+    /// `start`'s shard are probed (see DESIGN.md §14).
+    Scan { start: u64, count: u32 },
+    /// Atomically apply simple ops (no nested batches) in one undo-log
+    /// transaction. All keys must live on one shard.
+    Batch(Vec<Request>),
+    /// Liveness probe; answered from the event loop without touching the
+    /// store.
+    Ping,
+}
+
+/// One response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// GET result.
+    Value(Option<u64>),
+    /// PUT result: the value the key held before, if any.
+    Done(Option<u64>),
+    /// DELETE result: the removed value, if any.
+    Removed(Option<u64>),
+    /// SCAN result: present `(key, value)` pairs, ascending by key.
+    Pairs(Vec<(u64, u64)>),
+    /// Per-sub-op results of a BATCH, in request order.
+    Batch(Vec<Response>),
+    /// PING reply.
+    Pong,
+    /// Refusal with a code and a short human-readable detail.
+    Err(ErrCode, String),
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(x) => {
+            buf.push(1);
+            put_u64(buf, x);
+        }
+    }
+}
+
+/// Cursor over one frame's payload; all reads are bounds-checked.
+struct Cur<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let v = *self.b.get(self.at).ok_or(ProtoError::BadPayload("short read"))?;
+        self.at += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let s = self
+            .b
+            .get(self.at..self.at + 4)
+            .ok_or(ProtoError::BadPayload("short read"))?;
+        self.at += 4;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let s = self
+            .b
+            .get(self.at..self.at + 8)
+            .ok_or(ProtoError::BadPayload("short read"))?;
+        self.at += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.at == self.b.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::BadPayload("trailing bytes"))
+        }
+    }
+
+    fn opt(&mut self) -> Result<Option<u64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(ProtoError::BadPayload("bad option tag")),
+        }
+    }
+}
+
+impl Request {
+    /// Appends this request as one framed message onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let at = out.len();
+        out.extend_from_slice(&[0; 4]); // length back-patched below
+        self.encode_body(out);
+        let len = (out.len() - at - 4) as u32;
+        out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Get { key } => {
+                out.push(OP_GET);
+                put_u64(out, *key);
+            }
+            Request::Put { key, val } => {
+                out.push(OP_PUT);
+                put_u64(out, *key);
+                put_u64(out, *val);
+            }
+            Request::Del { key } => {
+                out.push(OP_DEL);
+                put_u64(out, *key);
+            }
+            Request::Scan { start, count } => {
+                out.push(OP_SCAN);
+                put_u64(out, *start);
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            Request::Batch(ops) => {
+                out.push(OP_BATCH);
+                out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for op in ops {
+                    op.encode_body(out);
+                }
+            }
+            Request::Ping => out.push(OP_PING),
+        }
+    }
+
+    /// Decodes one frame body (opcode + payload, the length prefix already
+    /// stripped and validated by [`Decoder`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`] the body can exhibit; never panics.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cur { b: body, at: 0 };
+        let req = Self::decode_at(&mut c, false)?;
+        c.done()?;
+        Ok(req)
+    }
+
+    fn decode_at(c: &mut Cur, in_batch: bool) -> Result<Request, ProtoError> {
+        match c.u8().map_err(|_| ProtoError::EmptyFrame)? {
+            OP_GET => Ok(Request::Get { key: c.u64()? }),
+            OP_PUT => Ok(Request::Put { key: c.u64()?, val: c.u64()? }),
+            OP_DEL => Ok(Request::Del { key: c.u64()? }),
+            OP_SCAN => {
+                let (start, count) = (c.u64()?, c.u32()?);
+                if count > MAX_BATCH {
+                    return Err(ProtoError::BadCount(count));
+                }
+                Ok(Request::Scan { start, count })
+            }
+            OP_BATCH => {
+                if in_batch {
+                    return Err(ProtoError::NestedBatch);
+                }
+                let n = c.u32()?;
+                if n > MAX_BATCH {
+                    return Err(ProtoError::BadCount(n));
+                }
+                let mut ops = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ops.push(Self::decode_at(c, true)?);
+                }
+                Ok(Request::Batch(ops))
+            }
+            OP_PING => Ok(Request::Ping),
+            op => Err(ProtoError::UnknownOpcode(op)),
+        }
+    }
+
+    /// Whether this request (or any sub-op of a batch) mutates the store.
+    pub fn is_write(&self) -> bool {
+        match self {
+            Request::Put { .. } | Request::Del { .. } => true,
+            Request::Batch(ops) => ops.iter().any(Request::is_write),
+            _ => false,
+        }
+    }
+}
+
+impl Response {
+    /// Appends this response as one framed message onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let at = out.len();
+        out.extend_from_slice(&[0; 4]);
+        self.encode_body(out);
+        let len = (out.len() - at - 4) as u32;
+        out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Value(v) => {
+                out.push(ST_VALUE);
+                put_opt(out, *v);
+            }
+            Response::Done(v) => {
+                out.push(ST_DONE);
+                put_opt(out, *v);
+            }
+            Response::Removed(v) => {
+                out.push(ST_REMOVED);
+                put_opt(out, *v);
+            }
+            Response::Pairs(ps) => {
+                out.push(ST_PAIRS);
+                out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+                for (k, v) in ps {
+                    put_u64(out, *k);
+                    put_u64(out, *v);
+                }
+            }
+            Response::Batch(rs) => {
+                out.push(ST_BATCH);
+                out.extend_from_slice(&(rs.len() as u32).to_le_bytes());
+                for r in rs {
+                    r.encode_body(out);
+                }
+            }
+            Response::Pong => out.push(ST_PONG),
+            Response::Err(code, msg) => {
+                out.push(ST_ERR);
+                out.push(*code as u8);
+                let m = &msg.as_bytes()[..msg.len().min(512)];
+                out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+                out.extend_from_slice(m);
+            }
+        }
+    }
+
+    /// Decodes one response frame body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`] the body can exhibit; never panics.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cur { b: body, at: 0 };
+        let r = Self::decode_at(&mut c, false)?;
+        c.done()?;
+        Ok(r)
+    }
+
+    fn decode_at(c: &mut Cur, in_batch: bool) -> Result<Response, ProtoError> {
+        match c.u8().map_err(|_| ProtoError::EmptyFrame)? {
+            ST_VALUE => Ok(Response::Value(c.opt()?)),
+            ST_DONE => Ok(Response::Done(c.opt()?)),
+            ST_REMOVED => Ok(Response::Removed(c.opt()?)),
+            ST_PAIRS => {
+                let n = c.u32()?;
+                if n > MAX_BATCH {
+                    return Err(ProtoError::BadCount(n));
+                }
+                let mut ps = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ps.push((c.u64()?, c.u64()?));
+                }
+                Ok(Response::Pairs(ps))
+            }
+            ST_BATCH => {
+                if in_batch {
+                    return Err(ProtoError::NestedBatch);
+                }
+                let n = c.u32()?;
+                if n > MAX_BATCH {
+                    return Err(ProtoError::BadCount(n));
+                }
+                let mut rs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    rs.push(Self::decode_at(c, true)?);
+                }
+                Ok(Response::Batch(rs))
+            }
+            ST_PONG => Ok(Response::Pong),
+            ST_ERR => {
+                let code =
+                    ErrCode::from_u8(c.u8()?).ok_or(ProtoError::BadPayload("bad err code"))?;
+                let n = c.u32()? as usize;
+                if n > 512 {
+                    return Err(ProtoError::BadPayload("oversized err text"));
+                }
+                let s = c
+                    .b
+                    .get(c.at..c.at + n)
+                    .ok_or(ProtoError::BadPayload("short read"))?;
+                c.at += n;
+                Ok(Response::Err(code, String::from_utf8_lossy(s).into_owned()))
+            }
+            t => Err(ProtoError::UnknownOpcode(t)),
+        }
+    }
+}
+
+/// Streaming frame splitter: feed arbitrary byte chunks, pop whole frame
+/// bodies. Shared by both directions (requests and responses use the same
+/// framing). Incomplete frames are not an error — they wait — but an
+/// oversized claim is reported immediately, before the stream would have
+/// to buffer it.
+#[derive(Default, Debug)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl Decoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: move the tail down once the consumed prefix
+        // dominates, keeping feed() amortized O(bytes).
+        if self.at > 4096 && self.at * 2 > self.buf.len() {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body (opcode + payload), or `None` if
+    /// more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Oversized`] / [`ProtoError::EmptyFrame`] on an
+    /// unusable length prefix. After an error the decoder is poisoned
+    /// conceptually — callers close the connection.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, ProtoError> {
+        let avail = self.buf.len() - self.at;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes(self.buf[self.at..self.at + 4].try_into().unwrap());
+        if len == 0 {
+            return Err(ProtoError::EmptyFrame);
+        }
+        if len > MAX_FRAME {
+            return Err(ProtoError::Oversized(len));
+        }
+        let need = 4 + len as usize;
+        if avail < need {
+            return Ok(None);
+        }
+        let start = self.at + 4;
+        self.at += need;
+        Ok(Some(&self.buf[start..start + len as usize]))
+    }
+
+    /// End-of-stream check: leftover bytes mean the peer died mid-frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Truncated`] when a partial frame remains buffered.
+    pub fn finish(&self) -> Result<(), ProtoError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Truncated)
+        }
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(r: &Request) -> Request {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let mut d = Decoder::new();
+        d.feed(&buf);
+        let body = d.next_frame().unwrap().unwrap().to_vec();
+        d.finish().unwrap();
+        Request::decode(&body).unwrap()
+    }
+
+    #[test]
+    fn simple_frames_round_trip() {
+        for r in [
+            Request::Get { key: 7 },
+            Request::Put { key: u64::MAX, val: 0 },
+            Request::Del { key: 1 },
+            Request::Scan { start: 100, count: 16 },
+            Request::Ping,
+            Request::Batch(vec![
+                Request::Put { key: 1, val: 2 },
+                Request::Del { key: 3 },
+                Request::Get { key: 4 },
+            ]),
+        ] {
+            assert_eq!(round_trip_req(&r), r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for r in [
+            Response::Value(Some(9)),
+            Response::Value(None),
+            Response::Done(None),
+            Response::Removed(Some(3)),
+            Response::Pairs(vec![(1, 2), (3, 4)]),
+            Response::Batch(vec![Response::Done(None), Response::Value(Some(1))]),
+            Response::Pong,
+            Response::Err(ErrCode::CrossShardBatch, "keys span shards".into()),
+        ] {
+            let mut buf = Vec::new();
+            r.encode(&mut buf);
+            let mut d = Decoder::new();
+            d.feed(&buf);
+            let body = d.next_frame().unwrap().unwrap().to_vec();
+            assert_eq!(Response::decode(&body).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decoder_handles_arbitrary_chunking() {
+        let reqs = [
+            Request::Put { key: 11, val: 22 },
+            Request::Get { key: 11 },
+            Request::Batch(vec![Request::Put { key: 1, val: 1 }; 5]),
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            r.encode(&mut wire);
+        }
+        // Feed one byte at a time: every frame must still pop out intact.
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            d.feed(std::slice::from_ref(b));
+            while let Some(body) = d.next_frame().unwrap() {
+                let body = body.to_vec();
+                got.push(Request::decode(&body).unwrap());
+            }
+        }
+        d.finish().unwrap();
+        assert_eq!(got.as_slice(), reqs.as_slice());
+    }
+
+    #[test]
+    fn oversized_claim_is_rejected_before_buffering() {
+        let mut d = Decoder::new();
+        d.feed(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(d.next_frame(), Err(ProtoError::Oversized(MAX_FRAME + 1)));
+    }
+
+    #[test]
+    fn truncated_stream_is_typed() {
+        let mut buf = Vec::new();
+        Request::Put { key: 5, val: 6 }.encode(&mut buf);
+        let mut d = Decoder::new();
+        d.feed(&buf[..buf.len() - 3]);
+        assert_eq!(d.next_frame(), Ok(None), "partial frame just waits");
+        assert_eq!(d.finish(), Err(ProtoError::Truncated));
+        // Truncated length prefix alone.
+        let mut d2 = Decoder::new();
+        d2.feed(&[1, 0]);
+        assert_eq!(d2.next_frame(), Ok(None));
+        assert_eq!(d2.finish(), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn unknown_opcode_and_bad_shapes_are_typed() {
+        assert_eq!(Request::decode(&[0x7f]), Err(ProtoError::UnknownOpcode(0x7f)));
+        assert_eq!(
+            Request::decode(&[OP_PUT, 1, 2, 3]),
+            Err(ProtoError::BadPayload("short read"))
+        );
+        let mut long = vec![OP_GET];
+        long.extend_from_slice(&[0; 9]); // one byte too many
+        assert_eq!(Request::decode(&long), Err(ProtoError::BadPayload("trailing bytes")));
+        // Nested batch refused.
+        let mut nested = vec![OP_BATCH];
+        nested.extend_from_slice(&1u32.to_le_bytes());
+        nested.push(OP_BATCH);
+        nested.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Request::decode(&nested), Err(ProtoError::NestedBatch));
+        // Hostile batch count.
+        let mut big = vec![OP_BATCH];
+        big.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&big), Err(ProtoError::BadCount(u32::MAX)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Loopback integration battery for the group-commit server.
+//!
+//! Covers the serving semantics end to end over real sockets (request
+//! routing, batch atomicity at the protocol level, cross-shard refusal),
+//! the ISSUE's fence-amortization acceptance gate (batched fences/op must
+//! be at most half of unbatched at equal offered load), the determinism
+//! contract the bench checksum leans on, and the kill-the-server-mid-load
+//! arm: die at a seeded durable-write boundary mid-batch, recover every
+//! undo-log slot, and pass the faultsweep oracles — acked writes present,
+//! unacked writes committed-or-absent, structural invariants intact.
+//! Failures print the `UTPR_QC_SEED` replay line.
+
+use utpr_heap::FlushModel;
+use utpr_qc::runner::base_seed;
+use utpr_serve::{
+    expected_put_keys, kill_arm, preload, preload_val, put_val, run_load, Client, ErrCode,
+    KillSpec, LoadMode, LoadSpec, Request, Response, ServeConfig, Server,
+};
+
+fn cfg(shards: u32, window: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        batch_window: window,
+        pool_bytes: 64 << 20,
+        slab_bytes: 1 << 20,
+        flush_model: FlushModel::Eadr,
+        seed: base_seed(),
+    }
+}
+
+#[test]
+fn loopback_serving_semantics() {
+    let handle = Server::launch(&cfg(2, 8)).expect("launch");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Pong);
+    assert_eq!(c.call(&Request::Get { key: 10 }).unwrap(), Response::Value(None));
+    assert_eq!(c.call(&Request::Put { key: 10, val: 77 }).unwrap(), Response::Done(None));
+    assert_eq!(
+        c.call(&Request::Put { key: 10, val: 78 }).unwrap(),
+        Response::Done(Some(77))
+    );
+    assert_eq!(c.call(&Request::Get { key: 10 }).unwrap(), Response::Value(Some(78)));
+    assert_eq!(c.call(&Request::Del { key: 10 }).unwrap(), Response::Removed(Some(78)));
+    assert_eq!(c.call(&Request::Get { key: 10 }).unwrap(), Response::Value(None));
+
+    // SCAN probes the contiguous key range [start, start+count) but is
+    // partition-local: it sees exactly the keys its owning shard holds
+    // (DESIGN.md §14).
+    for k in 100..110u64 {
+        c.call(&Request::Put { key: k, val: k * 2 }).unwrap();
+    }
+    let local: Vec<u64> = (100..110u64)
+        .filter(|&k| utpr_serve::shard_of(k, 2) == utpr_serve::shard_of(100, 2))
+        .collect();
+    match c.call(&Request::Scan { start: 100, count: 10 }).unwrap() {
+        Response::Pairs(pairs) => {
+            assert_eq!(pairs.iter().map(|&(k, _)| k).collect::<Vec<_>>(), local);
+            assert!(pairs.iter().all(|&(k, v)| v == k * 2));
+        }
+        other => panic!("scan returned {other:?}"),
+    }
+
+    // A batch whose keys all live on one shard executes atomically and
+    // answers with per-op responses in order.
+    let shard0_keys: Vec<u64> =
+        (0..10_000u64).filter(|&k| utpr_serve::shard_of(k, 2) == 0).take(4).collect();
+    let batch: Vec<Request> =
+        shard0_keys.iter().map(|&k| Request::Put { key: k, val: k + 1 }).collect();
+    match c.call(&Request::Batch(batch)).unwrap() {
+        Response::Batch(rs) => {
+            assert_eq!(rs.len(), 4);
+            assert!(rs.iter().all(|r| matches!(r, Response::Done(_))));
+        }
+        other => panic!("batch returned {other:?}"),
+    }
+
+    // A cross-shard batch is refused whole — no partial application.
+    let k0 = shard0_keys[0];
+    let k1 = (0..10_000u64).find(|&k| utpr_serve::shard_of(k, 2) == 1).unwrap();
+    match c
+        .call(&Request::Batch(vec![
+            Request::Put { key: k0, val: 0xdead },
+            Request::Put { key: k1, val: 0xdead },
+        ]))
+        .unwrap()
+    {
+        Response::Err(code, _) => assert_eq!(code, ErrCode::CrossShardBatch),
+        other => panic!("cross-shard batch returned {other:?}"),
+    }
+    assert_ne!(c.call(&Request::Get { key: k0 }).unwrap(), Response::Value(Some(0xdead)));
+
+    let (counters, crashed) = handle.shutdown();
+    assert!(!crashed);
+    assert!(counters.puts >= 15);
+}
+
+/// The tentpole's acceptance gate: at equal offered load, group commit
+/// with `batch_window >= 8` must spend at most half the fences per write
+/// that the unbatched server does.
+#[test]
+fn group_commit_halves_fences_per_op() {
+    let spec = LoadSpec {
+        connections: 16,
+        threads: 2,
+        records: 500,
+        operations: 4_000,
+        read_fraction: 0.3,
+        mode: LoadMode::Closed { pipeline: 16 },
+        seed: base_seed(),
+        track_acks: false,
+    };
+
+    let mut rates = Vec::new();
+    for window in [1usize, 8] {
+        let handle = Server::launch(&cfg(2, window)).expect("launch");
+        preload(handle.addr(), spec.records).expect("preload");
+        let before = handle.counters();
+        let report = run_load(handle.addr(), &spec).expect("load");
+        let after = handle.counters();
+        let (_, crashed) = handle.shutdown();
+        assert!(!crashed);
+        assert_eq!(report.dead_conns, 0, "window {window}: connections died");
+        assert_eq!(report.ops_acked, spec.operations, "window {window}: lost acks");
+        let fences = after.pool_fences - before.pool_fences;
+        let writes = after.writes() - before.writes();
+        assert!(writes > 0);
+        rates.push(fences as f64 / writes as f64);
+    }
+    let (unbatched, batched) = (rates[0], rates[1]);
+    assert!(
+        batched <= 0.5 * unbatched,
+        "group commit too weak: batched {batched:.3} fences/write vs unbatched \
+         {unbatched:.3} (UTPR_QC_SEED={})",
+        base_seed()
+    );
+}
+
+/// Final contents are a pure function of the load spec: every expected
+/// PUT key holds its derived value, preloaded keys not overwritten hold
+/// theirs. This is what makes the bench checksum comparable across runs.
+#[test]
+fn load_contents_are_deterministic() {
+    let spec = LoadSpec {
+        connections: 8,
+        threads: 2,
+        records: 300,
+        operations: 1_200,
+        read_fraction: 0.5,
+        mode: LoadMode::Closed { pipeline: 8 },
+        seed: base_seed() ^ 0xd37,
+        track_acks: true,
+    };
+    let handle = Server::launch(&cfg(2, 16)).expect("launch");
+    preload(handle.addr(), spec.records).expect("preload");
+    let report = run_load(handle.addr(), &spec).expect("load");
+    assert_eq!(report.dead_conns, 0);
+    assert_eq!(report.ops_acked, spec.operations);
+
+    let expected = expected_put_keys(&spec);
+    let acked: std::collections::BTreeSet<u64> =
+        report.acked_puts.iter().map(|&(k, _)| k).collect();
+    assert_eq!(acked.len(), expected.len());
+    assert!(expected.iter().all(|k| acked.contains(k)));
+
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    for &k in expected.iter().take(64) {
+        assert_eq!(
+            c.call(&Request::Get { key: k }).unwrap(),
+            Response::Value(Some(put_val(k, spec.seed)))
+        );
+    }
+    use utpr_kv::workload::key_of_index;
+    for i in 0..spec.records.min(32) {
+        let k = key_of_index(i);
+        assert_eq!(
+            c.call(&Request::Get { key: k }).unwrap(),
+            Response::Value(Some(preload_val(k)))
+        );
+    }
+    handle.shutdown();
+}
+
+/// Satellite 4: kill the server at a seeded durable-write boundary in the
+/// middle of batched load, restart on the surviving pool, and hold the
+/// recovery oracles. On failure every violation carries the
+/// `UTPR_QC_SEED` replay line.
+#[test]
+fn kill_mid_load_recovers_acked_writes() {
+    let spec = KillSpec {
+        cfg: cfg(2, 16),
+        load: LoadSpec {
+            connections: 12,
+            threads: 2,
+            records: 400,
+            operations: 3_000,
+            read_fraction: 0.25,
+            mode: LoadMode::Closed { pipeline: 16 },
+            seed: base_seed() ^ 0x5a17,
+            track_acks: true,
+        },
+        crash_window: 0.5,
+        seed: base_seed(),
+    };
+    let report = kill_arm(&spec).expect("kill arm harness");
+    assert!(
+        report.crashed,
+        "gate at boundary {} never tripped (UTPR_QC_SEED={})",
+        report.boundary,
+        base_seed()
+    );
+    assert!(report.acked > 0, "crash landed before any PUT was acked");
+    for f in &report.oracle_failures {
+        eprintln!("oracle failure: {f}");
+    }
+    assert!(report.oracle_failures.is_empty());
+    assert!(report.revived);
+}

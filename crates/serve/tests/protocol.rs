@@ -1,0 +1,235 @@
+//! Wire-protocol property battery: random frames survive
+//! encode → arbitrary re-chunking → decode bit-for-bit, and malformed
+//! bytes (truncated prefixes, oversized claims, unknown opcodes, mutated
+//! payloads) produce typed [`ProtoError`]s — never a panic, never a
+//! desynchronized decoder.
+
+use utpr_qc::prelude::*;
+use utpr_serve::proto::{Decoder, ProtoError, Request, Response, MAX_FRAME};
+
+/// Builds one random request from a flat recipe; `depth` guards the
+/// single level of batch nesting the protocol allows.
+fn request_from(recipe: &(u32, u64, u64, Vec<(u32, u64, u64)>)) -> Request {
+    let (op, a, b, subs) = recipe;
+    match op % 6 {
+        0 => Request::Get { key: *a },
+        1 => Request::Put { key: *a, val: *b },
+        2 => Request::Del { key: *a },
+        3 => Request::Scan { start: *a, count: (*b % 512) as u32 },
+        4 => Request::Ping,
+        _ => Request::Batch(
+            subs.iter()
+                .map(|(op, a, b)| match op % 5 {
+                    0 => Request::Get { key: *a },
+                    1 => Request::Put { key: *a, val: *b },
+                    2 => Request::Del { key: *a },
+                    3 => Request::Scan { start: *a, count: (*b % 512) as u32 },
+                    _ => Request::Ping,
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn response_from(recipe: &(u32, u64, u64, Vec<(u32, u64, u64)>)) -> Response {
+    let (op, a, b, subs) = recipe;
+    let leaf = |op: u32, a: u64, b: u64| match op % 5 {
+        0 => Response::Value((a % 2 == 0).then_some(b)),
+        1 => Response::Done((a % 2 == 0).then_some(b)),
+        2 => Response::Removed((a % 2 == 0).then_some(b)),
+        3 => Response::Pong,
+        _ => Response::Err(
+            utpr_serve::ErrCode::Proto,
+            format!("e{:x}", a % 0xffff),
+        ),
+    };
+    match op % 3 {
+        0 => leaf(*op / 3, *a, *b),
+        1 => Response::Pairs(subs.iter().map(|&(_, k, v)| (k, v)).collect()),
+        _ => Response::Batch(subs.iter().map(|&(o, k, v)| leaf(o, k, v)).collect()),
+    }
+}
+
+/// Splits `bytes` into chunks whose sizes walk the `cuts` recipe, feeding
+/// a decoder the way a TCP stream would: arbitrary segmentation.
+fn feed_chunked(dec: &mut Decoder, bytes: &[u8], cuts: &[u64]) {
+    let mut at = 0;
+    let mut c = 0;
+    while at < bytes.len() {
+        let take = if cuts.is_empty() {
+            bytes.len() - at
+        } else {
+            (cuts[c % cuts.len()] as usize % 7 + 1).min(bytes.len() - at)
+        };
+        dec.feed(&bytes[at..at + take]);
+        at += take;
+        c += 1;
+    }
+}
+
+#[test]
+fn requests_roundtrip_under_arbitrary_chunking() {
+    let gen = (
+        collection::vec(
+            (0u32..64, any::<u64>(), any::<u64>(), collection::vec((0u32..64, any::<u64>(), any::<u64>()), 0..6)),
+            1..8,
+        ),
+        collection::vec(any::<u64>(), 0..9),
+    );
+    for_all(
+        "serve::proto::request_roundtrip",
+        Config::cases(256),
+        gen,
+        |(recipes, cuts)| {
+            let reqs: Vec<Request> = recipes.iter().map(request_from).collect();
+            let mut wire = Vec::new();
+            for r in &reqs {
+                r.encode(&mut wire);
+            }
+            let mut dec = Decoder::new();
+            feed_chunked(&mut dec, &wire, &cuts);
+            let mut seen = Vec::new();
+            let mut rewire = Vec::new();
+            while let Some(body) = dec.next_frame().map_err(|e| e.to_string())? {
+                let req = Request::decode(body).map_err(|e| e.to_string())?;
+                req.encode(&mut rewire);
+                seen.push(req);
+            }
+            prop_assert!(dec.finish().is_ok());
+            prop_assert_eq!(&seen, &reqs);
+            // Bit-for-bit: re-encoding the decoded stream reproduces the
+            // original bytes exactly.
+            prop_assert_eq!(&rewire, &wire);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn responses_roundtrip_under_arbitrary_chunking() {
+    let gen = (
+        collection::vec(
+            (0u32..64, any::<u64>(), any::<u64>(), collection::vec((0u32..64, any::<u64>(), any::<u64>()), 0..6)),
+            1..8,
+        ),
+        collection::vec(any::<u64>(), 0..9),
+    );
+    for_all(
+        "serve::proto::response_roundtrip",
+        Config::cases(256),
+        gen,
+        |(recipes, cuts)| {
+            let resps: Vec<Response> = recipes.iter().map(response_from).collect();
+            let mut wire = Vec::new();
+            for r in &resps {
+                r.encode(&mut wire);
+            }
+            let mut dec = Decoder::new();
+            feed_chunked(&mut dec, &wire, &cuts);
+            let mut seen = Vec::new();
+            let mut rewire = Vec::new();
+            while let Some(body) = dec.next_frame().map_err(|e| e.to_string())? {
+                let r = Response::decode(body).map_err(|e| e.to_string())?;
+                r.encode(&mut rewire);
+                seen.push(r);
+            }
+            prop_assert!(dec.finish().is_ok());
+            prop_assert_eq!(&seen, &resps);
+            prop_assert_eq!(&rewire, &wire);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mutated_streams_never_panic_or_desync() {
+    // Take a valid stream, flip one byte anywhere (length prefix, opcode,
+    // payload), and decode to exhaustion: every outcome must be a clean
+    // frame, a typed error, or a truncated tail — never a panic, and
+    // never an infinite loop.
+    let gen = (
+        collection::vec(
+            (0u32..64, any::<u64>(), any::<u64>(), collection::vec((0u32..64, any::<u64>(), any::<u64>()), 0..4)),
+            1..5,
+        ),
+        any::<u64>(),
+        any::<u8>(),
+    );
+    for_all(
+        "serve::proto::mutation_robustness",
+        Config::cases(512),
+        gen,
+        |(recipes, pos, flip)| {
+            let mut wire = Vec::new();
+            for r in recipes.iter().map(request_from) {
+                r.encode(&mut wire);
+            }
+            let at = (pos as usize) % wire.len();
+            wire[at] ^= flip | 1;
+            let mut dec = Decoder::new();
+            dec.feed(&wire);
+            let mut frames = 0u32;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(body)) => {
+                        // Frame body may or may not decode; either way it
+                        // must be a typed verdict, not a panic.
+                        let _ = Request::decode(body);
+                        frames += 1;
+                        prop_assert!(frames <= 1 + wire.len() as u32);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        prop_assert!(matches!(
+                            e,
+                            ProtoError::Oversized(_) | ProtoError::EmptyFrame
+                        ));
+                        break;
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncated_length_prefix_is_typed() {
+    let mut wire = Vec::new();
+    Request::Put { key: 7, val: 9 }.encode(&mut wire);
+    for keep in 0..wire.len() {
+        let mut dec = Decoder::new();
+        dec.feed(&wire[..keep]);
+        assert_eq!(dec.next_frame(), Ok(None), "partial frame must wait, not error");
+        if keep > 0 {
+            assert_eq!(dec.finish(), Err(ProtoError::Truncated));
+        } else {
+            assert!(dec.finish().is_ok());
+        }
+    }
+}
+
+#[test]
+fn oversized_claim_rejected_before_buffering() {
+    let mut dec = Decoder::new();
+    let claim = (MAX_FRAME + 1).to_le_bytes();
+    dec.feed(&claim);
+    assert_eq!(dec.next_frame(), Err(ProtoError::Oversized(MAX_FRAME + 1)));
+}
+
+#[test]
+fn unknown_opcode_is_typed_not_fatal_to_later_frames() {
+    // An unknown opcode poisons its own frame only: the decoder stays in
+    // sync and the next frame decodes normally.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&2u32.to_le_bytes());
+    wire.extend_from_slice(&[0x7f, 0x00]);
+    Request::Get { key: 3 }.encode(&mut wire);
+    let mut dec = Decoder::new();
+    dec.feed(&wire);
+    let first = dec.next_frame().unwrap().unwrap().to_vec();
+    assert_eq!(Request::decode(&first), Err(ProtoError::UnknownOpcode(0x7f)));
+    let second = dec.next_frame().unwrap().unwrap().to_vec();
+    assert_eq!(Request::decode(&second), Ok(Request::Get { key: 3 }));
+    assert_eq!(dec.next_frame(), Ok(None));
+}

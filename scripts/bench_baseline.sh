@@ -16,8 +16,8 @@
 #                                      (default when no argument is given)
 #   scripts/bench_baseline.sh record   re-run and overwrite baselines/
 #
-# Both modes run fig11, hotpath, interp, concurrent, and endurance at small
-# scale with UTPR_JOBS=1
+# Both modes run fig11, hotpath, interp, concurrent, endurance, and server
+# at small scale with UTPR_JOBS=1
 # so the parallel scheduler cannot reorder anything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +40,8 @@ run_benches() {
         cargo bench -q -p utpr-bench --bench concurrent --offline > /dev/null
     UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
         cargo bench -q -p utpr-bench --bench endurance --offline > /dev/null
+    UTPR_BENCH_SCALE=small UTPR_JOBS=1 UTPR_BENCH_OUT="$out" \
+        cargo bench -q -p utpr-bench --bench server --offline > /dev/null
 }
 
 # Emits "key cycles checksum" lines from a BENCH_*.json report: one line per
@@ -116,13 +118,13 @@ record)
     mkdir -p "$base_dir"
     echo "== recording baselines (small scale, 1 worker) =="
     run_benches "$base_dir"
-    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json "$base_dir"/BENCH_concurrent.json "$base_dir"/BENCH_endurance.json; do
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json "$base_dir"/BENCH_concurrent.json "$base_dir"/BENCH_endurance.json "$base_dir"/BENCH_server.json; do
         n=$(extract "$f" | wc -l)
         echo "recorded $f ($n keyed runs)"
     done
     ;;
 check)
-    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json "$base_dir"/BENCH_concurrent.json "$base_dir"/BENCH_endurance.json; do
+    for f in "$base_dir"/BENCH_fig11.json "$base_dir"/BENCH_hotpath.json "$base_dir"/BENCH_interp.json "$base_dir"/BENCH_concurrent.json "$base_dir"/BENCH_endurance.json "$base_dir"/BENCH_server.json; do
         [[ -f "$f" ]] || {
             echo "bench_baseline: $f missing — run \`scripts/bench_baseline.sh record\` first" >&2
             exit 2
@@ -133,7 +135,7 @@ check)
     echo "== baseline check (small scale, 1 worker, ${tolerance} cycle tolerance) =="
     run_benches "$work"
     ok=1
-    for name in fig11 hotpath interp concurrent endurance; do
+    for name in fig11 hotpath interp concurrent endurance server; do
         extract "$base_dir/BENCH_$name.json" > "$work/$name.base"
         extract "$work/BENCH_$name.json" > "$work/$name.cur"
         if compare "$work/$name.base" "$work/$name.cur" "$name"; then

@@ -6,7 +6,7 @@
 #
 # Usage: scripts/verify.sh [--bench] [--bench-smoke] [--faults] [--corruption]
 #                          [--hotpath] [--interp] [--mt] [--concurrent]
-#                          [--endurance]
+#                          [--endurance] [--serve]
 #   --bench        additionally run the utpr-qc micro-benchmarks
 #   --bench-smoke  additionally run fig11 at reduced scale with 1 worker and
 #                  then all workers, check both emit BENCH_fig11.json, and —
@@ -52,6 +52,14 @@
 #                  check the multi-threaded YCSB-A arm's checksums are
 #                  bit-identical at every thread count and the modelled
 #                  8-core makespan speedup is >= 4x
+#   --serve        additionally run the group-commit server smoke: the
+#                  wire-protocol property battery, the loopback
+#                  integration tests (semantics, fence gate, determinism,
+#                  kill-mid-load recovery), then the server bench at small
+#                  scale; check BENCH_server.json is emitted with p99
+#                  latency reported, batched fences/op at most half of
+#                  unbatched (amortization >= 2x), window-invariant
+#                  contents checksums, and zero kill-arm oracle failures
 #
 # Environment:
 #   UTPR_QC_SEED  override the property-test base seed (decimal or 0x-hex)
@@ -73,6 +81,7 @@ run_interp=0
 run_mt=0
 run_concurrent=0
 run_endurance=0
+run_serve=0
 for arg in "$@"; do
     case "$arg" in
         --bench) run_bench=1 ;;
@@ -84,6 +93,7 @@ for arg in "$@"; do
         --mt) run_mt=1 ;;
         --concurrent) run_concurrent=1 ;;
         --endurance) run_endurance=1 ;;
+        --serve) run_serve=1 ;;
         *) echo "verify: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -347,6 +357,49 @@ if [[ "$run_endurance" == 1 ]]; then
         exit 1
     }
     echo "smoke: endurance clean (scrub overhead ${overhead}, scrub-off hot arm lost ${lost} keys, all detected)"
+fi
+
+if [[ "$run_serve" == 1 ]]; then
+    echo "== extra: group-commit server smoke (protocol + loopback + bench gates) =="
+    # The wire-protocol property battery (round-trip bit-for-bit under
+    # arbitrary chunking, mutation robustness, typed malformed-frame
+    # errors) and the loopback integration tests (serving semantics,
+    # the fence-amortization gate, contents determinism, and the
+    # kill-mid-load recovery oracles).
+    cargo test -q --offline -p utpr-serve
+
+    srv_dir=$(mktemp -d)
+    trap 'rm -rf "$srv_dir"' EXIT
+
+    # The bench exits nonzero itself when a gate fails (amortization
+    # < 2x, checksum divergence across windows/modes, or a kill-arm
+    # oracle violation) — set -e propagates that.
+    UTPR_BENCH_SCALE=small UTPR_BENCH_OUT="$srv_dir" \
+        cargo bench -q -p utpr-bench --bench server --offline
+    [[ -f "$srv_dir/BENCH_server.json" ]] || {
+        echo "verify: server smoke did not emit BENCH_server.json" >&2
+        exit 1
+    }
+    grep -q '"p99_us":' "$srv_dir/BENCH_server.json" || {
+        echo "verify: server smoke reported no p99 latency" >&2
+        exit 1
+    }
+    grep -q '"checksum_ok":true' "$srv_dir/BENCH_server.json" || {
+        echo "verify: server contents checksums diverged across batch windows:" >&2
+        cat "$srv_dir/BENCH_server.json" >&2
+        exit 1
+    }
+    grep -q '"kill_oracles_ok":true' "$srv_dir/BENCH_server.json" || {
+        echo "verify: kill-mid-load arm reported oracle failures:" >&2
+        cat "$srv_dir/BENCH_server.json" >&2
+        exit 1
+    }
+    amort=$(sed -n 's/.*"fence_amortization":\([0-9.]*\).*/\1/p' "$srv_dir/BENCH_server.json")
+    awk -v a="$amort" 'BEGIN { exit !(a >= 2.0) }' || {
+        echo "verify: fence amortization ${amort}x below the 2x floor (batched fences/op must be <= 0.5x unbatched)" >&2
+        exit 1
+    }
+    echo "smoke: server clean (amortization ${amort}x, checksums invariant, kill arm recovered)"
 fi
 
 echo "verify: OK"
